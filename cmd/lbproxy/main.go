@@ -1,0 +1,157 @@
+// Command lbproxy runs the userspace load balancer: a layer-4 TCP proxy
+// whose request routing adapts to in-band latency estimates derived purely
+// from client→server traffic timing.
+//
+// Usage:
+//
+//	lbproxy -listen 127.0.0.1:9000 \
+//	        -backends 127.0.0.1:11211,127.0.0.1:11212 \
+//	        -policy latency-aware -alpha 0.1 -report-every 1s
+//
+// Policies: latency-aware (default), maglev, roundrobin, p2c.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"inbandlb/internal/control"
+	"inbandlb/internal/core"
+	"inbandlb/internal/lbproxy"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:9000", "listen address")
+		backends   = flag.String("backends", "", "comma-separated backend addresses (required)")
+		policyName = flag.String("policy", "latency-aware", "routing policy (latency-aware|proportional|maglev|roundrobin|p2c)")
+		alpha      = flag.Float64("alpha", 0.10, "latency-aware: traffic fraction shifted per control action")
+		minWeight  = flag.Float64("min-weight", 0.02, "latency-aware: weight floor per backend")
+		cooldown   = flag.Duration("cooldown", 5*time.Millisecond, "latency-aware: minimum time between shifts")
+		hysteresis = flag.Float64("hysteresis", 1.3, "latency-aware: worst/best ratio required to shift")
+		halfLife   = flag.Duration("half-life", 20*time.Millisecond, "per-server latency EWMA half-life")
+		seed       = flag.Int64("seed", 1, "random seed for randomized policies")
+		report     = flag.Duration("report-every", 0, "periodic stats report interval (0 = off)")
+		health     = flag.Duration("health-interval", time.Second, "active health-probe period (0 = disabled)")
+		statusAddr = flag.String("status-addr", "", "serve JSON status at http://<addr>/ (empty = off)")
+	)
+	flag.Parse()
+
+	addrs := splitNonEmpty(*backends)
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "lbproxy: -backends required (comma-separated)")
+		os.Exit(2)
+	}
+
+	pol, la, err := buildPolicy(*policyName, addrs, *alpha, *minWeight, *cooldown, *hysteresis, *halfLife, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbproxy: %v\n", err)
+		os.Exit(2)
+	}
+
+	proxy, err := lbproxy.New(lbproxy.Config{
+		Backends:       addrs,
+		Policy:         pol,
+		HealthInterval: *health,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbproxy: %v\n", err)
+		os.Exit(1)
+	}
+	if err := proxy.Listen(*listen); err != nil {
+		fmt.Fprintf(os.Stderr, "lbproxy: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("lbproxy: %s on %s -> %v\n", pol.Name(), proxy.Addr(), addrs)
+
+	if *statusAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*statusAddr, proxy.StatusHandler()); err != nil {
+				fmt.Fprintf(os.Stderr, "lbproxy: status server: %v\n", err)
+			}
+		}()
+		fmt.Printf("lbproxy: status at http://%s/\n", *statusAddr)
+	}
+
+	if *report > 0 {
+		go func() {
+			t := time.NewTicker(*report)
+			defer t.Stop()
+			for range t.C {
+				st := proxy.Stats()
+				line := fmt.Sprintf("conns=%d active=%d samples=%d per-backend=%v down=%v",
+					st.Accepted, st.Active, st.Samples, st.PerBackend, st.Down)
+				if la != nil {
+					line += fmt.Sprintf(" weights=%.3v updates=%d", la.Weights(), la.Updates())
+				}
+				fmt.Println(line)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "lbproxy: shutting down")
+		_ = proxy.Close()
+	}()
+
+	if err := proxy.Serve(); err != nil {
+		fmt.Fprintf(os.Stderr, "lbproxy: %v\n", err)
+		os.Exit(1)
+	}
+	st := proxy.Stats()
+	fmt.Printf("lbproxy: relayed %d connections (%d estimator samples)\n", st.Accepted, st.Samples)
+}
+
+func buildPolicy(name string, addrs []string, alpha, minWeight float64,
+	cooldown time.Duration, hysteresis float64, halfLife time.Duration, seed int64,
+) (control.Policy, *control.LatencyAware, error) {
+	latCfg := core.ServerLatencyConfig{HalfLife: halfLife}
+	switch name {
+	case "latency-aware":
+		la, err := control.NewLatencyAware(control.LatencyAwareConfig{
+			Backends:        addrs,
+			Alpha:           alpha,
+			MinWeight:       minWeight,
+			Cooldown:        cooldown,
+			HysteresisRatio: hysteresis,
+			Latency:         latCfg,
+		})
+		return la, la, err
+	case "proportional":
+		pr, err := control.NewProportional(control.ProportionalConfig{
+			Backends:  addrs,
+			MinWeight: minWeight,
+			Interval:  cooldown,
+			Latency:   latCfg,
+		})
+		return pr, nil, err
+	case "maglev":
+		m, err := control.NewMaglevStatic(addrs, 0x10001) // 65537
+		return m, nil, err
+	case "roundrobin":
+		return control.NewRoundRobin(len(addrs)), nil, nil
+	case "p2c":
+		return control.NewP2C(len(addrs), rand.New(rand.NewSource(seed)), latCfg), nil, nil
+	}
+	return nil, nil, fmt.Errorf("unknown policy %q", name)
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+// Command lbreplay runs the in-band latency estimator over a packet
+// capture: point it at a pcap of client→server traffic (e.g. tcpdump on a
+// load balancer's ingress, or the output of `lbsim -exp fig2a -pcap ...`)
+// and it reports, per flow, the response-latency distribution the
+// estimator would have inferred — without ever seeing a response packet.
+//
+// Usage:
+//
+//	lbreplay -pcap capture.pcap -top 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"inbandlb/internal/core"
+	"inbandlb/internal/replay"
+)
+
+func main() {
+	var (
+		pcapPath = flag.String("pcap", "", "capture file to analyze (required)")
+		top      = flag.Int("top", 20, "show the N busiest flows")
+		epoch    = flag.Duration("epoch", core.DefaultEpoch, "cliff-detection epoch E")
+	)
+	flag.Parse()
+	if *pcapPath == "" {
+		fmt.Fprintln(os.Stderr, "lbreplay: -pcap required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*pcapPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbreplay: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	res, err := replay.Replay(f, core.EnsembleConfig{Epoch: *epoch})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbreplay: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%d packets across %d flows (%d frames skipped)\n\n",
+		res.Packets, len(res.Flows), res.Skipped)
+	fmt.Printf("%-44s %8s %8s %12s %12s %10s %10s\n",
+		"flow", "packets", "samples", "median", "p95", "chosen δ", "span")
+	n := *top
+	if n > len(res.Flows) {
+		n = len(res.Flows)
+	}
+	for _, fr := range res.Flows[:n] {
+		fmt.Printf("%-44s %8d %8d %12v %12v %10v %10v\n",
+			fr.Key, fr.Packets, fr.Samples,
+			fr.Median.Round(time.Microsecond), fr.P95.Round(time.Microsecond),
+			fr.Chosen, (fr.Last - fr.First).Round(time.Millisecond))
+	}
+}

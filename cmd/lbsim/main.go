@@ -1,0 +1,136 @@
+// Command lbsim regenerates the paper's figures and this repository's
+// ablations from the deterministic simulator.
+//
+// Usage:
+//
+//	lbsim -exp fig3 -duration 20s -seed 42 -csv out/ -plot
+//	lbsim -exp all
+//
+// Experiments: fig2a, fig2b, fig3, abl-epoch, abl-ladder, abl-alpha,
+// abl-violations, abl-far, abl-policies, abl-scale, abl-multi-lb,
+// abl-dependency, abl-controllers, abl-utilization, abl-affinity,
+// abl-shared-ladder, abl-churn, abl-l7, abl-handshake, abl-signal, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"inbandlb/internal/experiments"
+	"inbandlb/internal/trace"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (fig2a|fig2b|fig3|abl-*|all)")
+		seed     = flag.Int64("seed", 42, "random seed")
+		duration = flag.Duration("duration", 0, "simulated duration (0 = per-experiment default)")
+		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV series into")
+		plot     = flag.Bool("plot", false, "render ASCII plots of the series")
+		pcapPath = flag.String("pcap", "", "write the fig2a tap's packet trace as a pcap file (fig2a only)")
+	)
+	flag.Parse()
+
+	var rec *trace.Recorder
+	if *pcapPath != "" {
+		rec = trace.NewRecorder(2_000_000)
+	}
+	runners := map[string]func() *experiments.Result{
+		"fig2a": func() *experiments.Result {
+			return experiments.Fig2a(experiments.Fig2Config{Seed: *seed, Duration: *duration, Trace: rec})
+		},
+		"fig2b": func() *experiments.Result {
+			return experiments.Fig2b(experiments.Fig2Config{Seed: *seed, Duration: *duration})
+		},
+		"fig3": func() *experiments.Result {
+			return experiments.Fig3(experiments.Fig3Config{Seed: *seed, Duration: *duration})
+		},
+		"abl-epoch":         func() *experiments.Result { return experiments.AblationEpoch(*seed, *duration) },
+		"abl-ladder":        func() *experiments.Result { return experiments.AblationLadder(*seed, *duration) },
+		"abl-alpha":         func() *experiments.Result { return experiments.AblationAlpha(*seed, *duration) },
+		"abl-violations":    func() *experiments.Result { return experiments.AblationViolations(*seed, *duration) },
+		"abl-far":           func() *experiments.Result { return experiments.AblationFarClients(*seed, *duration) },
+		"abl-policies":      func() *experiments.Result { return experiments.PolicyComparison(*seed, *duration) },
+		"abl-scale":         func() *experiments.Result { return experiments.AblationPoolScale(*seed, *duration) },
+		"abl-multi-lb":      func() *experiments.Result { return experiments.AblationMultiLB(*seed, *duration) },
+		"abl-dependency":    func() *experiments.Result { return experiments.AblationDependency(*seed, *duration) },
+		"abl-controllers":   func() *experiments.Result { return experiments.AblationControllers(*seed, *duration) },
+		"abl-utilization":   func() *experiments.Result { return experiments.AblationUtilization(*seed, *duration) },
+		"abl-affinity":      func() *experiments.Result { return experiments.AblationAffinity(*seed, *duration) },
+		"abl-shared-ladder": func() *experiments.Result { return experiments.AblationSharedLadder(*seed, *duration) },
+		"abl-churn":         func() *experiments.Result { return experiments.AblationChurn(*seed, *duration) },
+		"abl-l7":            func() *experiments.Result { return experiments.AblationL7(*seed, *duration) },
+		"abl-handshake":     func() *experiments.Result { return experiments.AblationHandshake(*seed, *duration) },
+		"abl-signal":        func() *experiments.Result { return experiments.AblationSignal(*seed, *duration) },
+	}
+	order := []string{
+		"fig2a", "fig2b", "fig3",
+		"abl-epoch", "abl-ladder", "abl-alpha", "abl-violations",
+		"abl-far", "abl-policies", "abl-scale", "abl-multi-lb",
+		"abl-dependency", "abl-controllers", "abl-utilization",
+		"abl-affinity", "abl-shared-ladder", "abl-churn", "abl-l7",
+		"abl-handshake", "abl-signal",
+	}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else if _, ok := runners[*exp]; ok {
+		selected = []string{*exp}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %v, all\n", *exp, order)
+		os.Exit(2)
+	}
+
+	for _, name := range selected {
+		start := time.Now()
+		res := runners[name]()
+		if err := res.Report(os.Stdout, *plot); err != nil {
+			fmt.Fprintf(os.Stderr, "reporting %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v wall-clock)\n\n", name, time.Since(start).Round(time.Millisecond))
+
+		if *csvDir != "" && len(res.Series) > 0 {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "creating %s: %v\n", *csvDir, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, res.Name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "creating %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			if err := res.WriteCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "closing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("series written to %s\n\n", path)
+		}
+	}
+
+	if rec != nil && rec.Len() > 0 {
+		f, err := os.Create(*pcapPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *pcapPath, err)
+			os.Exit(1)
+		}
+		if err := rec.WritePcap(f); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *pcapPath, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "closing %s: %v\n", *pcapPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("pcap trace (%d packets) written to %s\n", rec.Len(), *pcapPath)
+	}
+}

@@ -1,0 +1,68 @@
+// Command memcached runs the repository's memcached-protocol server with
+// injectable processing delay.
+//
+// Usage:
+//
+//	memcached -addr 127.0.0.1:11211
+//	memcached -addr 127.0.0.1:11212 -delay 1ms -delay-after 100s
+//
+// The `delay <duration>` protocol command changes the injected delay at
+// runtime (e.g. `printf 'delay 1ms\r\n' | nc host port`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"inbandlb/internal/memcache"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:11211", "listen address")
+		delay      = flag.Duration("delay", 0, "artificial per-request delay to inject")
+		delayAfter = flag.Duration("delay-after", 0, "start injecting -delay only after this long (0 = immediately)")
+		maxItems   = flag.Int("max-items", 0, "LRU-evict beyond this many keys (0 = unbounded)")
+	)
+	flag.Parse()
+
+	srv := memcache.NewServer()
+	srv.MaxItems = *maxItems
+	if *delay > 0 {
+		if *delayAfter > 0 {
+			go func() {
+				time.Sleep(*delayAfter)
+				srv.SetDelay(*delay)
+				fmt.Fprintf(os.Stderr, "memcached: injecting %v per-request delay from now on\n", *delay)
+			}()
+		} else {
+			srv.SetDelay(*delay)
+		}
+	}
+
+	if err := srv.Listen(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "memcached: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("memcached: listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "memcached: shutting down")
+		_ = srv.Close()
+	}()
+
+	if err := srv.Serve(); err != nil {
+		fmt.Fprintf(os.Stderr, "memcached: %v\n", err)
+		os.Exit(1)
+	}
+	st := srv.Stats()
+	fmt.Printf("memcached: served %d gets (%d hits), %d sets over %d connections\n",
+		st.Gets, st.Hits, st.Sets, st.Conns)
+}

@@ -1,0 +1,111 @@
+// Command memtier drives a memtier_benchmark-like workload against a
+// memcached-protocol endpoint (a server, or the lbproxy) and reports
+// client-side latency percentiles — the ground-truth side of the live
+// prototype.
+//
+// Usage:
+//
+//	memtier -addr 127.0.0.1:9000 -conns 8 -requests-per-conn 100 \
+//	        -duration 30s -get-ratio 0.5 -report-every 1s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"inbandlb/internal/stats"
+	"inbandlb/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:11211", "memcached-protocol endpoint")
+		conns    = flag.Int("conns", 8, "concurrent connections")
+		perConn  = flag.Int("requests-per-conn", 100, "requests per connection before reopen (0 = never)")
+		pipeline = flag.Int("pipeline", 1, "outstanding requests per connection")
+		getRatio = flag.Float64("get-ratio", 0.5, "fraction of GET requests")
+		keys     = flag.Int("keys", 1000, "key-space size")
+		zipf     = flag.Float64("zipf", 0, "zipf skew for key popularity (>1 to enable)")
+		valSize  = flag.Int("value-size", 64, "SET value size in bytes")
+		duration = flag.Duration("duration", 10*time.Second, "run duration")
+		seed     = flag.Int64("seed", 1, "random seed")
+		report   = flag.Duration("report-every", time.Second, "periodic p95 report interval (0 = off)")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		cancel()
+	}()
+
+	var mu sync.Mutex
+	win := stats.NewWindowedHistogram(10, 100*time.Millisecond)
+	cfg := workload.Config{
+		Addr:            *addr,
+		Connections:     *conns,
+		RequestsPerConn: *perConn,
+		Pipeline:        *pipeline,
+		GetRatio:        *getRatio,
+		Keys:            *keys,
+		ZipfS:           *zipf,
+		ValueSize:       *valSize,
+		Duration:        *duration,
+		Seed:            *seed,
+		OnLatency: func(since time.Duration, get bool, lat time.Duration) {
+			if !get {
+				return
+			}
+			mu.Lock()
+			win.Record(since, lat)
+			mu.Unlock()
+		},
+	}
+
+	if *report > 0 {
+		go func() {
+			start := time.Now()
+			t := time.NewTicker(*report)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					now := time.Since(start)
+					mu.Lock()
+					p95 := win.Quantile(now, 0.95)
+					n := win.Count(now)
+					mu.Unlock()
+					if n > 0 {
+						fmt.Printf("t=%6.1fs  GET p95 (1s window) = %v  (%d samples)\n",
+							now.Seconds(), p95, n)
+					}
+				}
+			}
+		}()
+	}
+
+	rep, err := workload.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memtier: %v\n", err)
+		os.Exit(1)
+	}
+	cancel()
+
+	fmt.Println("---")
+	fmt.Println(rep.String())
+	fmt.Printf("GET: %s\n", rep.Gets)
+	fmt.Printf("SET: %s\n", rep.Sets)
+	if rep.Errors > 0 && rep.Requests == 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,111 @@
+// Tier-to-tier load balancing with in-band feedback control, simulated.
+//
+// An application tier calls into a four-server cache tier through a load
+// balancer under direct server return. Mid-run, one cache server starts
+// suffering 800µs of scheduling interference. Watch the latency-aware LB
+// detect it from request-direction timing alone and drain it — then watch
+// it recover when the interference stops.
+//
+//	go run ./examples/tiertotier
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"inbandlb/internal/control"
+	"inbandlb/internal/faults"
+	"inbandlb/internal/netsim"
+	"inbandlb/internal/server"
+	"inbandlb/internal/stats"
+	"inbandlb/internal/tcpsim"
+	"inbandlb/internal/testbed"
+)
+
+func main() {
+	const (
+		n        = 4
+		duration = 12 * time.Second
+		degrade  = 4 * time.Second // interference starts
+		recover  = 8 * time.Second // interference stops
+	)
+	names := []string{"cache-0", "cache-1", "cache-2", "cache-3"}
+
+	policy, err := control.NewLatencyAware(control.LatencyAwareConfig{
+		Backends:        names,
+		Alpha:           0.10,
+		MinWeight:       0.02,
+		Cooldown:        time.Millisecond,
+		HysteresisRatio: 1.15,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	servers := make([]server.Config, n)
+	schedules := make([]faults.Schedule, n)
+	for i := range servers {
+		servers[i] = server.Config{
+			Name:    names[i],
+			Workers: 8,
+			Service: server.LogNormal{Median: 120 * time.Microsecond, Sigma: 0.3},
+		}
+		schedules[i] = faults.None
+	}
+	// cache-2 suffers interference during [degrade, recover).
+	schedules[2] = faults.Step{Start: degrade, End: recover, Extra: 800 * time.Microsecond}
+
+	cluster, err := testbed.NewCluster(testbed.ClusterConfig{
+		Seed:                42,
+		Policy:              policy,
+		Servers:             servers,
+		ServerPathSchedules: schedules,
+		Workload: tcpsim.RequestConfig{
+			Connections:     16,
+			Pipeline:        1,
+			RequestsPerConn: 100,
+			ReopenDelay:     500 * time.Microsecond,
+			ThinkTime:       50 * time.Microsecond,
+			ThinkJitter:     50 * time.Microsecond,
+			GetFraction:     0.5,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Sample the client's sliding-window p95 and cache-2's weight once a
+	// second of simulated time.
+	win := stats.NewWindowedHistogram(10, 100*time.Millisecond)
+	cluster.Client.OnResponse = func(now time.Duration, op netsim.Op, lat time.Duration) {
+		win.Record(now, lat)
+	}
+	fmt.Println("  sim_time   p95_latency   cache-2_weight   cache-2_ewma")
+	cluster.Sim.Every(time.Second, time.Second, func() bool {
+		now := cluster.Sim.Now()
+		marker := ""
+		if now == degrade {
+			marker = "   <- interference starts on cache-2"
+		}
+		if now == recover {
+			marker = "   <- interference ends"
+		}
+		fmt.Printf("  %6v   %11v   %14.3f   %12v%s\n",
+			now, win.Quantile(now, 0.95).Round(time.Microsecond),
+			policy.Weights()[2],
+			policy.Latency().Latency(2).Round(time.Microsecond),
+			marker)
+		return now < duration
+	})
+
+	cluster.Run(duration)
+
+	st := cluster.LB.Stats()
+	fmt.Println()
+	fmt.Printf("new flows per server: %v\n", st.NewPerBack)
+	fmt.Printf("estimator samples:    %d over %d flows\n", st.Samples, st.NewFlows)
+	fmt.Printf("controller updates:   %d table rebuilds\n", policy.Updates())
+}

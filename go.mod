@@ -1,0 +1,3 @@
+module inbandlb
+
+go 1.22

@@ -1,0 +1,47 @@
+package control_test
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"inbandlb/internal/control"
+	"inbandlb/internal/packet"
+)
+
+// The paper's controller in isolation: feed per-server latency samples and
+// watch it shift traffic away from the degraded server.
+func ExampleLatencyAware() {
+	la, err := control.NewLatencyAware(control.LatencyAwareConfig{
+		Backends:  []string{"cache-a", "cache-b"},
+		Alpha:     0.10, // shift 10% of total traffic per control action
+		TableSize: 1021,
+		MinWeight: 0.10,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// cache-b degrades: the in-band estimator reports 2ms against
+	// cache-a's 300µs. Samples arrive every millisecond.
+	now := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		now += time.Millisecond
+		la.ObserveLatency(0, now, 300*time.Microsecond)
+		la.ObserveLatency(1, now, 2*time.Millisecond)
+	}
+
+	w := la.Weights()
+	fmt.Printf("cache-a weight: %.2f\n", w[0])
+	fmt.Printf("cache-b weight: %.2f\n", w[1])
+
+	// New flows now mostly land on cache-a; existing flows are unaffected
+	// because the dataplane pins them in its connection table.
+	key := packet.NewFlowKey(
+		netip.MustParseAddr("10.0.0.9"), netip.MustParseAddr("10.1.0.1"),
+		55555, 11211, packet.ProtoTCP)
+	_ = la.Pick(key, now)
+	// Output:
+	// cache-a weight: 0.90
+	// cache-b weight: 0.10
+}

@@ -1,0 +1,264 @@
+// Package core implements the paper's primary contribution: in-band
+// estimation of end-to-end response latency at a load balancer that
+// observes only client→server traffic (direct server return), and the
+// per-flow / per-server bookkeeping that turns raw packet timestamps into
+// control signals.
+//
+// The key idea is the causally-triggered transmission: a flow-controlled
+// client exhausts its quota of outstanding data and pauses until a response
+// re-opens it, so the gap between the first packets of successive packet
+// batches approximates the response latency. Algorithm 1 (FixedTimeout)
+// separates batches with a fixed inter-batch timeout δ; Algorithm 2
+// (EnsembleTimeout) runs an exponential ladder of timeouts and picks, each
+// epoch, the timeout at the "sample cliff" — the largest drop in sample
+// count between adjacent timeouts.
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// FixedTimeout is Algorithm 1: it is fed the arrival timestamp of every
+// packet of one flow and emits a response-latency sample whenever a new
+// batch starts, i.e. whenever the gap since the previous packet exceeds the
+// fixed timeout δ.
+//
+// The zero value is not usable; construct with NewFixedTimeout.
+type FixedTimeout struct {
+	delta     time.Duration
+	lastPkt   time.Duration
+	lastBatch time.Duration
+	started   bool
+}
+
+// NewFixedTimeout creates an estimator with inter-batch timeout delta.
+func NewFixedTimeout(delta time.Duration) *FixedTimeout {
+	if delta <= 0 {
+		panic("core: FixedTimeout delta must be positive")
+	}
+	return &FixedTimeout{delta: delta}
+}
+
+// Timeout returns δ.
+func (f *FixedTimeout) Timeout() time.Duration { return f.delta }
+
+// Observe processes one packet arrival at time now and returns a
+// response-latency sample (T_LB) when this packet opens a new batch. The
+// boolean is false when no sample is produced — the paper's "undef".
+// Timestamps must be non-decreasing per flow.
+func (f *FixedTimeout) Observe(now time.Duration) (time.Duration, bool) {
+	if !f.started {
+		f.started = true
+		f.lastPkt = now
+		f.lastBatch = now
+		return 0, false
+	}
+	var sample time.Duration
+	ok := false
+	if now-f.lastPkt > f.delta {
+		// New batch: the gap between batch heads is the latency estimate.
+		sample = now - f.lastBatch
+		ok = true
+		f.lastBatch = now
+	}
+	f.lastPkt = now
+	return sample, ok
+}
+
+// Reset clears the flow state (used when a connection is recycled).
+func (f *FixedTimeout) Reset() {
+	f.started = false
+	f.lastPkt = 0
+	f.lastBatch = 0
+}
+
+// DefaultTimeouts is the paper's ladder: δ₁ = 64µs doubling up to δ₇ = 4096µs.
+func DefaultTimeouts() []time.Duration {
+	out := make([]time.Duration, 7)
+	d := 64 * time.Microsecond
+	for i := range out {
+		out[i] = d
+		d *= 2
+	}
+	return out
+}
+
+// DefaultEpoch is the paper's sample-cliff epoch E = 64 ms.
+const DefaultEpoch = 64 * time.Millisecond
+
+// EnsembleConfig parameterizes Algorithm 2.
+type EnsembleConfig struct {
+	// Timeouts is the δ ladder, strictly increasing. Defaults to
+	// DefaultTimeouts().
+	Timeouts []time.Duration
+	// Epoch is the cliff-detection interval E. Defaults to DefaultEpoch.
+	Epoch time.Duration
+}
+
+func (c *EnsembleConfig) applyDefaults() error {
+	if len(c.Timeouts) == 0 {
+		c.Timeouts = DefaultTimeouts()
+	}
+	if len(c.Timeouts) < 2 {
+		return fmt.Errorf("core: ensemble needs at least 2 timeouts, have %d", len(c.Timeouts))
+	}
+	for i := 1; i < len(c.Timeouts); i++ {
+		if c.Timeouts[i] <= c.Timeouts[i-1] {
+			return fmt.Errorf("core: ensemble timeouts must be strictly increasing (index %d)", i)
+		}
+	}
+	if c.Timeouts[0] <= 0 {
+		return fmt.Errorf("core: ensemble timeouts must be positive")
+	}
+	if c.Epoch == 0 {
+		c.Epoch = DefaultEpoch
+	}
+	if c.Epoch < 0 {
+		return fmt.Errorf("core: ensemble epoch must be positive")
+	}
+	return nil
+}
+
+// EnsembleTimeout is Algorithm 2: k FixedTimeout instances sharing the
+// packet stream of one flow, with per-epoch sample counting and cliff
+// detection selecting the timeout whose samples are reported.
+//
+// Construct with NewEnsembleTimeout.
+type EnsembleTimeout struct {
+	cfg     EnsembleConfig
+	fts     []*FixedTimeout
+	counts  []uint64
+	current int // index of δe, the timeout whose samples are emitted
+
+	epochStart   time.Duration
+	epochStarted bool
+	epochs       uint64
+
+	// OnEpoch, when set, observes each cliff decision: the epoch-end
+	// time, per-timeout sample counts for the finished epoch, and the
+	// chosen index. Experiment harnesses use it to plot Fig. 2(b).
+	OnEpoch func(now time.Duration, counts []uint64, chosen int)
+}
+
+// NewEnsembleTimeout creates the estimator for one flow.
+func NewEnsembleTimeout(cfg EnsembleConfig) (*EnsembleTimeout, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	e := &EnsembleTimeout{
+		cfg:    cfg,
+		fts:    make([]*FixedTimeout, len(cfg.Timeouts)),
+		counts: make([]uint64, len(cfg.Timeouts)),
+	}
+	for i, d := range cfg.Timeouts {
+		e.fts[i] = NewFixedTimeout(d)
+	}
+	// Start from the smallest timeout: with no information yet it is the
+	// only choice guaranteed to produce samples (a too-low δ oversamples,
+	// a too-high δ can be silent forever), so even flows shorter than one
+	// epoch — e.g. a closed-loop connection sending a hundred requests —
+	// yield usable latency estimates. The first epoch's cliff corrects it.
+	e.current = 0
+	return e, nil
+}
+
+// MustEnsemble is NewEnsembleTimeout for configurations known to be valid;
+// it panics on error. Intended for defaults in tests and experiments.
+func MustEnsemble(cfg EnsembleConfig) *EnsembleTimeout {
+	e, err := NewEnsembleTimeout(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// CurrentTimeout returns δe, the timeout selected for the current epoch.
+func (e *EnsembleTimeout) CurrentTimeout() time.Duration {
+	return e.cfg.Timeouts[e.current]
+}
+
+// CurrentIndex returns the ladder index of δe.
+func (e *EnsembleTimeout) CurrentIndex() int { return e.current }
+
+// Epochs returns the number of completed epochs.
+func (e *EnsembleTimeout) Epochs() uint64 { return e.epochs }
+
+// Observe processes one packet arrival. It feeds all k FixedTimeout
+// instances, counts their samples for cliff detection, rotates the epoch
+// when this packet is the first of a new one, and returns the sample
+// produced by the currently selected timeout (ok=false when that timeout
+// produced none for this packet).
+func (e *EnsembleTimeout) Observe(now time.Duration) (time.Duration, bool) {
+	if !e.epochStarted {
+		e.epochStarted = true
+		e.epochStart = now
+	} else if now-e.epochStart >= e.cfg.Epoch {
+		e.rotateEpoch(now)
+	}
+
+	var sample time.Duration
+	ok := false
+	for i, ft := range e.fts {
+		s, got := ft.Observe(now)
+		if got {
+			e.counts[i]++
+			if i == e.current {
+				sample, ok = s, true
+			}
+		}
+	}
+	return sample, ok
+}
+
+// rotateEpoch performs the paper's sample-cliff detection (Alg. 2 line 8):
+// pick m = argmax_i N_i / N_{i+1} over adjacent ladder entries. Zero
+// denominators are smoothed to one so that a genuine cliff (many → zero)
+// scores by its height, while a stray sample above an empty bucket
+// (one → zero) cannot outrank a real drop such as 128 → 1. With no samples
+// at all, the previous selection is retained. Ties break to the smallest
+// timeout.
+func (e *EnsembleTimeout) rotateEpoch(now time.Duration) {
+	e.epochs++
+	bestIdx := -1
+	bestRatio := 0.0
+	for i := 0; i+1 < len(e.counts); i++ {
+		ni, nj := e.counts[i], e.counts[i+1]
+		if ni == 0 {
+			continue
+		}
+		if nj == 0 {
+			nj = 1
+		}
+		r := float64(ni) / float64(nj)
+		if r > bestRatio {
+			bestRatio = r
+			bestIdx = i
+		}
+	}
+	if bestIdx >= 0 {
+		e.current = bestIdx
+	}
+	if e.OnEpoch != nil {
+		counts := make([]uint64, len(e.counts))
+		copy(counts, e.counts)
+		e.OnEpoch(now, counts, e.current)
+	}
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	e.epochStart = now
+}
+
+// Reset clears all flow and epoch state.
+func (e *EnsembleTimeout) Reset() {
+	for _, ft := range e.fts {
+		ft.Reset()
+	}
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	e.current = 0
+	e.epochStarted = false
+	e.epochs = 0
+}

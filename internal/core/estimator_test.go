@@ -1,0 +1,374 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// feedBatches drives an observer with nBatches batches of batchSize packets:
+// packets within a batch are spaced intraGap apart, and batch heads are
+// spaced rtt apart — the idealized traffic pattern of a window-limited flow.
+func feedBatches(observe func(time.Duration) (time.Duration, bool),
+	start time.Duration, nBatches, batchSize int, intraGap, rtt time.Duration) []time.Duration {
+	var samples []time.Duration
+	now := start
+	for b := 0; b < nBatches; b++ {
+		t := now
+		for p := 0; p < batchSize; p++ {
+			if s, ok := observe(t); ok {
+				samples = append(samples, s)
+			}
+			t += intraGap
+		}
+		now += rtt
+	}
+	return samples
+}
+
+func TestFixedTimeoutValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive delta did not panic")
+		}
+	}()
+	NewFixedTimeout(0)
+}
+
+func TestFixedTimeoutFirstPacketNoSample(t *testing.T) {
+	ft := NewFixedTimeout(100 * time.Microsecond)
+	if _, ok := ft.Observe(time.Second); ok {
+		t.Error("first packet produced a sample")
+	}
+}
+
+func TestFixedTimeoutIdealTraffic(t *testing.T) {
+	// RTT 500µs, intra-batch gap 5µs, δ = 64µs sits between them:
+	// exactly one sample per batch, each equal to the RTT.
+	ft := NewFixedTimeout(64 * time.Microsecond)
+	samples := feedBatches(ft.Observe, 0, 20, 8, 5*time.Microsecond, 500*time.Microsecond)
+	if len(samples) != 19 { // first batch head produces no sample
+		t.Fatalf("samples = %d, want 19", len(samples))
+	}
+	for i, s := range samples {
+		if s != 500*time.Microsecond {
+			t.Errorf("sample %d = %v, want 500µs", i, s)
+		}
+	}
+}
+
+func TestFixedTimeoutTooLowSplitsBatches(t *testing.T) {
+	// δ = 2µs below the 5µs intra-batch gap: every packet looks like a new
+	// batch, so the estimator reports many erroneously low values — the
+	// horizontal band near δ in Fig. 2(a).
+	ft := NewFixedTimeout(2 * time.Microsecond)
+	samples := feedBatches(ft.Observe, 0, 10, 8, 5*time.Microsecond, 500*time.Microsecond)
+	if len(samples) != 79 { // every packet after the first samples
+		t.Fatalf("samples = %d, want 79", len(samples))
+	}
+	low := 0
+	for _, s := range samples {
+		if s == 5*time.Microsecond {
+			low++
+		}
+	}
+	if low < 60 {
+		t.Errorf("only %d/79 samples at the intra-batch gap; too-low δ should flood with low values", low)
+	}
+}
+
+func TestFixedTimeoutTooHighMergesBatches(t *testing.T) {
+	// δ = 2ms above the 500µs RTT: batches merge, few and too-large samples.
+	ft := NewFixedTimeout(2 * time.Millisecond)
+	samples := feedBatches(ft.Observe, 0, 40, 8, 5*time.Microsecond, 500*time.Microsecond)
+	if len(samples) != 0 {
+		t.Fatalf("δ above the RTT still produced %d samples for contiguous batches", len(samples))
+	}
+	// With an occasional longer pause (client hiccup every 10 batches),
+	// the too-high δ reports the multi-RTT span.
+	ft.Reset()
+	var got []time.Duration
+	now := time.Duration(0)
+	for b := 0; b < 40; b++ {
+		for p := 0; p < 8; p++ {
+			if s, ok := ft.Observe(now + time.Duration(p)*5*time.Microsecond); ok {
+				got = append(got, s)
+			}
+		}
+		now += 500 * time.Microsecond
+		if b%10 == 9 {
+			now += 3 * time.Millisecond
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("samples = %d, want 3 (one per long pause)", len(got))
+	}
+	for _, s := range got {
+		if s < 5*time.Millisecond {
+			t.Errorf("merged-batch sample %v should span several RTTs", s)
+		}
+	}
+}
+
+func TestFixedTimeoutReset(t *testing.T) {
+	ft := NewFixedTimeout(10 * time.Microsecond)
+	ft.Observe(0)
+	ft.Observe(time.Millisecond)
+	ft.Reset()
+	if _, ok := ft.Observe(2 * time.Millisecond); ok {
+		t.Error("first packet after reset produced a sample")
+	}
+	if ft.Timeout() != 10*time.Microsecond {
+		t.Error("Reset changed the timeout")
+	}
+}
+
+// Property: samples are always positive and never exceed the time since
+// the estimator started, for any non-decreasing timestamp sequence.
+func TestFixedTimeoutSampleBoundsProperty(t *testing.T) {
+	f := func(deltaUS uint16, gapsUS []uint16) bool {
+		ft := NewFixedTimeout(time.Duration(deltaUS%5000+1) * time.Microsecond)
+		now := time.Duration(0)
+		start := now
+		first := true
+		for _, g := range gapsUS {
+			if !first {
+				now += time.Duration(g) * time.Microsecond
+			}
+			s, ok := ft.Observe(now)
+			if ok {
+				if s <= 0 || s > now-start {
+					return false
+				}
+			}
+			first = false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the paper's cliff premise — over the same input, a larger δ
+// never yields more samples than a smaller δ.
+func TestFixedTimeoutMonotoneSampleCountProperty(t *testing.T) {
+	f := func(gapsUS []uint16, d1, d2 uint16) bool {
+		lo := time.Duration(d1%2000+1) * time.Microsecond
+		hi := lo + time.Duration(d2%2000+1)*time.Microsecond
+		ftLo := NewFixedTimeout(lo)
+		ftHi := NewFixedTimeout(hi)
+		now := time.Duration(0)
+		nLo, nHi := 0, 0
+		for _, g := range gapsUS {
+			now += time.Duration(g) * time.Microsecond
+			if _, ok := ftLo.Observe(now); ok {
+				nLo++
+			}
+			if _, ok := ftHi.Observe(now); ok {
+				nHi++
+			}
+		}
+		return nHi <= nLo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnsembleConfigValidation(t *testing.T) {
+	if _, err := NewEnsembleTimeout(EnsembleConfig{Timeouts: []time.Duration{time.Millisecond}}); err == nil {
+		t.Error("single timeout accepted")
+	}
+	if _, err := NewEnsembleTimeout(EnsembleConfig{Timeouts: []time.Duration{2, 1}}); err == nil {
+		t.Error("decreasing ladder accepted")
+	}
+	if _, err := NewEnsembleTimeout(EnsembleConfig{Timeouts: []time.Duration{0, 1}}); err == nil {
+		t.Error("non-positive timeout accepted")
+	}
+	if _, err := NewEnsembleTimeout(EnsembleConfig{Epoch: -time.Second}); err == nil {
+		t.Error("negative epoch accepted")
+	}
+	e, err := NewEnsembleTimeout(EnsembleConfig{})
+	if err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	if got := len(e.cfg.Timeouts); got != 7 {
+		t.Errorf("default ladder size = %d, want 7", got)
+	}
+	if e.cfg.Timeouts[0] != 64*time.Microsecond || e.cfg.Timeouts[6] != 4096*time.Microsecond {
+		t.Errorf("default ladder = %v", e.cfg.Timeouts)
+	}
+	if e.cfg.Epoch != 64*time.Millisecond {
+		t.Errorf("default epoch = %v", e.cfg.Epoch)
+	}
+}
+
+func TestMustEnsemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEnsemble did not panic on bad config")
+		}
+	}()
+	MustEnsemble(EnsembleConfig{Timeouts: []time.Duration{3, 2, 1}})
+}
+
+func TestEnsembleConvergesToCorrectTimeout(t *testing.T) {
+	e := MustEnsemble(EnsembleConfig{})
+	// RTT 500µs, intra gap 5µs: the ideal δ separates 5µs from 500µs, so
+	// after one epoch the cliff should sit in [64µs, 256µs] (counts equal
+	// for all δ in (5µs, 500µs), cliff at the last of them before counts
+	// drop to ~0 for δ ≥ RTT — argmax picks the boundary index 256µs/512µs
+	// boundary or earlier depending on counts).
+	// Feed several epochs and check the selected timeout separates the
+	// two gap populations.
+	for epoch := 0; epoch < 5; epoch++ {
+		feedBatches(e.Observe, time.Duration(epoch)*65*time.Millisecond, 128, 8, 5*time.Microsecond, 500*time.Microsecond)
+	}
+	got := e.CurrentTimeout()
+	if got <= 5*time.Microsecond || got >= 500*time.Microsecond {
+		t.Errorf("ensemble chose δ = %v, want within (5µs, 500µs)", got)
+	}
+	if e.Epochs() == 0 {
+		t.Error("no epochs completed")
+	}
+}
+
+func TestEnsembleSamplesTrackRTT(t *testing.T) {
+	e := MustEnsemble(EnsembleConfig{})
+	var all []time.Duration
+	now := time.Duration(0)
+	for b := 0; b < 2000; b++ {
+		for p := 0; p < 8; p++ {
+			if s, ok := e.Observe(now + time.Duration(p)*5*time.Microsecond); ok {
+				all = append(all, s)
+			}
+		}
+		now += 500 * time.Microsecond
+	}
+	if len(all) == 0 {
+		t.Fatal("no samples")
+	}
+	// After the first epoch the selected δ is right; count samples from
+	// the second half and require them to be concentrated at the RTT.
+	tail := all[len(all)/2:]
+	good := 0
+	for _, s := range tail {
+		if s >= 450*time.Microsecond && s <= 550*time.Microsecond {
+			good++
+		}
+	}
+	if frac := float64(good) / float64(len(tail)); frac < 0.95 {
+		t.Errorf("only %.1f%% of steady-state samples near the true RTT", 100*frac)
+	}
+}
+
+func TestEnsembleAdaptsToRTTChange(t *testing.T) {
+	// Fig. 2(b): true RTT steps from 200µs to 2ms; the chosen timeout must
+	// move up the ladder within a few epochs.
+	e := MustEnsemble(EnsembleConfig{})
+	now := time.Duration(0)
+	feed := func(rtt time.Duration, dur time.Duration) {
+		end := now + dur
+		for now < end {
+			for p := 0; p < 8; p++ {
+				e.Observe(now + time.Duration(p)*5*time.Microsecond)
+			}
+			now += rtt
+		}
+	}
+	feed(200*time.Microsecond, 500*time.Millisecond)
+	before := e.CurrentTimeout()
+	if before <= 5*time.Microsecond || before >= 200*time.Microsecond {
+		t.Errorf("pre-step δ = %v, want within (5µs, 200µs)", before)
+	}
+	feed(2*time.Millisecond, 500*time.Millisecond)
+	after := e.CurrentTimeout()
+	if after <= 5*time.Microsecond || after >= 2*time.Millisecond {
+		t.Errorf("post-step δ = %v, want within (5µs, 2ms)", after)
+	}
+}
+
+func TestEnsembleOnEpochCallback(t *testing.T) {
+	e := MustEnsemble(EnsembleConfig{Epoch: 10 * time.Millisecond})
+	var epochCounts [][]uint64
+	var chosens []int
+	e.OnEpoch = func(now time.Duration, counts []uint64, chosen int) {
+		epochCounts = append(epochCounts, counts)
+		chosens = append(chosens, chosen)
+	}
+	feedBatches(e.Observe, 0, 100, 4, 5*time.Microsecond, 500*time.Microsecond)
+	if len(epochCounts) == 0 {
+		t.Fatal("OnEpoch never fired")
+	}
+	for _, counts := range epochCounts {
+		if len(counts) != 7 {
+			t.Fatalf("counts len = %d", len(counts))
+		}
+		// Cliff premise: counts non-increasing with δ.
+		for i := 1; i < len(counts); i++ {
+			if counts[i] > counts[i-1] {
+				t.Errorf("sample counts not monotone: %v", counts)
+				break
+			}
+		}
+	}
+	if chosens[len(chosens)-1] < 0 || chosens[len(chosens)-1] >= 7 {
+		t.Errorf("chosen index out of range: %d", chosens[len(chosens)-1])
+	}
+}
+
+func TestEnsembleNoSamplesKeepsSelection(t *testing.T) {
+	e := MustEnsemble(EnsembleConfig{Epoch: 10 * time.Millisecond})
+	initial := e.CurrentIndex()
+	// Two packets an epoch apart: no timeout produces samples in epoch 1
+	// beyond possibly the head; selection must not move on empty counts.
+	e.Observe(0)
+	e.Observe(50 * time.Millisecond)
+	e.Observe(120 * time.Millisecond)
+	_ = initial
+	if e.CurrentIndex() < 0 || e.CurrentIndex() >= 7 {
+		t.Errorf("index out of range after sparse traffic: %d", e.CurrentIndex())
+	}
+}
+
+func TestEnsembleReset(t *testing.T) {
+	e := MustEnsemble(EnsembleConfig{})
+	feedBatches(e.Observe, 0, 200, 8, 5*time.Microsecond, 500*time.Microsecond)
+	e.Reset()
+	if e.Epochs() != 0 {
+		t.Error("Reset did not clear epochs")
+	}
+	if e.CurrentIndex() != 0 {
+		t.Errorf("Reset index = %d, want smallest timeout (0)", e.CurrentIndex())
+	}
+	if _, ok := e.Observe(time.Hour); ok {
+		t.Error("first packet after reset produced a sample")
+	}
+}
+
+func BenchmarkFixedTimeoutObserve(b *testing.B) {
+	ft := NewFixedTimeout(64 * time.Microsecond)
+	b.ReportAllocs()
+	now := time.Duration(0)
+	for i := 0; i < b.N; i++ {
+		now += 5 * time.Microsecond
+		if i%8 == 0 {
+			now += 500 * time.Microsecond
+		}
+		ft.Observe(now)
+	}
+}
+
+func BenchmarkEnsembleObserve(b *testing.B) {
+	e := MustEnsemble(EnsembleConfig{})
+	b.ReportAllocs()
+	now := time.Duration(0)
+	for i := 0; i < b.N; i++ {
+		now += 5 * time.Microsecond
+		if i%8 == 0 {
+			now += 500 * time.Microsecond
+		}
+		e.Observe(now)
+	}
+}

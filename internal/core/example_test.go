@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"inbandlb/internal/core"
+	"inbandlb/internal/packet"
+)
+
+func examplePacketKey() packet.FlowKey {
+	return packet.NewFlowKey(
+		netip.MustParseAddr("10.0.0.7"), netip.MustParseAddr("10.1.0.1"),
+		43210, 11211, packet.ProtoTCP)
+}
+
+// A load balancer observing one flow's packet arrivals can estimate the
+// flow's response latency with a well-chosen inter-batch timeout.
+func ExampleFixedTimeout() {
+	ft := core.NewFixedTimeout(200 * time.Microsecond)
+
+	// Two batches of requests, 1ms apart (the response latency), packets
+	// within a batch 50µs apart.
+	var now time.Duration
+	for batch := 0; batch < 3; batch++ {
+		for p := 0; p < 3; p++ {
+			if sample, ok := ft.Observe(now); ok {
+				fmt.Println("sample:", sample)
+			}
+			now += 50 * time.Microsecond
+		}
+		now += 850 * time.Microsecond // pause until the response arrives
+	}
+	// Output:
+	// sample: 1ms
+	// sample: 1ms
+}
+
+// EnsembleTimeout finds the right timeout by itself: it runs a ladder of
+// timeouts and keeps the one at the sample-count cliff each epoch.
+func ExampleEnsembleTimeout() {
+	est := core.MustEnsemble(core.EnsembleConfig{
+		Timeouts: []time.Duration{
+			64 * time.Microsecond, 256 * time.Microsecond, 1024 * time.Microsecond,
+		},
+		Epoch: 10 * time.Millisecond,
+	})
+
+	// A flow with 100µs intra-batch gaps and a 1ms response latency: the
+	// ideal timeout is 256µs, between the two gap populations.
+	var now time.Duration
+	for batch := 0; batch < 40; batch++ {
+		for p := 0; p < 3; p++ {
+			est.Observe(now)
+			now += 100 * time.Microsecond
+		}
+		now += 700 * time.Microsecond
+	}
+	fmt.Println("selected timeout:", est.CurrentTimeout())
+	// Output:
+	// selected timeout: 256µs
+}
+
+// A FlowTable runs one estimator per connection, as the dataplane does.
+func ExampleFlowTable() {
+	ft, err := core.NewFlowTable(core.FlowTableConfig{MaxFlows: 1024})
+	if err != nil {
+		panic(err)
+	}
+	// Feed a closed-loop flow: one request per response, 500µs apart.
+	// Every gap exceeds the smallest ladder rung, so each packet after
+	// the first yields the flow's response latency.
+	flow := examplePacketKey()
+	var samples int
+	var now time.Duration
+	for i := 0; i < 5; i++ {
+		if _, ok := ft.Observe(flow, now); ok {
+			samples++
+		}
+		now += 500 * time.Microsecond
+	}
+	fmt.Println("tracked flows:", ft.Len())
+	fmt.Println("samples:", samples)
+	// Output:
+	// tracked flows: 1
+	// samples: 4
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHandshakeTableOneSamplePerFlow(t *testing.T) {
+	h := NewHandshakeTable(FlowTableConfig{})
+	key := flowN(1)
+	if _, ok := h.Observe(key, time.Millisecond); ok {
+		t.Fatal("first packet (SYN) produced a sample")
+	}
+	s, ok := h.Observe(key, 1500*time.Microsecond)
+	if !ok || s != 500*time.Microsecond {
+		t.Fatalf("second packet: sample=%v ok=%v, want 500µs", s, ok)
+	}
+	// No further samples from the same flow.
+	for i := 0; i < 10; i++ {
+		if _, ok := h.Observe(key, 2*time.Millisecond+time.Duration(i)*time.Millisecond); ok {
+			t.Fatal("extra sample after the handshake")
+		}
+	}
+	if h.Len() != 1 {
+		t.Errorf("len = %d", h.Len())
+	}
+}
+
+func TestHandshakeTableIndependentFlows(t *testing.T) {
+	h := NewHandshakeTable(FlowTableConfig{})
+	h.Observe(flowN(1), 0)
+	h.Observe(flowN(2), time.Millisecond)
+	s1, ok1 := h.Observe(flowN(1), 2*time.Millisecond)
+	s2, ok2 := h.Observe(flowN(2), 4*time.Millisecond)
+	if !ok1 || s1 != 2*time.Millisecond {
+		t.Errorf("flow 1 sample = %v ok=%v", s1, ok1)
+	}
+	if !ok2 || s2 != 3*time.Millisecond {
+		t.Errorf("flow 2 sample = %v ok=%v", s2, ok2)
+	}
+}
+
+func TestHandshakeTableForgetAndResample(t *testing.T) {
+	h := NewHandshakeTable(FlowTableConfig{})
+	key := flowN(3)
+	h.Observe(key, 0)
+	h.Observe(key, time.Millisecond)
+	h.Forget(key)
+	// A reopened connection (same 5-tuple reuse) measures again.
+	if _, ok := h.Observe(key, 10*time.Millisecond); ok {
+		t.Fatal("first packet after forget sampled")
+	}
+	if s, ok := h.Observe(key, 11*time.Millisecond); !ok || s != time.Millisecond {
+		t.Errorf("resample = %v ok=%v", s, ok)
+	}
+}
+
+func TestHandshakeTableSweepAndEvict(t *testing.T) {
+	h := NewHandshakeTable(FlowTableConfig{MaxFlows: 2, IdleTimeout: time.Second})
+	h.Observe(flowN(1), 0)
+	h.Observe(flowN(2), time.Millisecond)
+	h.Observe(flowN(3), 2*time.Millisecond) // evicts flow 1 (oldest)
+	if h.Len() != 2 {
+		t.Fatalf("len = %d, want 2", h.Len())
+	}
+	if n := h.Sweep(5 * time.Second); n != 2 {
+		t.Errorf("swept %d, want 2", n)
+	}
+	if h.Len() != 0 {
+		t.Errorf("len after sweep = %d", h.Len())
+	}
+}

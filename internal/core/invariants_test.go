@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: EnsembleTimeout's emitted samples are exactly what a standalone
+// FixedTimeout at the currently selected δ would emit — the ensemble is an
+// overlay for selection, never a different estimator.
+func TestEnsembleConsistentWithFixedProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Disable epoch rotation so δe stays at the initial rung; the
+		// ensemble must then reproduce FixedTimeout(δ1) verbatim.
+		e := MustEnsemble(EnsembleConfig{Epoch: time.Hour})
+		ft := NewFixedTimeout(64 * time.Microsecond)
+		now := time.Duration(0)
+		for i := 0; i < int(nRaw)%500+1; i++ {
+			now += time.Duration(rng.Intn(2000)) * time.Microsecond
+			se, oke := e.Observe(now)
+			sf, okf := ft.Observe(now)
+			if oke != okf || (oke && se != sf) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SharedLadder with a single flow and rotation disabled is also
+// equivalent to FixedTimeout at its selected rung.
+func TestSharedLadderConsistentWithFixedProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := MustSharedLadder(EnsembleConfig{Epoch: time.Hour})
+		fl := s.NewFlow()
+		ft := NewFixedTimeout(64 * time.Microsecond)
+		now := time.Duration(0)
+		for i := 0; i < int(nRaw)%500+1; i++ {
+			now += time.Duration(rng.Intn(2000)) * time.Microsecond
+			se, oke := s.Observe(fl, now)
+			sf, okf := ft.Observe(now)
+			if oke != okf || (oke && se != sf) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the chosen ladder index is always valid and the chosen timeout
+// is a member of the configured ladder, across arbitrary traffic.
+func TestEnsembleSelectionWellFormedProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := MustEnsemble(EnsembleConfig{Epoch: 5 * time.Millisecond})
+		now := time.Duration(0)
+		ladder := DefaultTimeouts()
+		for i := 0; i < int(nRaw)%1000+1; i++ {
+			now += time.Duration(rng.Intn(3000)) * time.Microsecond
+			e.Observe(now)
+			idx := e.CurrentIndex()
+			if idx < 0 || idx >= len(ladder) {
+				return false
+			}
+			if e.CurrentTimeout() != ladder[idx] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

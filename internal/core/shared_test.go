@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSharedLadderValidation(t *testing.T) {
+	if _, err := NewSharedLadder(EnsembleConfig{Timeouts: []time.Duration{2, 1}}); err == nil {
+		t.Error("bad config accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSharedLadder did not panic")
+		}
+	}()
+	MustSharedLadder(EnsembleConfig{Timeouts: []time.Duration{2, 1}})
+}
+
+// driveShared pushes one short flow (nBatches × batchSize) through the
+// shared ladder starting at start, returning samples and the final clock.
+func driveShared(s *SharedLadder, start time.Duration, nBatches, batchSize int,
+	intraGap, rtt time.Duration) ([]time.Duration, time.Duration) {
+	f := s.NewFlow()
+	var out []time.Duration
+	now := start
+	for b := 0; b < nBatches; b++ {
+		at := now
+		for p := 0; p < batchSize; p++ {
+			if v, ok := s.Observe(f, at); ok {
+				out = append(out, v)
+			}
+			at += intraGap
+		}
+		now += rtt
+	}
+	return out, now
+}
+
+func TestSharedLadderLearnsAcrossShortFlows(t *testing.T) {
+	// Flows of 6 batches × 500µs = 3ms each — far shorter than the 64ms
+	// epoch. A per-flow estimator is stuck at δ=64µs (below the 120µs
+	// intra gap → floods of 120µs samples). The shared ladder accumulates
+	// counts across flows, finds the cliff, and subsequent flows sample
+	// the true RTT.
+	shared := MustSharedLadder(EnsembleConfig{})
+	var all []time.Duration
+	now := time.Duration(0)
+	for flow := 0; flow < 300; flow++ {
+		samples, end := driveShared(shared, now, 6, 4, 120*time.Microsecond, 500*time.Microsecond)
+		all = append(all, samples...)
+		now = end + time.Millisecond // small gap between flows
+	}
+	if shared.Epochs() == 0 {
+		t.Fatal("no epochs completed across flows")
+	}
+	got := shared.CurrentTimeout()
+	if got <= 120*time.Microsecond || got >= 500*time.Microsecond {
+		t.Errorf("shared δ = %v, want within (120µs, 500µs)", got)
+	}
+	// Steady-state samples concentrate at the true RTT.
+	tail := all[len(all)*3/4:]
+	good := 0
+	for _, s := range tail {
+		if s >= 400*time.Microsecond && s <= 600*time.Microsecond {
+			good++
+		}
+	}
+	if frac := float64(good) / float64(len(tail)); frac < 0.9 {
+		t.Errorf("only %.0f%% of steady-state samples near the RTT", 100*frac)
+	}
+}
+
+func TestSharedVsPerFlowOnShortFlows(t *testing.T) {
+	// Direct comparison: per-flow ensembles on the same short flows stay
+	// at the initial rung and report the intra gap, not the RTT.
+	var perFlowSamples []time.Duration
+	now := time.Duration(0)
+	for flow := 0; flow < 50; flow++ {
+		e := MustEnsemble(EnsembleConfig{})
+		for b := 0; b < 6; b++ {
+			at := now
+			for p := 0; p < 4; p++ {
+				if v, ok := e.Observe(at); ok {
+					perFlowSamples = append(perFlowSamples, v)
+				}
+				at += 120 * time.Microsecond
+			}
+			now += 500 * time.Microsecond
+		}
+		now += time.Millisecond
+	}
+	low := 0
+	for _, s := range perFlowSamples {
+		if s < 200*time.Microsecond {
+			low++
+		}
+	}
+	if frac := float64(low) / float64(len(perFlowSamples)); frac < 0.5 {
+		t.Errorf("per-flow on short flows: only %.0f%% low samples; premise of the shared design is off", 100*frac)
+	}
+}
+
+func TestSharedLadderFirstPacketPerFlow(t *testing.T) {
+	s := MustSharedLadder(EnsembleConfig{})
+	f1 := s.NewFlow()
+	f2 := s.NewFlow()
+	if _, ok := s.Observe(f1, time.Second); ok {
+		t.Error("first packet of flow 1 produced a sample")
+	}
+	// Flow 2's first packet arrives much later; it must not inherit flow
+	// 1's state.
+	if _, ok := s.Observe(f2, 2*time.Second); ok {
+		t.Error("first packet of flow 2 produced a sample")
+	}
+}
+
+func TestSharedLadderOnEpoch(t *testing.T) {
+	s := MustSharedLadder(EnsembleConfig{Epoch: 5 * time.Millisecond})
+	fired := 0
+	s.OnEpoch = func(now time.Duration, counts []uint64, chosen int) {
+		fired++
+		if len(counts) != 7 {
+			t.Errorf("counts len = %d", len(counts))
+		}
+	}
+	driveShared(s, 0, 50, 4, 5*time.Microsecond, 500*time.Microsecond)
+	if fired == 0 {
+		t.Error("OnEpoch never fired")
+	}
+	if s.Epochs() != uint64(fired) {
+		t.Errorf("epochs %d != fired %d", s.Epochs(), fired)
+	}
+}
+
+func BenchmarkSharedLadderObserve(b *testing.B) {
+	s := MustSharedLadder(EnsembleConfig{})
+	f := s.NewFlow()
+	b.ReportAllocs()
+	now := time.Duration(0)
+	for i := 0; i < b.N; i++ {
+		now += 30 * time.Microsecond
+		if i%4 == 0 {
+			now += 500 * time.Microsecond
+		}
+		s.Observe(f, now)
+	}
+}

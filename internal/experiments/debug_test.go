@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestDebugFig3 is a diagnostic harness kept for development; run with
+// -run TestDebugFig3 -v to inspect the full Fig. 3 report.
+func TestDebugFig3(t *testing.T) {
+	if os.Getenv("DEBUG_FIG3") == "" {
+		t.Skip("set DEBUG_FIG3=1 to run")
+	}
+	res := Fig3(Fig3Config{Seed: 11, Duration: 4 * time.Second, InjectAt: 2 * time.Second})
+	_ = res.Report(os.Stderr, false)
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAblationDependency(t *testing.T) {
+	res := AblationDependency(5, 3*time.Second)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	// When one server's own path is slow, the controller helps decisively.
+	serverAware := res.Metrics["post_p95_ms_server-slow_latency-aware"]
+	serverMaglev := res.Metrics["post_p95_ms_server-slow_maglev"]
+	if serverAware >= serverMaglev*0.75 {
+		t.Errorf("server-slow: aware p95 %.3fms not clearly below maglev %.3fms", serverAware, serverMaglev)
+	}
+	// When the shared dependency is slow, shifting cannot help: the
+	// latency-aware policy lands within 20%% of static Maglev.
+	depAware := res.Metrics["post_p95_ms_dependency-slow_latency-aware"]
+	depMaglev := res.Metrics["post_p95_ms_dependency-slow_maglev"]
+	if depAware < depMaglev*0.8 {
+		t.Errorf("dependency-slow: aware p95 %.3fms suspiciously better than maglev %.3fms "+
+			"(shifting should not help)", depAware, depMaglev)
+	}
+	// Both scenarios inflate p95 by roughly the injected 1ms under maglev.
+	if depMaglev < 1.0 {
+		t.Errorf("dependency-slow maglev p95 %.3fms; injection not visible", depMaglev)
+	}
+	// And the controller still burns control actions in the dependency
+	// case (the futile-thrash signature the paper warns about).
+	if res.Metrics["shifts_dependency-slow_latency-aware"] == 0 {
+		t.Error("no shifts recorded in the dependency-slow scenario; expected futile control actions")
+	}
+}

@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"inbandlb/internal/control"
+	"inbandlb/internal/faults"
+	"inbandlb/internal/netsim"
+	"inbandlb/internal/server"
+	"inbandlb/internal/stats"
+	"inbandlb/internal/tcpsim"
+	"inbandlb/internal/testbed"
+)
+
+// Fig3Config parameterizes the Fig. 3 reproduction: a two-server
+// memcached-like cluster behind the LB, with 1 ms of delay injected on one
+// LB→server path mid-run, comparing static Maglev to the latency-aware
+// feedback controller.
+type Fig3Config struct {
+	Seed     int64
+	Duration time.Duration
+	// InjectAt is when the extra delay starts (paper: t = 100 s at 200 s
+	// total; the default scales to the simulated duration's midpoint).
+	InjectAt time.Duration
+	// InjectExtra is the injected one-way delay (paper: 1 ms).
+	InjectExtra time.Duration
+	// Servers is the pool size (paper: 2). The delay is injected on
+	// server 0.
+	Servers int
+	// Alpha is the controller's shift fraction (paper: 0.10).
+	Alpha float64
+	// Cooldown and HysteresisRatio temper the controller (0 / ≤1 for the
+	// paper's literal shift-on-every-sample behaviour).
+	Cooldown        time.Duration
+	HysteresisRatio float64
+	// MinWeight floors the degraded server's traffic share so the
+	// controller keeps probing it (default 0.02).
+	MinWeight float64
+	// Connections, Pipeline, RequestsPerConn shape the memtier-like load.
+	// Pipeline defaults to 1, memtier's default: a closed loop per
+	// connection, whose inter-request gap is exactly the response latency
+	// the estimator measures.
+	Connections     int
+	Pipeline        int
+	RequestsPerConn int
+	// WindowSample is how often the sliding-window p95 is sampled into
+	// the output series.
+	WindowSample time.Duration
+}
+
+func (c *Fig3Config) applyDefaults() {
+	if c.Duration <= 0 {
+		c.Duration = 20 * time.Second
+	}
+	if c.InjectAt <= 0 {
+		c.InjectAt = c.Duration / 2
+	}
+	if c.InjectExtra <= 0 {
+		c.InjectExtra = time.Millisecond
+	}
+	if c.Servers < 2 {
+		c.Servers = 2
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.10
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = time.Millisecond
+	}
+	if c.HysteresisRatio == 0 {
+		c.HysteresisRatio = 1.15
+	}
+	if c.MinWeight <= 0 {
+		c.MinWeight = 0.02
+	}
+	if c.Connections <= 0 {
+		c.Connections = 8
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 1
+	}
+	if c.RequestsPerConn <= 0 {
+		c.RequestsPerConn = 100
+	}
+	if c.WindowSample <= 0 {
+		c.WindowSample = 100 * time.Millisecond
+	}
+}
+
+// fig3Run is the single-policy leg of the experiment.
+type fig3Run struct {
+	p95     *stats.Series
+	preP95  time.Duration
+	postP95 time.Duration
+	// reaction is the delay from injection to the first hash-table update
+	// shifting weight off the degraded server (-1 when not applicable).
+	reaction time.Duration
+	shifts   uint64
+	// shiftsSteady counts table updates during the final quarter of the
+	// run — after recovery the controller should be quiet, so this is the
+	// oscillation signature.
+	shiftsSteady uint64
+	getCount     uint64
+	newPerBack   []uint64
+}
+
+func serverNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("server-%d", i)
+	}
+	return names
+}
+
+func runFig3Leg(cfg Fig3Config, policyName string) (*fig3Run, error) {
+	var pol control.Policy
+	var la *control.LatencyAware
+	var prop *control.Proportional
+	switch policyName {
+	case "maglev":
+		m, err := control.NewMaglevStatic(serverNames(cfg.Servers), 4093)
+		if err != nil {
+			return nil, err
+		}
+		pol = m
+	case "latency-aware":
+		l, err := control.NewLatencyAware(control.LatencyAwareConfig{
+			Backends:        serverNames(cfg.Servers),
+			Alpha:           cfg.Alpha,
+			TableSize:       4093,
+			MinWeight:       cfg.MinWeight,
+			Cooldown:        cfg.Cooldown,
+			HysteresisRatio: cfg.HysteresisRatio,
+		})
+		if err != nil {
+			return nil, err
+		}
+		la = l
+		pol = l
+	case "proportional":
+		pr, err := control.NewProportional(control.ProportionalConfig{
+			Backends:  serverNames(cfg.Servers),
+			TableSize: 4093,
+			MinWeight: cfg.MinWeight,
+			Interval:  cfg.Cooldown,
+		})
+		if err != nil {
+			return nil, err
+		}
+		prop = pr
+		pol = pr
+	default:
+		return nil, fmt.Errorf("experiments: unknown policy %q", policyName)
+	}
+
+	schedules := make([]faults.Schedule, cfg.Servers)
+	schedules[0] = faults.Step{Start: cfg.InjectAt, Extra: cfg.InjectExtra}
+	for i := 1; i < cfg.Servers; i++ {
+		schedules[i] = faults.None
+	}
+
+	servers := make([]server.Config, cfg.Servers)
+	for i := range servers {
+		servers[i] = server.Config{
+			Name:    fmt.Sprintf("server-%d", i),
+			Workers: 8,
+			// Lognormal with mild hiccups: the µs-scale variability the
+			// paper motivates, without drowning the injected 1 ms.
+			Service: server.Bimodal{
+				Fast:  server.LogNormal{Median: 150 * time.Microsecond, Sigma: 0.25},
+				Slow:  server.Uniform{Low: 400 * time.Microsecond, High: 900 * time.Microsecond},
+				PSlow: 0.02,
+			},
+		}
+	}
+
+	cluster, err := testbed.NewCluster(testbed.ClusterConfig{
+		Seed:                cfg.Seed,
+		Policy:              pol,
+		Servers:             servers,
+		ServerPathSchedules: schedules,
+		Workload: tcpsim.RequestConfig{
+			Connections:     cfg.Connections,
+			Pipeline:        cfg.Pipeline,
+			RequestsPerConn: cfg.RequestsPerConn,
+			ReopenDelay:     500 * time.Microsecond,
+			ThinkTime:       50 * time.Microsecond,
+			ThinkJitter:     50 * time.Microsecond,
+			GetFraction:     0.5,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	run := &fig3Run{
+		p95:      stats.NewSeries("p95 GET " + policyName),
+		reaction: -1,
+	}
+	steadyFrom := cfg.Duration - (cfg.Duration-cfg.InjectAt)/4
+	if la != nil {
+		la.OnShift = func(now time.Duration, worst int, weights []float64) {
+			run.shifts++
+			if now >= steadyFrom {
+				run.shiftsSteady++
+			}
+			if run.reaction < 0 && now >= cfg.InjectAt && worst == 0 {
+				run.reaction = now - cfg.InjectAt
+			}
+		}
+	}
+	if prop != nil {
+		var prevW0 float64 = 1.0 / float64(cfg.Servers)
+		prop.OnUpdate = func(now time.Duration, weights []float64) {
+			run.shifts++
+			if now >= steadyFrom {
+				run.shiftsSteady++
+			}
+			if run.reaction < 0 && now >= cfg.InjectAt && weights[0] < prevW0 {
+				run.reaction = now - cfg.InjectAt
+			}
+			prevW0 = weights[0]
+		}
+	}
+
+	// Sliding-window p95 of GET latency, sampled periodically like the
+	// paper's client-side statistics — but from the client's ground truth.
+	window := stats.NewWindowedHistogram(10, cfg.WindowSample)
+	var preHist, postHist *stats.Histogram
+	preHist = stats.NewDefaultHistogram()
+	postHist = stats.NewDefaultHistogram()
+	cluster.Client.OnResponse = func(now time.Duration, op netsim.Op, lat time.Duration) {
+		if op != netsim.OpGet {
+			return
+		}
+		run.getCount++
+		window.Record(now, lat)
+		// Steady-state phases only: skip warmup and the transition window.
+		if now >= cfg.InjectAt/2 && now < cfg.InjectAt {
+			preHist.Record(lat)
+		}
+		if now >= cfg.InjectAt+(cfg.Duration-cfg.InjectAt)/4 {
+			postHist.Record(lat)
+		}
+	}
+
+	cluster.Sim.Every(cfg.WindowSample, cfg.WindowSample, func() bool {
+		now := cluster.Sim.Now()
+		if window.Count(now) > 0 {
+			run.p95.AddDuration(now, window.Quantile(now, 0.95))
+		}
+		return now < cfg.Duration
+	})
+
+	cluster.Run(cfg.Duration)
+
+	run.preP95 = preHist.Quantile(0.95)
+	run.postP95 = postHist.Quantile(0.95)
+	run.newPerBack = cluster.LB.Stats().NewPerBack
+	return run, nil
+}
+
+// Fig3 reproduces Fig. 3: evolution of the p95 GET latency for the static
+// Maglev baseline and the latency-aware controller, with +1 ms injected on
+// one server path mid-run. Expected shape: both p95s jump at injection;
+// Maglev's stays inflated (~half the requests keep hitting the slow
+// server), while the latency-aware controller shifts traffic within
+// milliseconds and its p95 recovers toward baseline.
+func Fig3(cfg Fig3Config) *Result {
+	cfg.applyDefaults()
+	res := newResult("fig3")
+
+	maglev, err := runFig3Leg(cfg, "maglev")
+	if err != nil {
+		res.addNote("maglev leg failed: %v", err)
+		return res
+	}
+	aware, err := runFig3Leg(cfg, "latency-aware")
+	if err != nil {
+		res.addNote("latency-aware leg failed: %v", err)
+		return res
+	}
+
+	res.Series = append(res.Series, maglev.p95, aware.p95)
+	res.Header = []string{"policy", "p95_pre_ms", "p95_post_ms", "post/pre", "reaction_ms", "table_updates", "gets"}
+	rowFor := func(name string, r *fig3Run) {
+		ratio := float64(r.postP95) / float64(r.preP95)
+		reaction := "n/a"
+		if r.reaction >= 0 {
+			reaction = msStr(r.reaction)
+		}
+		res.addRow(name, msStr(r.preP95), msStr(r.postP95),
+			fmt.Sprintf("%.2f", ratio), reaction, fmt.Sprintf("%d", r.shifts), fmt.Sprintf("%d", r.getCount))
+	}
+	rowFor("maglev", maglev)
+	rowFor("latency-aware", aware)
+
+	res.Metrics["maglev_pre_p95_ms"] = float64(maglev.preP95) / 1e6
+	res.Metrics["maglev_post_p95_ms"] = float64(maglev.postP95) / 1e6
+	res.Metrics["aware_pre_p95_ms"] = float64(aware.preP95) / 1e6
+	res.Metrics["aware_post_p95_ms"] = float64(aware.postP95) / 1e6
+	if aware.reaction >= 0 {
+		res.Metrics["reaction_ms"] = float64(aware.reaction) / 1e6
+		res.addNote("controller shifted traffic off the degraded server %v after injection", aware.reaction)
+	}
+	res.addNote("maglev p95 inflation: %.2fx; latency-aware: %.2fx",
+		float64(maglev.postP95)/float64(maglev.preP95),
+		float64(aware.postP95)/float64(aware.preP95))
+	res.addNote("post-injection new flows per backend: maglev %v, latency-aware %v",
+		maglev.newPerBack, aware.newPerBack)
+	return res
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Short-duration configs keep these integration tests fast while still
+// crossing many estimator epochs and the injection event.
+func shortFig2() Fig2Config {
+	return Fig2Config{Seed: 11, Duration: 2 * time.Second, StepAt: time.Second}
+}
+
+func shortFig3() Fig3Config {
+	return Fig3Config{Seed: 11, Duration: 4 * time.Second, InjectAt: 2 * time.Second}
+}
+
+func TestFig2aShape(t *testing.T) {
+	res := Fig2a(shortFig2())
+
+	refPre := res.Metrics["ref_pre_count"] // ~one sample per true RTT batch
+	lowPre := res.Metrics["low_delta_pre_count"]
+	highPre := res.Metrics["high_delta_pre_count"]
+	if refPre == 0 || res.Metrics["truth_pre_count"] == 0 {
+		t.Fatal("no ground truth")
+	}
+	// The reference δ itself must track the truth.
+	refErr := (res.Metrics["ref_pre_median_us"] - res.Metrics["truth_pre_median_us"]) / res.Metrics["truth_pre_median_us"]
+	if refErr < -0.25 || refErr > 0.25 {
+		t.Errorf("reference δ median %vµs far from truth %vµs",
+			res.Metrics["ref_pre_median_us"], res.Metrics["truth_pre_median_us"])
+	}
+	// Claim 1: too-low δ produces far more samples than true RTT batches,
+	// with a low median (the horizontal band in Fig. 2a).
+	if lowPre < 2*refPre {
+		t.Errorf("low δ samples = %v, true batches = %v; expected flooding", lowPre, refPre)
+	}
+	if res.Metrics["low_delta_pre_median_us"] >= res.Metrics["truth_pre_median_us"]/2 {
+		t.Errorf("low δ median %vµs not far below truth %vµs",
+			res.Metrics["low_delta_pre_median_us"], res.Metrics["truth_pre_median_us"])
+	}
+	// Claim 2: too-high δ produces far fewer samples than true batches —
+	// but not zero: client hiccups yield "a small number of erroneously
+	// large outputs" (paper, Fig. 2a discussion).
+	if highPre > refPre/10 {
+		t.Errorf("high δ samples = %v vs %v true batches; expected starvation", highPre, refPre)
+	}
+	if highPre == 0 {
+		t.Error("high δ produced no samples at all; hiccups should yield sparse too-large outputs")
+	}
+	if len(res.Series) != 3 {
+		t.Errorf("series = %d, want 3 (truth + 2 estimators)", len(res.Series))
+	}
+}
+
+func TestFig2bShape(t *testing.T) {
+	res := Fig2b(shortFig2())
+	// Claim: the ensemble's median tracks ground truth within 25% on both
+	// sides of the RTT step.
+	for _, phase := range []string{"pre", "post"} {
+		est := res.Metrics[phase+"_median_us"]
+		truth := res.Metrics["truth_"+phase+"_median_us"]
+		if truth == 0 {
+			t.Fatalf("no %s-step truth", phase)
+		}
+		err := (est - truth) / truth
+		if err < 0 {
+			err = -err
+		}
+		if err > 0.25 {
+			t.Errorf("%s-step: ensemble median %vµs vs truth %vµs (err %.1f%%)",
+				phase, est, truth, 100*err)
+		}
+	}
+	if _, ok := res.Metrics["adaptation_lag_ms"]; !ok {
+		t.Error("estimator did not re-converge after the step")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	res := Fig3(shortFig3())
+	mPre := res.Metrics["maglev_pre_p95_ms"]
+	mPost := res.Metrics["maglev_post_p95_ms"]
+	aPre := res.Metrics["aware_pre_p95_ms"]
+	aPost := res.Metrics["aware_post_p95_ms"]
+	if mPre == 0 || aPre == 0 {
+		t.Fatalf("missing baselines: maglev %v, aware %v", mPre, aPre)
+	}
+	// Claim 1: static Maglev's p95 inflates by roughly the injected 1 ms.
+	if mPost < mPre+0.7 {
+		t.Errorf("maglev p95 %.3f -> %.3f ms; expected ~+1ms inflation", mPre, mPost)
+	}
+	// Claim 2: the latency-aware controller ends up clearly better than
+	// the static baseline after injection.
+	if aPost > mPost*0.75 {
+		t.Errorf("latency-aware post p95 %.3f ms not clearly better than maglev %.3f ms", aPost, mPost)
+	}
+	// Claim 3: the controller reacted in milliseconds.
+	reaction, ok := res.Metrics["reaction_ms"]
+	if !ok {
+		t.Fatal("controller never shifted after injection")
+	}
+	if reaction > 500 {
+		t.Errorf("reaction = %.1f ms; paper claims milliseconds", reaction)
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	res := Fig2a(Fig2Config{Seed: 1, Duration: 500 * time.Millisecond, StepAt: 250 * time.Millisecond})
+	var buf bytes.Buffer
+	if err := res.Report(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig2a", "series", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "time_s,series,value") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestFig3Determinism(t *testing.T) {
+	a := Fig3(Fig3Config{Seed: 3, Duration: time.Second, InjectAt: 500 * time.Millisecond})
+	b := Fig3(Fig3Config{Seed: 3, Duration: time.Second, InjectAt: 500 * time.Millisecond})
+	for k, v := range a.Metrics {
+		if b.Metrics[k] != v {
+			t.Errorf("metric %s differs across identical runs: %v vs %v", k, v, b.Metrics[k])
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package experiments regenerates every empirical figure in the paper and
+// the ablations DESIGN.md commits to. Each experiment is a pure function of
+// its config (seeded), returning a Result with the raw series, a summary
+// table, and the shape checks the paper's claims imply, so the same code
+// backs the lbsim binary, the integration tests, and the benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"inbandlb/internal/stats"
+)
+
+// Result is the outcome of one experiment run.
+type Result struct {
+	// Name identifies the experiment (e.g. "fig2a").
+	Name string
+	// Series are the raw signals to plot or export.
+	Series []*stats.Series
+	// Header and Rows form the summary table.
+	Header []string
+	Rows   [][]string
+	// Notes carry free-form observations (shape checks, reaction times).
+	Notes []string
+	// Metrics are scalar outcomes for benchmarks to report.
+	Metrics map[string]float64
+}
+
+func newResult(name string) *Result {
+	return &Result{Name: name, Metrics: make(map[string]float64)}
+}
+
+func (r *Result) addRow(cols ...string) { r.Rows = append(r.Rows, cols) }
+
+func (r *Result) addNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteTable renders the summary table with aligned columns.
+func (r *Result) WriteTable(w io.Writer) error {
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cols []string) string {
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(r.Header)); err != nil {
+		return err
+	}
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV exports all series.
+func (r *Result) WriteCSV(w io.Writer) error {
+	return stats.WriteCSV(w, r.Series...)
+}
+
+// Report writes the table, notes, and an ASCII plot of the series.
+func (r *Result) Report(w io.Writer, plot bool) error {
+	if _, err := fmt.Fprintf(w, "== %s ==\n", r.Name); err != nil {
+		return err
+	}
+	if err := r.WriteTable(w); err != nil {
+		return err
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	if plot && len(r.Series) > 0 {
+		if err := stats.AsciiPlot(w, 100, 20, r.Series...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fmtInt(n int) string { return fmt.Sprintf("%d", n) }
+
+func usStr(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Microsecond))
+}
+
+func msStr(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond))
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"inbandlb/internal/core"
+	"inbandlb/internal/netsim"
+	"inbandlb/internal/packet"
+	"inbandlb/internal/stats"
+	"inbandlb/internal/tcpsim"
+)
+
+// AblationSharedLadder (ABL-SHARED) evaluates the per-server SharedLadder
+// extension against the paper's per-flow EnsembleTimeout on short-lived
+// flows. Each flow lives ~7 ms — an order of magnitude less than the 64 ms
+// epoch — so a per-flow estimator never escapes its initial rung, while the
+// shared ladder pools sample counts across the server's flows and converges
+// once, for everyone.
+func AblationSharedLadder(seed int64, duration time.Duration) *Result {
+	res := newResult("abl-shared-ladder")
+	res.Header = []string{"estimator", "flows", "samples", "median_us", "truth_median_us", "err_pct"}
+	if duration <= 0 {
+		duration = 2 * time.Second
+	}
+	for _, variant := range []string{"per-flow", "shared"} {
+		flows, samples, truths := runShortFlows(seed, duration, variant)
+		med := stats.ExactQuantile(samples, 0.5)
+		tmed := stats.ExactQuantile(truths, 0.5)
+		errPct := 100 * relErr(med, tmed)
+		res.addRow(variant, fmt.Sprintf("%d", flows), fmt.Sprintf("%d", len(samples)),
+			usStr(med), usStr(tmed), fmt.Sprintf("%.1f", errPct))
+		res.Metrics["err_pct_"+variant] = errPct
+		res.Metrics["samples_"+variant] = float64(len(samples))
+	}
+	res.addNote("per-flow estimators cannot adapt within a flow shorter than one epoch; sharing the ladder per server fixes short-flow estimation")
+	return res
+}
+
+// runShortFlows drives sequential short bulk flows (24 segments, window 4,
+// 120µs serialization, 1ms RTT) through a tap running the chosen estimator
+// variant. Returns flow count, all estimator samples, and all ground truth.
+func runShortFlows(seed int64, duration time.Duration, variant string) (int, []time.Duration, []time.Duration) {
+	sim := netsim.NewSim(seed)
+	var samples, truths []time.Duration
+
+	// Estimator state at the tap.
+	var shared *core.SharedLadder
+	perFlow := make(map[packet.FlowKey]*core.EnsembleTimeout)
+	sharedFlows := make(map[packet.FlowKey]*core.LadderFlow)
+	if variant == "shared" {
+		shared = core.MustSharedLadder(core.EnsembleConfig{})
+	}
+	observe := func(key packet.FlowKey, now time.Duration) (time.Duration, bool) {
+		if shared != nil {
+			f, ok := sharedFlows[key]
+			if !ok {
+				f = shared.NewFlow()
+				sharedFlows[key] = f
+			}
+			return shared.Observe(f, now)
+		}
+		e, ok := perFlow[key]
+		if !ok {
+			e = core.MustEnsemble(core.EnsembleConfig{})
+			perFlow[key] = e
+		}
+		return e.Observe(now)
+	}
+
+	// Topology pieces shared by all flows. The current sender is swapped
+	// per flow; ACKs route to it by flow key.
+	senders := make(map[packet.FlowKey]*tcpsim.BulkSender)
+	toClient := netsim.NewLink(sim, "sink->client", 500*time.Microsecond, 0,
+		netsim.HandlerFunc(func(p *netsim.Packet) {
+			if s, ok := senders[p.Flow]; ok {
+				s.HandlePacket(p)
+			}
+		}))
+	// ACK state is per connection: each flow gets its own sink, keyed by
+	// flow (sequence numbers restart at zero on every new connection).
+	sinks := make(map[packet.FlowKey]*tcpsim.AckSink)
+	toSink := netsim.NewLink(sim, "tap->sink", 250*time.Microsecond, 0,
+		netsim.HandlerFunc(func(p *netsim.Packet) {
+			s, ok := sinks[p.Flow]
+			if !ok {
+				s = tcpsim.NewAckSink(sim, tcpsim.AckSinkConfig{}, toClient.Send)
+				sinks[p.Flow] = s
+			}
+			s.HandlePacket(p)
+		}))
+	tap := netsim.HandlerFunc(func(p *netsim.Packet) {
+		if s, ok := observe(p.Flow, sim.Now()); ok {
+			samples = append(samples, s)
+		}
+		toSink.Send(p)
+	})
+	toTap := netsim.NewLink(sim, "client->tap", 250*time.Microsecond, 12.5e6, tap)
+
+	flowCount := 0
+	var startFlow func()
+	startFlow = func() {
+		if sim.Now() >= duration {
+			return
+		}
+		key := packet.NewFlowKey(
+			netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.1.0.1"),
+			uint16(40000+flowCount%20000), 5001, packet.ProtoTCP)
+		flowCount++
+		sender := tcpsim.NewBulkSender(sim, tcpsim.BulkConfig{
+			Flow: key, Window: 4, SegSize: 1500, MaxSegments: 24,
+		}, toTap.Send)
+		sender.GroundTruth = func(now, rtt time.Duration) { truths = append(truths, rtt) }
+		senders[key] = sender
+		sender.Start()
+		// Next flow starts once this one is done (poll cheaply).
+		var wait func()
+		wait = func() {
+			if sender.Done() {
+				delete(senders, key)
+				delete(sinks, key)
+				sim.After(time.Millisecond, startFlow)
+				return
+			}
+			sim.After(time.Millisecond, wait)
+		}
+		sim.After(time.Millisecond, wait)
+	}
+	sim.Schedule(0, startFlow)
+	sim.RunUntil(duration)
+	return flowCount, samples, truths
+}

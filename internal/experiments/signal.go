@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"inbandlb/internal/control"
+	"inbandlb/internal/core"
+	"inbandlb/internal/netsim"
+	"inbandlb/internal/server"
+	"inbandlb/internal/stats"
+	"inbandlb/internal/tcpsim"
+	"inbandlb/internal/testbed"
+)
+
+// AblationSignal (ABL-SIGNAL) examines what the controller should optimize
+// (a facet of §5 Q4's "control loops to minimize tail latency"). The pool
+// is built so that mean and tail disagree: server "steady" takes a constant
+// 400 µs, server "bimodal" answers in 150 µs 92 % of the time but stalls
+// for 3 ms otherwise — a *lower mean* but a *far worse tail*. An
+// EWMA-driven controller prefers the bimodal server and inflates the
+// client's p95; a p95-driven controller prefers the steady server.
+func AblationSignal(seed int64, duration time.Duration) *Result {
+	res := newResult("abl-signal")
+	res.Header = []string{"signal", "steady_share_pct", "client_p50_us", "client_p95_us"}
+	if duration <= 0 {
+		duration = 4 * time.Second
+	}
+	for _, mode := range []string{"ewma", "p95"} {
+		q := 0.0
+		if mode == "p95" {
+			q = 0.95
+		}
+		la, err := control.NewLatencyAware(control.LatencyAwareConfig{
+			Backends:       []string{"steady", "bimodal"},
+			Alpha:          0.10,
+			TableSize:      4093,
+			MinWeight:      0.05,
+			Cooldown:       time.Millisecond,
+			SignalQuantile: q,
+			// No hysteresis: the signals themselves are under test. The
+			// EWMA gets a long half-life — a usably stable mean estimate
+			// must smooth over individual stalls, and that smoothing is
+			// precisely what blinds it to the tail. (A short half-life
+			// EWMA spikes on each stall and behaves tail-ish, but too
+			// noisily to hold a stable decision.)
+			Latency: core.ServerLatencyConfig{HalfLife: 200 * time.Millisecond},
+		})
+		if err != nil {
+			res.addNote("%s failed: %v", mode, err)
+			continue
+		}
+		cluster, err := testbed.NewCluster(testbed.ClusterConfig{
+			Seed:   seed,
+			Policy: la,
+			Servers: []server.Config{
+				{Name: "steady", Workers: 16, Service: server.Deterministic(400 * time.Microsecond)},
+				{Name: "bimodal", Workers: 16, Service: server.Bimodal{
+					Fast:  server.Deterministic(150 * time.Microsecond),
+					Slow:  server.Deterministic(3 * time.Millisecond),
+					PSlow: 0.08,
+				}},
+			},
+			Workload: tcpsim.RequestConfig{
+				Connections: 8, Pipeline: 1, RequestsPerConn: 100,
+				ReopenDelay: 500 * time.Microsecond,
+				ThinkTime:   50 * time.Microsecond, ThinkJitter: 50 * time.Microsecond,
+				GetFraction: 0.5,
+			},
+		})
+		if err != nil {
+			res.addNote("%s failed: %v", mode, err)
+			continue
+		}
+		hist := stats.NewDefaultHistogram()
+		cluster.Client.OnResponse = func(now time.Duration, op netsim.Op, lat time.Duration) {
+			if now > duration/4 { // steady state
+				hist.Record(lat)
+			}
+		}
+		cluster.Run(duration)
+
+		st := cluster.LB.Stats()
+		total := st.NewPerBack[0] + st.NewPerBack[1]
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(st.NewPerBack[0]) / float64(total)
+		}
+		res.addRow(mode, fmt.Sprintf("%.1f", share),
+			usStr(hist.Quantile(0.50)), usStr(hist.Quantile(0.95)))
+		res.Metrics["steady_share_pct_"+mode] = share
+		res.Metrics["client_p50_us_"+mode] = float64(hist.Quantile(0.50)) / 1e3
+		res.Metrics["client_p95_us_"+mode] = float64(hist.Quantile(0.95)) / 1e3
+	}
+	res.addNote("the mean and the tail disagree: EWMA control favors the lower-mean bimodal server and inflates the client p95; quantile control favors the steady server (§5 Q4)")
+	return res
+}

@@ -1,0 +1,147 @@
+// Package faults provides time-indexed delay and fault injection schedules
+// shared by the simulated links, simulated servers, and the live memcached
+// server. The paper's headline experiment is a single Step: +1 ms on one
+// LB→server path starting at t = 100 s.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Schedule maps a point in (virtual or wall) time to an additional delay.
+// Implementations must be safe to call from a single goroutine; the live
+// server wraps one in a mutex.
+type Schedule interface {
+	// DelayAt returns the extra delay in force at time t.
+	DelayAt(t time.Duration) time.Duration
+}
+
+// ScheduleFunc adapts a function to the Schedule interface.
+type ScheduleFunc func(t time.Duration) time.Duration
+
+// DelayAt calls f(t).
+func (f ScheduleFunc) DelayAt(t time.Duration) time.Duration { return f(t) }
+
+// None is the empty schedule (zero extra delay at all times).
+var None Schedule = ScheduleFunc(func(time.Duration) time.Duration { return 0 })
+
+// Step injects a constant extra delay from Start onward (and, when End > 0,
+// removes it at End).
+type Step struct {
+	Start time.Duration
+	End   time.Duration // zero means "forever"
+	Extra time.Duration
+}
+
+// DelayAt implements Schedule.
+func (s Step) DelayAt(t time.Duration) time.Duration {
+	if t < s.Start {
+		return 0
+	}
+	if s.End > 0 && t >= s.End {
+		return 0
+	}
+	return s.Extra
+}
+
+// String describes the step for logs.
+func (s Step) String() string {
+	if s.End > 0 {
+		return fmt.Sprintf("step(+%v during [%v,%v))", s.Extra, s.Start, s.End)
+	}
+	return fmt.Sprintf("step(+%v from %v)", s.Extra, s.Start)
+}
+
+// Pulse injects a periodic on/off extra delay: On long bursts of Extra every
+// Period, starting at Start. It models recurring background interference
+// such as compaction or garbage collection.
+type Pulse struct {
+	Start  time.Duration
+	Period time.Duration
+	On     time.Duration
+	Extra  time.Duration
+}
+
+// DelayAt implements Schedule.
+func (p Pulse) DelayAt(t time.Duration) time.Duration {
+	if t < p.Start || p.Period <= 0 {
+		return 0
+	}
+	phase := (t - p.Start) % p.Period
+	if phase < p.On {
+		return p.Extra
+	}
+	return 0
+}
+
+// Ramp grows the extra delay linearly from zero at Start to Extra at
+// Start+Rise, holding it afterwards. It models gradual degradation.
+type Ramp struct {
+	Start time.Duration
+	Rise  time.Duration
+	Extra time.Duration
+}
+
+// DelayAt implements Schedule.
+func (r Ramp) DelayAt(t time.Duration) time.Duration {
+	if t < r.Start {
+		return 0
+	}
+	if r.Rise <= 0 || t >= r.Start+r.Rise {
+		return r.Extra
+	}
+	frac := float64(t-r.Start) / float64(r.Rise)
+	return time.Duration(frac * float64(r.Extra))
+}
+
+// Stack sums several schedules.
+type Stack []Schedule
+
+// DelayAt implements Schedule.
+func (s Stack) DelayAt(t time.Duration) time.Duration {
+	var total time.Duration
+	for _, sched := range s {
+		total += sched.DelayAt(t)
+	}
+	return total
+}
+
+// Steps builds a piecewise-constant schedule from (time, delay) breakpoints.
+// The delay in force at time t is the value of the latest breakpoint at or
+// before t (zero before the first).
+type Steps struct {
+	points []StepPoint
+}
+
+// StepPoint is one breakpoint of a Steps schedule.
+type StepPoint struct {
+	At    time.Duration
+	Extra time.Duration
+}
+
+// NewSteps constructs a Steps schedule; breakpoints are sorted by time.
+func NewSteps(points ...StepPoint) *Steps {
+	ps := append([]StepPoint(nil), points...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].At < ps[j].At })
+	return &Steps{points: ps}
+}
+
+// DelayAt implements Schedule.
+func (s *Steps) DelayAt(t time.Duration) time.Duration {
+	// Binary search for the last breakpoint at or before t.
+	lo, hi := 0, len(s.points)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.points[mid].At <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return s.points[lo-1].Extra
+}

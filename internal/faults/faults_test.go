@@ -1,0 +1,175 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNone(t *testing.T) {
+	for _, at := range []time.Duration{0, time.Second, time.Hour} {
+		if d := None.DelayAt(at); d != 0 {
+			t.Errorf("None.DelayAt(%v) = %v", at, d)
+		}
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := Step{Start: 100 * time.Second, Extra: time.Millisecond}
+	cases := []struct {
+		at   time.Duration
+		want time.Duration
+	}{
+		{0, 0},
+		{99 * time.Second, 0},
+		{100 * time.Second, time.Millisecond},
+		{101 * time.Second, time.Millisecond},
+		{time.Hour, time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := s.DelayAt(c.at); got != c.want {
+			t.Errorf("Step.DelayAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	if !strings.Contains(s.String(), "from") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestStepWithEnd(t *testing.T) {
+	s := Step{Start: time.Second, End: 2 * time.Second, Extra: time.Millisecond}
+	if s.DelayAt(1500*time.Millisecond) != time.Millisecond {
+		t.Error("inside window should inject")
+	}
+	if s.DelayAt(2*time.Second) != 0 {
+		t.Error("End is exclusive of injection")
+	}
+	if !strings.Contains(s.String(), "during") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestPulse(t *testing.T) {
+	p := Pulse{Start: time.Second, Period: 10 * time.Millisecond, On: 2 * time.Millisecond, Extra: 500 * time.Microsecond}
+	if p.DelayAt(0) != 0 {
+		t.Error("before start should be 0")
+	}
+	if p.DelayAt(time.Second+time.Millisecond) != 500*time.Microsecond {
+		t.Error("inside on-phase should inject")
+	}
+	if p.DelayAt(time.Second+5*time.Millisecond) != 0 {
+		t.Error("inside off-phase should be 0")
+	}
+	// Next period.
+	if p.DelayAt(time.Second+11*time.Millisecond) != 500*time.Microsecond {
+		t.Error("second period on-phase should inject")
+	}
+	bad := Pulse{Period: 0, Extra: time.Second}
+	if bad.DelayAt(time.Hour) != 0 {
+		t.Error("zero period must not divide by zero / must be inert")
+	}
+}
+
+func TestRamp(t *testing.T) {
+	r := Ramp{Start: time.Second, Rise: time.Second, Extra: time.Millisecond}
+	if r.DelayAt(999*time.Millisecond) != 0 {
+		t.Error("before start")
+	}
+	if got := r.DelayAt(1500 * time.Millisecond); got != 500*time.Microsecond {
+		t.Errorf("midpoint = %v, want 500µs", got)
+	}
+	if r.DelayAt(3*time.Second) != time.Millisecond {
+		t.Error("after rise should hold Extra")
+	}
+	instant := Ramp{Start: time.Second, Rise: 0, Extra: time.Millisecond}
+	if instant.DelayAt(time.Second) != time.Millisecond {
+		t.Error("zero rise behaves as step")
+	}
+}
+
+func TestStack(t *testing.T) {
+	s := Stack{
+		Step{Start: 0, Extra: time.Millisecond},
+		Step{Start: time.Second, Extra: 2 * time.Millisecond},
+	}
+	if got := s.DelayAt(0); got != time.Millisecond {
+		t.Errorf("t=0: %v", got)
+	}
+	if got := s.DelayAt(time.Second); got != 3*time.Millisecond {
+		t.Errorf("t=1s: %v, want 3ms (sum)", got)
+	}
+}
+
+func TestSteps(t *testing.T) {
+	s := NewSteps(
+		StepPoint{At: 2 * time.Second, Extra: 200 * time.Microsecond},
+		StepPoint{At: time.Second, Extra: 100 * time.Microsecond}, // out of order on purpose
+		StepPoint{At: 3 * time.Second, Extra: 0},
+	)
+	cases := []struct {
+		at   time.Duration
+		want time.Duration
+	}{
+		{0, 0},
+		{time.Second, 100 * time.Microsecond},
+		{1500 * time.Millisecond, 100 * time.Microsecond},
+		{2 * time.Second, 200 * time.Microsecond},
+		{5 * time.Second, 0},
+	}
+	for _, c := range cases {
+		if got := s.DelayAt(c.at); got != c.want {
+			t.Errorf("Steps.DelayAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestStepsEmpty(t *testing.T) {
+	s := NewSteps()
+	if s.DelayAt(time.Hour) != 0 {
+		t.Error("empty Steps should be 0 everywhere")
+	}
+}
+
+// Property: Steps is piecewise constant and agrees with a linear scan.
+func TestStepsAgreesWithLinearScan(t *testing.T) {
+	f := func(raw []uint32, probe uint32) bool {
+		pts := make([]StepPoint, 0, len(raw))
+		for i, r := range raw {
+			// Unique At values: duplicate breakpoints would make the
+			// winner among equals ordering-dependent.
+			pts = append(pts, StepPoint{
+				At:    time.Duration(r%1000)*time.Second + time.Duration(i)*time.Millisecond,
+				Extra: time.Duration(i) * time.Microsecond,
+			})
+		}
+		s := NewSteps(pts...)
+		at := time.Duration(probe%2000) * time.Millisecond
+		// Linear scan over the sorted points.
+		sorted := append([]StepPoint(nil), pts...)
+		for i := 0; i < len(sorted); i++ {
+			for j := i + 1; j < len(sorted); j++ {
+				if sorted[j].At < sorted[i].At {
+					sorted[i], sorted[j] = sorted[j], sorted[i]
+				}
+			}
+		}
+		var want time.Duration
+		for _, p := range sorted {
+			if p.At <= at {
+				want = p.Extra
+			}
+		}
+		return s.DelayAt(at) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleFunc(t *testing.T) {
+	var s Schedule = ScheduleFunc(func(t time.Duration) time.Duration { return t / 2 })
+	if s.DelayAt(time.Second) != 500*time.Millisecond {
+		t.Error("ScheduleFunc adapter broken")
+	}
+}

@@ -1,0 +1,272 @@
+// Package lb is the load balancer dataplane: it terminates nothing and
+// inspects only client→server packets (direct server return), maintains
+// connection-to-server affinity through a connection table, asks the
+// configured routing policy for a backend on each new flow, and feeds every
+// packet's arrival timestamp into the in-band latency estimator so the
+// policy can adapt.
+//
+// The structural guarantee matching the paper's DSR assumption: the LB has
+// transmit links toward servers but no receive path from them — response
+// traffic cannot reach HandlePacket because the topology never wires it.
+package lb
+
+import (
+	"fmt"
+	"time"
+
+	"inbandlb/internal/control"
+	"inbandlb/internal/core"
+	"inbandlb/internal/netsim"
+	"inbandlb/internal/packet"
+)
+
+// Config parameterizes the dataplane.
+type Config struct {
+	// Policy routes new flows and consumes latency samples.
+	Policy control.Policy
+	// FlowTable configures the per-flow estimators (used when Observer is
+	// nil).
+	FlowTable core.FlowTableConfig
+	// Observer overrides the measurement source. Nil builds the paper's
+	// per-flow EnsembleTimeout table from FlowTable; pass a
+	// core.HandshakeTable for SYN-based estimation, or a custom Observer.
+	Observer core.Observer
+	// ConnIdleTimeout evicts connection-table entries idle this long
+	// during sweeps. Defaults to 30 s.
+	ConnIdleTimeout time.Duration
+	// SweepInterval is how often idle state is swept. Defaults to 1 s.
+	SweepInterval time.Duration
+	// EstimateOnly disables routing (all packets dropped) but keeps
+	// measurement — used by experiments that tap an existing path.
+	EstimateOnly bool
+	// L7 routes requests by their application Key instead of the
+	// connection 4-tuple: every keyed request is dispatched by
+	// Policy.Pick over a key-derived pseudo flow, so the same key always
+	// reaches the same server (cache affinity). Unkeyed packets and
+	// non-request packets of the flow still follow the flow's pinned
+	// backend. Latency samples are attributed to the flow's most recent
+	// backend — an approximation, since a flow's requests may now span
+	// servers. Use L7 only with stateless consistent-hash policies
+	// (MaglevStatic, LatencyAware, Proportional): per-request Pick calls
+	// would distort stateful policies like RoundRobin or LeastConn.
+	L7 bool
+}
+
+// Stats are the dataplane counters.
+type Stats struct {
+	Packets     uint64 // client→server packets seen
+	NewFlows    uint64 // connection-table inserts
+	Closed      uint64 // flows removed by KindClose
+	Swept       uint64 // flows removed by idle sweeps
+	Samples     uint64 // estimator samples produced
+	NoBackend   uint64 // packets dropped for lack of a backend
+	PerBackend  []uint64
+	NewPerBack  []uint64
+	SampPerBack []uint64
+}
+
+// LB is a simulated load balancer instance.
+type LB struct {
+	sim       *netsim.Sim
+	cfg       Config
+	flows     core.Observer
+	conns     map[packet.FlowKey]connEntry
+	uplink    []*netsim.Link
+	stats     Stats
+	lastSweep time.Duration
+
+	// OnSample, when set, observes every estimator sample with the
+	// backend it was attributed to.
+	OnSample func(now time.Duration, backend int, sample time.Duration)
+}
+
+type connEntry struct {
+	backend  int
+	lastSeen time.Duration
+}
+
+// New creates a load balancer forwarding to uplinks (one per backend, in
+// policy backend-index order).
+func New(sim *netsim.Sim, cfg Config, uplinks []*netsim.Link) (*LB, error) {
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("lb: policy required")
+	}
+	if !cfg.EstimateOnly && len(uplinks) != cfg.Policy.NumBackends() {
+		return nil, fmt.Errorf("lb: %d uplinks for %d backends", len(uplinks), cfg.Policy.NumBackends())
+	}
+	if cfg.ConnIdleTimeout <= 0 {
+		cfg.ConnIdleTimeout = 30 * time.Second
+	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = time.Second
+	}
+	obs := cfg.Observer
+	if obs == nil {
+		ft, err := core.NewFlowTable(cfg.FlowTable)
+		if err != nil {
+			return nil, err
+		}
+		obs = ft
+	}
+	n := cfg.Policy.NumBackends()
+	l := &LB{
+		sim:    sim,
+		cfg:    cfg,
+		flows:  obs,
+		conns:  make(map[packet.FlowKey]connEntry),
+		uplink: uplinks,
+		stats: Stats{
+			PerBackend:  make([]uint64, n),
+			NewPerBack:  make([]uint64, n),
+			SampPerBack: make([]uint64, n),
+		},
+	}
+	return l, nil
+}
+
+// Stats returns a copy of the counters.
+func (l *LB) Stats() Stats {
+	s := l.stats
+	s.PerBackend = append([]uint64(nil), l.stats.PerBackend...)
+	s.NewPerBack = append([]uint64(nil), l.stats.NewPerBack...)
+	s.SampPerBack = append([]uint64(nil), l.stats.SampPerBack...)
+	return s
+}
+
+// ConnCount returns the connection-table occupancy.
+func (l *LB) ConnCount() int { return len(l.conns) }
+
+// FlowTable exposes the default per-flow estimator table for
+// instrumentation; it returns nil when a custom Observer is installed.
+func (l *LB) FlowTable() *core.FlowTable {
+	ft, _ := l.flows.(*core.FlowTable)
+	return ft
+}
+
+// Observer exposes the measurement source.
+func (l *LB) Observer() core.Observer { return l.flows }
+
+// Backend returns the backend pinned for a flow, or -1.
+func (l *LB) Backend(key packet.FlowKey) int {
+	if e, ok := l.conns[key]; ok {
+		return e.backend
+	}
+	return -1
+}
+
+// AffinityAudit compares every pinned connection's backend against what a
+// fresh (stateless) lookup would choose now. The moved count is the number
+// of live connections that *would* break under a pure table lookup — the
+// connection-consistency cost the connection table absorbs during weight
+// churn (paper §2.5). pick must be a pure lookup (it is called once per
+// live flow).
+func (l *LB) AffinityAudit(pick func(packet.FlowKey) int) (total, moved int) {
+	for k, e := range l.conns {
+		total++
+		if pick(k) != e.backend {
+			moved++
+		}
+	}
+	return total, moved
+}
+
+// HandlePacket implements netsim.Handler for client→server traffic.
+func (l *LB) HandlePacket(p *netsim.Packet) {
+	now := l.sim.Now()
+	l.stats.Packets++
+
+	// Opportunistic housekeeping: sweeping on the packet path (rather than
+	// with a timer) keeps the event queue free of perpetual events, so
+	// simulations terminate when traffic does.
+	if now-l.lastSweep >= l.cfg.SweepInterval {
+		l.lastSweep = now
+		l.sweep()
+	}
+
+	// Measurement first: every packet's timestamp feeds the estimator,
+	// exactly as Algorithm 2 is "executed at the LB upon receiving each
+	// packet".
+	sample, haveSample := l.flows.Observe(p.Flow, now)
+
+	// Connection affinity: existing flows stick to their backend.
+	entry, known := l.conns[p.Flow]
+	if !known {
+		b := l.cfg.Policy.Pick(p.Flow, now)
+		if b < 0 || b >= l.cfg.Policy.NumBackends() {
+			l.stats.NoBackend++
+			return
+		}
+		entry = connEntry{backend: b}
+		l.stats.NewFlows++
+		l.stats.NewPerBack[b]++
+	}
+	entry.lastSeen = now
+	l.conns[p.Flow] = entry
+
+	if haveSample {
+		l.stats.Samples++
+		l.stats.SampPerBack[entry.backend]++
+		l.cfg.Policy.ObserveLatency(entry.backend, now, sample)
+		if l.OnSample != nil {
+			l.OnSample(now, entry.backend, sample)
+		}
+	}
+
+	if p.Kind == netsim.KindClose {
+		l.closeFlow(p.Flow, entry.backend, now)
+		// The close itself is still forwarded so the server could clean
+		// up; harmless for the simulated server, faithful to a real FIN.
+	}
+
+	if l.cfg.EstimateOnly {
+		return
+	}
+
+	target := entry.backend
+	if l.cfg.L7 && p.Kind == netsim.KindRequest && p.Key != 0 {
+		if b := l.cfg.Policy.Pick(keyFlow(p.Key), now); b >= 0 && b < l.cfg.Policy.NumBackends() {
+			target = b
+			// Track the latest dispatch so samples and the connection
+			// table follow the flow's current server.
+			if target != entry.backend {
+				entry.backend = target
+				l.conns[p.Flow] = entry
+			}
+		}
+	}
+	l.stats.PerBackend[target]++
+	l.uplink[target].Send(p)
+}
+
+// keyFlow derives a deterministic pseudo flow from an application key so
+// consistent-hash policies map equal keys to equal backends.
+func keyFlow(key uint64) packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP:   [4]byte{byte(key >> 56), byte(key >> 48), byte(key >> 40), byte(key >> 32)},
+		DstIP:   [4]byte{byte(key >> 24), byte(key >> 16), byte(key >> 8), byte(key)},
+		SrcPort: uint16(key >> 48),
+		DstPort: uint16(key),
+		Proto:   0xF7, // private marker: layer-7 pseudo flow
+	}
+}
+
+func (l *LB) closeFlow(key packet.FlowKey, backend int, now time.Duration) {
+	delete(l.conns, key)
+	l.flows.Forget(key)
+	l.stats.Closed++
+	l.cfg.Policy.FlowClosed(backend, now)
+}
+
+// sweep evicts idle connections and estimator flows.
+func (l *LB) sweep() {
+	now := l.sim.Now()
+	cutoff := now - l.cfg.ConnIdleTimeout
+	for k, e := range l.conns {
+		if e.lastSeen < cutoff {
+			delete(l.conns, k)
+			l.stats.Swept++
+			l.cfg.Policy.FlowClosed(e.backend, now)
+		}
+	}
+	l.flows.Sweep(now)
+}

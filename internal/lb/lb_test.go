@@ -1,0 +1,312 @@
+package lb
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"inbandlb/internal/control"
+	"inbandlb/internal/core"
+	"inbandlb/internal/netsim"
+	"inbandlb/internal/packet"
+)
+
+func flowK(n int) packet.FlowKey {
+	return packet.NewFlowKey(
+		netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.1.0.1"),
+		uint16(30000+n), 11211, packet.ProtoTCP)
+}
+
+type sink struct {
+	got []*netsim.Packet
+}
+
+func (s *sink) HandlePacket(p *netsim.Packet) { s.got = append(s.got, p) }
+
+func newTestLB(t *testing.T, sim *netsim.Sim, pol control.Policy) (*LB, []*sink) {
+	t.Helper()
+	sinks := make([]*sink, pol.NumBackends())
+	links := make([]*netsim.Link, pol.NumBackends())
+	for i := range links {
+		sinks[i] = &sink{}
+		links[i] = netsim.NewLink(sim, "up", 10*time.Microsecond, 0, sinks[i])
+	}
+	l, err := New(sim, Config{Policy: pol}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, sinks
+}
+
+func req(n int, seq uint64) *netsim.Packet {
+	return &netsim.Packet{Flow: flowK(n), Kind: netsim.KindRequest, Seq: seq, Size: 100}
+}
+
+func TestLBAffinity(t *testing.T) {
+	sim := netsim.NewSim(1)
+	l, sinks := newTestLB(t, sim, control.NewRoundRobin(3))
+	sim.Schedule(0, func() {
+		// Interleave packets of two flows; each flow must stay pinned.
+		for i := 0; i < 10; i++ {
+			l.HandlePacket(req(1, uint64(i)))
+			l.HandlePacket(req(2, uint64(i)))
+		}
+	})
+	sim.Run()
+	if got := len(sinks[0].got); got != 10 {
+		t.Errorf("backend 0 got %d packets, want 10", got)
+	}
+	if got := len(sinks[1].got); got != 10 {
+		t.Errorf("backend 1 got %d packets, want 10", got)
+	}
+	for _, p := range sinks[0].got {
+		if p.Flow != flowK(1) {
+			t.Fatal("flow 1 packets leaked to wrong backend")
+		}
+	}
+	st := l.Stats()
+	if st.NewFlows != 2 || st.Packets != 20 {
+		t.Errorf("stats = %+v", st)
+	}
+	if l.Backend(flowK(1)) != 0 || l.Backend(flowK(2)) != 1 {
+		t.Error("Backend() lookup wrong")
+	}
+	if l.Backend(flowK(99)) != -1 {
+		t.Error("unknown flow should return -1")
+	}
+}
+
+func TestLBCloseRemovesFlow(t *testing.T) {
+	sim := netsim.NewSim(1)
+	l, _ := newTestLB(t, sim, control.NewLeastConn(2))
+	sim.Schedule(0, func() {
+		l.HandlePacket(req(1, 0))
+		l.HandlePacket(&netsim.Packet{Flow: flowK(1), Kind: netsim.KindClose, Size: 64})
+	})
+	sim.Run()
+	if l.ConnCount() != 0 {
+		t.Errorf("conn count = %d after close", l.ConnCount())
+	}
+	if l.Stats().Closed != 1 {
+		t.Errorf("closed = %d", l.Stats().Closed)
+	}
+	// LeastConn must have been told: its active count returns to zero.
+	pol := control.NewLeastConn(2)
+	_ = pol
+}
+
+func TestLBIdleSweep(t *testing.T) {
+	sim := netsim.NewSim(1)
+	pol := control.NewRoundRobin(2)
+	sinks := make([]*sink, 2)
+	links := make([]*netsim.Link, 2)
+	for i := range links {
+		sinks[i] = &sink{}
+		links[i] = netsim.NewLink(sim, "up", 0, 0, sinks[i])
+	}
+	l, err := New(sim, Config{
+		Policy:          pol,
+		ConnIdleTimeout: 100 * time.Millisecond,
+		SweepInterval:   50 * time.Millisecond,
+	}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Schedule(0, func() { l.HandlePacket(req(1, 0)) })
+	// Sweeping is piggy-backed on the packet path; later traffic from a
+	// different flow triggers it.
+	sim.Schedule(time.Second, func() { l.HandlePacket(req(2, 0)) })
+	sim.RunUntil(2 * time.Second)
+	if l.ConnCount() != 1 {
+		t.Errorf("conn count = %d, want 1 (idle flow swept, fresh flow kept)", l.ConnCount())
+	}
+	if l.Stats().Swept != 1 {
+		t.Errorf("swept = %d", l.Stats().Swept)
+	}
+	if l.Backend(flowK(1)) != -1 {
+		t.Error("idle flow still pinned")
+	}
+}
+
+func TestLBFeedsEstimatorToPolicy(t *testing.T) {
+	sim := netsim.NewSim(1)
+	la, err := control.NewLatencyAware(control.LatencyAwareConfig{
+		Backends:  []string{"s0", "s1"},
+		Alpha:     0.1,
+		TableSize: 1021,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := newTestLB(t, sim, la)
+	var samples []time.Duration
+	l.OnSample = func(now time.Duration, b int, s time.Duration) { samples = append(samples, s) }
+
+	// Drive one flow with clean 500µs batch structure long enough to cross
+	// several estimator epochs.
+	sim.Schedule(0, func() {
+		now := time.Duration(0)
+		for b := 0; b < 1000; b++ {
+			at := now
+			for p := 0; p < 4; p++ {
+				pk := req(1, uint64(b*4+p))
+				at2 := at + time.Duration(p)*5*time.Microsecond
+				sim.Schedule(at2, func() { l.HandlePacket(pk) })
+			}
+			now += 500 * time.Microsecond
+		}
+	})
+	sim.Run()
+	if len(samples) == 0 {
+		t.Fatal("no estimator samples reached the policy")
+	}
+	st := l.Stats()
+	if st.Samples != uint64(len(samples)) {
+		t.Errorf("sample counters disagree: %d vs %d", st.Samples, len(samples))
+	}
+	if st.SampPerBack[0]+st.SampPerBack[1] != st.Samples {
+		t.Error("per-backend sample counts do not sum")
+	}
+	// The policy received them: it must have built tables beyond the first.
+	if la.Updates() <= 1 {
+		t.Error("latency-aware policy never updated its table")
+	}
+}
+
+func TestLBEstimateOnly(t *testing.T) {
+	sim := netsim.NewSim(1)
+	l, err := New(sim, Config{Policy: control.NewRoundRobin(1), EstimateOnly: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Schedule(0, func() { l.HandlePacket(req(1, 0)) })
+	sim.Run()
+	if l.Stats().Packets != 1 {
+		t.Error("packet not counted")
+	}
+	if l.Stats().PerBackend[0] != 0 {
+		t.Error("estimate-only forwarded a packet")
+	}
+}
+
+func TestLBValidation(t *testing.T) {
+	sim := netsim.NewSim(1)
+	if _, err := New(sim, Config{}, nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := New(sim, Config{Policy: control.NewRoundRobin(2)}, nil); err == nil {
+		t.Error("uplink/backend mismatch accepted")
+	}
+	if _, err := New(sim, Config{
+		Policy:    control.NewRoundRobin(1),
+		FlowTable: core.FlowTableConfig{Ensemble: core.EnsembleConfig{Timeouts: []time.Duration{2, 1}}},
+	}, []*netsim.Link{netsim.NewLink(sim, "x", 0, 0, &sink{})}); err == nil {
+		t.Error("bad flow table config accepted")
+	}
+}
+
+func TestLBStatsCopy(t *testing.T) {
+	sim := netsim.NewSim(1)
+	l, _ := newTestLB(t, sim, control.NewRoundRobin(2))
+	sim.Schedule(0, func() { l.HandlePacket(req(1, 0)) })
+	sim.Run()
+	st := l.Stats()
+	st.PerBackend[0] = 999
+	if l.Stats().PerBackend[0] == 999 {
+		t.Error("Stats() shares backing arrays")
+	}
+}
+
+func TestLBAffinityAudit(t *testing.T) {
+	sim := netsim.NewSim(1)
+	l, _ := newTestLB(t, sim, control.NewRoundRobin(2))
+	sim.Schedule(0, func() {
+		l.HandlePacket(req(1, 0)) // pinned to backend 0
+		l.HandlePacket(req(2, 0)) // pinned to backend 1
+	})
+	sim.Run()
+	// An audit that always answers 0 flags flow 2 as would-move.
+	total, moved := l.AffinityAudit(func(packet.FlowKey) int { return 0 })
+	if total != 2 || moved != 1 {
+		t.Errorf("audit = (%d,%d), want (2,1)", total, moved)
+	}
+	// An audit matching the pinned state flags nothing.
+	total, moved = l.AffinityAudit(l.Backend)
+	if total != 2 || moved != 0 {
+		t.Errorf("self-consistent audit = (%d,%d), want (2,0)", total, moved)
+	}
+}
+
+func TestLBL7KeyAffinity(t *testing.T) {
+	sim := netsim.NewSim(1)
+	pol, err := control.NewMaglevStatic([]string{"s0", "s1"}, 1021)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinks := make([]*sink, 2)
+	links := make([]*netsim.Link, 2)
+	for i := range links {
+		sinks[i] = &sink{}
+		links[i] = netsim.NewLink(sim, "up", 0, 0, sinks[i])
+	}
+	l, err := New(sim, Config{Policy: pol, L7: true}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two flows sending the same keys: key k must land on the same
+	// backend regardless of flow.
+	sim.Schedule(0, func() {
+		for k := uint64(1); k <= 40; k++ {
+			l.HandlePacket(&netsim.Packet{Flow: flowK(1), Kind: netsim.KindRequest, Key: k, Size: 64})
+			l.HandlePacket(&netsim.Packet{Flow: flowK(2), Kind: netsim.KindRequest, Key: k, Size: 64})
+		}
+	})
+	sim.Run()
+	byKey := map[uint64]int{}
+	for b, s := range sinks {
+		for _, p := range s.got {
+			if prev, ok := byKey[p.Key]; ok && prev != b {
+				t.Fatalf("key %d reached both backends", p.Key)
+			}
+			byKey[p.Key] = b
+		}
+	}
+	if len(byKey) != 40 {
+		t.Fatalf("keys seen = %d", len(byKey))
+	}
+	// Both backends must own some keys (consistent hash spreads them).
+	if len(sinks[0].got) == 0 || len(sinks[1].got) == 0 {
+		t.Error("all keys on one backend")
+	}
+}
+
+func TestLBL7KeylessFollowsFlow(t *testing.T) {
+	sim := netsim.NewSim(1)
+	pol, err := control.NewMaglevStatic([]string{"s0", "s1"}, 1021)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinks := make([]*sink, 2)
+	links := make([]*netsim.Link, 2)
+	for i := range links {
+		sinks[i] = &sink{}
+		links[i] = netsim.NewLink(sim, "up", 0, 0, sinks[i])
+	}
+	l, err := New(sim, Config{Policy: pol, L7: true}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Schedule(0, func() {
+		for i := 0; i < 10; i++ {
+			l.HandlePacket(&netsim.Packet{Flow: flowK(1), Kind: netsim.KindRequest, Size: 64})
+		}
+	})
+	sim.Run()
+	// All keyless packets stay on the flow's pinned backend.
+	if got := len(sinks[0].got) + len(sinks[1].got); got != 10 {
+		t.Fatalf("delivered = %d", got)
+	}
+	if len(sinks[0].got) != 0 && len(sinks[1].got) != 0 {
+		t.Error("keyless packets split across backends")
+	}
+}

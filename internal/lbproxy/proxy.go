@@ -1,0 +1,364 @@
+// Package lbproxy is the live userspace counterpart of the simulated
+// dataplane: a layer-4 TCP load balancer whose measurement pipeline is fed
+// exclusively by client→server byte arrivals.
+//
+// A userspace TCP proxy cannot do true direct server return — it must relay
+// response bytes — but the paper's constraint is about what the measurement
+// sees, and that is preserved structurally: response-direction relaying
+// happens in a plain copy loop with no timestamps taken, while every
+// request-direction read feeds the per-flow estimator exactly as the
+// simulated LB feeds it per packet. This is the substitution DESIGN.md
+// documents for the Cilium/XDP dataplane (repro band: userspace prototype).
+package lbproxy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inbandlb/internal/control"
+	"inbandlb/internal/core"
+	"inbandlb/internal/packet"
+)
+
+// Config parameterizes the proxy.
+type Config struct {
+	// Backends are the server addresses, in policy backend-index order.
+	Backends []string
+	// Policy routes new connections; latency-aware policies receive the
+	// estimator's samples. Required.
+	Policy control.Policy
+	// FlowTable configures per-connection estimators.
+	FlowTable core.FlowTableConfig
+	// DialTimeout bounds backend dials. Defaults to 2 s.
+	DialTimeout time.Duration
+	// BufferSize is the relay buffer size. Defaults to 32 KiB.
+	BufferSize int
+	// HealthInterval enables active health probes (TCP dial) at this
+	// period; backends failing a probe are ejected from routing until a
+	// probe succeeds again. Zero disables probing.
+	HealthInterval time.Duration
+	// HealthTimeout bounds each probe dial. Defaults to min(1s,
+	// HealthInterval).
+	HealthTimeout time.Duration
+}
+
+// Stats are cumulative proxy counters.
+type Stats struct {
+	Accepted   uint64
+	Active     int64
+	DialErrors uint64
+	Samples    uint64
+	Fallbacks  uint64   // connections rerouted away from an ejected backend
+	PerBackend []uint64 // connections routed per backend
+	Down       []bool   // health state per backend (false = healthy)
+}
+
+// Proxy is a running load balancer instance.
+type Proxy struct {
+	cfg Config
+	lis net.Listener
+
+	mu    sync.Mutex // guards flows and policy
+	flows *core.FlowTable
+	start time.Time
+
+	accepted   atomic.Uint64
+	active     atomic.Int64
+	dialErrors atomic.Uint64
+	samples    atomic.Uint64
+	fallbacks  atomic.Uint64
+	perBackend []atomic.Uint64
+	down       []atomic.Bool
+	probeStop  chan struct{}
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	connMu sync.Mutex
+	open   map[net.Conn]struct{}
+}
+
+// New creates a proxy.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Policy == nil {
+		return nil, errors.New("lbproxy: policy required")
+	}
+	if len(cfg.Backends) != cfg.Policy.NumBackends() {
+		return nil, fmt.Errorf("lbproxy: %d backends for %d policy slots",
+			len(cfg.Backends), cfg.Policy.NumBackends())
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.BufferSize <= 0 {
+		cfg.BufferSize = 32 << 10
+	}
+	if cfg.HealthInterval > 0 && cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = time.Second
+		if cfg.HealthTimeout > cfg.HealthInterval {
+			cfg.HealthTimeout = cfg.HealthInterval
+		}
+	}
+	flows, err := core.NewFlowTable(cfg.FlowTable)
+	if err != nil {
+		return nil, err
+	}
+	return &Proxy{
+		cfg:        cfg,
+		flows:      flows,
+		start:      time.Now(),
+		perBackend: make([]atomic.Uint64, len(cfg.Backends)),
+		down:       make([]atomic.Bool, len(cfg.Backends)),
+		probeStop:  make(chan struct{}),
+		open:       make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Proxy) Stats() Stats {
+	st := Stats{
+		Accepted:   p.accepted.Load(),
+		Active:     p.active.Load(),
+		DialErrors: p.dialErrors.Load(),
+		Samples:    p.samples.Load(),
+		Fallbacks:  p.fallbacks.Load(),
+		PerBackend: make([]uint64, len(p.perBackend)),
+		Down:       make([]bool, len(p.down)),
+	}
+	for i := range p.perBackend {
+		st.PerBackend[i] = p.perBackend[i].Load()
+		st.Down[i] = p.down[i].Load()
+	}
+	return st
+}
+
+// Listen binds addr.
+func (p *Proxy) Listen(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	p.lis = lis
+	return nil
+}
+
+// Addr returns the bound address (nil before Listen).
+func (p *Proxy) Addr() net.Addr {
+	if p.lis == nil {
+		return nil
+	}
+	return p.lis.Addr()
+}
+
+// Serve accepts and relays connections until Close.
+func (p *Proxy) Serve() error {
+	if p.lis == nil {
+		return errors.New("lbproxy: Serve before Listen")
+	}
+	if p.cfg.HealthInterval > 0 {
+		go p.probeLoop()
+	}
+	for {
+		conn, err := p.lis.Accept()
+		if err != nil {
+			if p.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		p.accepted.Add(1)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe combines Listen and Serve.
+func (p *Proxy) ListenAndServe(addr string) error {
+	if err := p.Listen(addr); err != nil {
+		return err
+	}
+	return p.Serve()
+}
+
+// Close stops the proxy and closes open relays.
+func (p *Proxy) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	close(p.probeStop)
+	var err error
+	if p.lis != nil {
+		err = p.lis.Close()
+	}
+	p.connMu.Lock()
+	for c := range p.open {
+		_ = c.Close()
+	}
+	p.connMu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+// now returns monotonic time since proxy start, the estimator clock.
+func (p *Proxy) now() time.Duration { return time.Since(p.start) }
+
+// flowKeyFor derives the estimator flow key from the connection 4-tuple.
+func flowKeyFor(conn net.Conn) packet.FlowKey {
+	key := packet.FlowKey{Proto: packet.ProtoTCP}
+	if ap, err := netip.ParseAddrPort(conn.RemoteAddr().String()); err == nil {
+		key.SrcIP = ap.Addr().Unmap().As4()
+		key.SrcPort = ap.Port()
+	}
+	if ap, err := netip.ParseAddrPort(conn.LocalAddr().String()); err == nil {
+		key.DstIP = ap.Addr().Unmap().As4()
+		key.DstPort = ap.Port()
+	}
+	return key
+}
+
+func (p *Proxy) handle(client net.Conn) {
+	defer client.Close()
+	key := flowKeyFor(client)
+	now := p.now()
+
+	p.mu.Lock()
+	backend := p.cfg.Policy.Pick(key, now)
+	p.mu.Unlock()
+	if backend < 0 || backend >= len(p.cfg.Backends) {
+		return
+	}
+	// Outlier ejection: skip health-check-failed backends deterministically.
+	if p.down[backend].Load() {
+		orig := backend
+		backend = -1
+		for i := 1; i <= len(p.cfg.Backends); i++ {
+			cand := (orig + i) % len(p.cfg.Backends)
+			if !p.down[cand].Load() {
+				backend = cand
+				break
+			}
+		}
+		if backend < 0 {
+			return // whole pool ejected; drop the connection
+		}
+		p.fallbacks.Add(1)
+		p.mu.Lock()
+		p.cfg.Policy.FlowClosed(orig, p.now()) // undo the original pick's accounting
+		p.mu.Unlock()
+	}
+
+	server, err := net.DialTimeout("tcp", p.cfg.Backends[backend], p.cfg.DialTimeout)
+	if err != nil {
+		p.dialErrors.Add(1)
+		p.mu.Lock()
+		p.cfg.Policy.FlowClosed(backend, p.now())
+		p.mu.Unlock()
+		return
+	}
+	defer server.Close()
+	p.perBackend[backend].Add(1)
+	p.active.Add(1)
+	defer p.active.Add(-1)
+
+	p.connMu.Lock()
+	p.open[client] = struct{}{}
+	p.open[server] = struct{}{}
+	p.connMu.Unlock()
+	defer func() {
+		p.connMu.Lock()
+		delete(p.open, client)
+		delete(p.open, server)
+		p.connMu.Unlock()
+	}()
+
+	done := make(chan struct{}, 2)
+
+	// Response direction: a blind relay. No timestamps are taken here —
+	// the estimator must work without seeing this traffic, as under DSR.
+	go func() {
+		buf := make([]byte, p.cfg.BufferSize)
+		_, _ = io.CopyBuffer(client, server, buf)
+		closeWrite(client)
+		done <- struct{}{}
+	}()
+
+	// Request direction: every read is a client→server arrival whose
+	// timestamp feeds the in-band estimator.
+	go func() {
+		buf := make([]byte, p.cfg.BufferSize)
+		for {
+			n, rerr := client.Read(buf)
+			if n > 0 {
+				p.observe(key, backend)
+				if _, werr := server.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if rerr != nil {
+				break
+			}
+		}
+		closeWrite(server)
+		done <- struct{}{}
+	}()
+
+	<-done
+	<-done
+
+	p.mu.Lock()
+	p.flows.Forget(key)
+	p.cfg.Policy.FlowClosed(backend, p.now())
+	p.mu.Unlock()
+}
+
+func (p *Proxy) observe(key packet.FlowKey, backend int) {
+	now := p.now()
+	p.mu.Lock()
+	sample, ok := p.flows.Observe(key, now)
+	if ok {
+		p.cfg.Policy.ObserveLatency(backend, now, sample)
+	}
+	p.mu.Unlock()
+	if ok {
+		p.samples.Add(1)
+	}
+}
+
+// closeWrite half-closes the write side when the transport supports it,
+// propagating EOF to the peer like a forwarded FIN.
+func closeWrite(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.CloseWrite()
+	}
+}
+
+// probeLoop actively dials each backend every HealthInterval and flips its
+// ejection bit on failure/recovery.
+func (p *Proxy) probeLoop() {
+	t := time.NewTicker(p.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.probeStop:
+			return
+		case <-t.C:
+		}
+		for i, addr := range p.cfg.Backends {
+			conn, err := net.DialTimeout("tcp", addr, p.cfg.HealthTimeout)
+			if err != nil {
+				p.down[i].Store(true)
+				continue
+			}
+			_ = conn.Close()
+			p.down[i].Store(false)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package lbproxy
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"inbandlb/internal/control"
+	"inbandlb/internal/core"
+	"inbandlb/internal/memcache"
+)
+
+// startBackend runs a memcached server on an ephemeral port.
+func startBackend(t *testing.T) (*memcache.Server, string) {
+	t.Helper()
+	s := memcache.NewServer()
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = s.Serve() }()
+	t.Cleanup(func() { _ = s.Close() })
+	return s, s.Addr().String()
+}
+
+// startProxy runs a proxy over the given backends.
+func startProxy(t *testing.T, pol control.Policy, backends ...string) (*Proxy, string) {
+	t.Helper()
+	p, err := New(Config{Backends: backends, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = p.Serve() }()
+	t.Cleanup(func() { _ = p.Close() })
+	return p, p.Addr().String()
+}
+
+func TestProxyValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := New(Config{Policy: control.NewRoundRobin(2), Backends: []string{"x"}}); err == nil {
+		t.Error("backend mismatch accepted")
+	}
+	if _, err := New(Config{
+		Policy:    control.NewRoundRobin(1),
+		Backends:  []string{"x"},
+		FlowTable: core.FlowTableConfig{Ensemble: core.EnsembleConfig{Timeouts: []time.Duration{2, 1}}},
+	}); err == nil {
+		t.Error("bad flow table accepted")
+	}
+}
+
+func TestProxyRelaysMemcacheTraffic(t *testing.T) {
+	_, baddr := startBackend(t)
+	proxy, paddr := startProxy(t, control.NewRoundRobin(1), baddr)
+
+	c, err := memcache.Dial(paddr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set("k", []byte("through-proxy")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get("k")
+	if err != nil || !ok || string(v) != "through-proxy" {
+		t.Fatalf("get through proxy: %q ok=%v err=%v", v, ok, err)
+	}
+	st := proxy.Stats()
+	if st.Accepted != 1 || st.PerBackend[0] != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestProxySpreadsConnections(t *testing.T) {
+	_, b0 := startBackend(t)
+	_, b1 := startBackend(t)
+	proxy, paddr := startProxy(t, control.NewRoundRobin(2), b0, b1)
+
+	for i := 0; i < 6; i++ {
+		c, err := memcache.Dial(paddr, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Set("k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		_ = c.Close()
+	}
+	// Wait for relays to wind down.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && proxy.Stats().Active > 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := proxy.Stats()
+	if st.PerBackend[0] != 3 || st.PerBackend[1] != 3 {
+		t.Errorf("per-backend conns = %v, want [3 3]", st.PerBackend)
+	}
+}
+
+func TestProxyDialErrorCounted(t *testing.T) {
+	// Point at a dead backend: connections drop but the proxy survives.
+	proxy, paddr := startProxy(t, control.NewRoundRobin(1), "127.0.0.1:1")
+	c, err := memcache.Dial(paddr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(500 * time.Millisecond))
+	if err := c.Set("k", []byte("v")); err == nil {
+		t.Error("set succeeded against dead backend")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && proxy.Stats().DialErrors == 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if proxy.Stats().DialErrors == 0 {
+		t.Error("dial error not counted")
+	}
+}
+
+// TestProxyEndToEndFeedback is the live-socket version of Fig. 3 at test
+// scale: two real memcached servers, one degraded via the admin delay
+// command, a closed-loop client workload, and the latency-aware policy.
+// The proxy must route new connections away from the slow server.
+func TestProxyEndToEndFeedback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-socket timing test")
+	}
+	slow, slowAddr := startBackend(t)
+	fast, fastAddr := startBackend(t)
+	slow.SetDelay(8 * time.Millisecond)
+	// The estimator's smallest rung is δ₁ = 64µs: response latencies below
+	// it merge whole connections into one batch and over-estimate wildly
+	// (see EXPERIMENTS.md, "ladder floor"). Raw loopback (~50µs) sits
+	// under that floor, so give the fast server a realistic sub-millisecond
+	// service time inside the ladder's operating range.
+	fast.SetDelay(400 * time.Microsecond)
+
+	la, err := control.NewLatencyAware(control.LatencyAwareConfig{
+		Backends:  []string{"slow", "fast"},
+		Alpha:     0.10,
+		TableSize: 1021,
+		// Keep the drained server measurable (a 2% trickle starves it of
+		// samples and staleness then flip-flops the decision), tolerate
+		// scheduler-induced sample droughts, and require a clear gap —
+		// loopback under parallel-test CPU contention is noisy.
+		MinWeight:       0.10,
+		Cooldown:        5 * time.Millisecond,
+		HysteresisRatio: 1.5,
+		Latency: core.ServerLatencyConfig{
+			HalfLife:  25 * time.Millisecond,
+			Staleness: 3 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, paddr := startProxy(t, la, slowAddr, fastAddr)
+
+	// Closed-loop workload: sequential connections, several requests each.
+	// Drive traffic until the controller settles on the fast server (or a
+	// generous deadline passes) — wall-clock timing under parallel-test
+	// CPU contention is too noisy for a fixed-duration assertion.
+	settled := func() bool {
+		w := la.Weights()
+		return w[0] < w[1]
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := memcache.Dial(paddr, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+		for i := 0; i < 20; i++ {
+			if err := c.Set("key", []byte("value")); err != nil {
+				t.Fatalf("set: %v", err)
+			}
+		}
+		_ = c.Close()
+		// Require the settled state to persist across a few connections,
+		// not just a momentary flip.
+		if settled() {
+			stable := true
+			for i := 0; i < 5 && stable; i++ {
+				c, err := memcache.Dial(paddr, time.Second)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+				for j := 0; j < 20; j++ {
+					if err := c.Set("key", []byte("value")); err != nil {
+						t.Fatalf("set: %v", err)
+					}
+				}
+				_ = c.Close()
+				stable = settled()
+			}
+			if stable {
+				break
+			}
+		}
+	}
+
+	if w := la.Weights(); w[0] >= w[1] {
+		t.Errorf("weights = %v; slow server should hold less", w)
+	}
+	if proxy.Stats().Samples == 0 {
+		t.Error("estimator produced no samples from live traffic")
+	}
+}
+
+func TestProxyHealthEjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-socket timing test")
+	}
+	// Backend A on a fixed address we can kill and resurrect.
+	a := memcache.NewServer()
+	if err := a.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addrA := a.Addr().String()
+	go func() { _ = a.Serve() }()
+	_, addrB := startBackend(t)
+
+	proxy, err := New(Config{
+		Backends:       []string{addrA, addrB},
+		Policy:         control.NewRoundRobin(2),
+		HealthInterval: 50 * time.Millisecond,
+		HealthTimeout:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = proxy.Serve() }()
+	t.Cleanup(func() { _ = proxy.Close() })
+	paddr := proxy.Addr().String()
+
+	doSet := func() error {
+		c, err := memcache.Dial(paddr, time.Second)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		_ = c.SetDeadline(time.Now().Add(time.Second))
+		return c.Set("k", []byte("v"))
+	}
+	if err := doSet(); err != nil {
+		t.Fatalf("healthy pool: %v", err)
+	}
+
+	// Kill A and wait for the prober to eject it.
+	_ = a.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && !proxy.Stats().Down[0] {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !proxy.Stats().Down[0] {
+		t.Fatal("dead backend never ejected")
+	}
+	// Every connection must now succeed via B, including the ones round
+	// robin would have sent to A.
+	for i := 0; i < 4; i++ {
+		if err := doSet(); err != nil {
+			t.Fatalf("request during ejection failed: %v", err)
+		}
+	}
+	if proxy.Stats().Fallbacks == 0 {
+		t.Error("no fallbacks counted while A was down")
+	}
+
+	// Resurrect A on the same address; the prober must readmit it.
+	a2 := memcache.NewServer()
+	if err := a2.Listen(addrA); err != nil {
+		t.Fatalf("rebind %s: %v", addrA, err)
+	}
+	go func() { _ = a2.Serve() }()
+	t.Cleanup(func() { _ = a2.Close() })
+	deadline = time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && proxy.Stats().Down[0] {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if proxy.Stats().Down[0] {
+		t.Fatal("recovered backend never readmitted")
+	}
+	if err := doSet(); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+}
+
+func TestStatusHandler(t *testing.T) {
+	_, b0 := startBackend(t)
+	_, b1 := startBackend(t)
+	la, err := control.NewLatencyAware(control.LatencyAwareConfig{
+		Backends: []string{"a", "b"}, Alpha: 0.1, TableSize: 1021,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, paddr := startProxy(t, la, b0, b1)
+
+	// Generate a little traffic so counters are non-zero.
+	c, err := memcache.Dial(paddr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Set("k", []byte("v"))
+	_ = c.Close()
+
+	srv := httptest.NewServer(proxy.StatusHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap StatusSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Policy != "latency-aware" {
+		t.Errorf("policy = %q", snap.Policy)
+	}
+	if len(snap.Backends) != 2 || len(snap.Weights) != 2 || len(snap.LatenciesMs) != 2 {
+		t.Errorf("snapshot shape: backends=%d weights=%d latencies=%d",
+			len(snap.Backends), len(snap.Weights), len(snap.LatenciesMs))
+	}
+	if snap.Stats.Accepted != 1 {
+		t.Errorf("accepted = %d", snap.Stats.Accepted)
+	}
+	if snap.UptimeSeconds <= 0 {
+		t.Error("uptime not positive")
+	}
+
+	// A weightless policy omits the optional fields.
+	proxy2, _ := startProxy(t, control.NewRoundRobin(2), b0, b1)
+	snap2 := proxy2.Snapshot()
+	if snap2.Weights != nil || snap2.LatenciesMs != nil {
+		t.Error("round robin should not report weights/latencies")
+	}
+}

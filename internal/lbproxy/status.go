@@ -1,0 +1,66 @@
+package lbproxy
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"inbandlb/internal/core"
+)
+
+// StatusSnapshot is the JSON document served by the status handler.
+type StatusSnapshot struct {
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Policy        string   `json:"policy"`
+	Backends      []string `json:"backends"`
+	Stats         Stats    `json:"stats"`
+	// Weights is present for weight-based policies (latency-aware,
+	// proportional); nil otherwise.
+	Weights []float64 `json:"weights,omitempty"`
+	// LatenciesMs is the per-backend EWMA latency in milliseconds for
+	// policies that expose one; nil otherwise.
+	LatenciesMs []float64 `json:"latencies_ms,omitempty"`
+}
+
+// weighted is implemented by policies that expose a weight vector.
+type weighted interface {
+	Weights() []float64
+}
+
+// latencied is implemented by policies that expose per-server latency
+// aggregation (LatencyAware, Proportional).
+type latencied interface {
+	Latency() *core.ServerLatency
+}
+
+// Snapshot assembles the current status document.
+func (p *Proxy) Snapshot() StatusSnapshot {
+	snap := StatusSnapshot{
+		UptimeSeconds: time.Since(p.start).Seconds(),
+		Policy:        p.cfg.Policy.Name(),
+		Backends:      append([]string(nil), p.cfg.Backends...),
+		Stats:         p.Stats(),
+	}
+	p.mu.Lock()
+	if w, ok := p.cfg.Policy.(weighted); ok {
+		snap.Weights = w.Weights()
+	}
+	if l, ok := p.cfg.Policy.(latencied); ok {
+		for _, d := range l.Latency().Snapshot() {
+			snap.LatenciesMs = append(snap.LatenciesMs, float64(d)/1e6)
+		}
+	}
+	p.mu.Unlock()
+	return snap
+}
+
+// StatusHandler serves the proxy's live state as JSON — weights, per-backend
+// latencies, health, and counters — for dashboards and debugging.
+func (p *Proxy) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(p.Snapshot())
+	})
+}

@@ -1,0 +1,31 @@
+package maglev_test
+
+import (
+	"fmt"
+
+	"inbandlb/internal/maglev"
+)
+
+// Build a weighted table and route flow hashes to backends. Weights steer
+// the share of the keyspace each backend owns — the primitive the
+// latency-aware controller adjusts at runtime.
+func ExampleNew() {
+	table, err := maglev.New(1021, []maglev.Backend{
+		{Name: "server-a", Weight: 3}, // 3x the traffic of server-b
+		{Name: "server-b", Weight: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("server-a share: %.2f\n", table.Share(0))
+	fmt.Printf("server-b share: %.2f\n", table.Share(1))
+
+	// The same flow hash always lands on the same backend.
+	h := uint64(0xdeadbeef)
+	fmt.Println("stable:", table.LookupName(h) == table.LookupName(h))
+	// Output:
+	// server-a share: 0.75
+	// server-b share: 0.25
+	// stable: true
+}

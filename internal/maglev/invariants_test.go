@@ -1,0 +1,94 @@
+package maglev
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Lookup returns a valid, positive-weight backend for any hash.
+func TestLookupRangeProperty(t *testing.T) {
+	tbl, err := New(1021, []Backend{
+		{Name: "a", Weight: 1}, {Name: "b", Weight: 2}, {Name: "c", Weight: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(h uint64) bool {
+		b := tbl.Lookup(h)
+		if b < 0 || b >= tbl.NumBackends() {
+			return false
+		}
+		return tbl.Backend(b).Weight > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: weight scaling is irrelevant — multiplying all weights by the
+// same factor yields the identical table.
+func TestWeightScaleInvarianceProperty(t *testing.T) {
+	f := func(seed int64, scaleRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scale := float64(scaleRaw%50) + 0.5
+		n := rng.Intn(5) + 2
+		a := make([]Backend, n)
+		b := make([]Backend, n)
+		for i := 0; i < n; i++ {
+			w := rng.Float64() + 0.05
+			a[i] = Backend{Name: fmt.Sprintf("s%d", i), Weight: w}
+			b[i] = Backend{Name: fmt.Sprintf("s%d", i), Weight: w * scale}
+		}
+		ta, err := New(1021, a)
+		if err != nil {
+			return false
+		}
+		tb, err := New(1021, b)
+		if err != nil {
+			return false
+		}
+		d, err := ta.Disruption(tb)
+		return err == nil && d == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding a backend causes bounded disruption. Maglev is not a
+// strict consistent hash — the NSDI'16 paper reports a small amount of
+// extra shuffling between surviving backends on membership change — but
+// total movement must stay within a small multiple of the newcomer's fair
+// share (we allow 3×), far below a full reshuffle.
+func TestAdditionBoundedDisruptionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 2
+		old := make([]Backend, n)
+		for i := range old {
+			old[i] = Backend{Name: fmt.Sprintf("s%d", i), Weight: 1}
+		}
+		grown := append(append([]Backend(nil), old...), Backend{Name: "new", Weight: 1})
+		tOld, err := New(4099, old)
+		if err != nil {
+			return false
+		}
+		tNew, err := New(4099, grown)
+		if err != nil {
+			return false
+		}
+		changed := 0
+		for h := uint64(0); h < 4099; h++ {
+			if tOld.Lookup(h) != tNew.Lookup(h) {
+				changed++
+			}
+		}
+		fairShare := 4099.0 / float64(n+1)
+		return float64(changed) <= 3*fairShare
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

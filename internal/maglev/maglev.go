@@ -1,0 +1,265 @@
+// Package maglev implements the Maglev consistent hashing algorithm
+// (Eisenbud et al., NSDI 2016) used by the load balancer to map flows to
+// backends, extended with backend weights so the feedback controller can
+// shift fractions of traffic between servers.
+//
+// Each backend owns a permutation of the table slots derived from two
+// hashes of its name. Table population walks the permutations round-robin,
+// giving each backend a share of slots proportional to its weight, with the
+// minimal-disruption property: changing one backend's weight moves only the
+// slots whose ownership must change.
+package maglev
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// DefaultTableSize is a prime large enough that per-backend shares are
+// within ~1% of their target for pools up to a few hundred backends. The
+// Maglev paper uses 65537 for similar pools.
+const DefaultTableSize = 65537
+
+var (
+	// ErrNoBackends reports table construction with an empty pool.
+	ErrNoBackends = errors.New("maglev: no backends")
+	// ErrTableSize reports an invalid (non-positive or non-prime) table size.
+	ErrTableSize = errors.New("maglev: table size must be a positive prime")
+	// ErrBadWeight reports a non-finite or negative weight.
+	ErrBadWeight = errors.New("maglev: weights must be finite and non-negative")
+)
+
+// Backend is one member of the pool.
+type Backend struct {
+	// Name must be unique within the pool; it seeds the slot permutation,
+	// so the same name always claims (approximately) the same slots.
+	Name string
+	// Weight is the relative share of table slots this backend should own.
+	// Zero removes the backend from new-flow routing without disturbing
+	// other backends' slots more than necessary.
+	Weight float64
+}
+
+// Table is a Maglev lookup table. It is immutable after construction; the
+// controller builds a new table (cheap relative to control intervals) and
+// swaps it in. Lookup is a single modulo and array index.
+type Table struct {
+	size     int
+	entries  []int32 // slot -> backend index
+	backends []Backend
+	offsets  []uint64 // per-backend permutation offset
+	skips    []uint64 // per-backend permutation skip
+	counts   []int    // slots owned per backend
+}
+
+// New builds a table of the given size (a prime; DefaultTableSize is a good
+// choice) over the backends. Backends with weight zero own no slots; at
+// least one backend must have positive weight.
+func New(size int, backends []Backend) (*Table, error) {
+	if size <= 0 || !isPrime(size) {
+		return nil, fmt.Errorf("%w: %d", ErrTableSize, size)
+	}
+	if len(backends) == 0 {
+		return nil, ErrNoBackends
+	}
+	var totalWeight float64
+	seen := make(map[string]bool, len(backends))
+	for _, b := range backends {
+		if math.IsNaN(b.Weight) || math.IsInf(b.Weight, 0) || b.Weight < 0 {
+			return nil, fmt.Errorf("%w: backend %q weight %v", ErrBadWeight, b.Name, b.Weight)
+		}
+		if seen[b.Name] {
+			return nil, fmt.Errorf("maglev: duplicate backend name %q", b.Name)
+		}
+		seen[b.Name] = true
+		totalWeight += b.Weight
+	}
+	if totalWeight <= 0 {
+		return nil, fmt.Errorf("%w: total weight is zero", ErrBadWeight)
+	}
+
+	t := &Table{
+		size:     size,
+		entries:  make([]int32, size),
+		backends: append([]Backend(nil), backends...),
+		offsets:  make([]uint64, len(backends)),
+		skips:    make([]uint64, len(backends)),
+		counts:   make([]int, len(backends)),
+	}
+	for i, b := range backends {
+		h1 := hashString(b.Name, 0x9ae16a3b2f90404f)
+		h2 := hashString(b.Name, 0xc3a5c85c97cb3127)
+		t.offsets[i] = h1 % uint64(size)
+		t.skips[i] = h2%uint64(size-1) + 1
+	}
+	t.populate(totalWeight)
+	return t, nil
+}
+
+// populate fills the table using the weighted Maglev population loop: each
+// round, every backend with remaining quota claims its next unclaimed
+// preferred slot. Quotas follow weights via a largest-remainder allocation,
+// so slot counts match weight shares to within one slot.
+func (t *Table) populate(totalWeight float64) {
+	n := len(t.backends)
+	quota := make([]int, n)
+	assignQuotas(quota, t.backends, totalWeight, t.size)
+
+	next := make([]uint64, n) // next permutation index per backend
+	for i := range t.entries {
+		t.entries[i] = -1
+	}
+	filled := 0
+	for filled < t.size {
+		progress := false
+		for i := 0; i < n && filled < t.size; i++ {
+			if quota[i] == 0 {
+				continue
+			}
+			// Walk backend i's permutation to its next free slot.
+			var slot uint64
+			for {
+				slot = (t.offsets[i] + next[i]*t.skips[i]) % uint64(t.size)
+				next[i]++
+				if t.entries[slot] < 0 {
+					break
+				}
+			}
+			t.entries[slot] = int32(i)
+			t.counts[i]++
+			quota[i]--
+			filled++
+			progress = true
+		}
+		if !progress {
+			// All quotas exhausted (rounding left slots unassigned, which
+			// assignQuotas prevents) — defensive break.
+			break
+		}
+	}
+}
+
+// assignQuotas distributes size slots among backends proportionally to
+// weight using largest remainders, guaranteeing the quotas sum to size and
+// that zero-weight backends get zero slots. The leftover after integer
+// truncation is strictly less than the number of positive-weight backends,
+// so one remainder round always suffices.
+func assignQuotas(quota []int, backends []Backend, totalWeight float64, size int) {
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, 0, len(backends))
+	assigned := 0
+	for i, b := range backends {
+		exact := float64(size) * b.Weight / totalWeight
+		q := int(exact)
+		quota[i] = q
+		assigned += q
+		if b.Weight > 0 {
+			rems = append(rems, rem{i, exact - float64(q)})
+		}
+	}
+	for assigned < size {
+		best := -1
+		for j := range rems {
+			if rems[j].frac >= 0 && (best < 0 || rems[j].frac > rems[best].frac) {
+				best = j
+			}
+		}
+		if best < 0 {
+			// Floating-point drift consumed the remainders; give the rest
+			// to the first positive-weight backend.
+			for i, b := range backends {
+				if b.Weight > 0 {
+					quota[i] += size - assigned
+					break
+				}
+			}
+			return
+		}
+		quota[rems[best].idx]++
+		rems[best].frac = -1
+		assigned++
+	}
+}
+
+// Lookup maps a flow hash to a backend index.
+func (t *Table) Lookup(hash uint64) int {
+	return int(t.entries[hash%uint64(t.size)])
+}
+
+// LookupName maps a flow hash to the backend name.
+func (t *Table) LookupName(hash uint64) string {
+	return t.backends[t.Lookup(hash)].Name
+}
+
+// Size returns the number of slots.
+func (t *Table) Size() int { return t.size }
+
+// NumBackends returns the pool size (including zero-weight backends).
+func (t *Table) NumBackends() int { return len(t.backends) }
+
+// Backend returns the i-th backend.
+func (t *Table) Backend(i int) Backend { return t.backends[i] }
+
+// SlotCount returns how many slots backend i owns.
+func (t *Table) SlotCount(i int) int { return t.counts[i] }
+
+// Share returns the fraction of slots owned by backend i.
+func (t *Table) Share(i int) float64 {
+	return float64(t.counts[i]) / float64(t.size)
+}
+
+// Disruption counts the slots whose backend differs between t and o. Tables
+// must have equal size and backend lists (by name, in order).
+func (t *Table) Disruption(o *Table) (int, error) {
+	if t.size != o.size {
+		return 0, fmt.Errorf("maglev: size mismatch %d vs %d", t.size, o.size)
+	}
+	if len(t.backends) != len(o.backends) {
+		return 0, fmt.Errorf("maglev: backend count mismatch")
+	}
+	for i := range t.backends {
+		if t.backends[i].Name != o.backends[i].Name {
+			return 0, fmt.Errorf("maglev: backend order mismatch at %d", i)
+		}
+	}
+	d := 0
+	for i := range t.entries {
+		if t.entries[i] != o.entries[i] {
+			d++
+		}
+	}
+	return d, nil
+}
+
+// hashString is FNV-1a over the string mixed with a seed, giving the two
+// independent hash functions Maglev needs for offset and skip.
+func hashString(s string, seed uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(seed >> (8 * i))
+	}
+	_, _ = h.Write(b[:])
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := 3; d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,289 @@
+package maglev
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func equalWeight(names ...string) []Backend {
+	bs := make([]Backend, len(names))
+	for i, n := range names {
+		bs[i] = Backend{Name: n, Weight: 1}
+	}
+	return bs
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(100, equalWeight("a")); err == nil {
+		t.Error("non-prime size accepted")
+	}
+	if _, err := New(0, equalWeight("a")); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := New(7, nil); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := New(7, []Backend{{Name: "a", Weight: -1}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := New(7, []Backend{{Name: "a", Weight: math.NaN()}}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if _, err := New(7, []Backend{{Name: "a", Weight: 0}}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := New(7, []Backend{{Name: "a", Weight: 1}, {Name: "a", Weight: 1}}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+}
+
+func TestAllSlotsFilled(t *testing.T) {
+	tbl, err := New(1021, equalWeight("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := 0; i < tbl.NumBackends(); i++ {
+		if tbl.SlotCount(i) == 0 {
+			t.Errorf("backend %d owns no slots", i)
+		}
+		total += tbl.SlotCount(i)
+	}
+	if total != tbl.Size() {
+		t.Errorf("slot counts sum to %d, want %d", total, tbl.Size())
+	}
+	for h := uint64(0); h < uint64(tbl.Size()); h++ {
+		if b := tbl.Lookup(h); b < 0 || b >= 3 {
+			t.Fatalf("lookup(%d) = %d out of range", h, b)
+		}
+	}
+}
+
+func TestEqualWeightsBalance(t *testing.T) {
+	tbl, err := New(DefaultTableSize, equalWeight("s0", "s1", "s2", "s3", "s4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / 5
+	for i := 0; i < 5; i++ {
+		share := tbl.Share(i)
+		if math.Abs(share-want) > 0.01 {
+			t.Errorf("backend %d share %.4f, want %.4f ± 0.01", i, share, want)
+		}
+	}
+}
+
+func TestWeightedShares(t *testing.T) {
+	backends := []Backend{
+		{Name: "big", Weight: 3},
+		{Name: "mid", Weight: 2},
+		{Name: "small", Weight: 1},
+	}
+	tbl, err := New(DefaultTableSize, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []float64{0.5, 1.0 / 3, 1.0 / 6}
+	for i, want := range wants {
+		if got := tbl.Share(i); math.Abs(got-want) > 0.01 {
+			t.Errorf("backend %q share %.4f, want %.4f", backends[i].Name, got, want)
+		}
+	}
+}
+
+func TestZeroWeightBackendGetsNoSlots(t *testing.T) {
+	tbl, err := New(1021, []Backend{
+		{Name: "live", Weight: 1},
+		{Name: "drained", Weight: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.SlotCount(1) != 0 {
+		t.Errorf("drained backend owns %d slots, want 0", tbl.SlotCount(1))
+	}
+	if tbl.SlotCount(0) != tbl.Size() {
+		t.Errorf("live backend owns %d slots, want all %d", tbl.SlotCount(0), tbl.Size())
+	}
+}
+
+func TestLookupDeterministic(t *testing.T) {
+	a, err := New(1021, equalWeight("x", "y", "z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(1021, equalWeight("x", "y", "z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := uint64(0); h < 5000; h++ {
+		if a.Lookup(h) != b.Lookup(h) {
+			t.Fatalf("identical configurations disagree at hash %d", h)
+		}
+	}
+	if d, err := a.Disruption(b); err != nil || d != 0 {
+		t.Errorf("disruption between identical tables = %d (err %v), want 0", d, err)
+	}
+}
+
+func TestMinimalDisruptionOnWeightChange(t *testing.T) {
+	names := []string{"s0", "s1", "s2", "s3"}
+	before, err := New(DefaultTableSize, equalWeight(names...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift 10% of traffic away from s0: the paper's alpha step.
+	after, err := New(DefaultTableSize, []Backend{
+		{Name: "s0", Weight: 0.15}, // 0.25 - 0.10
+		{Name: "s1", Weight: 0.25 + 0.10/3},
+		{Name: "s2", Weight: 0.25 + 0.10/3},
+		{Name: "s3", Weight: 0.25 + 0.10/3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := before.Disruption(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(d) / float64(before.Size())
+	// Ideal movement is exactly the changed share (10%); Maglev's
+	// permutation approach adds slack but must stay well under a full
+	// reshuffle (which would be ~75% for 4 backends).
+	if frac > 0.35 {
+		t.Errorf("weight change of 10%% disrupted %.1f%% of slots", 100*frac)
+	}
+	if frac < 0.05 {
+		t.Errorf("disruption %.1f%% suspiciously low for a 10%% shift", 100*frac)
+	}
+}
+
+func TestDisruptionErrors(t *testing.T) {
+	a, _ := New(1021, equalWeight("a", "b"))
+	b, _ := New(2039, equalWeight("a", "b"))
+	if _, err := a.Disruption(b); err == nil {
+		t.Error("size mismatch not detected")
+	}
+	c, _ := New(1021, equalWeight("a"))
+	if _, err := a.Disruption(c); err == nil {
+		t.Error("backend count mismatch not detected")
+	}
+	d, _ := New(1021, equalWeight("b", "a"))
+	if _, err := a.Disruption(d); err == nil {
+		t.Error("backend order mismatch not detected")
+	}
+}
+
+func TestBackendRemovalDisruption(t *testing.T) {
+	// Draining one of 8 backends (weight -> 0) must move roughly its share
+	// (1/8) of slots, not reshuffle the world.
+	names := make([]string, 8)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+	}
+	before, err := New(DefaultTableSize, equalWeight(names...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := equalWeight(names...)
+	after[3].Weight = 0
+	tbl2, err := New(DefaultTableSize, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := before.Disruption(tbl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(d) / float64(before.Size())
+	if frac > 0.40 {
+		t.Errorf("draining 1/8 backend disrupted %.1f%% of slots", 100*frac)
+	}
+}
+
+func TestLookupName(t *testing.T) {
+	tbl, err := New(13, equalWeight("alpha", "beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := tbl.LookupName(42)
+	if name != "alpha" && name != "beta" {
+		t.Errorf("LookupName = %q", name)
+	}
+	if got := tbl.Backend(0).Name; got != "alpha" {
+		t.Errorf("Backend(0).Name = %q", got)
+	}
+}
+
+// Property: for any positive weights, every slot is owned by a
+// positive-weight backend and shares approximate weights.
+func TestPopulationProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%6 + 2
+		backends := make([]Backend, n)
+		var total float64
+		for i := range backends {
+			w := rng.Float64()*4 + 0.1
+			backends[i] = Backend{Name: fmt.Sprintf("b%d", i), Weight: w}
+			total += w
+		}
+		tbl, err := New(4099, backends)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for i := range backends {
+			share := tbl.Share(i)
+			want := backends[i].Weight / total
+			if math.Abs(share-want) > 0.05 {
+				return false
+			}
+			sum += tbl.SlotCount(i)
+		}
+		return sum == tbl.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := []int{2, 3, 5, 7, 1021, 65537}
+	for _, p := range primes {
+		if !isPrime(p) {
+			t.Errorf("isPrime(%d) = false", p)
+		}
+	}
+	composites := []int{1, 0, -7, 4, 9, 1024, 65535}
+	for _, c := range composites {
+		if isPrime(c) {
+			t.Errorf("isPrime(%d) = true", c)
+		}
+	}
+}
+
+func BenchmarkTableBuild(b *testing.B) {
+	backends := equalWeight("s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(DefaultTableSize, backends); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tbl, err := New(DefaultTableSize, equalWeight("s0", "s1", "s2", "s3"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tbl.Lookup(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}

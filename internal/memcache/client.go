@@ -1,0 +1,284 @@
+package memcache
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"time"
+)
+
+// Client is a minimal memcached text-protocol client over one TCP
+// connection. It is not safe for concurrent use; the workload driver opens
+// one client per goroutine, mirroring memtier's connection model.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// ErrProtocol reports an unexpected server response.
+var ErrProtocol = errors.New("memcache: protocol error")
+
+// Dial connects to a memcached server (or an LB in front of one).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReader(conn),
+		w:    bufio.NewWriter(conn),
+	}
+}
+
+// Close tears down the connection (sending quit is unnecessary).
+func (c *Client) Close() error { return c.conn.Close() }
+
+// SetDeadline bounds the next operation.
+func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
+// Get fetches key. ok is false on a miss.
+func (c *Client) Get(key string) (value []byte, ok bool, err error) {
+	if _, err = fmt.Fprintf(c.w, "get %s\r\n", key); err != nil {
+		return nil, false, err
+	}
+	if err = c.w.Flush(); err != nil {
+		return nil, false, err
+	}
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, false, err
+		}
+		switch {
+		case bytes.Equal(line, []byte("END")):
+			return value, ok, nil
+		case bytes.HasPrefix(line, []byte("VALUE ")):
+			fields := bytes.Fields(line)
+			if len(fields) < 4 {
+				return nil, false, ErrProtocol
+			}
+			n, err := strconv.Atoi(string(fields[3]))
+			if err != nil || n < 0 {
+				return nil, false, ErrProtocol
+			}
+			buf := make([]byte, n+2)
+			if _, err := readFull(c.r, buf); err != nil {
+				return nil, false, err
+			}
+			value, ok = buf[:n:n], true
+		default:
+			return nil, false, fmt.Errorf("%w: %q", ErrProtocol, line)
+		}
+	}
+}
+
+// Set stores value under key.
+func (c *Client) Set(key string, value []byte) error {
+	if _, err := fmt.Fprintf(c.w, "set %s 0 0 %d\r\n", key, len(value)); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(value); err != nil {
+		return err
+	}
+	if _, err := c.w.WriteString("\r\n"); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(line, []byte("STORED")) {
+		return fmt.Errorf("%w: %q", ErrProtocol, line)
+	}
+	return nil
+}
+
+// Delete removes key. ok reports whether it existed.
+func (c *Client) Delete(key string) (ok bool, err error) {
+	if _, err := fmt.Fprintf(c.w, "delete %s\r\n", key); err != nil {
+		return false, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case bytes.Equal(line, []byte("DELETED")):
+		return true, nil
+	case bytes.Equal(line, []byte("NOT_FOUND")):
+		return false, nil
+	}
+	return false, fmt.Errorf("%w: %q", ErrProtocol, line)
+}
+
+// Stats fetches the server's counters as a map.
+func (c *Client) Stats() (map[string]string, error) {
+	if _, err := c.w.WriteString("stats\r\n"); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if bytes.Equal(line, []byte("END")) {
+			return out, nil
+		}
+		fields := bytes.Fields(line)
+		if len(fields) == 3 && bytes.Equal(fields[0], []byte("STAT")) {
+			out[string(fields[1])] = string(fields[2])
+		}
+	}
+}
+
+// InjectDelay issues the admin `delay` command.
+func (c *Client) InjectDelay(d time.Duration) error {
+	if _, err := fmt.Fprintf(c.w, "delay %s\r\n", d); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(line, []byte("OK")) {
+		return fmt.Errorf("%w: %q", ErrProtocol, line)
+	}
+	return nil
+}
+
+// Version checks liveness.
+func (c *Client) Version() (string, error) {
+	if _, err := c.w.WriteString("version\r\n"); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return "", err
+	}
+	if !bytes.HasPrefix(line, []byte("VERSION ")) {
+		return "", fmt.Errorf("%w: %q", ErrProtocol, line)
+	}
+	return string(line[len("VERSION "):]), nil
+}
+
+func (c *Client) readLine() ([]byte, error) {
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(line, "\r\n"), nil
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// --- Pipelined operation -----------------------------------------------
+//
+// Send* queues a request without waiting; Recv* reads one response in FIFO
+// order. Callers interleave them to keep several requests outstanding on
+// one connection (memtier's --pipeline). Flush must be called (or a Recv*
+// issued, which flushes implicitly) after queueing.
+
+// SendGet queues a get request.
+func (c *Client) SendGet(key string) error {
+	_, err := fmt.Fprintf(c.w, "get %s\r\n", key)
+	return err
+}
+
+// SendSet queues a set request.
+func (c *Client) SendSet(key string, value []byte) error {
+	if _, err := fmt.Fprintf(c.w, "set %s 0 0 %d\r\n", key, len(value)); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(value); err != nil {
+		return err
+	}
+	_, err := c.w.WriteString("\r\n")
+	return err
+}
+
+// Flush pushes queued requests to the wire.
+func (c *Client) Flush() error { return c.w.Flush() }
+
+// RecvGet reads one get response (flushing queued writes first).
+func (c *Client) RecvGet() (value []byte, ok bool, err error) {
+	if err := c.w.Flush(); err != nil {
+		return nil, false, err
+	}
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, false, err
+		}
+		switch {
+		case bytes.Equal(line, []byte("END")):
+			return value, ok, nil
+		case bytes.HasPrefix(line, []byte("VALUE ")):
+			fields := bytes.Fields(line)
+			if len(fields) < 4 {
+				return nil, false, ErrProtocol
+			}
+			n, err := strconv.Atoi(string(fields[3]))
+			if err != nil || n < 0 {
+				return nil, false, ErrProtocol
+			}
+			buf := make([]byte, n+2)
+			if _, err := readFull(c.r, buf); err != nil {
+				return nil, false, err
+			}
+			value, ok = buf[:n:n], true
+		default:
+			return nil, false, fmt.Errorf("%w: %q", ErrProtocol, line)
+		}
+	}
+}
+
+// RecvSet reads one set response (flushing queued writes first).
+func (c *Client) RecvSet() error {
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(line, []byte("STORED")) {
+		return fmt.Errorf("%w: %q", ErrProtocol, line)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package memcache
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// FuzzServerProtocol throws arbitrary bytes at a live server connection:
+// the server must neither panic nor hang, and must survive to serve a
+// well-formed request on a fresh connection afterwards.
+func FuzzServerProtocol(f *testing.F) {
+	srv := NewServer()
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		f.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+	f.Cleanup(func() { _ = srv.Close() })
+	addr := srv.Addr().String()
+
+	f.Add([]byte("get foo\r\n"))
+	f.Add([]byte("set k 0 0 5\r\nhello\r\n"))
+	f.Add([]byte("set k 0 0 99999999999999999999\r\n"))
+	f.Add([]byte("delay -5s\r\n"))
+	f.Add([]byte("\r\n\r\n\r\n"))
+	f.Add([]byte{0x00, 0xff, 0x0a})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			t.Skip("dial failed (resource pressure)")
+		}
+		_ = conn.SetDeadline(time.Now().Add(time.Second))
+		_, _ = conn.Write(data)
+		// Drain whatever the server answers, bounded by the deadline.
+		buf := make([]byte, 4096)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				break
+			}
+		}
+		_ = conn.Close()
+
+		// A fuzz input may legitimately have set a large delay via the
+		// admin command; clear it so the health check below is about
+		// liveness, not injected slowness.
+		srv.SetDelay(0)
+
+		// The server must still work.
+		c, err := Dial(addr, time.Second)
+		if err != nil {
+			t.Fatalf("server unreachable after fuzz input %q: %v", data, err)
+		}
+		_ = c.SetDeadline(time.Now().Add(time.Second))
+		if _, err := c.Version(); err != nil {
+			t.Fatalf("server broken after fuzz input %q: %v", data, err)
+		}
+		_ = c.Close()
+	})
+}

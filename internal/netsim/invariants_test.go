@@ -1,0 +1,106 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: link counters are conserved — every sent packet is eventually
+// delivered or dropped, and queue occupancy returns to zero.
+func TestLinkConservationProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, limitRaw uint8) bool {
+		n := int(nRaw)%64 + 1
+		limit := int(limitRaw) % 8 // 0 = unlimited
+		sim := NewSim(seed)
+		delivered := 0
+		l := NewLink(sim, "x", 50*time.Microsecond, 1e6,
+			HandlerFunc(func(*Packet) { delivered++ }))
+		l.QueueLimit = limit
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			at := time.Duration(rng.Intn(1000)) * time.Microsecond
+			sim.Schedule(at, func() {
+				l.Send(&Packet{Size: 100 + rng.Intn(1400)})
+			})
+		}
+		sim.Run()
+		st := l.Stats()
+		if st.Sent+st.Dropped != uint64(n) {
+			return false
+		}
+		if st.Delivered != st.Sent {
+			return false
+		}
+		return delivered == int(st.Delivered)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with a rate-limited link, inter-delivery spacing never violates
+// the serialization time of the delivered packet.
+func TestLinkSerializationFloorProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%32 + 2
+		sim := NewSim(seed)
+		const rate = 1e6 // bytes/s
+		var times []time.Duration
+		var sizes []int
+		l := NewLink(sim, "x", 200*time.Microsecond, rate,
+			HandlerFunc(func(p *Packet) {
+				times = append(times, sim.Now())
+				sizes = append(sizes, p.Size)
+			}))
+		rng := rand.New(rand.NewSource(seed))
+		sim.Schedule(0, func() {
+			for i := 0; i < n; i++ {
+				l.Send(&Packet{Size: 100 + rng.Intn(900)})
+			}
+		})
+		sim.Run()
+		for i := 1; i < len(times); i++ {
+			ser := time.Duration(float64(sizes[i]) / rate * float64(time.Second))
+			if times[i]-times[i-1] < ser-time.Nanosecond {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: virtual time never goes backwards across any event sequence.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		sim := NewSim(seed)
+		rng := rand.New(rand.NewSource(seed))
+		last := time.Duration(-1)
+		ok := true
+		for i := 0; i < int(nRaw)%100+1; i++ {
+			sim.Schedule(time.Duration(rng.Intn(5000))*time.Microsecond, func() {
+				if sim.Now() < last {
+					ok = false
+				}
+				last = sim.Now()
+				if rng.Intn(2) == 0 {
+					sim.After(time.Duration(rng.Intn(100))*time.Microsecond, func() {
+						if sim.Now() < last {
+							ok = false
+						}
+						last = sim.Now()
+					})
+				}
+			})
+		}
+		sim.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

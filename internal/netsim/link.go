@@ -1,0 +1,136 @@
+package netsim
+
+import (
+	"time"
+)
+
+// LinkStats are cumulative counters for one link.
+type LinkStats struct {
+	Sent      uint64 // packets accepted for transmission
+	Delivered uint64 // packets handed to the destination
+	Dropped   uint64 // packets dropped at the queue
+	Bytes     uint64 // bytes delivered
+}
+
+// Link is a unidirectional point-to-point link: a FIFO transmission queue
+// drained at Rate bytes/second, followed by a fixed propagation delay and
+// any injected extra delay. A Rate of zero models an infinitely fast link
+// (propagation delay only).
+type Link struct {
+	sim  *Sim
+	name string
+
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Rate is the line rate in bytes per second (0 = infinite).
+	Rate float64
+	// QueueLimit bounds packets waiting for transmission (0 = unlimited).
+	// Packets arriving at a full queue are dropped (tail drop).
+	QueueLimit int
+
+	dst       Handler
+	busyUntil time.Duration // when the transmitter frees up
+	queued    int           // packets waiting to start transmission
+	stats     LinkStats
+
+	// extraDelay, when set, adds delay to each packet's arrival; this is
+	// the injection point used to reproduce the paper's "1 ms delay
+	// inserted on the LB→server path at t = 100 s".
+	extraDelay func(now time.Duration) time.Duration
+
+	// jitter, when set, adds a per-packet random delay component.
+	jitter func() time.Duration
+}
+
+// NewLink creates a link delivering to dst.
+func NewLink(sim *Sim, name string, delay time.Duration, rate float64, dst Handler) *Link {
+	if sim == nil {
+		panic("netsim: link requires a simulator")
+	}
+	if dst == nil {
+		panic("netsim: link requires a destination handler")
+	}
+	if delay < 0 {
+		panic("netsim: negative link delay")
+	}
+	if rate < 0 {
+		panic("netsim: negative link rate")
+	}
+	return &Link{sim: sim, name: name, Delay: delay, Rate: rate, dst: dst}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Stats returns a copy of the link's counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// SetExtraDelay installs a time-varying additional delay (nil clears it).
+func (l *Link) SetExtraDelay(fn func(now time.Duration) time.Duration) {
+	l.extraDelay = fn
+}
+
+// SetJitter installs a per-packet random delay source (nil clears it).
+func (l *Link) SetJitter(fn func() time.Duration) {
+	l.jitter = fn
+}
+
+// Send enqueues p for transmission at the current virtual time. Delivery is
+// FIFO while the injected extra delay and jitter are constant; a decreasing
+// extra delay can reorder packets across the change, just as real
+// route-change reordering would.
+func (l *Link) Send(p *Packet) {
+	now := l.sim.Now()
+	if l.QueueLimit > 0 && l.queued >= l.QueueLimit {
+		l.stats.Dropped++
+		return
+	}
+	l.stats.Sent++
+	l.queued++
+
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	var tx time.Duration
+	if l.Rate > 0 {
+		tx = time.Duration(float64(p.Size) / l.Rate * float64(time.Second))
+	}
+	l.busyUntil = start + tx
+
+	// The packet leaves the queue when its transmission begins.
+	l.sim.Schedule(start, func() { l.queued-- })
+
+	arrival := l.busyUntil + l.Delay
+	if l.extraDelay != nil {
+		arrival += l.extraDelay(now)
+	}
+	if l.jitter != nil {
+		j := l.jitter()
+		if j > 0 {
+			arrival += j
+		}
+	}
+	l.sim.Schedule(arrival, func() {
+		l.stats.Delivered++
+		l.stats.Bytes += uint64(p.Size)
+		l.dst.HandlePacket(p)
+	})
+}
+
+// Pipe is a convenience bundle of two opposite links between two handlers,
+// modeling a full-duplex path.
+type Pipe struct {
+	// AtoB carries traffic from the first endpoint to the second.
+	AtoB *Link
+	// BtoA carries traffic from the second endpoint to the first.
+	BtoA *Link
+}
+
+// NewPipe creates symmetric links (same delay and rate both ways).
+func NewPipe(sim *Sim, name string, delay time.Duration, rate float64, a, b Handler) *Pipe {
+	return &Pipe{
+		AtoB: NewLink(sim, name+":a->b", delay, rate, b),
+		BtoA: NewLink(sim, name+":b->a", delay, rate, a),
+	}
+}

@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"time"
+
+	"inbandlb/internal/packet"
+)
+
+// Kind classifies simulated packets. The load balancer's estimator never
+// reads Kind — it sees only arrival timestamps, matching the paper's
+// assumption that LBs have no application or protocol knowledge — but
+// endpoints and instrumentation need it.
+type Kind uint8
+
+const (
+	// KindData is a transport data segment (backlogged-flow workload).
+	KindData Kind = iota
+	// KindAck is a transport acknowledgment.
+	KindAck
+	// KindRequest is an application request (request-response workload).
+	KindRequest
+	// KindResponse is an application response.
+	KindResponse
+	// KindOpen marks connection establishment (SYN-equivalent).
+	KindOpen
+	// KindClose marks connection teardown (FIN-equivalent).
+	KindClose
+)
+
+// String names the kind for traces.
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	case KindRequest:
+		return "request"
+	case KindResponse:
+		return "response"
+	case KindOpen:
+		return "open"
+	case KindClose:
+		return "close"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is the application operation carried by a request, mirroring the
+// paper's 50-50 GET/SET memcached mix.
+type Op uint8
+
+const (
+	// OpNone marks non-application packets.
+	OpNone Op = iota
+	// OpGet is a read.
+	OpGet
+	// OpSet is a write.
+	OpSet
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpSet:
+		return "set"
+	default:
+		return "none"
+	}
+}
+
+// Packet is the unit the simulator moves around. Packets are allocated per
+// send; handlers must not retain them past the callback unless they own them.
+type Packet struct {
+	// Flow identifies the connection (client-side 5-tuple for both
+	// directions of application traffic; see FlowKey.Reverse for ACKs).
+	Flow packet.FlowKey
+	// Kind classifies the packet.
+	Kind Kind
+	// Op is the application operation for request/response packets.
+	Op Op
+	// Seq is a per-flow sequence number (segment index or request id).
+	Seq uint64
+	// Key is the application-level routing identifier (e.g. the hash of a
+	// memcached key or an HTTP object path) for layer-7 load balancing.
+	// Zero means "none"; layer-4 components ignore it.
+	Key uint64
+	// Size is the wire size in bytes, used for serialization delay.
+	Size int
+	// SentAt is stamped by the origin endpoint when the packet first
+	// enters the network; instrumentation uses it for ground truth.
+	SentAt time.Duration
+	// ReqSentAt carries, on a response, the SentAt of the request it
+	// answers, letting the client compute true response latency.
+	ReqSentAt time.Duration
+}
+
+// Handler consumes packets delivered by links.
+type Handler interface {
+	HandlePacket(p *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(*Packet)
+
+// HandlePacket calls f(p).
+func (f HandlerFunc) HandlePacket(p *Packet) { f(p) }

@@ -1,0 +1,139 @@
+// Package netsim is a deterministic discrete-event network simulator: an
+// event loop with a virtual clock, plus link models with propagation delay,
+// bandwidth serialization, bounded FIFO queues, and delay-injection hooks.
+//
+// It substitutes for the paper's CloudLab testbed. Determinism comes from a
+// seeded random source and a stable tie-break on simultaneous events, so
+// every experiment is exactly replayable from its seed.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Sim is the event loop. All simulation activity happens in callbacks run by
+// Run/RunUntil on a single goroutine; no locking is needed inside handlers.
+type Sim struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// NewSim creates a simulator whose random source is seeded with seed.
+func NewSim(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Schedule runs fn at virtual time at. Scheduling in the past panics: it is
+// always a model bug, and silently reordering would break causality.
+func (s *Sim) Schedule(at time.Duration, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("netsim: scheduling event at %v before now %v", at, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: at, seq: s.seq, fn: fn})
+}
+
+// After runs fn d from now. Negative d is clamped to zero.
+func (s *Sim) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.Schedule(s.now+d, fn)
+}
+
+// Every invokes fn at start and then every interval until fn returns false
+// or the simulation stops.
+func (s *Sim) Every(start, interval time.Duration, fn func() bool) {
+	if interval <= 0 {
+		panic("netsim: Every interval must be positive")
+	}
+	var tick func()
+	at := start
+	tick = func() {
+		if s.stopped {
+			return
+		}
+		if !fn() {
+			return
+		}
+		at += interval
+		s.Schedule(at, tick)
+	}
+	s.Schedule(start, tick)
+}
+
+// Run processes events until the queue drains or Stop is called. It returns
+// the number of events processed.
+func (s *Sim) Run() int {
+	return s.run(-1)
+}
+
+// RunUntil processes events with timestamps <= t (or until Stop), leaving
+// the clock at t if the queue drains earlier. It returns the number of
+// events processed.
+func (s *Sim) RunUntil(t time.Duration) int {
+	n := s.run(t)
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+	return n
+}
+
+func (s *Sim) run(until time.Duration) int {
+	n := 0
+	for len(s.events) > 0 && !s.stopped {
+		if until >= 0 && s.events[0].at > until {
+			break
+		}
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+		n++
+	}
+	return n
+}
+
+// Stop halts the event loop after the current callback returns. Pending
+// events remain queued; a subsequent Run resumes unless Stop is sticky —
+// call Resume to clear it.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Sim) Stopped() bool { return s.stopped }
+
+// Resume clears a Stop so Run/RunUntil can continue.
+func (s *Sim) Resume() { s.stopped = false }
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.events) }

@@ -1,0 +1,170 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// FlowKey identifies a transport connection by its 5-tuple. It is a
+// fixed-size comparable value so it can serve directly as a map key in the
+// connection tracker and as input to the Maglev hash.
+type FlowKey struct {
+	SrcIP   [4]byte
+	DstIP   [4]byte
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// NewFlowKey builds a FlowKey from addresses and ports.
+func NewFlowKey(src, dst netip.Addr, srcPort, dstPort uint16, proto uint8) FlowKey {
+	return FlowKey{
+		SrcIP:   src.As4(),
+		DstIP:   dst.As4(),
+		SrcPort: srcPort,
+		DstPort: dstPort,
+		Proto:   proto,
+	}
+}
+
+// Reverse returns the key of the opposite direction of the same connection.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{
+		SrcIP:   k.DstIP,
+		DstIP:   k.SrcIP,
+		SrcPort: k.DstPort,
+		DstPort: k.SrcPort,
+		Proto:   k.Proto,
+	}
+}
+
+// String renders "proto src:port->dst:port".
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%d %s:%d->%s:%d", k.Proto,
+		netip.AddrFrom4(k.SrcIP), k.SrcPort, netip.AddrFrom4(k.DstIP), k.DstPort)
+}
+
+// Hash returns a 64-bit hash of the key using the FNV-1a construction,
+// inlined to keep the per-packet path allocation-free.
+func (k FlowKey) Hash() uint64 {
+	var buf [13]byte
+	copy(buf[0:4], k.SrcIP[:])
+	copy(buf[4:8], k.DstIP[:])
+	binary.BigEndian.PutUint16(buf[8:10], k.SrcPort)
+	binary.BigEndian.PutUint16(buf[10:12], k.DstPort)
+	buf[12] = k.Proto
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// SymmetricHash returns a direction-independent hash: both directions of a
+// connection map to the same value (useful for splitting packet streams
+// across workers while keeping connections together).
+func (k FlowKey) SymmetricHash() uint64 {
+	r := k.Reverse()
+	a, b := k.Hash(), r.Hash()
+	if a < b {
+		return a*31 + b
+	}
+	return b*31 + a
+}
+
+// DecodeFlowKey parses an Ethernet/IPv4/TCP-or-UDP frame and extracts its
+// FlowKey, returning the transport payload as well. It is the fast path the
+// dataplane uses per packet.
+func DecodeFlowKey(frame []byte) (FlowKey, []byte, error) {
+	var eth Ethernet
+	rest, err := eth.DecodeFromBytes(frame)
+	if err != nil {
+		return FlowKey{}, nil, err
+	}
+	if eth.EtherType != EtherTypeIPv4 {
+		return FlowKey{}, nil, fmt.Errorf("%w: ethertype %#04x", ErrBadVersion, eth.EtherType)
+	}
+	var ip IPv4
+	rest, err = ip.DecodeFromBytes(rest)
+	if err != nil {
+		return FlowKey{}, nil, err
+	}
+	key := FlowKey{SrcIP: ip.Src, DstIP: ip.Dst, Proto: ip.Protocol}
+	switch ip.Protocol {
+	case ProtoTCP:
+		var tcp TCP
+		payload, err := tcp.DecodeFromBytes(rest)
+		if err != nil {
+			return FlowKey{}, nil, err
+		}
+		key.SrcPort, key.DstPort = tcp.SrcPort, tcp.DstPort
+		return key, payload, nil
+	case ProtoUDP:
+		var udp UDP
+		payload, err := udp.DecodeFromBytes(rest)
+		if err != nil {
+			return FlowKey{}, nil, err
+		}
+		key.SrcPort, key.DstPort = udp.SrcPort, udp.DstPort
+		return key, payload, nil
+	default:
+		return FlowKey{}, nil, fmt.Errorf("packet: unsupported protocol %d", ip.Protocol)
+	}
+}
+
+// BuildTCPFrame assembles a complete Ethernet/IPv4/TCP frame with valid
+// checksums. It is used by the pcap trace writer and by tests that need
+// realistic wire bytes.
+func BuildTCPFrame(srcMAC, dstMAC MAC, key FlowKey, seq, ack uint32, flags uint8, payload []byte) ([]byte, error) {
+	if key.Proto != ProtoTCP {
+		return nil, fmt.Errorf("packet: BuildTCPFrame requires proto %d, got %d", ProtoTCP, key.Proto)
+	}
+	total := EthernetHeaderLen + IPv4MinHeaderLen + TCPMinHeaderLen + len(payload)
+	frame := make([]byte, total)
+
+	eth := Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4}
+	n, err := eth.SerializeTo(frame)
+	if err != nil {
+		return nil, err
+	}
+
+	ip := IPv4{
+		IHL:      5,
+		Length:   uint16(IPv4MinHeaderLen + TCPMinHeaderLen + len(payload)),
+		TTL:      64,
+		Protocol: ProtoTCP,
+		Src:      key.SrcIP,
+		Dst:      key.DstIP,
+	}
+	ipStart := n
+	m, err := ip.SerializeTo(frame[ipStart:])
+	if err != nil {
+		return nil, err
+	}
+
+	tcp := TCP{
+		SrcPort:    key.SrcPort,
+		DstPort:    key.DstPort,
+		Seq:        seq,
+		Ack:        ack,
+		DataOffset: 5,
+		Flags:      flags,
+		Window:     65535,
+	}
+	tcpStart := ipStart + m
+	if _, err := tcp.SerializeTo(frame[tcpStart:]); err != nil {
+		return nil, err
+	}
+	copy(frame[tcpStart+TCPMinHeaderLen:], payload)
+
+	hdr := frame[tcpStart : tcpStart+TCPMinHeaderLen]
+	tcp.Checksum = ChecksumTCP(key.SrcIP, key.DstIP, hdr, payload)
+	binary.BigEndian.PutUint16(hdr[16:18], tcp.Checksum)
+	return frame, nil
+}

@@ -1,0 +1,190 @@
+package packet
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testKey() FlowKey {
+	return NewFlowKey(
+		netip.MustParseAddr("192.168.1.10"),
+		netip.MustParseAddr("10.0.0.5"),
+		50123, 11211, ProtoTCP,
+	)
+}
+
+func TestFlowKeyReverse(t *testing.T) {
+	k := testKey()
+	r := k.Reverse()
+	if r.SrcIP != k.DstIP || r.DstIP != k.SrcIP || r.SrcPort != k.DstPort || r.DstPort != k.SrcPort {
+		t.Errorf("reverse wrong: %+v", r)
+	}
+	if r.Reverse() != k {
+		t.Error("double reverse is not identity")
+	}
+}
+
+func TestFlowKeyString(t *testing.T) {
+	s := testKey().String()
+	if !strings.Contains(s, "192.168.1.10:50123") || !strings.Contains(s, "10.0.0.5:11211") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestFlowKeyHashDeterministic(t *testing.T) {
+	k := testKey()
+	if k.Hash() != k.Hash() {
+		t.Error("hash not deterministic")
+	}
+	k2 := k
+	k2.SrcPort++
+	if k.Hash() == k2.Hash() {
+		t.Error("distinct keys hash equal (unlikely collision — investigate)")
+	}
+}
+
+// Property: SymmetricHash is direction independent.
+func TestSymmetricHashProperty(t *testing.T) {
+	f := func(src, dst [4]byte, sp, dp uint16) bool {
+		k := FlowKey{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: ProtoTCP}
+		return k.SymmetricHash() == k.Reverse().SymmetricHash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashDistribution(t *testing.T) {
+	// Coarse sanity check: hashing sequential ports should spread over
+	// buckets rather than cluster.
+	const buckets = 16
+	var counts [buckets]int
+	k := testKey()
+	const n = 4096
+	for i := 0; i < n; i++ {
+		k.SrcPort = uint16(i)
+		counts[k.Hash()%buckets]++
+	}
+	for b, c := range counts {
+		if c < n/buckets/2 || c > n/buckets*2 {
+			t.Errorf("bucket %d count %d far from expected %d", b, c, n/buckets)
+		}
+	}
+}
+
+func TestBuildAndDecodeTCPFrame(t *testing.T) {
+	key := testKey()
+	payload := []byte("get foo\r\n")
+	frame, err := BuildTCPFrame(
+		MAC{2, 0, 0, 0, 0, 1}, MAC{2, 0, 0, 0, 0, 2},
+		key, 1000, 2000, FlagACK|FlagPSH, payload,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := EthernetHeaderLen + IPv4MinHeaderLen + TCPMinHeaderLen + len(payload)
+	if len(frame) != wantLen {
+		t.Fatalf("frame len = %d, want %d", len(frame), wantLen)
+	}
+	gotKey, gotPayload, err := DecodeFlowKey(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotKey != key {
+		t.Errorf("decoded key = %v, want %v", gotKey, key)
+	}
+	if string(gotPayload) != string(payload) {
+		t.Errorf("payload = %q, want %q", gotPayload, payload)
+	}
+
+	// Validate embedded checksums.
+	var ip IPv4
+	ipBytes := frame[EthernetHeaderLen:]
+	if _, err := ip.DecodeFromBytes(ipBytes); err != nil {
+		t.Fatal(err)
+	}
+	if !ip.VerifyChecksum(ipBytes) {
+		t.Error("IP checksum invalid")
+	}
+	tcpBytes := ipBytes[IPv4MinHeaderLen:]
+	var tcp TCP
+	if _, err := tcp.DecodeFromBytes(tcpBytes); err != nil {
+		t.Fatal(err)
+	}
+	// Recomputing with the checksum field zeroed must reproduce it.
+	hdr := append([]byte(nil), tcpBytes[:TCPMinHeaderLen]...)
+	hdr[16], hdr[17] = 0, 0
+	if got := ChecksumTCP(key.SrcIP, key.DstIP, hdr, payload); got != tcp.Checksum {
+		t.Errorf("TCP checksum = %#04x, recomputed %#04x", tcp.Checksum, got)
+	}
+}
+
+func TestBuildTCPFrameRejectsNonTCP(t *testing.T) {
+	k := testKey()
+	k.Proto = ProtoUDP
+	if _, err := BuildTCPFrame(MAC{}, MAC{}, k, 0, 0, 0, nil); err == nil {
+		t.Error("expected error for non-TCP key")
+	}
+}
+
+func TestDecodeFlowKeyErrors(t *testing.T) {
+	if _, _, err := DecodeFlowKey(make([]byte, 8)); err == nil {
+		t.Error("short frame should fail")
+	}
+	// Valid ethernet but ARP ethertype.
+	e := Ethernet{EtherType: 0x0806}
+	buf := make([]byte, 64)
+	if _, err := e.SerializeTo(buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeFlowKey(buf); err == nil {
+		t.Error("non-IPv4 ethertype should fail")
+	}
+}
+
+func TestDecodeFlowKeyUDP(t *testing.T) {
+	// Hand-assemble an Ethernet/IPv4/UDP frame.
+	buf := make([]byte, EthernetHeaderLen+IPv4MinHeaderLen+UDPHeaderLen+4)
+	eth := Ethernet{EtherType: EtherTypeIPv4}
+	n, _ := eth.SerializeTo(buf)
+	ip := IPv4{IHL: 5, Length: uint16(len(buf) - n), TTL: 64, Protocol: ProtoUDP,
+		Src: [4]byte{1, 1, 1, 1}, Dst: [4]byte{2, 2, 2, 2}}
+	m, _ := ip.SerializeTo(buf[n:])
+	udp := UDP{SrcPort: 5000, DstPort: 6000, Length: UDPHeaderLen + 4}
+	_, _ = udp.SerializeTo(buf[n+m:])
+	key, payload, err := DecodeFlowKey(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.Proto != ProtoUDP || key.SrcPort != 5000 || key.DstPort != 6000 {
+		t.Errorf("key = %+v", key)
+	}
+	if len(payload) != 4 {
+		t.Errorf("payload len = %d, want 4", len(payload))
+	}
+}
+
+func BenchmarkDecodeFlowKey(b *testing.B) {
+	frame, err := BuildTCPFrame(MAC{}, MAC{}, testKey(), 1, 1, FlagACK, []byte("payload"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeFlowKey(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlowKeyHash(b *testing.B) {
+	k := testKey()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.SrcPort = uint16(i)
+		_ = k.Hash()
+	}
+}

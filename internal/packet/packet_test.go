@@ -1,0 +1,265 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEthernetRoundTrip(t *testing.T) {
+	in := Ethernet{
+		Dst:       MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01},
+		Src:       MAC{0x02, 0x42, 0xac, 0x11, 0x00, 0x02},
+		EtherType: EtherTypeIPv4,
+	}
+	buf := make([]byte, EthernetHeaderLen+3)
+	n, err := in.SerializeTo(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != EthernetHeaderLen {
+		t.Fatalf("serialized %d bytes, want %d", n, EthernetHeaderLen)
+	}
+	var out Ethernet
+	rest, err := out.DecodeFromBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip mismatch: got %+v, want %+v", out, in)
+	}
+	if len(rest) != 3 {
+		t.Errorf("payload len = %d, want 3", len(rest))
+	}
+}
+
+func TestEthernetTruncated(t *testing.T) {
+	var e Ethernet
+	if _, err := e.DecodeFromBytes(make([]byte, 13)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("got %v, want ErrTruncated", err)
+	}
+	if _, err := e.SerializeTo(make([]byte, 5)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("serialize: got %v, want ErrTruncated", err)
+	}
+}
+
+func TestIPv4RoundTripAndChecksum(t *testing.T) {
+	in := IPv4{
+		IHL:      5,
+		TOS:      0x10,
+		Length:   60,
+		ID:       0xbeef,
+		Flags:    2, // DF
+		FragOff:  0,
+		TTL:      64,
+		Protocol: ProtoTCP,
+		Src:      [4]byte{10, 0, 0, 1},
+		Dst:      [4]byte{10, 0, 0, 2},
+	}
+	buf := make([]byte, 60)
+	n, err := in.SerializeTo(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Fatalf("header len = %d, want 20", n)
+	}
+	if Checksum(buf[:20]) != 0 {
+		t.Error("serialized header checksum does not verify")
+	}
+	var out IPv4
+	payload, err := out.DecodeFromBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.VerifyChecksum(buf) {
+		t.Error("VerifyChecksum = false on valid header")
+	}
+	in.Checksum = out.Checksum // filled during serialization
+	if out != in {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", out, in)
+	}
+	if len(payload) != 40 {
+		t.Errorf("payload len = %d, want 40 (Length-bounded)", len(payload))
+	}
+	if out.SrcAddr().String() != "10.0.0.1" || out.DstAddr().String() != "10.0.0.2" {
+		t.Errorf("addr accessors: %v %v", out.SrcAddr(), out.DstAddr())
+	}
+}
+
+func TestIPv4Malformed(t *testing.T) {
+	var ip IPv4
+	if _, err := ip.DecodeFromBytes(make([]byte, 10)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short buffer: %v, want ErrTruncated", err)
+	}
+	bad := make([]byte, 20)
+	bad[0] = 6 << 4 // version 6
+	if _, err := ip.DecodeFromBytes(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: %v, want ErrBadVersion", err)
+	}
+	bad[0] = 4<<4 | 3 // IHL=3 (<5)
+	if _, err := ip.DecodeFromBytes(bad); !errors.Is(err, ErrBadHeaderLen) {
+		t.Errorf("bad IHL: %v, want ErrBadHeaderLen", err)
+	}
+	bad[0] = 4<<4 | 15 // IHL=15 but only 20 bytes present
+	if _, err := ip.DecodeFromBytes(bad); !errors.Is(err, ErrTruncated) {
+		t.Errorf("IHL beyond buffer: %v, want ErrTruncated", err)
+	}
+}
+
+func TestIPv4CorruptedChecksumDetected(t *testing.T) {
+	ip := IPv4{IHL: 5, Length: 20, TTL: 1, Protocol: ProtoUDP, Src: [4]byte{1, 2, 3, 4}, Dst: [4]byte{5, 6, 7, 8}}
+	buf := make([]byte, 20)
+	if _, err := ip.SerializeTo(buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[8] ^= 0xff // flip TTL
+	if ip.VerifyChecksum(buf) {
+		t.Error("corrupted header passed checksum verification")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	in := TCP{
+		SrcPort:    443,
+		DstPort:    51234,
+		Seq:        0x01020304,
+		Ack:        0x0a0b0c0d,
+		DataOffset: 5,
+		Flags:      FlagACK | FlagPSH,
+		Window:     29200,
+		Checksum:   0x1234,
+		Urgent:     0,
+	}
+	buf := make([]byte, 25)
+	if _, err := in.SerializeTo(buf); err != nil {
+		t.Fatal(err)
+	}
+	var out TCP
+	rest, err := out.DecodeFromBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", out, in)
+	}
+	if len(rest) != 5 {
+		t.Errorf("payload len = %d, want 5", len(rest))
+	}
+	if !out.HasFlag(FlagACK) || out.HasFlag(FlagSYN) {
+		t.Error("flag accessors wrong")
+	}
+}
+
+func TestTCPBadOffsets(t *testing.T) {
+	var tcp TCP
+	b := make([]byte, 20)
+	b[12] = 4 << 4 // data offset 4 < 5
+	if _, err := tcp.DecodeFromBytes(b); !errors.Is(err, ErrBadHeaderLen) {
+		t.Errorf("offset 4: %v, want ErrBadHeaderLen", err)
+	}
+	b[12] = 15 << 4 // 60-byte header, 20-byte buffer
+	if _, err := tcp.DecodeFromBytes(b); !errors.Is(err, ErrTruncated) {
+		t.Errorf("offset beyond buffer: %v, want ErrTruncated", err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	in := UDP{SrcPort: 53, DstPort: 4096, Length: 12, Checksum: 0xaaaa}
+	buf := make([]byte, 12)
+	if _, err := in.SerializeTo(buf); err != nil {
+		t.Fatal(err)
+	}
+	var out UDP
+	rest, err := out.DecodeFromBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip mismatch: got %+v, want %+v", out, in)
+	}
+	if len(rest) != 4 {
+		t.Errorf("payload = %d bytes, want 4", len(rest))
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: the checksum of this sequence is 0xddf2 before
+	// complement; the complemented checksum stored in the header is 0x220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != ^uint16(0xddf2) {
+		t.Errorf("Checksum = %#04x, want %#04x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	even := Checksum([]byte{0xab, 0xcd, 0xef, 0x00})
+	odd := Checksum([]byte{0xab, 0xcd, 0xef})
+	if even != odd {
+		t.Errorf("odd trailing zero byte changes sum: %#04x vs %#04x", even, odd)
+	}
+}
+
+// Property: IPv4 serialize→decode is the identity on valid headers.
+func TestIPv4RoundTripProperty(t *testing.T) {
+	f := func(tos, ttl uint8, id uint16, src, dst [4]byte, extra uint8) bool {
+		in := IPv4{
+			IHL:      5,
+			TOS:      tos,
+			Length:   uint16(20 + int(extra)),
+			ID:       id,
+			TTL:      ttl,
+			Protocol: ProtoTCP,
+			Src:      src,
+			Dst:      dst,
+		}
+		buf := make([]byte, 20+int(extra))
+		if _, err := in.SerializeTo(buf); err != nil {
+			return false
+		}
+		var out IPv4
+		if _, err := out.DecodeFromBytes(buf); err != nil {
+			return false
+		}
+		in.Checksum = out.Checksum
+		return out == in && out.VerifyChecksum(buf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TCP serialize→decode is the identity.
+func TestTCPRoundTripProperty(t *testing.T) {
+	f := func(sp, dp uint16, seq, ack uint32, flags uint8, win uint16) bool {
+		in := TCP{SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack, DataOffset: 5, Flags: flags, Window: win}
+		buf := make([]byte, 20)
+		if _, err := in.SerializeTo(buf); err != nil {
+			return false
+		}
+		var out TCP
+		if _, err := out.DecodeFromBytes(buf); err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrorsPreserveBuffer(t *testing.T) {
+	// Decoding must never write into the input buffer.
+	frame := bytes.Repeat([]byte{0x5a}, 64)
+	orig := append([]byte(nil), frame...)
+	var e Ethernet
+	_, _ = e.DecodeFromBytes(frame)
+	var ip IPv4
+	_, _ = ip.DecodeFromBytes(frame)
+	var tc TCP
+	_, _ = tc.DecodeFromBytes(frame)
+	if !bytes.Equal(frame, orig) {
+		t.Error("decode mutated input buffer")
+	}
+}

@@ -1,0 +1,62 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"inbandlb/internal/core"
+	"inbandlb/internal/experiments"
+	"inbandlb/internal/trace"
+)
+
+// TestReplayRecoversFig2aFromCapture closes the tooling loop: run the
+// Fig. 2(a) experiment with a trace recorder attached, export the tap's
+// packets as pcap, replay the capture offline, and require the offline
+// estimator to recover the same latency structure the live experiment saw.
+func TestReplayRecoversFig2aFromCapture(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	res := experiments.Fig2a(experiments.Fig2Config{
+		Seed: 11, Duration: 2 * time.Second, StepAt: time.Second, Trace: rec,
+	})
+	if rec.Len() == 0 {
+		t.Fatal("experiment recorded no packets")
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Replay(&buf, core.EnsembleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Flows) != 1 {
+		t.Fatalf("flows = %d, want 1", len(out.Flows))
+	}
+	f := out.Flows[0]
+	if f.Packets != rec.Len() {
+		t.Errorf("replayed %d packets, recorded %d", f.Packets, rec.Len())
+	}
+
+	// The offline median must match the live experiment's pre-step truth
+	// (the pre-step phase dominates the sample count at these settings).
+	truthPre := time.Duration(res.Metrics["truth_pre_median_us"]*1000) * time.Nanosecond
+	if truthPre <= 0 {
+		t.Fatal("experiment produced no ground truth")
+	}
+	// Pcap timestamps quantize to microseconds; allow 15% on the median.
+	lo := truthPre - truthPre*15/100
+	hi := truthPre + truthPre*15/100
+	if f.Median < lo || f.Median > hi {
+		t.Errorf("offline median %v outside [%v, %v] around live truth %v",
+			f.Median, lo, hi, truthPre)
+	}
+	// The final chosen timeout reflects the capture's last (post-step)
+	// regime: it must separate the 120µs serialization gap from the
+	// post-step response latency.
+	truthPost := time.Duration(res.Metrics["truth_post_median_us"]*1000) * time.Nanosecond
+	if f.Chosen <= 120*time.Microsecond || f.Chosen >= truthPost {
+		t.Errorf("offline chosen δ = %v, want within (120µs, %v)", f.Chosen, truthPost)
+	}
+}

@@ -1,0 +1,172 @@
+// Package replay runs the in-band latency estimator over recorded packet
+// captures: any pcap of client→server traffic (tcpdump on a load
+// balancer's ingress, or this repository's own simulated traces) can be
+// analyzed offline. This is the estimation pipeline detached from any
+// dataplane — useful for validating the technique against production
+// traces before deploying it.
+package replay
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"inbandlb/internal/core"
+	"inbandlb/internal/packet"
+	"inbandlb/internal/stats"
+)
+
+// Pcap magic numbers (classic format).
+const (
+	magicUsecLE = 0xa1b2c3d4 // microsecond timestamps, file-native order
+	magicUsecBE = 0xd4c3b2a1 // byte-swapped
+	magicNsLE   = 0xa1b23c4d // nanosecond timestamps
+	magicNsBE   = 0x4d3cb2a1
+)
+
+// ErrNotPcap reports a file that does not start with a pcap header.
+var ErrNotPcap = errors.New("replay: not a pcap file")
+
+// FlowReport summarizes the estimator's view of one flow.
+type FlowReport struct {
+	Key     packet.FlowKey
+	Packets int
+	Samples int
+	// Median and P95 are the distribution of emitted latency samples.
+	Median time.Duration
+	P95    time.Duration
+	// Chosen is the final ladder timeout selected for the flow.
+	Chosen time.Duration
+	// First and Last are the capture timestamps bounding the flow.
+	First, Last time.Duration
+}
+
+// Result is the outcome of replaying a capture.
+type Result struct {
+	Packets int // frames decoded and fed to estimators
+	Skipped int // frames that were not Ethernet/IPv4/TCP-or-UDP
+	Flows   []FlowReport
+}
+
+// Replay parses a classic pcap stream and feeds every decodable frame's
+// capture timestamp into a per-flow EnsembleTimeout. Flow reports are
+// sorted by packet count, descending.
+func Replay(r io.Reader, cfg core.EnsembleConfig) (*Result, error) {
+	var gh [24]byte
+	if _, err := io.ReadFull(r, gh[:]); err != nil {
+		return nil, fmt.Errorf("replay: reading global header: %w", err)
+	}
+	var order binary.ByteOrder = binary.LittleEndian
+	nanos := false
+	switch order.Uint32(gh[0:4]) {
+	case magicUsecLE:
+	case magicNsLE:
+		nanos = true
+	case magicUsecBE:
+		order = binary.BigEndian
+	case magicNsBE:
+		order = binary.BigEndian
+		nanos = true
+	default:
+		// Try big-endian interpretation of the same bytes.
+		order = binary.BigEndian
+		switch order.Uint32(gh[0:4]) {
+		case magicUsecLE:
+		case magicNsLE:
+			nanos = true
+		default:
+			return nil, ErrNotPcap
+		}
+	}
+	if linkType := order.Uint32(gh[20:24]); linkType != 1 {
+		return nil, fmt.Errorf("replay: unsupported link type %d (want 1, Ethernet)", linkType)
+	}
+
+	type flowState struct {
+		est     *core.EnsembleTimeout
+		packets int
+		samples []time.Duration
+		first   time.Duration
+		last    time.Duration
+	}
+	flows := make(map[packet.FlowKey]*flowState)
+	res := &Result{}
+
+	var rec [16]byte
+	buf := make([]byte, 0, 65536)
+	for {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, fmt.Errorf("replay: truncated record header")
+			}
+			return nil, err
+		}
+		sec := order.Uint32(rec[0:4])
+		sub := order.Uint32(rec[4:8])
+		incl := order.Uint32(rec[8:12])
+		if incl > 1<<20 {
+			return nil, fmt.Errorf("replay: implausible record length %d", incl)
+		}
+		if cap(buf) < int(incl) {
+			buf = make([]byte, incl)
+		}
+		frame := buf[:incl]
+		if _, err := io.ReadFull(r, frame); err != nil {
+			return nil, fmt.Errorf("replay: truncated record body: %w", err)
+		}
+
+		at := time.Duration(sec) * time.Second
+		if nanos {
+			at += time.Duration(sub)
+		} else {
+			at += time.Duration(sub) * time.Microsecond
+		}
+
+		key, _, err := packet.DecodeFlowKey(frame)
+		if err != nil {
+			res.Skipped++
+			continue
+		}
+		res.Packets++
+		st, ok := flows[key]
+		if !ok {
+			est, err := core.NewEnsembleTimeout(cfg)
+			if err != nil {
+				return nil, err
+			}
+			st = &flowState{est: est, first: at}
+			flows[key] = st
+		}
+		st.packets++
+		st.last = at
+		if s, ok := st.est.Observe(at); ok {
+			st.samples = append(st.samples, s)
+		}
+	}
+
+	for key, st := range flows {
+		res.Flows = append(res.Flows, FlowReport{
+			Key:     key,
+			Packets: st.packets,
+			Samples: len(st.samples),
+			Median:  stats.ExactQuantile(st.samples, 0.5),
+			P95:     stats.ExactQuantile(st.samples, 0.95),
+			Chosen:  st.est.CurrentTimeout(),
+			First:   st.first,
+			Last:    st.last,
+		})
+	}
+	sort.Slice(res.Flows, func(i, j int) bool {
+		if res.Flows[i].Packets != res.Flows[j].Packets {
+			return res.Flows[i].Packets > res.Flows[j].Packets
+		}
+		return res.Flows[i].Key.String() < res.Flows[j].Key.String()
+	})
+	return res, nil
+}

@@ -1,0 +1,210 @@
+package replay
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"inbandlb/internal/core"
+	"inbandlb/internal/netsim"
+	"inbandlb/internal/packet"
+	"inbandlb/internal/trace"
+)
+
+// buildCapture records a synthetic flow with trace.Recorder and exports it
+// as pcap bytes: nBatches batches of batchSize packets, intra-gap 100µs,
+// batch spacing = latency.
+func buildCapture(t *testing.T, nBatches, batchSize int, latency time.Duration) []byte {
+	t.Helper()
+	rec := trace.NewRecorder(0)
+	flow := packet.NewFlowKey(
+		netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.1.0.1"),
+		40000, 11211, packet.ProtoTCP)
+	now := time.Duration(0)
+	seq := uint64(0)
+	for b := 0; b < nBatches; b++ {
+		at := now
+		for p := 0; p < batchSize; p++ {
+			rec.Record(at, &netsim.Packet{
+				Flow: flow, Kind: netsim.KindRequest, Seq: seq, Size: 200,
+			})
+			seq++
+			at += 100 * time.Microsecond
+		}
+		now += latency
+	}
+	var buf bytes.Buffer
+	if err := rec.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReplayEstimatesLatency(t *testing.T) {
+	data := buildCapture(t, 2000, 4, 2*time.Millisecond)
+	res, err := Replay(bytes.NewReader(data), core.EnsembleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 8000 || res.Skipped != 0 {
+		t.Fatalf("packets=%d skipped=%d", res.Packets, res.Skipped)
+	}
+	if len(res.Flows) != 1 {
+		t.Fatalf("flows = %d, want 1", len(res.Flows))
+	}
+	f := res.Flows[0]
+	if f.Packets != 8000 {
+		t.Errorf("flow packets = %d", f.Packets)
+	}
+	if f.Samples == 0 {
+		t.Fatal("no samples")
+	}
+	// Steady state: the median sample must be the 2ms batch spacing.
+	if f.Median < 1800*time.Microsecond || f.Median > 2200*time.Microsecond {
+		t.Errorf("median = %v, want ~2ms", f.Median)
+	}
+	// The chosen timeout must separate 100µs intra gaps from the pause.
+	if f.Chosen <= 100*time.Microsecond || f.Chosen >= 2*time.Millisecond {
+		t.Errorf("chosen δ = %v", f.Chosen)
+	}
+	if f.First != 0 || f.Last <= f.First {
+		t.Errorf("time bounds [%v, %v]", f.First, f.Last)
+	}
+}
+
+func TestReplayMultipleFlowsSorted(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	mk := func(port uint16) packet.FlowKey {
+		return packet.NewFlowKey(
+			netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.1.0.1"),
+			port, 11211, packet.ProtoTCP)
+	}
+	// Flow A: 10 packets; flow B: 3 packets.
+	for i := 0; i < 10; i++ {
+		rec.Record(time.Duration(i)*time.Millisecond, &netsim.Packet{Flow: mk(1000), Size: 100})
+	}
+	for i := 0; i < 3; i++ {
+		rec.Record(time.Duration(i)*time.Millisecond, &netsim.Packet{Flow: mk(2000), Size: 100})
+	}
+	var buf bytes.Buffer
+	if err := rec.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(&buf, core.EnsembleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flows) != 2 {
+		t.Fatalf("flows = %d", len(res.Flows))
+	}
+	if res.Flows[0].Packets != 10 || res.Flows[1].Packets != 3 {
+		t.Errorf("sort order wrong: %d, %d", res.Flows[0].Packets, res.Flows[1].Packets)
+	}
+}
+
+func TestReplayRejectsGarbage(t *testing.T) {
+	if _, err := Replay(bytes.NewReader([]byte("not a pcap file at all....")), core.EnsembleConfig{}); !errors.Is(err, ErrNotPcap) {
+		t.Errorf("err = %v, want ErrNotPcap", err)
+	}
+	if _, err := Replay(bytes.NewReader(nil), core.EnsembleConfig{}); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReplayTruncatedRecord(t *testing.T) {
+	data := buildCapture(t, 5, 2, time.Millisecond)
+	// Chop mid-record.
+	if _, err := Replay(bytes.NewReader(data[:len(data)-10]), core.EnsembleConfig{}); err == nil {
+		t.Error("truncated capture accepted")
+	}
+}
+
+func TestReplaySkipsUndecodableFrames(t *testing.T) {
+	data := buildCapture(t, 3, 2, time.Millisecond)
+	// Append a record with a non-IPv4 ethertype frame.
+	var rec [16]byte
+	frame := make([]byte, 20)
+	frame[12], frame[13] = 0x08, 0x06 // ARP
+	binaryPut := func(b []byte, v uint32) {
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	binaryPut(rec[8:12], uint32(len(frame)))
+	binaryPut(rec[12:16], uint32(len(frame)))
+	data = append(data, rec[:]...)
+	data = append(data, frame...)
+
+	res, err := Replay(bytes.NewReader(data), core.EnsembleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 1 {
+		t.Errorf("skipped = %d, want 1", res.Skipped)
+	}
+}
+
+func TestReplayBadConfig(t *testing.T) {
+	data := buildCapture(t, 3, 2, time.Millisecond)
+	if _, err := Replay(bytes.NewReader(data), core.EnsembleConfig{
+		Timeouts: []time.Duration{5, 4},
+	}); err == nil {
+		t.Error("bad ensemble config accepted")
+	}
+}
+
+func TestReplayBigEndianCapture(t *testing.T) {
+	// Re-encode a little-endian capture as big-endian (the format written
+	// by captures from BE machines) and replay it.
+	le := buildCapture(t, 10, 2, time.Millisecond)
+	be := make([]byte, len(le))
+	copy(be, le)
+	swap32 := func(off int) {
+		be[off], be[off+1], be[off+2], be[off+3] = be[off+3], be[off+2], be[off+1], be[off]
+	}
+	swap16 := func(off int) { be[off], be[off+1] = be[off+1], be[off] }
+	swap32(0)  // magic
+	swap16(4)  // version major
+	swap16(6)  // version minor
+	swap32(16) // snaplen
+	swap32(20) // link type
+	off := 24
+	for off < len(be) {
+		swap32(off)     // ts sec
+		swap32(off + 4) // ts usec
+		// read incl from the LE original to know the record length
+		incl := int(uint32(le[off+8]) | uint32(le[off+9])<<8 | uint32(le[off+10])<<16 | uint32(le[off+11])<<24)
+		swap32(off + 8)
+		swap32(off + 12)
+		off += 16 + incl
+	}
+	res, err := Replay(bytes.NewReader(be), core.EnsembleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 20 {
+		t.Errorf("packets = %d, want 20", res.Packets)
+	}
+}
+
+func TestReplayNanosecondMagic(t *testing.T) {
+	data := buildCapture(t, 5, 2, time.Millisecond)
+	// Rewrite the magic to the nanosecond variant; timestamps become
+	// nonsense scale but parsing must succeed.
+	data[0], data[1], data[2], data[3] = 0x4d, 0x3c, 0xb2, 0xa1
+	res, err := Replay(bytes.NewReader(data), core.EnsembleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 10 {
+		t.Errorf("packets = %d, want 10", res.Packets)
+	}
+}
+
+func TestReplayRejectsNonEthernet(t *testing.T) {
+	data := buildCapture(t, 2, 2, time.Millisecond)
+	data[20] = 101 // LINKTYPE_RAW
+	if _, err := Replay(bytes.NewReader(data), core.EnsembleConfig{}); err == nil {
+		t.Error("non-ethernet link type accepted")
+	}
+}

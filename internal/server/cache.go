@@ -1,0 +1,42 @@
+package server
+
+import "container/list"
+
+// lruCache is a fixed-capacity LRU set of application keys, modelling the
+// hot working set a cache server can hold in memory. It is deliberately a
+// set rather than a map-to-values: the simulator only needs hit/miss
+// behaviour, not contents.
+type lruCache struct {
+	cap   int
+	order *list.List // front = most recent
+	items map[uint64]*list.Element
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[uint64]*list.Element, capacity),
+	}
+}
+
+// touch looks up key, promoting it on hit and inserting it (with possible
+// eviction) on miss. It returns whether the key was present.
+func (c *lruCache) touch(key uint64) bool {
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return true
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.items, oldest.Value.(uint64))
+		}
+	}
+	c.items[key] = c.order.PushFront(key)
+	return false
+}
+
+// Len returns the number of cached keys.
+func (c *lruCache) Len() int { return c.order.Len() }

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"time"
+
+	"inbandlb/internal/faults"
+	"inbandlb/internal/netsim"
+	"inbandlb/internal/stats"
+)
+
+// Dependency models a downstream service shared by several servers — the
+// paper's open question 3: when a dependency is slow, every server calling
+// it looks slow to the LB, and shifting traffic between the servers cannot
+// help. A Dependency is a queue of Workers draining calls whose processing
+// time is Service plus the injected schedule.
+type Dependency struct {
+	sim     *netsim.Sim
+	name    string
+	workers int
+	service Dist
+	inject  faults.Schedule
+
+	busy  int
+	queue []depCall
+
+	calls   uint64
+	latency *stats.Histogram
+}
+
+type depCall struct {
+	at   time.Duration
+	done func()
+}
+
+// DependencyConfig parameterizes a shared downstream service.
+type DependencyConfig struct {
+	Name string
+	// Workers is the call-processing concurrency. Defaults to 1 — a
+	// single hot shard, the worst case for fan-in.
+	Workers int
+	// Service samples per-call processing time. Defaults to 50 µs.
+	Service Dist
+	// Injected adds schedule-driven delay (the "slow dependency" event).
+	Injected faults.Schedule
+}
+
+// NewDependency creates the shared service.
+func NewDependency(sim *netsim.Sim, cfg DependencyConfig) *Dependency {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Service == nil {
+		cfg.Service = Deterministic(50 * time.Microsecond)
+	}
+	if cfg.Injected == nil {
+		cfg.Injected = faults.None
+	}
+	return &Dependency{
+		sim:     sim,
+		name:    cfg.Name,
+		workers: cfg.Workers,
+		service: cfg.Service,
+		inject:  cfg.Injected,
+		latency: stats.NewDefaultHistogram(),
+	}
+}
+
+// Name returns the configured name.
+func (d *Dependency) Name() string { return d.name }
+
+// Calls returns the number of completed calls.
+func (d *Dependency) Calls() uint64 { return d.calls }
+
+// Latency returns the distribution of call completion times (queueing +
+// service), shared storage.
+func (d *Dependency) Latency() *stats.Histogram { return d.latency }
+
+// Call schedules a downstream call; done runs when it completes.
+func (d *Dependency) Call(done func()) {
+	if d.busy < d.workers {
+		d.start(d.sim.Now(), done)
+		return
+	}
+	d.queue = append(d.queue, depCall{at: d.sim.Now(), done: done})
+}
+
+func (d *Dependency) start(enqueuedAt time.Duration, done func()) {
+	d.busy++
+	now := d.sim.Now()
+	dur := d.service.Sample(d.sim.Rand())
+	if dur < 0 {
+		dur = 0
+	}
+	dur += d.inject.DelayAt(now)
+	d.sim.After(dur, func() {
+		d.calls++
+		d.latency.Record(d.sim.Now() - enqueuedAt)
+		d.busy--
+		if len(d.queue) > 0 {
+			next := d.queue[0]
+			d.queue = d.queue[1:]
+			d.start(next.at, next.done)
+		}
+		done()
+	})
+}

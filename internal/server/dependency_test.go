@@ -1,0 +1,147 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"inbandlb/internal/faults"
+	"inbandlb/internal/netsim"
+)
+
+func TestDependencySerializesCalls(t *testing.T) {
+	sim := netsim.NewSim(1)
+	dep := NewDependency(sim, DependencyConfig{Workers: 1, Service: Deterministic(time.Millisecond)})
+	var completions []time.Duration
+	sim.Schedule(0, func() {
+		for i := 0; i < 3; i++ {
+			dep.Call(func() { completions = append(completions, sim.Now()) })
+		}
+	})
+	sim.Run()
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond}
+	if len(completions) != 3 {
+		t.Fatalf("completions = %d", len(completions))
+	}
+	for i, w := range want {
+		if completions[i] != w {
+			t.Errorf("call %d completed at %v, want %v", i, completions[i], w)
+		}
+	}
+	if dep.Calls() != 3 {
+		t.Errorf("calls = %d", dep.Calls())
+	}
+	// Queueing is visible in the latency distribution: the third call
+	// waited 2ms before its 1ms of service.
+	if dep.Latency().Max() != 3*time.Millisecond {
+		t.Errorf("max call latency = %v, want 3ms", dep.Latency().Max())
+	}
+}
+
+func TestDependencyParallelWorkers(t *testing.T) {
+	sim := netsim.NewSim(1)
+	dep := NewDependency(sim, DependencyConfig{Workers: 3, Service: Deterministic(time.Millisecond)})
+	n := 0
+	sim.Schedule(0, func() {
+		for i := 0; i < 3; i++ {
+			dep.Call(func() { n++ })
+		}
+	})
+	sim.Run()
+	if sim.Now() != time.Millisecond {
+		t.Errorf("parallel calls finished at %v, want 1ms", sim.Now())
+	}
+	if n != 3 {
+		t.Errorf("n = %d", n)
+	}
+}
+
+func TestDependencyInjectedDelay(t *testing.T) {
+	sim := netsim.NewSim(1)
+	dep := NewDependency(sim, DependencyConfig{
+		Service:  Deterministic(100 * time.Microsecond),
+		Injected: faults.Step{Start: 10 * time.Millisecond, Extra: time.Millisecond},
+	})
+	var times []time.Duration
+	sim.Schedule(0, func() { dep.Call(func() { times = append(times, sim.Now()) }) })
+	sim.Schedule(20*time.Millisecond, func() { dep.Call(func() { times = append(times, sim.Now()) }) })
+	sim.Run()
+	if times[0] != 100*time.Microsecond {
+		t.Errorf("pre-injection completion at %v", times[0])
+	}
+	if times[1] != 20*time.Millisecond+1100*time.Microsecond {
+		t.Errorf("post-injection completion at %v, want 21.1ms", times[1])
+	}
+}
+
+func TestServerWithDependency(t *testing.T) {
+	sim := netsim.NewSim(1)
+	dep := NewDependency(sim, DependencyConfig{Workers: 8, Service: Deterministic(500 * time.Microsecond)})
+	srv := New(sim, Config{
+		Service:    Deterministic(100 * time.Microsecond),
+		Workers:    8,
+		Dependency: dep, // fraction defaults to 1
+	})
+	var out []*netsim.Packet
+	srv.SetOutput(func(p *netsim.Packet) { out = append(out, p) })
+	sim.Schedule(0, func() {
+		srv.HandlePacket(&netsim.Packet{Kind: netsim.KindRequest, Seq: 1})
+	})
+	sim.Run()
+	if len(out) != 1 {
+		t.Fatalf("responses = %d", len(out))
+	}
+	// Local 100µs + dependency 500µs, serialized.
+	if out[0].SentAt != 600*time.Microsecond {
+		t.Errorf("completion at %v, want 600µs", out[0].SentAt)
+	}
+	if dep.Calls() != 1 {
+		t.Errorf("dependency calls = %d", dep.Calls())
+	}
+}
+
+func TestServerDependencyFraction(t *testing.T) {
+	sim := netsim.NewSim(7)
+	dep := NewDependency(sim, DependencyConfig{Workers: 64, Service: Deterministic(time.Microsecond)})
+	srv := New(sim, Config{
+		Service:            Deterministic(time.Microsecond),
+		Workers:            64,
+		Dependency:         dep,
+		DependencyFraction: 0.3,
+	})
+	served := 0
+	srv.SetOutput(func(p *netsim.Packet) { served++ })
+	sim.Schedule(0, func() {
+		for i := 0; i < 2000; i++ {
+			srv.HandlePacket(&netsim.Packet{Kind: netsim.KindRequest, Seq: uint64(i)})
+		}
+	})
+	sim.Run()
+	if served != 2000 {
+		t.Fatalf("served = %d", served)
+	}
+	frac := float64(dep.Calls()) / 2000
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("dependency fraction = %.3f, want ~0.3", frac)
+	}
+}
+
+func TestServerWorkerBlocksOnDependency(t *testing.T) {
+	// One worker, dependency takes 1ms: the second request cannot start
+	// local processing until the first releases the worker.
+	sim := netsim.NewSim(1)
+	dep := NewDependency(sim, DependencyConfig{Workers: 8, Service: Deterministic(time.Millisecond)})
+	srv := New(sim, Config{Service: Deterministic(0), Workers: 1, Dependency: dep})
+	var times []time.Duration
+	srv.SetOutput(func(p *netsim.Packet) { times = append(times, sim.Now()) })
+	sim.Schedule(0, func() {
+		srv.HandlePacket(&netsim.Packet{Kind: netsim.KindRequest, Seq: 1})
+		srv.HandlePacket(&netsim.Packet{Kind: netsim.KindRequest, Seq: 2})
+	})
+	sim.Run()
+	if len(times) != 2 {
+		t.Fatalf("responses = %d", len(times))
+	}
+	if times[1] != 2*time.Millisecond {
+		t.Errorf("second response at %v, want 2ms (worker held during dependency call)", times[1])
+	}
+}

@@ -1,0 +1,90 @@
+// Package server models the request-processing side of the paper's testbed:
+// a pool of worker threads draining a FIFO queue, with configurable service
+// time distributions, µs-scale performance variability (preemptions, GC
+// pauses, background interference), and time-scheduled injected delay.
+package server
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Dist samples service-time components. Implementations must be pure
+// functions of the provided random source so simulations stay deterministic.
+type Dist interface {
+	Sample(rng *rand.Rand) time.Duration
+}
+
+// Deterministic always returns a fixed duration.
+type Deterministic time.Duration
+
+// Sample implements Dist.
+func (d Deterministic) Sample(*rand.Rand) time.Duration { return time.Duration(d) }
+
+// Exponential samples an exponential distribution with the given mean —
+// the classic M/M/k service model.
+type Exponential struct {
+	Mean time.Duration
+}
+
+// Sample implements Dist.
+func (e Exponential) Sample(rng *rand.Rand) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(e.Mean))
+}
+
+// LogNormal samples a lognormal distribution parameterized by the median
+// and the sigma of the underlying normal. Heavy right tails at sigma ≳ 1
+// resemble measured RPC service times.
+type LogNormal struct {
+	Median time.Duration
+	Sigma  float64
+}
+
+// Sample implements Dist.
+func (l LogNormal) Sample(rng *rand.Rand) time.Duration {
+	return time.Duration(float64(l.Median) * math.Exp(l.Sigma*rng.NormFloat64()))
+}
+
+// Uniform samples uniformly from [Low, High].
+type Uniform struct {
+	Low, High time.Duration
+}
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) time.Duration {
+	if u.High <= u.Low {
+		return u.Low
+	}
+	return u.Low + time.Duration(rng.Int63n(int64(u.High-u.Low)+1))
+}
+
+// Bimodal samples Fast with probability 1-PSlow and Slow with probability
+// PSlow, modeling the occasional hiccup (preemption recovery, page fault)
+// the paper's §2.2 describes: hundreds of microseconds to milliseconds on
+// top of a microsecond-scale common case.
+type Bimodal struct {
+	Fast  Dist
+	Slow  Dist
+	PSlow float64
+}
+
+// Sample implements Dist.
+func (b Bimodal) Sample(rng *rand.Rand) time.Duration {
+	if rng.Float64() < b.PSlow {
+		return b.Slow.Sample(rng)
+	}
+	return b.Fast.Sample(rng)
+}
+
+// Sum adds the samples of several component distributions.
+type Sum []Dist
+
+// Sample implements Dist.
+func (s Sum) Sample(rng *rand.Rand) time.Duration {
+	var total time.Duration
+	for _, d := range s {
+		total += d.Sample(rng)
+	}
+	return total
+}

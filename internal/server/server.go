@@ -1,0 +1,212 @@
+package server
+
+import (
+	"time"
+
+	"inbandlb/internal/faults"
+	"inbandlb/internal/netsim"
+	"inbandlb/internal/stats"
+)
+
+// Config parameterizes a simulated server.
+type Config struct {
+	// Name identifies the server in traces and the Maglev pool.
+	Name string
+	// Workers is the number of requests processed concurrently.
+	Workers int
+	// Service samples per-request processing time.
+	Service Dist
+	// QueueLimit bounds the request queue (0 = unbounded). Requests
+	// arriving at a full queue are dropped, modeling overload shedding.
+	QueueLimit int
+	// Injected adds schedule-driven extra processing delay (nil = none).
+	// This is where the paper's 1 ms inflation lands when injected at the
+	// server rather than the link.
+	Injected faults.Schedule
+	// ResponseSize is the wire size of generated responses in bytes.
+	ResponseSize int
+	// CacheSize, when positive, models a hot-key cache of that many keys:
+	// requests carrying a Key present in the LRU cache take HitService
+	// instead of Service (the miss path), letting experiments quantify
+	// layer-7 key-affinity routing. Requests without a Key always take
+	// Service.
+	CacheSize int
+	// HitService samples the fast (cache-hit) path. Defaults to a 10 µs
+	// constant when unset.
+	HitService Dist
+	// Dependency, when set, is a downstream service this server calls
+	// for DependencyFraction of its requests after local processing
+	// (paper §5 Q3: a slow dependency makes the server look slow).
+	Dependency *Dependency
+	// DependencyFraction is the probability a request needs the
+	// dependency. Defaults to 1 when Dependency is set.
+	DependencyFraction float64
+}
+
+// Stats are cumulative counters and distributions for one server.
+type Stats struct {
+	Served    uint64
+	Dropped   uint64
+	Hits      uint64 // cache hits (CacheSize > 0 and request carried a key)
+	Misses    uint64 // cache misses
+	MaxQueue  int
+	Service   *stats.Histogram // processing time actually applied
+	QueueWait *stats.Histogram // time spent waiting for a worker
+}
+
+// Server is a simulated request-processing node. It consumes KindRequest
+// packets and emits KindResponse packets through the output function wired
+// by the topology — directly toward the client under DSR, never back
+// through the load balancer.
+type Server struct {
+	sim   *netsim.Sim
+	cfg   Config
+	out   func(*netsim.Packet)
+	cache *lruCache
+	busy  int
+	// queue holds requests waiting for a worker, with their arrival times.
+	queue []queued
+	stats Stats
+}
+
+type queued struct {
+	p  *netsim.Packet
+	at time.Duration
+}
+
+// New creates a server. Output must be wired with SetOutput before traffic
+// arrives.
+func New(sim *netsim.Sim, cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Service == nil {
+		cfg.Service = Deterministic(100 * time.Microsecond)
+	}
+	if cfg.Injected == nil {
+		cfg.Injected = faults.None
+	}
+	if cfg.ResponseSize <= 0 {
+		cfg.ResponseSize = 128
+	}
+	if cfg.Dependency != nil && cfg.DependencyFraction <= 0 {
+		cfg.DependencyFraction = 1
+	}
+	if cfg.CacheSize > 0 && cfg.HitService == nil {
+		cfg.HitService = Deterministic(10 * time.Microsecond)
+	}
+	s := &Server{
+		sim: sim,
+		cfg: cfg,
+		stats: Stats{
+			Service:   stats.NewDefaultHistogram(),
+			QueueWait: stats.NewDefaultHistogram(),
+		},
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newLRUCache(cfg.CacheSize)
+	}
+	return s
+}
+
+// Name returns the configured server name.
+func (s *Server) Name() string { return s.cfg.Name }
+
+// SetOutput wires the function that carries responses toward clients.
+func (s *Server) SetOutput(out func(*netsim.Packet)) { s.out = out }
+
+// Stats returns a shallow copy of the counters (histograms are shared).
+func (s *Server) Stats() Stats { return s.stats }
+
+// QueueLen returns the current number of requests waiting for a worker.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// HandlePacket implements netsim.Handler. KindOpen packets (SYNs) are
+// answered immediately with a SYN-ACK toward the client (kernel handshake
+// processing, no worker involvement); other non-request packets are
+// dropped — a DSR server never sees ACK-only traffic from the LB in this
+// model.
+func (s *Server) HandlePacket(p *netsim.Packet) {
+	if p.Kind == netsim.KindOpen {
+		if s.out != nil {
+			s.out(&netsim.Packet{
+				Flow:      p.Flow,
+				Kind:      netsim.KindOpen,
+				Size:      64,
+				SentAt:    s.sim.Now(),
+				ReqSentAt: p.SentAt,
+			})
+		}
+		return
+	}
+	if p.Kind != netsim.KindRequest {
+		s.stats.Dropped++
+		return
+	}
+	if s.busy < s.cfg.Workers {
+		s.start(p, 0)
+		return
+	}
+	if s.cfg.QueueLimit > 0 && len(s.queue) >= s.cfg.QueueLimit {
+		s.stats.Dropped++
+		return
+	}
+	s.queue = append(s.queue, queued{p: p, at: s.sim.Now()})
+	if len(s.queue) > s.stats.MaxQueue {
+		s.stats.MaxQueue = len(s.queue)
+	}
+}
+
+// start begins processing p, which waited in queue for wait.
+func (s *Server) start(p *netsim.Packet, wait time.Duration) {
+	s.busy++
+	now := s.sim.Now()
+	svc := s.cfg.Service
+	if s.cache != nil && p.Key != 0 {
+		if s.cache.touch(p.Key) {
+			s.stats.Hits++
+			svc = s.cfg.HitService
+		} else {
+			s.stats.Misses++
+		}
+	}
+	d := svc.Sample(s.sim.Rand())
+	if d < 0 {
+		d = 0
+	}
+	d += s.cfg.Injected.DelayAt(now)
+	s.stats.Service.Record(d)
+	s.stats.QueueWait.Record(wait)
+	s.sim.After(d, func() {
+		if s.cfg.Dependency != nil && s.sim.Rand().Float64() < s.cfg.DependencyFraction {
+			// The local worker blocks on the downstream call, exactly as
+			// a synchronous RPC fan-out would.
+			s.cfg.Dependency.Call(func() { s.finish(p) })
+			return
+		}
+		s.finish(p)
+	})
+}
+
+func (s *Server) finish(p *netsim.Packet) {
+	s.stats.Served++
+	resp := &netsim.Packet{
+		Flow:      p.Flow,
+		Kind:      netsim.KindResponse,
+		Op:        p.Op,
+		Seq:       p.Seq,
+		Key:       p.Key,
+		Size:      s.cfg.ResponseSize,
+		SentAt:    s.sim.Now(),
+		ReqSentAt: p.SentAt,
+	}
+	if s.out != nil {
+		s.out(resp)
+	}
+	s.busy--
+	if len(s.queue) > 0 {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		s.start(next.p, s.sim.Now()-next.at)
+	}
+}

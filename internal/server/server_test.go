@@ -1,0 +1,274 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"inbandlb/internal/faults"
+	"inbandlb/internal/netsim"
+)
+
+func TestDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+
+	if d := (Deterministic(time.Millisecond)).Sample(rng); d != time.Millisecond {
+		t.Errorf("Deterministic = %v", d)
+	}
+
+	e := Exponential{Mean: time.Millisecond}
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := e.Sample(rng)
+		if v < 0 {
+			t.Fatal("exponential produced negative sample")
+		}
+		sum += v
+	}
+	mean := sum / n
+	if mean < 900*time.Microsecond || mean > 1100*time.Microsecond {
+		t.Errorf("exponential mean = %v, want ~1ms", mean)
+	}
+
+	l := LogNormal{Median: 500 * time.Microsecond, Sigma: 0.5}
+	var below int
+	for i := 0; i < n; i++ {
+		if l.Sample(rng) < 500*time.Microsecond {
+			below++
+		}
+	}
+	if frac := float64(below) / n; frac < 0.45 || frac > 0.55 {
+		t.Errorf("lognormal median fraction below = %.3f, want ~0.5", frac)
+	}
+
+	u := Uniform{Low: 10 * time.Microsecond, High: 20 * time.Microsecond}
+	for i := 0; i < 1000; i++ {
+		v := u.Sample(rng)
+		if v < u.Low || v > u.High {
+			t.Fatalf("uniform sample %v outside [%v,%v]", v, u.Low, u.High)
+		}
+	}
+	if inv := (Uniform{Low: 5, High: 5}).Sample(rng); inv != 5 {
+		t.Errorf("degenerate uniform = %v", inv)
+	}
+
+	b := Bimodal{Fast: Deterministic(100 * time.Microsecond), Slow: Deterministic(time.Millisecond), PSlow: 0.1}
+	slow := 0
+	for i := 0; i < n; i++ {
+		if b.Sample(rng) == time.Millisecond {
+			slow++
+		}
+	}
+	if frac := float64(slow) / n; frac < 0.08 || frac > 0.12 {
+		t.Errorf("bimodal slow fraction = %.3f, want ~0.1", frac)
+	}
+
+	s := Sum{Deterministic(time.Millisecond), Deterministic(time.Microsecond)}
+	if got := s.Sample(rng); got != time.Millisecond+time.Microsecond {
+		t.Errorf("sum = %v", got)
+	}
+}
+
+func newTestServer(t *testing.T, sim *netsim.Sim, cfg Config) (*Server, *[]*netsim.Packet) {
+	t.Helper()
+	srv := New(sim, cfg)
+	var out []*netsim.Packet
+	srv.SetOutput(func(p *netsim.Packet) { out = append(out, p) })
+	return srv, &out
+}
+
+func request(seq uint64, at time.Duration) *netsim.Packet {
+	return &netsim.Packet{Kind: netsim.KindRequest, Op: netsim.OpGet, Seq: seq, Size: 64, SentAt: at}
+}
+
+func TestServerSingleRequest(t *testing.T) {
+	sim := netsim.NewSim(1)
+	srv, out := newTestServer(t, sim, Config{Name: "s0", Service: Deterministic(300 * time.Microsecond)})
+	sim.Schedule(0, func() { srv.HandlePacket(request(7, 0)) })
+	sim.Run()
+	if len(*out) != 1 {
+		t.Fatalf("responses = %d, want 1", len(*out))
+	}
+	resp := (*out)[0]
+	if resp.Kind != netsim.KindResponse || resp.Seq != 7 || resp.Op != netsim.OpGet {
+		t.Errorf("response = %+v", resp)
+	}
+	if resp.SentAt != 300*time.Microsecond {
+		t.Errorf("response time = %v, want 300µs", resp.SentAt)
+	}
+	if resp.ReqSentAt != 0 {
+		t.Errorf("ReqSentAt = %v, want 0", resp.ReqSentAt)
+	}
+	if srv.Stats().Served != 1 {
+		t.Errorf("served = %d", srv.Stats().Served)
+	}
+}
+
+func TestServerQueueing(t *testing.T) {
+	sim := netsim.NewSim(1)
+	srv, out := newTestServer(t, sim, Config{Workers: 1, Service: Deterministic(time.Millisecond)})
+	sim.Schedule(0, func() {
+		srv.HandlePacket(request(1, 0))
+		srv.HandlePacket(request(2, 0))
+		srv.HandlePacket(request(3, 0))
+	})
+	sim.Run()
+	if len(*out) != 3 {
+		t.Fatalf("responses = %d, want 3", len(*out))
+	}
+	// Single worker: completions at 1, 2, 3 ms in FIFO order.
+	for i, want := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		if (*out)[i].SentAt != want {
+			t.Errorf("response %d at %v, want %v", i, (*out)[i].SentAt, want)
+		}
+		if (*out)[i].Seq != uint64(i+1) {
+			t.Errorf("response %d seq %d, want %d (FIFO)", i, (*out)[i].Seq, i+1)
+		}
+	}
+	st := srv.Stats()
+	if st.MaxQueue != 2 {
+		t.Errorf("max queue = %d, want 2", st.MaxQueue)
+	}
+	if st.QueueWait.Max() != 2*time.Millisecond {
+		t.Errorf("max queue wait = %v, want 2ms", st.QueueWait.Max())
+	}
+}
+
+func TestServerMultipleWorkers(t *testing.T) {
+	sim := netsim.NewSim(1)
+	srv, out := newTestServer(t, sim, Config{Workers: 3, Service: Deterministic(time.Millisecond)})
+	sim.Schedule(0, func() {
+		for i := 0; i < 3; i++ {
+			srv.HandlePacket(request(uint64(i), 0))
+		}
+	})
+	sim.Run()
+	for _, r := range *out {
+		if r.SentAt != time.Millisecond {
+			t.Errorf("parallel response at %v, want 1ms", r.SentAt)
+		}
+	}
+}
+
+func TestServerQueueLimit(t *testing.T) {
+	sim := netsim.NewSim(1)
+	srv, out := newTestServer(t, sim, Config{Workers: 1, QueueLimit: 1, Service: Deterministic(time.Millisecond)})
+	sim.Schedule(0, func() {
+		for i := 0; i < 5; i++ {
+			srv.HandlePacket(request(uint64(i), 0))
+		}
+	})
+	sim.Run()
+	if len(*out) != 2 { // 1 in service + 1 queued
+		t.Errorf("responses = %d, want 2", len(*out))
+	}
+	if srv.Stats().Dropped != 3 {
+		t.Errorf("dropped = %d, want 3", srv.Stats().Dropped)
+	}
+}
+
+func TestServerInjectedDelay(t *testing.T) {
+	sim := netsim.NewSim(1)
+	srv, out := newTestServer(t, sim, Config{
+		Service:  Deterministic(100 * time.Microsecond),
+		Injected: faults.Step{Start: 10 * time.Millisecond, Extra: time.Millisecond},
+	})
+	sim.Schedule(0, func() { srv.HandlePacket(request(1, 0)) })
+	sim.Schedule(20*time.Millisecond, func() { srv.HandlePacket(request(2, 20*time.Millisecond)) })
+	sim.Run()
+	if (*out)[0].SentAt != 100*time.Microsecond {
+		t.Errorf("pre-injection completion at %v", (*out)[0].SentAt)
+	}
+	if (*out)[1].SentAt != 20*time.Millisecond+100*time.Microsecond+time.Millisecond {
+		t.Errorf("post-injection completion at %v, want 21.1ms", (*out)[1].SentAt)
+	}
+}
+
+func TestServerDropsNonRequests(t *testing.T) {
+	sim := netsim.NewSim(1)
+	srv, out := newTestServer(t, sim, Config{})
+	sim.Schedule(0, func() {
+		srv.HandlePacket(&netsim.Packet{Kind: netsim.KindAck})
+		srv.HandlePacket(&netsim.Packet{Kind: netsim.KindResponse})
+	})
+	sim.Run()
+	if len(*out) != 0 {
+		t.Errorf("responses to non-requests: %d", len(*out))
+	}
+	if srv.Stats().Dropped != 2 {
+		t.Errorf("dropped = %d, want 2", srv.Stats().Dropped)
+	}
+}
+
+func TestServerDefaults(t *testing.T) {
+	sim := netsim.NewSim(1)
+	srv := New(sim, Config{Name: "d"})
+	if srv.Name() != "d" {
+		t.Errorf("name = %q", srv.Name())
+	}
+	var got *netsim.Packet
+	srv.SetOutput(func(p *netsim.Packet) { got = p })
+	sim.Schedule(0, func() { srv.HandlePacket(request(1, 0)) })
+	sim.Run()
+	if got == nil {
+		t.Fatal("no response with default config")
+	}
+	if got.Size != 128 {
+		t.Errorf("default response size = %d, want 128", got.Size)
+	}
+	if got.SentAt != 100*time.Microsecond {
+		t.Errorf("default service time = %v, want 100µs", got.SentAt)
+	}
+}
+
+func TestServerNegativeServiceClamped(t *testing.T) {
+	sim := netsim.NewSim(1)
+	srv, out := newTestServer(t, sim, Config{Service: Deterministic(-time.Second)})
+	sim.Schedule(0, func() { srv.HandlePacket(request(1, 0)) })
+	sim.Run()
+	if len(*out) != 1 || (*out)[0].SentAt != 0 {
+		t.Error("negative service time not clamped to zero")
+	}
+}
+
+func TestServerCacheHitMiss(t *testing.T) {
+	sim := netsim.NewSim(1)
+	srv, out := newTestServer(t, sim, Config{
+		Workers:    1,
+		CacheSize:  2,
+		Service:    Deterministic(time.Millisecond),      // miss
+		HitService: Deterministic(10 * time.Microsecond), // hit
+	})
+	reqK := func(seq, key uint64) *netsim.Packet {
+		return &netsim.Packet{Kind: netsim.KindRequest, Seq: seq, Key: key, Size: 64}
+	}
+	sim.Schedule(0, func() {
+		srv.HandlePacket(reqK(1, 7)) // miss
+		srv.HandlePacket(reqK(2, 7)) // hit
+		srv.HandlePacket(reqK(3, 8)) // miss
+		srv.HandlePacket(reqK(4, 9)) // miss, evicts 7 (LRU: 8 touched after 7... order 7,8 -> evicts 7)
+		srv.HandlePacket(reqK(5, 7)) // miss again (evicted)
+	})
+	sim.Run()
+	st := srv.Stats()
+	if st.Hits != 1 || st.Misses != 4 {
+		t.Errorf("hits=%d misses=%d, want 1/4", st.Hits, st.Misses)
+	}
+	if len(*out) != 5 {
+		t.Fatalf("responses = %d", len(*out))
+	}
+	// Response 2 (the hit) completes 10µs after response 1, not 1ms.
+	gap := (*out)[1].SentAt - (*out)[0].SentAt
+	if gap != 10*time.Microsecond {
+		t.Errorf("hit service gap = %v, want 10µs", gap)
+	}
+	// Keyless requests never touch the cache.
+	sim.Schedule(sim.Now(), func() {
+		srv.HandlePacket(&netsim.Packet{Kind: netsim.KindRequest, Seq: 6})
+	})
+	sim.Run()
+	if srv.Stats().Hits+srv.Stats().Misses != 5 {
+		t.Error("keyless request counted against the cache")
+	}
+}

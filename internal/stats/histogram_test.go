@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewDefaultHistogram()
+	if h.Count() != 0 {
+		t.Fatalf("empty histogram count = %d, want 0", h.Count())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %v, want 0", got)
+	}
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram stats not zero: mean=%v min=%v max=%v", h.Mean(), h.Min(), h.Max())
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewDefaultHistogram()
+	h.Record(1500 * time.Microsecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		got := h.Quantile(q)
+		if got != 1500*time.Microsecond {
+			t.Errorf("Quantile(%v) = %v, want 1.5ms (single value)", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewDefaultHistogram()
+	var raw []time.Duration
+	for i := 0; i < 20000; i++ {
+		// Lognormal-ish latency mix from 10µs to tens of ms.
+		v := time.Duration(rng.ExpFloat64() * float64(500*time.Microsecond))
+		if v < 10*time.Microsecond {
+			v = 10 * time.Microsecond
+		}
+		h.Record(v)
+		raw = append(raw, v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		exact := ExactQuantile(raw, q)
+		got := h.Quantile(q)
+		relErr := float64(got-exact) / float64(exact)
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		if relErr > 0.05 {
+			t.Errorf("Quantile(%v) = %v, exact %v, rel err %.3f > 5%%", q, got, exact, relErr)
+		}
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewDefaultHistogram()
+	h.Record(-time.Second)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("negative record not clamped: min=%v max=%v", h.Min(), h.Max())
+	}
+	if h.Count() != 1 {
+		t.Errorf("count = %d, want 1", h.Count())
+	}
+}
+
+func TestHistogramMergeAndSnapshot(t *testing.T) {
+	a := NewDefaultHistogram()
+	b := NewDefaultHistogram()
+	for i := 1; i <= 100; i++ {
+		a.Record(time.Duration(i) * time.Millisecond)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Record(time.Duration(i) * time.Millisecond)
+	}
+	snap := a.Snapshot()
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge failed: %v", err)
+	}
+	if a.Count() != 200 {
+		t.Errorf("merged count = %d, want 200", a.Count())
+	}
+	if snap.Count() != 100 {
+		t.Errorf("snapshot mutated by merge: count = %d, want 100", snap.Count())
+	}
+	if a.Max() < 199*time.Millisecond {
+		t.Errorf("merged max = %v, want >= 199ms", a.Max())
+	}
+
+	other := NewHistogram(time.Nanosecond, 3)
+	if err := a.Merge(other); err == nil {
+		t.Error("merge of incompatible histograms should fail")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewDefaultHistogram()
+	h.Record(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Sum() != 0 {
+		t.Errorf("reset incomplete: count=%d max=%v sum=%v", h.Count(), h.Max(), h.Sum())
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by [Min, Max].
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewDefaultHistogram()
+		for i := 0; i < int(n)+1; i++ {
+			h.Record(time.Duration(rng.Int63n(int64(10 * time.Second))))
+		}
+		prev := time.Duration(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			if v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: count is conserved — total equals number of Record calls.
+func TestHistogramCountConservationProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		h := NewDefaultHistogram()
+		for _, v := range vals {
+			h.Record(time.Duration(v))
+		}
+		return h.Count() == uint64(len(vals))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactQuantile(t *testing.T) {
+	s := []time.Duration{5, 1, 4, 2, 3}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 1}, {0.2, 1}, {0.4, 2}, {0.5, 3}, {0.8, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := ExactQuantile(s, c.q); got != c.want {
+			t.Errorf("ExactQuantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := ExactQuantile(nil, 0.5); got != 0 {
+		t.Errorf("ExactQuantile(nil) = %v, want 0", got)
+	}
+}
+
+func TestHistogramStringer(t *testing.T) {
+	h := NewDefaultHistogram()
+	if s := h.String(); s != "histogram{empty}" {
+		t.Errorf("empty String() = %q", s)
+	}
+	h.Record(time.Millisecond)
+	if s := h.String(); s == "" || s == "histogram{empty}" {
+		t.Errorf("non-empty String() = %q", s)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewDefaultHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i%1000) * time.Microsecond)
+	}
+}
+
+func BenchmarkHistogramQuantile(b *testing.B) {
+	h := NewDefaultHistogram()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Record(time.Duration(rng.Int63n(int64(time.Second))))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Quantile(0.95)
+	}
+}

@@ -1,0 +1,10 @@
+package stats
+
+import "math"
+
+// Thin indirection over the stdlib math functions used by the streaming
+// estimators, kept in one place so precision-sensitive call sites are easy
+// to audit.
+
+func mathExp(x float64) float64  { return math.Exp(x) }
+func mathSqrt(x float64) float64 { return math.Sqrt(x) }

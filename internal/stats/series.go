@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Point is one (time, value) observation in a Series.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is an append-only time series used by the experiment harness to
+// record signals such as "p95 latency" or "chosen timeout" over simulated
+// or wall-clock time.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// NewSeries creates a named, empty series.
+func NewSeries(name string) *Series {
+	return &Series{Name: name}
+}
+
+// Add appends an observation.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// AddDuration appends a duration-valued observation, stored as seconds.
+func (s *Series) AddDuration(t time.Duration, v time.Duration) {
+	s.Add(t, v.Seconds())
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Last returns the most recent point, or a zero Point if empty.
+func (s *Series) Last() Point {
+	if len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// MaxV returns the maximum value in the series (0 if empty).
+func (s *Series) MaxV() float64 {
+	var m float64
+	for i, p := range s.Points {
+		if i == 0 || p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// MinV returns the minimum value in the series (0 if empty).
+func (s *Series) MinV() float64 {
+	var m float64
+	for i, p := range s.Points {
+		if i == 0 || p.V < m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// After returns the sub-series of points with T >= t, sharing storage.
+func (s *Series) After(t time.Duration) *Series {
+	out := &Series{Name: s.Name}
+	for i, p := range s.Points {
+		if p.T >= t {
+			out.Points = s.Points[i:]
+			break
+		}
+	}
+	return out
+}
+
+// Before returns the sub-series of points with T < t, sharing storage.
+func (s *Series) Before(t time.Duration) *Series {
+	out := &Series{Name: s.Name, Points: s.Points}
+	for i, p := range s.Points {
+		if p.T >= t {
+			out.Points = s.Points[:i]
+			break
+		}
+	}
+	return out
+}
+
+// MeanV returns the arithmetic mean of values (0 if empty).
+func (s *Series) MeanV() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// WriteCSV writes one or more series sharing a time axis as CSV rows
+// (time_s, name, value). Series need not be aligned.
+func WriteCSV(w io.Writer, series ...*Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "series", "value"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			rec := []string{
+				strconv.FormatFloat(p.T.Seconds(), 'f', 9, 64),
+				s.Name,
+				strconv.FormatFloat(p.V, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// AsciiPlot renders series as a rough terminal plot: width×height character
+// grid, time on X, value on Y, one rune per series. It exists so experiment
+// binaries can show result shape without any plotting dependency.
+func AsciiPlot(w io.Writer, width, height int, series ...*Series) error {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	var tMin, tMax time.Duration
+	var vMin, vMax float64
+	first := true
+	for _, s := range series {
+		for _, p := range s.Points {
+			if first {
+				tMin, tMax, vMin, vMax = p.T, p.T, p.V, p.V
+				first = false
+				continue
+			}
+			if p.T < tMin {
+				tMin = p.T
+			}
+			if p.T > tMax {
+				tMax = p.T
+			}
+			if p.V < vMin {
+				vMin = p.V
+			}
+			if p.V > vMax {
+				vMax = p.V
+			}
+		}
+	}
+	if first {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	if tMax == tMin {
+		tMax = tMin + 1
+	}
+	if vMax == vMin {
+		vMax = vMin + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	marks := []rune{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for _, p := range s.Points {
+			x := int(float64(width-1) * float64(p.T-tMin) / float64(tMax-tMin))
+			y := int(float64(height-1) * (p.V - vMin) / (vMax - vMin))
+			row := height - 1 - y
+			if grid[row][x] == ' ' || grid[row][x] == mark {
+				grid[row][x] = mark
+			} else {
+				grid[row][x] = '?' // overlap of different series
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "y: [%g, %g]  x: [%v, %v]\n", vMin, vMax, tMin, tMax); err != nil {
+		return err
+	}
+	for si, s := range series {
+		if _, err := fmt.Fprintf(w, "  %c %s\n", marks[si%len(marks)], s.Name); err != nil {
+			return err
+		}
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "|%s|\n", string(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("p95")
+	if s.Len() != 0 || s.Last() != (Point{}) {
+		t.Fatal("new series not empty")
+	}
+	s.Add(time.Second, 1)
+	s.Add(2*time.Second, 3)
+	s.AddDuration(3*time.Second, 500*time.Millisecond)
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	if got := s.Last(); got.T != 3*time.Second || got.V != 0.5 {
+		t.Errorf("last = %+v", got)
+	}
+	if s.MaxV() != 3 || s.MinV() != 0.5 {
+		t.Errorf("max=%v min=%v", s.MaxV(), s.MinV())
+	}
+	if m := s.MeanV(); m < 1.49 || m > 1.51 {
+		t.Errorf("mean = %v, want 1.5", m)
+	}
+}
+
+func TestSeriesSlicing(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	after := s.After(5 * time.Second)
+	if after.Len() != 5 || after.Points[0].V != 5 {
+		t.Errorf("After: len=%d first=%+v", after.Len(), after.Points[0])
+	}
+	before := s.Before(5 * time.Second)
+	if before.Len() != 5 || before.Points[4].V != 4 {
+		t.Errorf("Before: len=%d last=%+v", before.Len(), before.Points[before.Len()-1])
+	}
+	// Boundary conditions.
+	if s.After(100*time.Second).Len() != 0 {
+		t.Error("After beyond range should be empty")
+	}
+	if s.Before(100*time.Second).Len() != 10 {
+		t.Error("Before beyond range should include all")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	a := NewSeries("a")
+	a.Add(time.Second, 1.5)
+	b := NewSeries("b")
+	b.Add(2*time.Second, -3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want 3 (header + 2)\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "time_s,series,value") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], ",a,1.5") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	s := NewSeries("lat")
+	for i := 0; i < 50; i++ {
+		s.Add(time.Duration(i)*time.Millisecond, float64(i%7))
+	}
+	var buf bytes.Buffer
+	if err := AsciiPlot(&buf, 40, 8, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("plot contains no marks")
+	}
+
+	buf.Reset()
+	if err := AsciiPlot(&buf, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Errorf("empty plot output = %q", buf.String())
+	}
+}
+
+func TestAsciiPlotConstantSeries(t *testing.T) {
+	s := NewSeries("flat")
+	s.Add(0, 5)
+	s.Add(time.Second, 5)
+	var buf bytes.Buffer
+	// Must not divide by zero when all values (or times) are equal.
+	if err := AsciiPlot(&buf, 20, 4, s); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"time"
+)
+
+// WindowedHistogram tracks quantiles over a sliding time window, implemented
+// as a ring of per-slice histograms that are rotated as time advances. This
+// is the structure behind "p95 latency over the last second" style series:
+// old observations age out after window = slices × sliceWidth.
+type WindowedHistogram struct {
+	slices     []*Histogram
+	sliceWidth time.Duration
+	head       int           // slice currently being written
+	headStart  time.Duration // start time of the head slice
+	started    bool
+	merged     *Histogram // scratch for queries
+}
+
+// NewWindowedHistogram creates a sliding-window histogram covering
+// slices × sliceWidth of history. sliceWidth controls the granularity at
+// which old data expires.
+func NewWindowedHistogram(slices int, sliceWidth time.Duration) *WindowedHistogram {
+	if slices < 1 {
+		panic("stats: windowed histogram needs at least one slice")
+	}
+	if sliceWidth <= 0 {
+		panic("stats: windowed histogram slice width must be positive")
+	}
+	w := &WindowedHistogram{
+		slices:     make([]*Histogram, slices),
+		sliceWidth: sliceWidth,
+		merged:     NewDefaultHistogram(),
+	}
+	for i := range w.slices {
+		w.slices[i] = NewDefaultHistogram()
+	}
+	return w
+}
+
+// Window returns the total history span covered.
+func (w *WindowedHistogram) Window() time.Duration {
+	return w.sliceWidth * time.Duration(len(w.slices))
+}
+
+// advance rotates the ring so that the head slice covers now.
+func (w *WindowedHistogram) advance(now time.Duration) {
+	if !w.started {
+		w.started = true
+		w.headStart = now
+		return
+	}
+	for now >= w.headStart+w.sliceWidth {
+		w.head = (w.head + 1) % len(w.slices)
+		w.slices[w.head].Reset()
+		w.headStart += w.sliceWidth
+	}
+}
+
+// Record adds an observation with the given timestamp. Timestamps must be
+// non-decreasing; stale timestamps land in the current slice.
+func (w *WindowedHistogram) Record(now time.Duration, v time.Duration) {
+	w.advance(now)
+	w.slices[w.head].Record(v)
+}
+
+// Quantile reports the q-quantile across the window as of time now.
+func (w *WindowedHistogram) Quantile(now time.Duration, q float64) time.Duration {
+	w.advance(now)
+	w.merged.Reset()
+	for _, s := range w.slices {
+		// Same configuration by construction; Merge cannot fail.
+		_ = w.merged.Merge(s)
+	}
+	return w.merged.Quantile(q)
+}
+
+// Count reports the number of observations currently inside the window.
+func (w *WindowedHistogram) Count(now time.Duration) uint64 {
+	w.advance(now)
+	var n uint64
+	for _, s := range w.slices {
+		n += s.Count()
+	}
+	return n
+}
+
+// EWMA is an exponentially weighted moving average over irregularly-spaced
+// samples. The half-life parameterization makes decay independent of sample
+// rate: a sample observed one half-life ago contributes half as much as a
+// fresh one.
+type EWMA struct {
+	halfLife time.Duration
+	value    float64
+	last     time.Duration
+	started  bool
+}
+
+// NewEWMA creates an EWMA with the given half-life.
+func NewEWMA(halfLife time.Duration) *EWMA {
+	if halfLife <= 0 {
+		panic("stats: EWMA half-life must be positive")
+	}
+	return &EWMA{halfLife: halfLife}
+}
+
+// Update folds in a sample observed at time now and returns the new average.
+func (e *EWMA) Update(now time.Duration, sample float64) float64 {
+	if !e.started {
+		e.started = true
+		e.value = sample
+		e.last = now
+		return e.value
+	}
+	dt := now - e.last
+	if dt < 0 {
+		dt = 0
+	}
+	// alpha = 1 - 2^(-dt/halfLife): weight given to the new sample.
+	alpha := 1 - pow2(-float64(dt)/float64(e.halfLife))
+	e.value += alpha * (sample - e.value)
+	e.last = now
+	return e.value
+}
+
+// Value returns the current average (0 before the first sample).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Started reports whether at least one sample has been folded in.
+func (e *EWMA) Started() bool { return e.started }
+
+// Reset clears the average.
+func (e *EWMA) Reset() { *e = EWMA{halfLife: e.halfLife} }
+
+// pow2 computes 2^x without importing math for the common fractional case.
+// It delegates to the identity 2^x = e^(x ln 2).
+func pow2(x float64) float64 {
+	const ln2 = 0.6931471805599453
+	return expFast(x * ln2)
+}
+
+// expFast is a plain wrapper over the stdlib exponential; isolated so the
+// EWMA math is testable and swappable.
+func expFast(x float64) float64 {
+	return mathExp(x)
+}
+
+// Welford accumulates running mean and variance without storing samples
+// (Welford's online algorithm).
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add folds in one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the running mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than 2 points).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 {
+	return mathSqrt(w.Variance())
+}

