@@ -9,7 +9,11 @@
 package inbandlb_test
 
 import (
+	"fmt"
 	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -17,7 +21,9 @@ import (
 	"inbandlb/internal/core"
 	"inbandlb/internal/experiments"
 	"inbandlb/internal/lb"
+	"inbandlb/internal/lbproxy"
 	"inbandlb/internal/maglev"
+	"inbandlb/internal/memcache"
 	"inbandlb/internal/netsim"
 	"inbandlb/internal/packet"
 )
@@ -237,6 +243,193 @@ func BenchmarkLBPacketPath(b *testing.B) {
 		if i%1024 == 0 {
 			sim.RunUntil(sim.Now() + time.Microsecond) // drain forwarded events
 		}
+	}
+}
+
+// ---- Concurrency benchmarks -------------------------------------------------
+
+// benchWorkerKeys builds a worker-private key set: each parallel worker
+// owns a disjoint key range so per-flow timestamps stay monotonic, and the
+// keys are premade so the measured loop is only Observe plus locking.
+func benchWorkerKeys(worker int) []packet.FlowKey {
+	keys := make([]packet.FlowKey, 64)
+	for i := range keys {
+		keys[i] = packet.NewFlowKey(
+			netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.1.0.1"),
+			uint16(worker*64+i), 11211, packet.ProtoTCP)
+	}
+	return keys
+}
+
+// BenchmarkFlowTableParallel compares the measurement hot path under
+// parallel load: the pre-sharding design (one FlowTable behind one global
+// mutex, exactly what the proxy's per-read path used to serialize on)
+// against ShardedFlowTable with GOMAXPROCS lock stripes.
+func BenchmarkFlowTableParallel(b *testing.B) {
+	b.Run("mutex-baseline", func(b *testing.B) {
+		ft, err := core.NewFlowTable(core.FlowTableConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mu sync.Mutex
+		var workerIDs atomic.Int64
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			keys := benchWorkerKeys(int(workerIDs.Add(1)))
+			now := time.Duration(0)
+			for i := 0; pb.Next(); i++ {
+				now += 5 * time.Microsecond
+				mu.Lock()
+				ft.Observe(keys[i%len(keys)], now)
+				mu.Unlock()
+			}
+		})
+	})
+	b.Run("sharded", func(b *testing.B) {
+		tbl := core.MustSharded(core.FlowTableConfig{}, runtime.GOMAXPROCS(0))
+		var workerIDs atomic.Int64
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			keys := benchWorkerKeys(int(workerIDs.Add(1)))
+			now := time.Duration(0)
+			for i := 0; pb.Next(); i++ {
+				now += 5 * time.Microsecond
+				tbl.Observe(keys[i%len(keys)], now)
+			}
+		})
+	})
+}
+
+// BenchmarkMeasurementPathParallel compares the proxy's full per-read
+// measurement pipeline before and after the concurrency rework. The
+// baseline reproduces the old design: one global mutex held across the
+// flow-table lookup, estimator update, AND the policy's sample handling
+// (EWMA update plus occasional Maglev table rebuild — all inline on the
+// read path). The new path is a sharded table observe plus a non-blocking
+// funnel handoff; control work runs on the funnel's consumer instead of
+// under the readers' lock.
+func BenchmarkMeasurementPathParallel(b *testing.B) {
+	newLA := func(b *testing.B) *control.LatencyAware {
+		la, err := control.NewLatencyAware(control.LatencyAwareConfig{
+			Backends: []string{"b0", "b1", "b2", "b3"}, Alpha: 0.1, TableSize: 1021,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return la
+	}
+	// Timing pattern from BenchmarkEstimatorPerPacket: mostly 5 µs gaps
+	// with a 500 µs batch boundary every 4th packet, so the estimator
+	// actually produces samples and the policy actually does work.
+	step := func(now time.Duration, i int) time.Duration {
+		now += 5 * time.Microsecond
+		if i%4 == 0 {
+			now += 500 * time.Microsecond
+		}
+		return now
+	}
+
+	b.Run("global-mutex", func(b *testing.B) {
+		ft, err := core.NewFlowTable(core.FlowTableConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		la := newLA(b)
+		var mu sync.Mutex
+		var workerIDs atomic.Int64
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			w := int(workerIDs.Add(1))
+			keys := benchWorkerKeys(w)
+			now := time.Duration(0)
+			for i := 0; pb.Next(); i++ {
+				now = step(now, i)
+				mu.Lock()
+				sample, ok := ft.Observe(keys[i%len(keys)], now)
+				if ok {
+					la.ObserveLatency(w%4, now, sample)
+				}
+				mu.Unlock()
+			}
+		})
+	})
+	b.Run("sharded-funnel", func(b *testing.B) {
+		tbl := core.MustSharded(core.FlowTableConfig{}, runtime.GOMAXPROCS(0))
+		funnel := control.NewFunnel(newLA(b), 0)
+		defer funnel.Close()
+		var workerIDs atomic.Int64
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			w := int(workerIDs.Add(1))
+			keys := benchWorkerKeys(w)
+			now := time.Duration(0)
+			for i := 0; pb.Next(); i++ {
+				now = step(now, i)
+				sample, ok := tbl.Observe(keys[i%len(keys)], now)
+				if ok {
+					funnel.ObserveLatency(w%4, now, sample)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkProxyConcurrentConns drives the live proxy end to end (real
+// sockets, real memcached backends) with parallel persistent clients, at
+// one flow-table shard (≈ the old single-mutex layout) and at GOMAXPROCS
+// shards. Each iteration is one SET round trip through the proxy.
+func BenchmarkProxyConcurrentConns(b *testing.B) {
+	shardCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		shardCounts = append(shardCounts, n)
+	}
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			var backends []string
+			for i := 0; i < 2; i++ {
+				srv := memcache.NewServer()
+				if err := srv.Listen("127.0.0.1:0"); err != nil {
+					b.Fatal(err)
+				}
+				go func() { _ = srv.Serve() }()
+				defer srv.Close()
+				backends = append(backends, srv.Addr().String())
+			}
+			la, err := control.NewLatencyAware(control.LatencyAwareConfig{
+				Backends: []string{"b0", "b1"}, Alpha: 0.1, TableSize: 1021,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			proxy, err := lbproxy.New(lbproxy.Config{
+				Backends: backends, Policy: la, Shards: shards,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := proxy.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			go func() { _ = proxy.Serve() }()
+			defer proxy.Close()
+			addr := proxy.Addr().String()
+
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				cli, err := memcache.Dial(addr, 2*time.Second)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer cli.Close()
+				for pb.Next() {
+					if err := cli.Set("bench", []byte("v")); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
 	}
 }
 

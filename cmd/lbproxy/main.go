@@ -38,6 +38,8 @@ func main() {
 		hysteresis = flag.Float64("hysteresis", 1.3, "latency-aware: worst/best ratio required to shift")
 		halfLife   = flag.Duration("half-life", 20*time.Millisecond, "per-server latency EWMA half-life")
 		seed       = flag.Int64("seed", 1, "random seed for randomized policies")
+		shards     = flag.Int("shards", 0, "flow-table shard count (0 = GOMAXPROCS)")
+		sampleBuf  = flag.Int("sample-buffer", 0, "latency samples buffered to the policy consumer (0 = default 4096)")
 		report     = flag.Duration("report-every", 0, "periodic stats report interval (0 = off)")
 		health     = flag.Duration("health-interval", time.Second, "active health-probe period (0 = disabled)")
 		statusAddr = flag.String("status-addr", "", "serve JSON status at http://<addr>/ (empty = off)")
@@ -59,6 +61,8 @@ func main() {
 	proxy, err := lbproxy.New(lbproxy.Config{
 		Backends:       addrs,
 		Policy:         pol,
+		Shards:         *shards,
+		SampleBuffer:   *sampleBuf,
 		HealthInterval: *health,
 	})
 	if err != nil {
@@ -85,11 +89,14 @@ func main() {
 			t := time.NewTicker(*report)
 			defer t.Stop()
 			for range t.C {
-				st := proxy.Stats()
-				line := fmt.Sprintf("conns=%d active=%d samples=%d per-backend=%v down=%v",
-					st.Accepted, st.Active, st.Samples, st.PerBackend, st.Down)
-				if la != nil {
-					line += fmt.Sprintf(" weights=%.3v updates=%d", la.Weights(), la.Updates())
+				// Snapshot serializes policy reads with the sample
+				// consumer; touching the policy directly would race it.
+				snap := proxy.Snapshot()
+				st := snap.Stats
+				line := fmt.Sprintf("conns=%d active=%d samples=%d dropped=%d per-backend=%v down=%v",
+					st.Accepted, st.Active, st.Samples, st.SamplesDropped, st.PerBackend, st.Down)
+				if snap.Weights != nil {
+					line += fmt.Sprintf(" weights=%.3v", snap.Weights)
 				}
 				fmt.Println(line)
 			}
@@ -108,8 +115,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lbproxy: %v\n", err)
 		os.Exit(1)
 	}
+	// Serve can return while the signal handler's Close is still draining;
+	// Close is idempotent and waits for the sample flush, after which the
+	// policy is quiescent and safe to read directly.
+	_ = proxy.Close()
 	st := proxy.Stats()
-	fmt.Printf("lbproxy: relayed %d connections (%d estimator samples)\n", st.Accepted, st.Samples)
+	fmt.Printf("lbproxy: relayed %d connections (%d estimator samples, %d dropped)\n",
+		st.Accepted, st.Samples, st.SamplesDropped)
+	if la != nil {
+		fmt.Printf("lbproxy: controller made %d table updates, final weights %.3v\n",
+			la.Updates(), la.Weights())
+	}
 }
 
 func buildPolicy(name string, addrs []string, alpha, minWeight float64,

@@ -121,7 +121,9 @@ func run() error {
 				p95 := win.Quantile(now, 0.95)
 				n := win.Count(now)
 				mu.Unlock()
-				w := policy.Weights()
+				// Snapshot serializes with the proxy's sample consumer;
+				// reading policy.Weights() directly would race it.
+				w := proxy.Snapshot().Weights
 				fmt.Printf("t=%4.0fs  p95=%-10v  weights A=%.2f B=%.2f  (%d reqs in window)\n",
 					now.Seconds(), p95.Round(10*time.Microsecond), w[0], w[1], n)
 			}
@@ -146,6 +148,9 @@ func run() error {
 		return err
 	}
 
+	// Quiesce the proxy before reading the policy directly: Close flushes
+	// the sample funnel, after which no goroutine touches the policy.
+	_ = proxy.Close()
 	st := proxy.Stats()
 	fmt.Println("\n---")
 	fmt.Println(rep.String())

@@ -1,0 +1,176 @@
+package control
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inbandlb/internal/packet"
+)
+
+// funnelSample is one latency observation in flight to the policy.
+type funnelSample struct {
+	backend     int
+	now, sample time.Duration
+}
+
+// Funnel adapts a single-threaded Policy to a concurrent caller, such as
+// the live proxy's parallel measurement path. It implements Policy itself:
+//
+//   - Pick and FlowClosed are applied synchronously under an internal
+//     mutex (they are per-connection, not per-packet, so the lock is off
+//     the hot path).
+//   - ObserveLatency is asynchronous: the sample is handed to a buffered
+//     channel and applied by a single consumer goroutine, which drains the
+//     channel in batches so one lock acquisition covers many samples.
+//
+// The wrapped Policy therefore never sees concurrent calls and needs no
+// internal locking, exactly as the Policy contract promises.
+//
+// Batching bound: when the buffer (capacity set at construction) is full —
+// the consumer cannot keep up — further samples are dropped, not blocked
+// on; Dropped counts them. At any instant at most cap(buffer) delivered
+// samples are still in flight, and after Close has flushed,
+// Delivered + Dropped equals the number of ObserveLatency calls.
+type Funnel struct {
+	policy Policy
+
+	mu   sync.Mutex // serializes every call into policy
+	ch   chan funnelSample
+	stop chan struct{}
+	done chan struct{}
+
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	closed    atomic.Bool
+}
+
+// funnelBatch bounds how many queued samples one lock acquisition applies,
+// so Pick latency stays bounded under a sample flood.
+const funnelBatch = 256
+
+// NewFunnel wraps policy; buffer <= 0 defaults to 4096 queued samples.
+// The consumer goroutine runs until Close.
+func NewFunnel(policy Policy, buffer int) *Funnel {
+	if buffer <= 0 {
+		buffer = 4096
+	}
+	f := &Funnel{
+		policy: policy,
+		ch:     make(chan funnelSample, buffer),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go f.consume()
+	return f
+}
+
+// Name implements Policy.
+func (f *Funnel) Name() string { return f.policy.Name() }
+
+// NumBackends implements Policy.
+func (f *Funnel) NumBackends() int { return f.policy.NumBackends() }
+
+// Pick implements Policy, serialized with the sample consumer.
+func (f *Funnel) Pick(key packet.FlowKey, now time.Duration) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.policy.Pick(key, now)
+}
+
+// FlowClosed implements Policy, serialized with the sample consumer.
+func (f *Funnel) FlowClosed(b int, now time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.policy.FlowClosed(b, now)
+}
+
+// ObserveLatency implements Policy asynchronously: it never blocks. The
+// sample is queued for the consumer, or counted in Dropped when the buffer
+// is full (or the funnel is closed).
+func (f *Funnel) ObserveLatency(b int, now, sample time.Duration) {
+	if f.closed.Load() {
+		f.dropped.Add(1)
+		return
+	}
+	select {
+	case f.ch <- funnelSample{backend: b, now: now, sample: sample}:
+	default:
+		f.dropped.Add(1)
+	}
+}
+
+// Do runs fn with the wrapped policy under the serialization lock. It is
+// how callers read policy-specific state (weights, per-server latency)
+// without racing the consumer.
+func (f *Funnel) Do(fn func(Policy)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fn(f.policy)
+}
+
+// Delivered returns how many samples have been applied to the policy.
+func (f *Funnel) Delivered() uint64 { return f.delivered.Load() }
+
+// Dropped returns how many samples were discarded because the buffer was
+// full or the funnel closed.
+func (f *Funnel) Dropped() uint64 { return f.dropped.Load() }
+
+// Close stops the consumer after flushing every queued sample, then waits
+// for it to exit. Idempotent. After Close returns,
+// Delivered() + Dropped() accounts for every ObserveLatency call made
+// before Close.
+func (f *Funnel) Close() {
+	if f.closed.Swap(true) {
+		<-f.done
+		return
+	}
+	close(f.stop)
+	<-f.done
+}
+
+func (f *Funnel) consume() {
+	defer close(f.done)
+	for {
+		select {
+		case <-f.stop:
+			f.flush()
+			return
+		case s := <-f.ch:
+			f.applyBatch(s)
+		}
+	}
+}
+
+// applyBatch applies first plus up to funnelBatch-1 already-queued samples
+// under one lock acquisition.
+func (f *Funnel) applyBatch(first funnelSample) {
+	f.mu.Lock()
+	f.policy.ObserveLatency(first.backend, first.now, first.sample)
+	n := uint64(1)
+	for n < funnelBatch {
+		select {
+		case s := <-f.ch:
+			f.policy.ObserveLatency(s.backend, s.now, s.sample)
+			n++
+		default:
+			f.mu.Unlock()
+			f.delivered.Add(n)
+			return
+		}
+	}
+	f.mu.Unlock()
+	f.delivered.Add(n)
+}
+
+// flush drains whatever is left in the buffer at shutdown.
+func (f *Funnel) flush() {
+	for {
+		select {
+		case s := <-f.ch:
+			f.applyBatch(s)
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package control
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"inbandlb/internal/packet"
+)
+
+// reentrancyPolicy trips if any two of its methods ever run concurrently —
+// the single-threaded Policy contract a Funnel must uphold.
+type reentrancyPolicy struct {
+	n        int
+	inCall   atomic.Int32
+	violated atomic.Bool
+
+	picks    atomic.Uint64
+	observed atomic.Uint64
+	closedN  atomic.Uint64
+}
+
+func (p *reentrancyPolicy) enter() {
+	if p.inCall.Add(1) != 1 {
+		p.violated.Store(true)
+	}
+	// Widen the race window so true concurrency is caught reliably.
+	for i := 0; i < 100; i++ {
+		_ = i
+	}
+}
+func (p *reentrancyPolicy) exit() { p.inCall.Add(-1) }
+
+func (p *reentrancyPolicy) Name() string     { return "reentrancy-probe" }
+func (p *reentrancyPolicy) NumBackends() int { return p.n }
+func (p *reentrancyPolicy) Pick(packet.FlowKey, time.Duration) int {
+	p.enter()
+	defer p.exit()
+	p.picks.Add(1)
+	return 0
+}
+func (p *reentrancyPolicy) ObserveLatency(int, time.Duration, time.Duration) {
+	p.enter()
+	defer p.exit()
+	p.observed.Add(1)
+}
+func (p *reentrancyPolicy) FlowClosed(int, time.Duration) {
+	p.enter()
+	defer p.exit()
+	p.closedN.Add(1)
+}
+
+func TestFunnelSerializesPolicy(t *testing.T) {
+	pol := &reentrancyPolicy{n: 4}
+	f := NewFunnel(pol, 1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				switch i % 3 {
+				case 0:
+					f.Pick(packet.FlowKey{SrcPort: uint16(w)}, time.Duration(i))
+				case 1:
+					f.ObserveLatency(w%4, time.Duration(i), time.Millisecond)
+				case 2:
+					f.FlowClosed(w%4, time.Duration(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	f.Close()
+	if pol.violated.Load() {
+		t.Fatal("policy methods ran concurrently through the funnel")
+	}
+	if f.Delivered() != pol.observed.Load() {
+		t.Errorf("delivered %d != applied %d", f.Delivered(), pol.observed.Load())
+	}
+}
+
+func TestFunnelAccountingAfterClose(t *testing.T) {
+	pol := &reentrancyPolicy{n: 2}
+	f := NewFunnel(pol, 64)
+	const sent = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < sent/4; i++ {
+				f.ObserveLatency(i%2, time.Duration(i), time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	f.Close()
+	delivered, dropped := f.Delivered(), f.Dropped()
+	if delivered+dropped != sent {
+		t.Errorf("delivered %d + dropped %d != sent %d", delivered, dropped, sent)
+	}
+	if pol.observed.Load() != delivered {
+		t.Errorf("policy saw %d samples, funnel reports %d delivered",
+			pol.observed.Load(), delivered)
+	}
+	// Post-close sends are shed, never queued.
+	f.ObserveLatency(0, 0, time.Millisecond)
+	if f.Dropped() != dropped+1 {
+		t.Error("post-close ObserveLatency not counted as dropped")
+	}
+	f.Close() // idempotent
+}
+
+func TestFunnelDropsWhenSaturated(t *testing.T) {
+	pol := &reentrancyPolicy{n: 1}
+	f := NewFunnel(pol, 1)
+	// Hold the policy lock so the consumer cannot drain, then overfill the
+	// one-slot buffer: everything past the first queued sample must drop.
+	unblock := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	go f.Do(func(Policy) {
+		started.Done()
+		<-unblock
+	})
+	started.Wait()
+	for i := 0; i < 100; i++ {
+		f.ObserveLatency(0, time.Duration(i), time.Millisecond)
+	}
+	if f.Dropped() == 0 {
+		t.Error("saturated funnel dropped nothing")
+	}
+	close(unblock)
+	f.Close()
+	if f.Delivered()+f.Dropped() != 100 {
+		t.Errorf("delivered %d + dropped %d != 100", f.Delivered(), f.Dropped())
+	}
+}
+
+func TestFunnelDelegatesIdentity(t *testing.T) {
+	pol := &reentrancyPolicy{n: 7}
+	f := NewFunnel(pol, 0)
+	defer f.Close()
+	if f.Name() != "reentrancy-probe" || f.NumBackends() != 7 {
+		t.Errorf("delegation broken: %q / %d", f.Name(), f.NumBackends())
+	}
+	var sawSelf bool
+	f.Do(func(p Policy) { sawSelf = p == Policy(pol) })
+	if !sawSelf {
+		t.Error("Do did not expose the wrapped policy")
+	}
+}

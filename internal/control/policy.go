@@ -14,8 +14,16 @@ import (
 )
 
 // Policy selects backends for new flows and, for feedback policies,
-// consumes latency observations. Implementations are used from the single
-// simulation/dataplane goroutine and need no internal locking.
+// consumes latency observations.
+//
+// Concurrency contract: implementations are single-threaded and need no
+// internal locking. Callers guarantee that no two Policy methods run
+// concurrently — the simulator calls policies from its one dataplane
+// goroutine, and the live proxy serializes all policy calls through a
+// Funnel, which batches the parallel measurement path's samples into a
+// single consumer goroutine. New callers with concurrent flows must wrap
+// their policy in a Funnel (or equivalent serialization) rather than make
+// implementations lock internally.
 type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"inbandlb/internal/packet"
+)
+
+// genSequence builds a random packet sequence over nKeys flows with
+// strictly increasing timestamps (unique lastSeen per observation, so
+// longest-idle eviction has no ties and both tables break them the same
+// way regardless of map iteration order).
+func genSequence(seed int64, nKeys, nPkts int) []struct {
+	key packet.FlowKey
+	now time.Duration
+} {
+	rng := rand.New(rand.NewSource(seed))
+	seq := make([]struct {
+		key packet.FlowKey
+		now time.Duration
+	}, nPkts)
+	now := time.Duration(0)
+	for i := range seq {
+		now += time.Duration(1+rng.Intn(500)) * time.Microsecond
+		seq[i].key = flowN(rng.Intn(nKeys))
+		seq[i].now = now
+	}
+	return seq
+}
+
+type observation struct {
+	key    packet.FlowKey
+	sample time.Duration
+	ok     bool
+}
+
+// TestShardedFlowTableSingleShardEquivalence: for any packet sequence, a
+// ShardedFlowTable with one shard produces byte-identical samples,
+// evictions, rejections, and population to a plain FlowTable with the same
+// config — including under eviction pressure (tiny MaxFlows).
+func TestShardedFlowTableSingleShardEquivalence(t *testing.T) {
+	prop := func(seed int64, keyBits, pktBits uint16) bool {
+		nKeys := 1 + int(keyBits%24)
+		nPkts := 1 + int(pktBits%2048)
+		cfg := FlowTableConfig{MaxFlows: 8, IdleTimeout: 50 * time.Millisecond}
+		plain, err := NewFlowTable(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded, err := NewShardedFlowTable(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := genSequence(seed, nKeys, nPkts)
+		for i, p := range seq {
+			s1, ok1 := plain.Observe(p.key, p.now)
+			s2, ok2 := sharded.Observe(p.key, p.now)
+			if s1 != s2 || ok1 != ok2 {
+				t.Logf("pkt %d: plain=(%v,%v) sharded=(%v,%v)", i, s1, ok1, s2, ok2)
+				return false
+			}
+			// Interleave occasional sweeps at the same instant.
+			if i%97 == 96 {
+				if n1, n2 := plain.Sweep(p.now), sharded.Sweep(p.now); n1 != n2 {
+					t.Logf("pkt %d: sweep removed %d vs %d", i, n1, n2)
+					return false
+				}
+			}
+		}
+		return plain.Len() == sharded.Len() &&
+			plain.Evictions() == sharded.Evictions() &&
+			plain.Rejected() == sharded.Rejected()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShardedFlowTableShardCountInvariance: per-flow sample sequences are
+// identical regardless of shard count (flows never migrate between shards,
+// and with no capacity pressure no estimator state is ever lost).
+func TestShardedFlowTableShardCountInvariance(t *testing.T) {
+	collect := func(shards int, seq []struct {
+		key packet.FlowKey
+		now time.Duration
+	}) map[packet.FlowKey][]observation {
+		cfg := FlowTableConfig{MaxFlows: 1 << 16}
+		tbl := MustSharded(cfg, shards)
+		perFlow := make(map[packet.FlowKey][]observation)
+		for _, p := range seq {
+			s, ok := tbl.Observe(p.key, p.now)
+			perFlow[p.key] = append(perFlow[p.key], observation{p.key, s, ok})
+		}
+		return perFlow
+	}
+	prop := func(seed int64, keyBits, pktBits uint16) bool {
+		nKeys := 1 + int(keyBits%24)
+		nPkts := 1 + int(pktBits%2048)
+		seq := genSequence(seed, nKeys, nPkts)
+		ref := collect(1, seq)
+		for _, shards := range []int{2, 4, 8} {
+			got := collect(shards, seq)
+			if len(got) != len(ref) {
+				return false
+			}
+			for k, want := range ref {
+				have := got[k]
+				if len(have) != len(want) {
+					return false
+				}
+				for i := range want {
+					if have[i] != want[i] {
+						t.Logf("shards=%d flow %v obs %d: %+v != %+v",
+							shards, k, i, have[i], want[i])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShardedFlowTableShardRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16},
+	} {
+		tbl := MustSharded(FlowTableConfig{}, tc.in)
+		if got := tbl.Shards(); got != tc.want {
+			t.Errorf("shards(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if tbl := MustSharded(FlowTableConfig{}, 0); tbl.Shards() < 1 {
+		t.Error("default shard count not positive")
+	}
+}
+
+func TestShardedFlowTableCapacitySplit(t *testing.T) {
+	// MaxFlows is divided across shards: 8 flows over 4 shards leaves 2
+	// per shard, so aggregate capacity stays ≈ MaxFlows.
+	tbl := MustSharded(FlowTableConfig{MaxFlows: 8}, 4)
+	now := time.Duration(0)
+	for i := 0; i < 64; i++ {
+		now += time.Microsecond
+		tbl.Observe(flowN(i), now)
+	}
+	if tbl.Len() > 8 {
+		t.Errorf("tracked %d flows with aggregate capacity 8", tbl.Len())
+	}
+	if tbl.Evictions() == 0 {
+		t.Error("no evictions despite overflow")
+	}
+}
+
+func TestShardedFlowTableForgetAndEstimator(t *testing.T) {
+	tbl := MustSharded(FlowTableConfig{}, 4)
+	tbl.Observe(flowN(0), time.Microsecond)
+	if tbl.Estimator(flowN(0)) == nil {
+		t.Fatal("estimator missing for tracked flow")
+	}
+	if tbl.Estimator(flowN(1)) != nil {
+		t.Fatal("estimator present for unknown flow")
+	}
+	tbl.Forget(flowN(0))
+	if tbl.Len() != 0 {
+		t.Errorf("len = %d after Forget, want 0", tbl.Len())
+	}
+	tbl.Forget(flowN(0)) // idempotent
+}
+
+func TestShardedFlowTableSweepNextCoversAllShards(t *testing.T) {
+	tbl := MustSharded(FlowTableConfig{IdleTimeout: time.Millisecond}, 4)
+	now := time.Duration(0)
+	for i := 0; i < 32; i++ {
+		now += time.Microsecond
+		tbl.Observe(flowN(i), now)
+	}
+	// After IdleTimeout, shard-count SweepNext calls must clear everything.
+	later := now + 10*time.Millisecond
+	removed := 0
+	for i := 0; i < tbl.Shards(); i++ {
+		removed += tbl.SweepNext(later)
+	}
+	if removed != 32 || tbl.Len() != 0 {
+		t.Errorf("incremental sweep removed %d (len %d), want 32 (0)", removed, tbl.Len())
+	}
+}
+
+// TestShardedFlowTableConcurrent hammers Observe/Forget/Estimator/Sweep
+// from many goroutines; under -race this is the lock-striping proof, and
+// afterwards the atomic aggregates must agree with a direct shard count.
+func TestShardedFlowTableConcurrent(t *testing.T) {
+	tbl := MustSharded(FlowTableConfig{MaxFlows: 256}, 8)
+	const workers = 16
+	const opsPerWorker = 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			now := time.Duration(w) * time.Millisecond
+			for i := 0; i < opsPerWorker; i++ {
+				key := flowN(w*64 + rng.Intn(64))
+				now += time.Duration(1+rng.Intn(20)) * time.Microsecond
+				switch rng.Intn(10) {
+				case 0:
+					tbl.Forget(key)
+				case 1:
+					tbl.SweepNext(now)
+				case 2:
+					_ = tbl.Estimator(key)
+				default:
+					tbl.Observe(key, now)
+				}
+				_ = tbl.Len() // lock-free aggregate read under contention
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	direct := 0
+	for i := range tbl.shards {
+		tbl.shards[i].mu.Lock()
+		direct += tbl.shards[i].ft.Len()
+		tbl.shards[i].mu.Unlock()
+	}
+	if got := tbl.Len(); got != direct {
+		t.Errorf("atomic tracked count %d != summed shard population %d", got, direct)
+	}
+}

@@ -9,6 +9,31 @@
 // request-direction read feeds the per-flow estimator exactly as the
 // simulated LB feeds it per packet. This is the substitution DESIGN.md
 // documents for the Cilium/XDP dataplane (repro band: userspace prototype).
+//
+// # Concurrency model
+//
+// The measurement path is shard-striped and the control path is
+// single-threaded, mirroring a per-CPU dataplane feeding one controller:
+//
+//   - Per-flow estimator state lives in a core.ShardedFlowTable
+//     (GOMAXPROCS lock-striped shards by default), so concurrent
+//     connections' request-direction reads only contend when their flows
+//     hash to the same shard. No global lock is taken on the read path.
+//   - control.Policy implementations stay single-threaded (their
+//     documented contract): every policy call goes through a
+//     control.Funnel. Connection-rate calls (Pick, FlowClosed) are applied
+//     synchronously under the funnel's mutex; packet-rate latency samples
+//     are queued to the funnel's single consumer goroutine and applied in
+//     batches. When the sample buffer is full the sample is dropped and
+//     counted (Stats.SamplesDropped) — measurement is advisory, so
+//     shedding under overload is preferred over back-pressuring relays.
+//   - All Stats counters are atomics; Stats() returns a deep copy built
+//     from them, never aliasing mutable state.
+//   - Idle-flow sweeping uses ShardedFlowTable.SweepNext, one shard per
+//     tick, so no sweep ever stalls the whole table.
+//
+// The DSR constraint is unchanged: response-direction relaying remains
+// timestamp-free.
 package lbproxy
 
 import (
@@ -31,10 +56,21 @@ type Config struct {
 	// Backends are the server addresses, in policy backend-index order.
 	Backends []string
 	// Policy routes new connections; latency-aware policies receive the
-	// estimator's samples. Required.
+	// estimator's samples. Required. The proxy serializes all calls into
+	// it (see the package comment), so it needs no internal locking.
 	Policy control.Policy
 	// FlowTable configures per-connection estimators.
 	FlowTable core.FlowTableConfig
+	// Shards is the flow-table shard count, rounded up to a power of two.
+	// Zero defaults to runtime.GOMAXPROCS(0).
+	Shards int
+	// SampleBuffer bounds latency samples queued to the policy consumer;
+	// samples arriving while it is full are dropped and counted in
+	// Stats.SamplesDropped. Zero defaults to 4096.
+	SampleBuffer int
+	// SweepInterval is the period of the incremental idle-flow sweeper
+	// (one shard per tick). Zero defaults to 1 s; negative disables it.
+	SweepInterval time.Duration
 	// DialTimeout bounds backend dials. Defaults to 2 s.
 	DialTimeout time.Duration
 	// BufferSize is the relay buffer size. Defaults to 32 KiB.
@@ -48,15 +84,24 @@ type Config struct {
 	HealthTimeout time.Duration
 }
 
-// Stats are cumulative proxy counters.
+// Stats are cumulative proxy counters. Every accepted connection either
+// dial-errors or is counted in exactly one PerBackend slot, so
+// Accepted == sum(PerBackend) + DialErrors + dropped-for-lack-of-backend.
 type Stats struct {
 	Accepted   uint64
 	Active     int64
 	DialErrors uint64
-	Samples    uint64
-	Fallbacks  uint64   // connections rerouted away from an ejected backend
-	PerBackend []uint64 // connections routed per backend
-	Down       []bool   // health state per backend (false = healthy)
+	// Samples counts estimator outputs; SamplesDelivered those applied to
+	// the policy and SamplesDropped those shed because the sample buffer
+	// was full. After the proxy quiesces (Close, or an idle funnel),
+	// Samples == SamplesDelivered + SamplesDropped; while relays are hot
+	// up to Config.SampleBuffer samples may be in flight between the two.
+	Samples          uint64
+	SamplesDelivered uint64
+	SamplesDropped   uint64
+	Fallbacks        uint64   // connections rerouted away from an ejected backend
+	PerBackend       []uint64 // connections routed per backend
+	Down             []bool   // health state per backend (false = healthy)
 }
 
 // Proxy is a running load balancer instance.
@@ -64,9 +109,9 @@ type Proxy struct {
 	cfg Config
 	lis net.Listener
 
-	mu    sync.Mutex // guards flows and policy
-	flows *core.FlowTable
-	start time.Time
+	flows  *core.ShardedFlowTable
+	funnel *control.Funnel
+	start  time.Time
 
 	accepted   atomic.Uint64
 	active     atomic.Int64
@@ -75,7 +120,7 @@ type Proxy struct {
 	fallbacks  atomic.Uint64
 	perBackend []atomic.Uint64
 	down       []atomic.Bool
-	probeStop  chan struct{}
+	stop       chan struct{}
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -98,37 +143,45 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.BufferSize <= 0 {
 		cfg.BufferSize = 32 << 10
 	}
+	if cfg.SweepInterval == 0 {
+		cfg.SweepInterval = time.Second
+	}
 	if cfg.HealthInterval > 0 && cfg.HealthTimeout <= 0 {
 		cfg.HealthTimeout = time.Second
 		if cfg.HealthTimeout > cfg.HealthInterval {
 			cfg.HealthTimeout = cfg.HealthInterval
 		}
 	}
-	flows, err := core.NewFlowTable(cfg.FlowTable)
+	flows, err := core.NewShardedFlowTable(cfg.FlowTable, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
 	return &Proxy{
 		cfg:        cfg,
 		flows:      flows,
+		funnel:     control.NewFunnel(cfg.Policy, cfg.SampleBuffer),
 		start:      time.Now(),
 		perBackend: make([]atomic.Uint64, len(cfg.Backends)),
 		down:       make([]atomic.Bool, len(cfg.Backends)),
-		probeStop:  make(chan struct{}),
+		stop:       make(chan struct{}),
 		open:       make(map[net.Conn]struct{}),
 	}, nil
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. The snapshot is a deep copy
+// assembled from atomics; it never aliases the proxy's mutable state, so
+// callers may read it while accepts, relays, and health probes proceed.
 func (p *Proxy) Stats() Stats {
 	st := Stats{
-		Accepted:   p.accepted.Load(),
-		Active:     p.active.Load(),
-		DialErrors: p.dialErrors.Load(),
-		Samples:    p.samples.Load(),
-		Fallbacks:  p.fallbacks.Load(),
-		PerBackend: make([]uint64, len(p.perBackend)),
-		Down:       make([]bool, len(p.down)),
+		Accepted:         p.accepted.Load(),
+		Active:           p.active.Load(),
+		DialErrors:       p.dialErrors.Load(),
+		Samples:          p.samples.Load(),
+		SamplesDelivered: p.funnel.Delivered(),
+		SamplesDropped:   p.funnel.Dropped(),
+		Fallbacks:        p.fallbacks.Load(),
+		PerBackend:       make([]uint64, len(p.perBackend)),
+		Down:             make([]bool, len(p.down)),
 	}
 	for i := range p.perBackend {
 		st.PerBackend[i] = p.perBackend[i].Load()
@@ -163,6 +216,9 @@ func (p *Proxy) Serve() error {
 	if p.cfg.HealthInterval > 0 {
 		go p.probeLoop()
 	}
+	if p.cfg.SweepInterval > 0 {
+		go p.sweepLoop()
+	}
 	for {
 		conn, err := p.lis.Accept()
 		if err != nil {
@@ -188,12 +244,15 @@ func (p *Proxy) ListenAndServe(addr string) error {
 	return p.Serve()
 }
 
-// Close stops the proxy and closes open relays.
+// Close stops the proxy, closes open relays, and flushes queued latency
+// samples into the policy (so post-Close Stats satisfy
+// Samples == SamplesDelivered + SamplesDropped).
 func (p *Proxy) Close() error {
 	if p.closed.Swap(true) {
+		p.funnel.Close() // idempotent; waits for the flush
 		return nil
 	}
-	close(p.probeStop)
+	close(p.stop)
 	var err error
 	if p.lis != nil {
 		err = p.lis.Close()
@@ -204,6 +263,7 @@ func (p *Proxy) Close() error {
 	}
 	p.connMu.Unlock()
 	p.wg.Wait()
+	p.funnel.Close()
 	return err
 }
 
@@ -229,9 +289,7 @@ func (p *Proxy) handle(client net.Conn) {
 	key := flowKeyFor(client)
 	now := p.now()
 
-	p.mu.Lock()
-	backend := p.cfg.Policy.Pick(key, now)
-	p.mu.Unlock()
+	backend := p.funnel.Pick(key, now)
 	if backend < 0 || backend >= len(p.cfg.Backends) {
 		return
 	}
@@ -250,17 +308,13 @@ func (p *Proxy) handle(client net.Conn) {
 			return // whole pool ejected; drop the connection
 		}
 		p.fallbacks.Add(1)
-		p.mu.Lock()
-		p.cfg.Policy.FlowClosed(orig, p.now()) // undo the original pick's accounting
-		p.mu.Unlock()
+		p.funnel.FlowClosed(orig, p.now()) // undo the original pick's accounting
 	}
 
 	server, err := net.DialTimeout("tcp", p.cfg.Backends[backend], p.cfg.DialTimeout)
 	if err != nil {
 		p.dialErrors.Add(1)
-		p.mu.Lock()
-		p.cfg.Policy.FlowClosed(backend, p.now())
-		p.mu.Unlock()
+		p.funnel.FlowClosed(backend, p.now())
 		return
 	}
 	defer server.Close()
@@ -291,7 +345,8 @@ func (p *Proxy) handle(client net.Conn) {
 	}()
 
 	// Request direction: every read is a client→server arrival whose
-	// timestamp feeds the in-band estimator.
+	// timestamp feeds the in-band estimator. Lock-free up to shard
+	// striping: no proxy-global mutex is taken here.
 	go func() {
 		buf := make([]byte, p.cfg.BufferSize)
 		for {
@@ -313,22 +368,16 @@ func (p *Proxy) handle(client net.Conn) {
 	<-done
 	<-done
 
-	p.mu.Lock()
 	p.flows.Forget(key)
-	p.cfg.Policy.FlowClosed(backend, p.now())
-	p.mu.Unlock()
+	p.funnel.FlowClosed(backend, p.now())
 }
 
 func (p *Proxy) observe(key packet.FlowKey, backend int) {
 	now := p.now()
-	p.mu.Lock()
 	sample, ok := p.flows.Observe(key, now)
 	if ok {
-		p.cfg.Policy.ObserveLatency(backend, now, sample)
-	}
-	p.mu.Unlock()
-	if ok {
 		p.samples.Add(1)
+		p.funnel.ObserveLatency(backend, now, sample)
 	}
 }
 
@@ -347,7 +396,7 @@ func (p *Proxy) probeLoop() {
 	defer t.Stop()
 	for {
 		select {
-		case <-p.probeStop:
+		case <-p.stop:
 			return
 		case <-t.C:
 		}
@@ -359,6 +408,22 @@ func (p *Proxy) probeLoop() {
 			}
 			_ = conn.Close()
 			p.down[i].Store(false)
+		}
+	}
+}
+
+// sweepLoop incrementally expires idle flows, one shard per tick, so
+// connections that vanished without a clean close (and thus without
+// Forget) do not pin estimator state forever.
+func (p *Proxy) sweepLoop() {
+	t := time.NewTicker(p.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.flows.SweepNext(p.now())
 		}
 	}
 }

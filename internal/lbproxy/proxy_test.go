@@ -167,8 +167,10 @@ func TestProxyEndToEndFeedback(t *testing.T) {
 	// Drive traffic until the controller settles on the fast server (or a
 	// generous deadline passes) — wall-clock timing under parallel-test
 	// CPU contention is too noisy for a fixed-duration assertion.
+	// Weights are read via Snapshot, which serializes with the sample
+	// consumer; touching la directly here would race it.
 	settled := func() bool {
-		w := la.Weights()
+		w := proxy.Snapshot().Weights
 		return w[0] < w[1]
 	}
 	deadline := time.Now().Add(10 * time.Second)
@@ -208,7 +210,7 @@ func TestProxyEndToEndFeedback(t *testing.T) {
 		}
 	}
 
-	if w := la.Weights(); w[0] >= w[1] {
+	if w := proxy.Snapshot().Weights; w[0] >= w[1] {
 		t.Errorf("weights = %v; slow server should hold less", w)
 	}
 	if proxy.Stats().Samples == 0 {

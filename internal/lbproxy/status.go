@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"time"
 
+	"inbandlb/internal/control"
 	"inbandlb/internal/core"
 )
 
@@ -13,7 +14,11 @@ type StatusSnapshot struct {
 	UptimeSeconds float64  `json:"uptime_seconds"`
 	Policy        string   `json:"policy"`
 	Backends      []string `json:"backends"`
-	Stats         Stats    `json:"stats"`
+	// FlowTableShards is the measurement path's lock-stripe width;
+	// TrackedFlows the current flow-table population.
+	FlowTableShards int   `json:"flow_table_shards"`
+	TrackedFlows    int   `json:"tracked_flows"`
+	Stats           Stats `json:"stats"`
 	// Weights is present for weight-based policies (latency-aware,
 	// proportional); nil otherwise.
 	Weights []float64 `json:"weights,omitempty"`
@@ -36,21 +41,25 @@ type latencied interface {
 // Snapshot assembles the current status document.
 func (p *Proxy) Snapshot() StatusSnapshot {
 	snap := StatusSnapshot{
-		UptimeSeconds: time.Since(p.start).Seconds(),
-		Policy:        p.cfg.Policy.Name(),
-		Backends:      append([]string(nil), p.cfg.Backends...),
-		Stats:         p.Stats(),
+		UptimeSeconds:   time.Since(p.start).Seconds(),
+		Policy:          p.cfg.Policy.Name(),
+		Backends:        append([]string(nil), p.cfg.Backends...),
+		FlowTableShards: p.flows.Shards(),
+		TrackedFlows:    p.flows.Len(),
+		Stats:           p.Stats(),
 	}
-	p.mu.Lock()
-	if w, ok := p.cfg.Policy.(weighted); ok {
-		snap.Weights = w.Weights()
-	}
-	if l, ok := p.cfg.Policy.(latencied); ok {
-		for _, d := range l.Latency().Snapshot() {
-			snap.LatenciesMs = append(snap.LatenciesMs, float64(d)/1e6)
+	// Policy state is read under the funnel's serialization lock so the
+	// snapshot cannot race the sample consumer.
+	p.funnel.Do(func(pol control.Policy) {
+		if w, ok := pol.(weighted); ok {
+			snap.Weights = w.Weights()
 		}
-	}
-	p.mu.Unlock()
+		if l, ok := pol.(latencied); ok {
+			for _, d := range l.Latency().Snapshot() {
+				snap.LatenciesMs = append(snap.LatenciesMs, float64(d)/1e6)
+			}
+		}
+	})
 	return snap
 }
 

@@ -1,0 +1,177 @@
+package lbproxy
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"inbandlb/internal/control"
+	"inbandlb/internal/core"
+	"inbandlb/internal/memcache"
+)
+
+// TestProxyConcurrentStress is the race-detector proof of the sharded
+// measurement path: many concurrent clients hammer the proxy while the
+// per-read estimator path, the policy funnel, the health prober, and
+// status snapshots all run. Afterwards the Stats invariants must hold
+// exactly:
+//
+//   - Accepted == sum(PerBackend) + DialErrors (every accepted connection
+//     is routed to exactly one backend or failed its dial),
+//   - Active returns to 0 once clients drain,
+//   - after Close, Samples == SamplesDelivered + SamplesDropped (no sample
+//     is lost beyond the documented buffer-shedding, which is counted).
+func TestProxyConcurrentStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-socket stress test")
+	}
+	const nBackends = 3
+	backends := make([]string, nBackends)
+	for i := range backends {
+		_, backends[i] = startBackend(t)
+	}
+
+	la, err := control.NewLatencyAware(control.LatencyAwareConfig{
+		Backends:  []string{"b0", "b1", "b2"},
+		Alpha:     0.10,
+		TableSize: 1021,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := New(Config{
+		Backends: backends,
+		Policy:   la,
+		// Small shard count and sample buffer to maximize contention on
+		// both stages under the race detector.
+		Shards:         4,
+		SampleBuffer:   256,
+		SweepInterval:  20 * time.Millisecond,
+		HealthInterval: 25 * time.Millisecond,
+		FlowTable:      core.FlowTableConfig{IdleTimeout: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = proxy.Serve() }()
+	t.Cleanup(func() { _ = proxy.Close() })
+	paddr := proxy.Addr().String()
+
+	// Concurrent status reads race-check the snapshot path against the
+	// hot path for the duration of the stress run.
+	snapStop := make(chan struct{})
+	var snapWg sync.WaitGroup
+	snapWg.Add(1)
+	go func() {
+		defer snapWg.Done()
+		for {
+			select {
+			case <-snapStop:
+				return
+			default:
+				snap := proxy.Snapshot()
+				if len(snap.Weights) != nBackends {
+					t.Errorf("snapshot weights len = %d", len(snap.Weights))
+					return
+				}
+				_ = proxy.Stats()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	const (
+		workers      = 24
+		connsPerWkr  = 15
+		setsPerConn  = 10
+		dialAttempts = 3
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for c := 0; c < connsPerWkr; c++ {
+				var cli *memcache.Client
+				var err error
+				for a := 0; a < dialAttempts; a++ {
+					cli, err = memcache.Dial(paddr, 2*time.Second)
+					if err == nil {
+						break
+					}
+				}
+				if err != nil {
+					errs <- fmt.Errorf("worker %d dial: %w", w, err)
+					return
+				}
+				_ = cli.SetDeadline(time.Now().Add(5 * time.Second))
+				for s := 0; s < setsPerConn; s++ {
+					key := fmt.Sprintf("k-%d-%d", w, s)
+					if err := cli.Set(key, []byte("v")); err != nil {
+						_ = cli.Close()
+						errs <- fmt.Errorf("worker %d set: %w", w, err)
+						return
+					}
+				}
+				_ = cli.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Drain: relays observe the client close asynchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && proxy.Stats().Active > 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(snapStop)
+	snapWg.Wait()
+
+	st := proxy.Stats()
+	if st.Active != 0 {
+		t.Errorf("active = %d after drain, want 0", st.Active)
+	}
+	const want = workers * connsPerWkr
+	if st.Accepted != want {
+		t.Errorf("accepted = %d, want %d", st.Accepted, want)
+	}
+	var routed uint64
+	for _, n := range st.PerBackend {
+		routed += n
+	}
+	if st.Accepted != routed+st.DialErrors {
+		t.Errorf("accepted %d != routed %d + dial errors %d",
+			st.Accepted, routed, st.DialErrors)
+	}
+	if st.Samples == 0 {
+		t.Error("no estimator samples under concurrent load")
+	}
+
+	// Close flushes the funnel; the sample accounting must then be exact.
+	if err := proxy.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st = proxy.Stats()
+	if st.Samples != st.SamplesDelivered+st.SamplesDropped {
+		t.Errorf("samples %d != delivered %d + dropped %d after close",
+			st.Samples, st.SamplesDelivered, st.SamplesDropped)
+	}
+	// The funnel must have kept the single-threaded policy coherent: the
+	// latency-aware weight vector still sums to ~1.
+	var sum float64
+	for _, w := range la.Weights() {
+		sum += w
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("weights sum %.4f after stress, want ≈1", sum)
+	}
+}
