@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -43,6 +44,7 @@ func main() {
 		report     = flag.Duration("report-every", 0, "periodic stats report interval (0 = off)")
 		health     = flag.Duration("health-interval", time.Second, "active health-probe period (0 = disabled)")
 		statusAddr = flag.String("status-addr", "", "serve JSON status at http://<addr>/ (empty = off)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof at this address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
 
@@ -82,6 +84,18 @@ func main() {
 			}
 		}()
 		fmt.Printf("lbproxy: status at http://%s/\n", *statusAddr)
+	}
+
+	if *pprofAddr != "" {
+		// A dedicated listener on the DefaultServeMux (where the
+		// net/http/pprof import registers), separate from -status-addr so
+		// the profiling surface is never exposed on the status port.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "lbproxy: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("lbproxy: pprof at http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	if *report > 0 {

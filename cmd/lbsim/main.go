@@ -15,6 +15,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux for -pprof
 	"os"
 	"path/filepath"
 	"time"
@@ -25,14 +27,24 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (fig2a|fig2b|fig3|abl-*|all)")
-		seed     = flag.Int64("seed", 42, "random seed")
-		duration = flag.Duration("duration", 0, "simulated duration (0 = per-experiment default)")
-		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV series into")
-		plot     = flag.Bool("plot", false, "render ASCII plots of the series")
-		pcapPath = flag.String("pcap", "", "write the fig2a tap's packet trace as a pcap file (fig2a only)")
+		exp       = flag.String("exp", "all", "experiment to run (fig2a|fig2b|fig3|abl-*|all)")
+		seed      = flag.Int64("seed", 42, "random seed")
+		duration  = flag.Duration("duration", 0, "simulated duration (0 = per-experiment default)")
+		csvDir    = flag.String("csv", "", "directory to write per-experiment CSV series into")
+		plot      = flag.Bool("plot", false, "render ASCII plots of the series")
+		pcapPath  = flag.String("pcap", "", "write the fig2a tap's packet trace as a pcap file (fig2a only)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof at this address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "lbsim: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("lbsim: pprof at http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	var rec *trace.Recorder
 	if *pcapPath != "" {

@@ -73,14 +73,27 @@ func (f *FixedTimeout) Reset() {
 	f.lastBatch = 0
 }
 
-// DefaultTimeouts is the paper's ladder: δ₁ = 64µs doubling up to δ₇ = 4096µs.
-func DefaultTimeouts() []time.Duration {
+// defaultTimeouts is the shared immutable default ladder. Every flow's
+// estimator used to materialize its own copy (one slice per connection);
+// now configs left empty all alias this one, and nothing in this package
+// ever writes through a config's Timeouts slice. Callers who want to
+// mutate get their own copy from DefaultTimeouts.
+var defaultTimeouts = func() []time.Duration {
 	out := make([]time.Duration, 7)
 	d := 64 * time.Microsecond
 	for i := range out {
 		out[i] = d
 		d *= 2
 	}
+	return out
+}()
+
+// DefaultTimeouts is the paper's ladder: δ₁ = 64µs doubling up to δ₇ = 4096µs.
+// The returned slice is the caller's to mutate (copy-on-read); estimators
+// built with an empty Timeouts share one immutable default instead.
+func DefaultTimeouts() []time.Duration {
+	out := make([]time.Duration, len(defaultTimeouts))
+	copy(out, defaultTimeouts)
 	return out
 }
 
@@ -98,7 +111,7 @@ type EnsembleConfig struct {
 
 func (c *EnsembleConfig) applyDefaults() error {
 	if len(c.Timeouts) == 0 {
-		c.Timeouts = DefaultTimeouts()
+		c.Timeouts = defaultTimeouts
 	}
 	if len(c.Timeouts) < 2 {
 		return fmt.Errorf("core: ensemble needs at least 2 timeouts, have %d", len(c.Timeouts))
@@ -120,16 +133,26 @@ func (c *EnsembleConfig) applyDefaults() error {
 	return nil
 }
 
-// EnsembleTimeout is Algorithm 2: k FixedTimeout instances sharing the
-// packet stream of one flow, with per-epoch sample counting and cliff
-// detection selecting the timeout whose samples are reported.
+// EnsembleTimeout is Algorithm 2: k FixedTimeout rungs sharing the packet
+// stream of one flow, with per-epoch sample counting and cliff detection
+// selecting the timeout whose samples are reported.
+//
+// The ladder is stored flat — parallel slices indexed by rung — rather
+// than as k boxed *FixedTimeout objects. Because every rung observes the
+// same packet stream, the per-rung lastPkt timestamps are always equal, so
+// one shared lastPkt plus a per-rung batch-head slice is the complete
+// state. Observe walks lastBatch/counts sequentially (contiguous memory,
+// no pointer chasing) and exits at the first rung whose δ exceeds the gap:
+// the ladder is strictly increasing, so no later rung can fire either.
 //
 // Construct with NewEnsembleTimeout.
 type EnsembleTimeout struct {
-	cfg     EnsembleConfig
-	fts     []*FixedTimeout
-	counts  []uint64
-	current int // index of δe, the timeout whose samples are emitted
+	cfg       EnsembleConfig
+	lastBatch []time.Duration // per-rung batch-head timestamp
+	counts    []uint64        // per-rung samples this epoch
+	lastPkt   time.Duration   // shared across rungs: all see the same stream
+	started   bool
+	current   int // index of δe, the timeout whose samples are emitted
 
 	epochStart   time.Duration
 	epochStarted bool
@@ -147,12 +170,9 @@ func NewEnsembleTimeout(cfg EnsembleConfig) (*EnsembleTimeout, error) {
 		return nil, err
 	}
 	e := &EnsembleTimeout{
-		cfg:    cfg,
-		fts:    make([]*FixedTimeout, len(cfg.Timeouts)),
-		counts: make([]uint64, len(cfg.Timeouts)),
-	}
-	for i, d := range cfg.Timeouts {
-		e.fts[i] = NewFixedTimeout(d)
+		cfg:       cfg,
+		lastBatch: make([]time.Duration, len(cfg.Timeouts)),
+		counts:    make([]uint64, len(cfg.Timeouts)),
 	}
 	// Start from the smallest timeout: with no information yet it is the
 	// only choice guaranteed to produce samples (a too-low δ oversamples,
@@ -184,11 +204,11 @@ func (e *EnsembleTimeout) CurrentIndex() int { return e.current }
 // Epochs returns the number of completed epochs.
 func (e *EnsembleTimeout) Epochs() uint64 { return e.epochs }
 
-// Observe processes one packet arrival. It feeds all k FixedTimeout
-// instances, counts their samples for cliff detection, rotates the epoch
-// when this packet is the first of a new one, and returns the sample
-// produced by the currently selected timeout (ok=false when that timeout
-// produced none for this packet).
+// Observe processes one packet arrival. It feeds all k ladder rungs,
+// counts their samples for cliff detection, rotates the epoch when this
+// packet is the first of a new one, and returns the sample produced by the
+// currently selected timeout (ok=false when that timeout produced none for
+// this packet).
 func (e *EnsembleTimeout) Observe(now time.Duration) (time.Duration, bool) {
 	if !e.epochStarted {
 		e.epochStarted = true
@@ -197,16 +217,33 @@ func (e *EnsembleTimeout) Observe(now time.Duration) (time.Duration, bool) {
 		e.rotateEpoch(now)
 	}
 
+	if !e.started {
+		e.started = true
+		e.lastPkt = now
+		for i := range e.lastBatch {
+			e.lastBatch[i] = now
+		}
+		return 0, false
+	}
+
+	gap := now - e.lastPkt
+	e.lastPkt = now
 	var sample time.Duration
 	ok := false
-	for i, ft := range e.fts {
-		s, got := ft.Observe(now)
-		if got {
-			e.counts[i]++
-			if i == e.current {
-				sample, ok = s, true
-			}
+	for i, d := range e.cfg.Timeouts {
+		if gap <= d {
+			// Strictly increasing ladder: no later rung fires either. In
+			// steady state (intra-batch packets) this exits at rung 0.
+			break
 		}
+		// New batch on rung i: the gap between batch heads is rung i's
+		// latency estimate.
+		e.counts[i]++
+		if i == e.current {
+			sample = now - e.lastBatch[i]
+			ok = true
+		}
+		e.lastBatch[i] = now
 	}
 	return sample, ok
 }
@@ -240,6 +277,9 @@ func (e *EnsembleTimeout) rotateEpoch(now time.Duration) {
 		e.current = bestIdx
 	}
 	if e.OnEpoch != nil {
+		// Copy only when a hook is installed: the hook may retain the
+		// slice, but hookless estimators (every proxy flow) must not pay
+		// an allocation per epoch.
 		counts := make([]uint64, len(e.counts))
 		copy(counts, e.counts)
 		e.OnEpoch(now, counts, e.current)
@@ -252,8 +292,10 @@ func (e *EnsembleTimeout) rotateEpoch(now time.Duration) {
 
 // Reset clears all flow and epoch state.
 func (e *EnsembleTimeout) Reset() {
-	for _, ft := range e.fts {
-		ft.Reset()
+	e.started = false
+	e.lastPkt = 0
+	for i := range e.lastBatch {
+		e.lastBatch[i] = 0
 	}
 	for i := range e.counts {
 		e.counts[i] = 0

@@ -372,3 +372,23 @@ func BenchmarkEnsembleObserve(b *testing.B) {
 		e.Observe(now)
 	}
 }
+
+// TestDefaultLadderShared verifies that estimators built with an empty
+// config alias one immutable default ladder (no per-flow copy), while the
+// exported DefaultTimeouts hands each caller a private mutable slice.
+func TestDefaultLadderShared(t *testing.T) {
+	e1 := MustEnsemble(EnsembleConfig{})
+	e2 := MustEnsemble(EnsembleConfig{})
+	if &e1.cfg.Timeouts[0] != &e2.cfg.Timeouts[0] {
+		t.Error("default-config estimators do not share the default ladder backing array")
+	}
+	pub := DefaultTimeouts()
+	if &pub[0] == &e1.cfg.Timeouts[0] {
+		t.Error("DefaultTimeouts aliases the shared internal ladder; callers could corrupt it")
+	}
+	pub[0] = time.Hour // must be harmless
+	e3 := MustEnsemble(EnsembleConfig{})
+	if e3.cfg.Timeouts[0] != 64*time.Microsecond {
+		t.Errorf("mutating DefaultTimeouts() result leaked into the shared default: δ₁ = %v", e3.cfg.Timeouts[0])
+	}
+}

@@ -97,14 +97,16 @@ func (s *SharedLadder) Observe(f *LadderFlow, now time.Duration) (time.Duration,
 	ok := false
 	gap := now - f.lastPkt
 	for i, d := range s.cfg.Timeouts {
-		if gap > d {
-			s.counts[i]++
-			if i == s.current {
-				sample = now - f.lastBatch[i]
-				ok = true
-			}
-			f.lastBatch[i] = now
+		if gap <= d {
+			// Strictly increasing ladder: no later rung fires either.
+			break
 		}
+		s.counts[i]++
+		if i == s.current {
+			sample = now - f.lastBatch[i]
+			ok = true
+		}
+		f.lastBatch[i] = now
 	}
 	f.lastPkt = now
 	return sample, ok

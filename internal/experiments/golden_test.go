@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Golden metrics recorded by running Fig2b and Fig3 on the pre-rewrite
+// simulator (container/heap event queue, boxed estimator ladder) at commit
+// a8b52f5, seeds 1–3. The event-queue rewrite and the estimator
+// flattening must be behaviorally invisible: same seed → bit-identical
+// event order → these exact numbers. A mismatch means the rewrite changed
+// simulation behavior, not just its speed.
+var goldenFig2b = map[int64]map[string]float64{
+	1: {
+		"pre_median_us":        1120,
+		"post_median_us":       2720,
+		"truth_pre_median_us":  1120,
+		"truth_post_median_us": 2720,
+		"adaptation_lag_ms":    0.217406,
+	},
+	2: {
+		"pre_median_us":        1120,
+		"post_median_us":       2720,
+		"truth_pre_median_us":  1120,
+		"truth_post_median_us": 2720,
+		"adaptation_lag_ms":    1.101962,
+	},
+	3: {
+		"pre_median_us":        1120,
+		"post_median_us":       2720,
+		"truth_pre_median_us":  1120,
+		"truth_post_median_us": 2720,
+		"adaptation_lag_ms":    0.026797,
+	},
+}
+
+var goldenFig3 = map[int64]map[string]float64{
+	1: {"aware_post_p95_ms": 0.472, "maglev_post_p95_ms": 1.44},
+	2: {"aware_post_p95_ms": 0.456, "maglev_post_p95_ms": 1.44},
+	3: {"aware_post_p95_ms": 0.456, "maglev_post_p95_ms": 1.44},
+}
+
+// TestGoldenDeterminismAcrossQueueRewrite replays the golden scenarios and
+// demands exact metric equality with the pre-rewrite recordings.
+func TestGoldenDeterminismAcrossQueueRewrite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulations")
+	}
+	for seed, want := range goldenFig2b {
+		res := Fig2b(Fig2Config{Seed: seed, Duration: 2 * time.Second, StepAt: time.Second})
+		for k, v := range want {
+			if got := res.Metrics[k]; math.Abs(got-v) > 1e-9 {
+				t.Errorf("fig2b seed %d: %s = %v, golden recording %v", seed, k, got, v)
+			}
+		}
+	}
+	for seed, want := range goldenFig3 {
+		res := Fig3(Fig3Config{Seed: seed, Duration: 2 * time.Second, InjectAt: time.Second})
+		for k, v := range want {
+			if got := res.Metrics[k]; math.Abs(got-v) > 1e-9 {
+				t.Errorf("fig3 seed %d: %s = %v, golden recording %v", seed, k, got, v)
+			}
+		}
+	}
+}

@@ -113,6 +113,12 @@ type Proxy struct {
 	funnel *control.Funnel
 	start  time.Time
 
+	// bufs recycles relay buffers (two per connection, Config.BufferSize
+	// each) so connection churn does not make the allocator the
+	// bottleneck. It holds *[]byte to keep Put/Get themselves
+	// allocation-free.
+	bufs sync.Pool
+
 	accepted   atomic.Uint64
 	active     atomic.Int64
 	dialErrors atomic.Uint64
@@ -156,7 +162,7 @@ func New(cfg Config) (*Proxy, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Proxy{
+	p := &Proxy{
 		cfg:        cfg,
 		flows:      flows,
 		funnel:     control.NewFunnel(cfg.Policy, cfg.SampleBuffer),
@@ -165,8 +171,21 @@ func New(cfg Config) (*Proxy, error) {
 		down:       make([]atomic.Bool, len(cfg.Backends)),
 		stop:       make(chan struct{}),
 		open:       make(map[net.Conn]struct{}),
-	}, nil
+	}
+	// The pool is keyed to this proxy's BufferSize: every buffer it hands
+	// out has exactly that capacity, so relays never re-slice.
+	size := cfg.BufferSize
+	p.bufs.New = func() any {
+		b := make([]byte, size)
+		return &b
+	}
+	return p, nil
 }
+
+// getBuf takes a relay buffer from the pool (allocating only when the pool
+// is empty); putBuf returns it for the next connection.
+func (p *Proxy) getBuf() *[]byte  { return p.bufs.Get().(*[]byte) }
+func (p *Proxy) putBuf(b *[]byte) { p.bufs.Put(b) }
 
 // Stats returns a snapshot of the counters. The snapshot is a deep copy
 // assembled from atomics; it never aliases the proxy's mutable state, so
@@ -305,7 +324,11 @@ func (p *Proxy) handle(client net.Conn) {
 			}
 		}
 		if backend < 0 {
-			return // whole pool ejected; drop the connection
+			// Whole pool ejected; drop the connection. The original pick
+			// still charged a flow to orig in the policy — undo it, or the
+			// per-backend accounting leaks one flow forever.
+			p.funnel.FlowClosed(orig, p.now())
+			return
 		}
 		p.fallbacks.Add(1)
 		p.funnel.FlowClosed(orig, p.now()) // undo the original pick's accounting
@@ -338,8 +361,9 @@ func (p *Proxy) handle(client net.Conn) {
 	// Response direction: a blind relay. No timestamps are taken here —
 	// the estimator must work without seeing this traffic, as under DSR.
 	go func() {
-		buf := make([]byte, p.cfg.BufferSize)
-		_, _ = io.CopyBuffer(client, server, buf)
+		bufp := p.getBuf()
+		defer p.putBuf(bufp)
+		_, _ = io.CopyBuffer(client, server, *bufp)
 		closeWrite(client)
 		done <- struct{}{}
 	}()
@@ -348,7 +372,9 @@ func (p *Proxy) handle(client net.Conn) {
 	// timestamp feeds the in-band estimator. Lock-free up to shard
 	// striping: no proxy-global mutex is taken here.
 	go func() {
-		buf := make([]byte, p.cfg.BufferSize)
+		bufp := p.getBuf()
+		defer p.putBuf(bufp)
+		buf := *bufp
 		for {
 			n, rerr := client.Read(buf)
 			if n > 0 {

@@ -2,6 +2,7 @@ package lbproxy
 
 import (
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"inbandlb/internal/control"
 	"inbandlb/internal/core"
 	"inbandlb/internal/memcache"
+	"inbandlb/internal/packet"
 )
 
 // startBackend runs a memcached server on an ephemeral port.
@@ -348,5 +350,114 @@ func TestStatusHandler(t *testing.T) {
 	snap2 := proxy2.Snapshot()
 	if snap2.Weights != nil || snap2.LatenciesMs != nil {
 		t.Error("round robin should not report weights/latencies")
+	}
+}
+
+// flowCountPolicy tracks live flows per backend; Pick charges a flow and
+// FlowClosed discharges it, so leaks show up as a nonzero live count.
+type flowCountPolicy struct {
+	n    int
+	next int
+	live []int64
+}
+
+func newFlowCountPolicy(n int) *flowCountPolicy {
+	return &flowCountPolicy{n: n, live: make([]int64, n)}
+}
+
+func (f *flowCountPolicy) Name() string                                     { return "flowcount" }
+func (f *flowCountPolicy) NumBackends() int                                 { return f.n }
+func (f *flowCountPolicy) ObserveLatency(int, time.Duration, time.Duration) {}
+func (f *flowCountPolicy) FlowClosed(b int, _ time.Duration)                { f.live[b]-- }
+func (f *flowCountPolicy) Pick(_ packet.FlowKey, _ time.Duration) int {
+	b := f.next % f.n
+	f.next++
+	f.live[b]++
+	return b
+}
+
+// TestWholePoolEjectedUndoesPick ejects every backend and verifies that
+// dropped connections undo their pick in the policy: without the
+// FlowClosed(orig) on the drop path, each dropped connection would leak one
+// live flow in the policy's per-backend accounting forever.
+func TestWholePoolEjectedUndoesPick(t *testing.T) {
+	_, addrA := startBackend(t)
+	_, addrB := startBackend(t)
+	pol := newFlowCountPolicy(2)
+	proxy, paddr := startProxy(t, pol, addrA, addrB)
+
+	// Eject the whole pool directly (the prober is off in this config).
+	proxy.down[0].Store(true)
+	proxy.down[1].Store(true)
+
+	for i := 0; i < 4; i++ {
+		c, err := net.DialTimeout("tcp", paddr, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The proxy drops the connection without relaying; wait for EOF.
+		_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 1)
+		if _, err := c.Read(buf); err == nil {
+			t.Error("expected connection to be dropped with the pool ejected")
+		}
+		_ = c.Close()
+	}
+
+	// handle() runs in per-connection goroutines; wait for the accounting
+	// to settle.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		settled := true
+		proxy.funnel.Do(func(control.Policy) {
+			for _, n := range pol.live {
+				if n != 0 {
+					settled = false
+				}
+			}
+		})
+		if settled {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	proxy.funnel.Do(func(control.Policy) {
+		for b, n := range pol.live {
+			if n != 0 {
+				t.Errorf("backend %d: %d live flows leaked in policy accounting", b, n)
+			}
+		}
+	})
+}
+
+// TestRelayBufferPool verifies the relay buffer pool hands out
+// Config.BufferSize buffers, recycles them, and that a get/put cycle is
+// allocation-free in steady state.
+func TestRelayBufferPool(t *testing.T) {
+	p, err := New(Config{
+		Backends:   []string{"127.0.0.1:1"},
+		Policy:     control.NewRoundRobin(1),
+		BufferSize: 8 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	b := p.getBuf()
+	if len(*b) != 8<<10 {
+		t.Fatalf("pooled buffer length %d, want %d", len(*b), 8<<10)
+	}
+	p.putBuf(b)
+
+	// Steady state: a connection's get/put pair must not hit the
+	// allocator. One stray GC clearing the pool mid-run shows up as a
+	// fraction well below 1; a real regression (fresh make per get) as >= 1.
+	allocs := testing.AllocsPerRun(1000, func() {
+		bp := p.getBuf()
+		p.putBuf(bp)
+	})
+	if allocs >= 1 {
+		t.Errorf("relay buffer get/put: %.2f allocs/op, want 0 (pool not reusing)", allocs)
 	}
 }

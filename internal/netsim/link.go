@@ -33,6 +33,14 @@ type Link struct {
 	queued    int           // packets waiting to start transmission
 	stats     LinkStats
 
+	// dequeue is the shared "transmission started" callback; allocated
+	// once so Send schedules it without constructing a closure per packet.
+	dequeue func()
+	// free recycles delivery events (each owns a preallocated closure), so
+	// a packet in flight costs no allocation in steady state. Bounded by
+	// the peak number of packets concurrently in flight on this link.
+	free []*delivery
+
 	// extraDelay, when set, adds delay to each packet's arrival; this is
 	// the injection point used to reproduce the paper's "1 ms delay
 	// inserted on the LB→server path at t = 100 s".
@@ -56,7 +64,41 @@ func NewLink(sim *Sim, name string, delay time.Duration, rate float64, dst Handl
 	if rate < 0 {
 		panic("netsim: negative link rate")
 	}
-	return &Link{sim: sim, name: name, Delay: delay, Rate: rate, dst: dst}
+	l := &Link{sim: sim, name: name, Delay: delay, Rate: rate, dst: dst}
+	l.dequeue = func() { l.queued-- }
+	return l
+}
+
+// delivery is a reusable arrival event: one packet riding the link toward
+// its handler. The closure is built once, when the delivery is first
+// allocated, and the struct is recycled through Link.free afterwards.
+type delivery struct {
+	l  *Link
+	p  *Packet
+	fn func()
+}
+
+// newDelivery takes a recycled delivery or builds one.
+func (l *Link) newDelivery(p *Packet) *delivery {
+	var d *delivery
+	if n := len(l.free); n > 0 {
+		d = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		d = &delivery{l: l}
+		d.fn = func() {
+			pk := d.p
+			// Recycle before dispatch: the handler may immediately Send
+			// again on this link and reuse d for the next packet.
+			d.p = nil
+			d.l.free = append(d.l.free, d)
+			d.l.stats.Delivered++
+			d.l.stats.Bytes += uint64(pk.Size)
+			d.l.dst.HandlePacket(pk)
+		}
+	}
+	d.p = p
+	return d
 }
 
 // Name returns the link's diagnostic name.
@@ -99,7 +141,7 @@ func (l *Link) Send(p *Packet) {
 	l.busyUntil = start + tx
 
 	// The packet leaves the queue when its transmission begins.
-	l.sim.Schedule(start, func() { l.queued-- })
+	l.sim.Schedule(start, l.dequeue)
 
 	arrival := l.busyUntil + l.Delay
 	if l.extraDelay != nil {
@@ -111,11 +153,7 @@ func (l *Link) Send(p *Packet) {
 			arrival += j
 		}
 	}
-	l.sim.Schedule(arrival, func() {
-		l.stats.Delivered++
-		l.stats.Bytes += uint64(p.Size)
-		l.dst.HandlePacket(p)
-	})
+	l.sim.Schedule(arrival, l.newDelivery(p).fn)
 }
 
 // Pipe is a convenience bundle of two opposite links between two handlers,

@@ -8,7 +8,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -18,7 +17,7 @@ import (
 // Run/RunUntil on a single goroutine; no locking is needed inside handlers.
 type Sim struct {
 	now     time.Duration
-	events  eventHeap
+	events  eventQueue
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
@@ -29,19 +28,6 @@ type event struct {
 	seq uint64 // FIFO tie-break for simultaneous events
 	fn  func()
 }
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // NewSim creates a simulator whose random source is seeded with seed.
 func NewSim(seed int64) *Sim {
@@ -56,13 +42,44 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 
 // Schedule runs fn at virtual time at. Scheduling in the past panics: it is
 // always a model bug, and silently reordering would break causality.
+//
+// Schedule itself never heap-allocates (beyond amortized queue growth); a
+// closure literal passed as fn still does. Hot paths that fire the same
+// callback repeatedly should hold the func in a variable — or use a Timer —
+// so each call is allocation-free.
 func (s *Sim) Schedule(at time.Duration, fn func()) {
 	if at < s.now {
 		panic(fmt.Sprintf("netsim: scheduling event at %v before now %v", at, s.now))
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: at, seq: s.seq, fn: fn})
+	s.events.push(event{at: at, seq: s.seq, fn: fn})
 }
+
+// Timer is a reusable scheduled event: the callback is allocated once, at
+// NewTimer, and re-armed with Schedule/After at zero allocations per arming.
+// Periodic drivers (link serialization, closed-loop workloads) use it to
+// keep closure construction off the per-event path.
+//
+// A Timer may be armed multiple times concurrently-in-virtual-time; each
+// arming is an independent event. Like all of Sim, it is single-goroutine.
+type Timer struct {
+	sim *Sim
+	fn  func()
+}
+
+// NewTimer creates a reusable event invoking fn.
+func (s *Sim) NewTimer(fn func()) *Timer {
+	if fn == nil {
+		panic("netsim: NewTimer requires a callback")
+	}
+	return &Timer{sim: s, fn: fn}
+}
+
+// Schedule arms the timer to fire at virtual time at.
+func (t *Timer) Schedule(at time.Duration) { t.sim.Schedule(at, t.fn) }
+
+// After arms the timer to fire d from now. Negative d is clamped to zero.
+func (t *Timer) After(d time.Duration) { t.sim.After(d, t.fn) }
 
 // After runs fn d from now. Negative d is clamped to zero.
 func (s *Sim) After(d time.Duration, fn func()) {
@@ -73,14 +90,15 @@ func (s *Sim) After(d time.Duration, fn func()) {
 }
 
 // Every invokes fn at start and then every interval until fn returns false
-// or the simulation stops.
+// or the simulation stops. One Timer carries every tick, so re-arming
+// allocates nothing after the initial call.
 func (s *Sim) Every(start, interval time.Duration, fn func() bool) {
 	if interval <= 0 {
 		panic("netsim: Every interval must be positive")
 	}
-	var tick func()
+	var t *Timer
 	at := start
-	tick = func() {
+	t = s.NewTimer(func() {
 		if s.stopped {
 			return
 		}
@@ -88,9 +106,9 @@ func (s *Sim) Every(start, interval time.Duration, fn func() bool) {
 			return
 		}
 		at += interval
-		s.Schedule(at, tick)
-	}
-	s.Schedule(start, tick)
+		t.Schedule(at)
+	})
+	t.Schedule(start)
 }
 
 // Run processes events until the queue drains or Stop is called. It returns
@@ -112,11 +130,11 @@ func (s *Sim) RunUntil(t time.Duration) int {
 
 func (s *Sim) run(until time.Duration) int {
 	n := 0
-	for len(s.events) > 0 && !s.stopped {
-		if until >= 0 && s.events[0].at > until {
+	for s.events.Len() > 0 && !s.stopped {
+		if until >= 0 && s.events.min().at > until {
 			break
 		}
-		e := heap.Pop(&s.events).(event)
+		e := s.events.pop()
 		s.now = e.at
 		e.fn()
 		n++
@@ -136,4 +154,4 @@ func (s *Sim) Stopped() bool { return s.stopped }
 func (s *Sim) Resume() { s.stopped = false }
 
 // Pending returns the number of queued events.
-func (s *Sim) Pending() int { return len(s.events) }
+func (s *Sim) Pending() int { return s.events.Len() }

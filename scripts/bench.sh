@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench.sh — run the headline hot-path benchmarks with -benchmem and emit a
+# machine-readable BENCH_<rev>.json so the performance trajectory is
+# comparable PR-over-PR (CI uploads the file as a non-blocking artifact;
+# results/bench/ keeps committed snapshots).
+#
+# Usage:
+#   scripts/bench.sh                  # 1s benchtime, writes results/bench/BENCH_<rev>.json
+#   BENCHTIME=100x scripts/bench.sh   # CI smoke setting
+#   OUT_DIR=/tmp scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+rev=$(git describe --always --dirty 2>/dev/null || echo unknown)
+benchtime=${BENCHTIME:-1s}
+out_dir=${OUT_DIR:-results/bench}
+mkdir -p "$out_dir"
+out="$out_dir/BENCH_${rev}.json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+pattern='BenchmarkLBPacketPath$|BenchmarkEstimatorPerPacket$|BenchmarkSharedLadderPerPacket$|BenchmarkFig2|BenchmarkProxyConcurrentConns|BenchmarkFlowTableParallel'
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee "$raw"
+
+# Convert `go test -bench` lines into JSON: one object per benchmark, with
+# every reported "<value> <unit>" pair (ns/op, B/op, allocs/op, and any
+# b.ReportMetric custom units) under metrics.
+awk -v rev="$rev" -v benchtime="$benchtime" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    iters = $2
+    m = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if (m != "") m = m ", "
+        m = m "\"" $(i+1) "\": " $(i)
+    }
+    if (n++) body = body ",\n"
+    body = body "    {\"name\": \"" name "\", \"iters\": " iters ", \"metrics\": {" m "}}"
+}
+END {
+    print "{"
+    print "  \"rev\": \"" rev "\","
+    print "  \"benchtime\": \"" benchtime "\","
+    print "  \"benchmarks\": ["
+    print body
+    print "  ]"
+    print "}"
+}' "$raw" > "$out"
+
+echo "wrote $out"
