@@ -298,6 +298,28 @@ func BenchmarkFlowTableParallel(b *testing.B) {
 			}
 		})
 	})
+	// The proxy hashes each flow key once and reuses the hash for shard
+	// selection, sample aggregation, and routing; this variant measures
+	// that path, where the sharded table's only overhead over the raw
+	// FlowTable call is one mask-and-index.
+	b.Run("sharded-prehashed", func(b *testing.B) {
+		tbl := core.MustSharded(core.FlowTableConfig{}, runtime.GOMAXPROCS(0))
+		var workerIDs atomic.Int64
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			keys := benchWorkerKeys(int(workerIDs.Add(1)))
+			hashes := make([]uint64, len(keys))
+			for i, k := range keys {
+				hashes[i] = k.Hash()
+			}
+			now := time.Duration(0)
+			for i := 0; pb.Next(); i++ {
+				now += 5 * time.Microsecond
+				j := i % len(keys)
+				tbl.ObserveHashed(hashes[j], keys[j], now)
+			}
+		})
+	})
 }
 
 // BenchmarkMeasurementPathParallel compares the proxy's full per-read
@@ -305,9 +327,11 @@ func BenchmarkFlowTableParallel(b *testing.B) {
 // baseline reproduces the old design: one global mutex held across the
 // flow-table lookup, estimator update, AND the policy's sample handling
 // (EWMA update plus occasional Maglev table rebuild — all inline on the
-// read path). The new path is a sharded table observe plus a non-blocking
-// funnel handoff; control work runs on the funnel's consumer instead of
-// under the readers' lock.
+// read path). The funnel variant replaced that with a sharded table
+// observe plus a channel handoff to a consumer goroutine; the controller
+// variant — the current proxy path — batches samples in per-shard
+// accumulators merged once per control tick, with the flow hash computed
+// once and reused across both stages.
 func BenchmarkMeasurementPathParallel(b *testing.B) {
 	newLA := func(b *testing.B) *control.LatencyAware {
 		la, err := control.NewLatencyAware(control.LatencyAwareConfig{
@@ -368,6 +392,36 @@ func BenchmarkMeasurementPathParallel(b *testing.B) {
 				sample, ok := tbl.Observe(keys[i%len(keys)], now)
 				if ok {
 					funnel.ObserveLatency(w%4, now, sample)
+				}
+			}
+		})
+	})
+	// The current proxy path: one hash per packet reused for flow-shard
+	// selection and sample aggregation, samples batched shard-locally and
+	// merged by a background control tick instead of a channel handoff.
+	b.Run("sharded-controller", func(b *testing.B) {
+		tbl := core.MustSharded(core.FlowTableConfig{}, runtime.GOMAXPROCS(0))
+		ctrl := control.NewController(newLA(b), control.ControllerConfig{
+			Shards: runtime.GOMAXPROCS(0), Interval: 2 * time.Millisecond,
+		})
+		ctrl.Start()
+		defer ctrl.Close()
+		var workerIDs atomic.Int64
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			w := int(workerIDs.Add(1))
+			keys := benchWorkerKeys(w)
+			hashes := make([]uint64, len(keys))
+			for i, k := range keys {
+				hashes[i] = k.Hash()
+			}
+			now := time.Duration(0)
+			for i := 0; pb.Next(); i++ {
+				now = step(now, i)
+				j := i % len(keys)
+				sample, ok := tbl.ObserveHashed(hashes[j], keys[j], now)
+				if ok {
+					ctrl.ObserveSharded(hashes[j], w%4, now, sample)
 				}
 			}
 		})

@@ -39,8 +39,9 @@ func main() {
 		hysteresis = flag.Float64("hysteresis", 1.3, "latency-aware: worst/best ratio required to shift")
 		halfLife   = flag.Duration("half-life", 20*time.Millisecond, "per-server latency EWMA half-life")
 		seed       = flag.Int64("seed", 1, "random seed for randomized policies")
-		shards     = flag.Int("shards", 0, "flow-table shard count (0 = GOMAXPROCS)")
-		sampleBuf  = flag.Int("sample-buffer", 0, "latency samples buffered to the policy consumer (0 = default 4096)")
+		shards     = flag.Int("shards", 0, "flow-table and sample-aggregator shard count (0 = GOMAXPROCS)")
+		sampleBuf  = flag.Int("sample-buffer", 0, "deprecated: sample aggregation is lossless; value is ignored")
+		ctrlEvery  = flag.Duration("control-interval", 0, "control tick period: sample merge + snapshot republish (0 = default 2ms)")
 		report     = flag.Duration("report-every", 0, "periodic stats report interval (0 = off)")
 		health     = flag.Duration("health-interval", time.Second, "active health-probe period (0 = disabled)")
 		statusAddr = flag.String("status-addr", "", "serve JSON status at http://<addr>/ (empty = off)")
@@ -60,12 +61,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *sampleBuf != 0 {
+		fmt.Fprintln(os.Stderr, "lbproxy: -sample-buffer is deprecated and ignored (aggregation is lossless)")
+	}
 	proxy, err := lbproxy.New(lbproxy.Config{
-		Backends:       addrs,
-		Policy:         pol,
-		Shards:         *shards,
-		SampleBuffer:   *sampleBuf,
-		HealthInterval: *health,
+		Backends:        addrs,
+		Policy:          pol,
+		Shards:          *shards,
+		ControlInterval: *ctrlEvery,
+		HealthInterval:  *health,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lbproxy: %v\n", err)

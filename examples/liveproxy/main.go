@@ -148,8 +148,9 @@ func run() error {
 		return err
 	}
 
-	// Quiesce the proxy before reading the policy directly: Close flushes
-	// the sample funnel, after which no goroutine touches the policy.
+	// Quiesce the proxy before reading the policy directly: Close runs the
+	// controller's final flush tick, after which no goroutine touches the
+	// policy.
 	_ = proxy.Close()
 	st := proxy.Stats()
 	fmt.Println("\n---")

@@ -1,0 +1,101 @@
+package control
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// sampleCell accumulates the latency observations one aggregator shard has
+// seen for one backend since the last drain: count/sum for the batch mean,
+// min/max for dispersion, and the arrival time of the newest sample (the
+// timestamp the merged observation is applied at, so a tick after every
+// sample reproduces per-sample policy behavior exactly).
+type sampleCell struct {
+	count    int64
+	sum      time.Duration
+	min, max time.Duration
+	last     time.Duration
+}
+
+func (c *sampleCell) add(now, sample time.Duration) {
+	if c.count == 0 || sample < c.min {
+		c.min = sample
+	}
+	if c.count == 0 || sample > c.max {
+		c.max = sample
+	}
+	c.count++
+	c.sum += sample
+	c.last = now
+}
+
+// aggShard is one stripe of the aggregator. Each shard's cells live in a
+// separately allocated slice and the shard struct itself is padded to two
+// cache lines, so concurrent writers on different shards never false-share
+// — neither on the mutexes nor on the cells.
+type aggShard struct {
+	mu    sync.Mutex
+	cells []sampleCell
+	_     [128 - 32]byte
+}
+
+// aggregator batches latency observations shard-locally so the per-packet
+// measurement path never synchronizes on global control state. Writers pick
+// a shard by flow hash (the same stripe their flow-table shard uses, so a
+// dataplane thread touches one set of cache lines), fold the sample into
+// that shard's per-backend cell under the shard's own mutex, and return.
+// The control tick drains every shard — one bounded merge per control
+// interval instead of one synchronized operation per packet. Aggregation
+// is lossless: cells accumulate count and sum, so no sample is ever shed
+// regardless of how far apart ticks are.
+type aggregator struct {
+	shards []aggShard
+	mask   uint64
+}
+
+// newAggregator creates an aggregator with the given stripe count, rounded
+// up to a power of two; shards <= 0 defaults to runtime.GOMAXPROCS(0).
+func newAggregator(shards, backends int) *aggregator {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	a := &aggregator{
+		shards: make([]aggShard, n),
+		mask:   uint64(n - 1),
+	}
+	for i := range a.shards {
+		a.shards[i].cells = make([]sampleCell, backends)
+	}
+	return a
+}
+
+// observe folds one latency sample for backend b into the shard selected
+// by hash. It takes only that shard's mutex and never allocates or blocks
+// on the control plane.
+func (a *aggregator) observe(hash uint64, b int, now, sample time.Duration) {
+	s := &a.shards[hash&a.mask]
+	s.mu.Lock()
+	s.cells[b].add(now, sample)
+	s.mu.Unlock()
+}
+
+// drainShard copies shard i's cells into out (len >= backends) and resets
+// them, holding the shard mutex only for the copy. It returns the number of
+// samples drained.
+func (a *aggregator) drainShard(i int, out []sampleCell) int64 {
+	s := &a.shards[i]
+	var n int64
+	s.mu.Lock()
+	copy(out, s.cells)
+	for j := range s.cells {
+		n += s.cells[j].count
+		s.cells[j] = sampleCell{}
+	}
+	s.mu.Unlock()
+	return n
+}

@@ -1,0 +1,378 @@
+package control
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inbandlb/internal/packet"
+)
+
+// Weighted is implemented by policies that expose a weight vector
+// (LatencyAware, Proportional); Controllers copy it into Snapshots.
+type Weighted interface {
+	Weights() []float64
+}
+
+// ControllerConfig parameterizes a Controller.
+type ControllerConfig struct {
+	// Shards is the sample-aggregator stripe count, rounded up to a power
+	// of two. Zero defaults to runtime.GOMAXPROCS(0). Use the same value
+	// as the flow-table shard count so a dataplane thread feeding flow
+	// shard i aggregates into sample shard i.
+	Shards int
+	// Interval is the control tick period used by Start: how often queued
+	// samples are merged into the policy and the routing snapshot is
+	// republished. It bounds snapshot staleness. Zero defaults to 2 ms.
+	Interval time.Duration
+	// Now supplies the controller clock for background ticks (the proxy
+	// passes its monotonic since-start clock so sample timestamps and tick
+	// timestamps share a timebase). Nil defaults to time-since-creation.
+	// Drivers that call Tick directly (the simulator) never use it.
+	Now func() time.Duration
+}
+
+// Controller splits the data plane from the control plane around a
+// single-threaded Policy:
+//
+//   - The data plane routes via an immutable Snapshot loaded from an
+//     atomic.Pointer: Pick and Route are pure reads — no mutex, no
+//     channel, zero allocations — when the policy is a TableSource.
+//     Policies with per-pick state (RoundRobin, LeastConn, P2C) publish no
+//     snapshot and fall back to a mutex around the policy.
+//   - Latency samples are folded into per-shard, cache-line-padded
+//     accumulators (see aggregator) — shard-local work, never a global
+//     lock, never a channel send, and lossless: nothing is dropped under
+//     load.
+//   - The control plane is the tick: every Interval the Controller merges
+//     all shards into the policy (one ObserveLatency per non-empty
+//     shard×backend cell, carrying the batch mean at the newest sample's
+//     timestamp), then republishes the snapshot if the policy replaced
+//     its table. Routing therefore lags policy state by at most one
+//     control interval — the staleness bound DESIGN.md documents.
+//
+// Controller implements Policy, so it drops in anywhere a Funnel did. The
+// wrapped policy never sees concurrent calls, exactly as the Policy
+// contract promises. FlowClosed and non-snapshot Picks are applied
+// synchronously under the internal mutex (they are per-connection, not
+// per-packet).
+type Controller struct {
+	policy Policy
+	src    TableSource // nil when the policy keeps no immutable table
+	cfg    ControllerConfig
+
+	mu        sync.Mutex // serializes every call into policy
+	agg       *aggregator
+	scratch   []sampleCell // drain buffer, reused every tick
+	lastMerge []TickStat   // per-backend summary of the newest tick
+	ejected   []bool       // health eject set (mirrored into snapshots)
+	healthy   int
+	ejDirty   bool
+	gen       uint64
+
+	snap      atomic.Pointer[Snapshot]
+	delivered atomic.Uint64
+
+	start     time.Time
+	startOnce sync.Once
+	closeOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+	running   bool
+}
+
+// TickStat summarizes the samples merged for one backend during the most
+// recent tick. Count is zero for backends with no samples that tick.
+type TickStat struct {
+	Count    int64
+	Mean     time.Duration
+	Min, Max time.Duration
+	Last     time.Duration // arrival time of the newest merged sample
+}
+
+// NewController wraps policy. The returned controller has an up-to-date
+// snapshot published (when the policy is a TableSource) and is ready for
+// concurrent use; call Start to run the background tick loop, or drive
+// Tick directly from a single-threaded event loop.
+func NewController(policy Policy, cfg ControllerConfig) *Controller {
+	if policy == nil {
+		panic("control: controller needs a policy")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Millisecond
+	}
+	n := policy.NumBackends()
+	c := &Controller{
+		policy:    policy,
+		cfg:       cfg,
+		agg:       newAggregator(cfg.Shards, n),
+		scratch:   make([]sampleCell, n),
+		lastMerge: make([]TickStat, n),
+		ejected:   make([]bool, n),
+		healthy:   n,
+		start:     time.Now(),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	if cfg.Now == nil {
+		c.cfg.Now = func() time.Duration { return time.Since(c.start) }
+	}
+	c.src, _ = policy.(TableSource)
+	c.mu.Lock()
+	c.republishLocked()
+	c.mu.Unlock()
+	return c
+}
+
+// Name implements Policy.
+func (c *Controller) Name() string { return c.policy.Name() }
+
+// NumBackends implements Policy.
+func (c *Controller) NumBackends() int { return c.policy.NumBackends() }
+
+// Pick implements Policy. For TableSource policies it is a pure read on
+// the current snapshot — lock-free and allocation-free; otherwise the
+// policy is consulted under the mutex. Health ejection is Route's job, not
+// Pick's: Pick preserves the Policy contract exactly.
+func (c *Controller) Pick(key packet.FlowKey, now time.Duration) int {
+	if s := c.snap.Load(); s != nil {
+		return s.table.Lookup(key.Hash())
+	}
+	c.mu.Lock()
+	b := c.policy.Pick(key, now)
+	c.mu.Unlock()
+	return b
+}
+
+// Route picks a healthy backend for a new flow, applying the eject set.
+// On the snapshot path this is lock-free. On the mutex path (stateful
+// policies) a pick that lands on an ejected backend is re-pointed to the
+// next healthy index and the original pick's occupancy accounting is
+// undone via FlowClosed, so per-backend counters do not leak. Returns -1
+// when the whole pool is ejected (any charged pick is undone first).
+func (c *Controller) Route(key packet.FlowKey, now time.Duration) (backend int, fellBack bool) {
+	return c.RouteHashed(key.Hash(), key, now)
+}
+
+// RouteHashed is Route for callers that already computed key.Hash() — the
+// proxy hashes each flow key once and reuses it for routing, flow-shard
+// selection, and sample aggregation. hash must equal key.Hash().
+func (c *Controller) RouteHashed(hash uint64, key packet.FlowKey, now time.Duration) (backend int, fellBack bool) {
+	if s := c.snap.Load(); s != nil {
+		return s.RouteHash(hash)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.policy.Pick(key, now)
+	if b < 0 || b >= len(c.ejected) {
+		return -1, false
+	}
+	if !c.ejected[b] {
+		return b, false
+	}
+	orig := b
+	c.policy.FlowClosed(orig, now) // undo the pick's occupancy accounting
+	if c.healthy == 0 {
+		return -1, false
+	}
+	n := len(c.ejected)
+	for i := 1; i < n; i++ {
+		if cand := (orig + i) % n; !c.ejected[cand] {
+			return cand, true
+		}
+	}
+	return -1, false
+}
+
+// ObserveLatency implements Policy: the sample is folded into a shard
+// accumulator and applied to the policy at the next Tick. Callers that
+// know their flow hash should prefer ObserveSharded, which keeps each
+// dataplane thread on its own stripe; this variant derives a stripe from
+// the timestamp, which is correct but spreads one caller across stripes.
+func (c *Controller) ObserveLatency(b int, now, sample time.Duration) {
+	c.agg.observe(uint64(now)*0x9e3779b97f4a7c15, b, now, sample)
+}
+
+// ObserveSharded folds a latency sample using the flow's hash to select
+// the aggregation stripe — the proxy passes the same hash that selected
+// the flow-table shard, so the per-read path touches one stripe's cache
+// lines. Never blocks, never allocates, never drops.
+func (c *Controller) ObserveSharded(hash uint64, b int, now, sample time.Duration) {
+	c.agg.observe(hash, b, now, sample)
+}
+
+// FlowClosed implements Policy, serialized with ticks.
+func (c *Controller) FlowClosed(b int, now time.Duration) {
+	c.mu.Lock()
+	c.policy.FlowClosed(b, now)
+	c.mu.Unlock()
+}
+
+// Tick runs one control interval: drain every aggregator shard into the
+// policy, then republish the routing snapshot if the policy replaced its
+// table (or the eject set changed). Safe to call concurrently with the
+// data plane; single-threaded drivers (the simulator, via the Ticker
+// interface) call it directly with their own clock.
+func (c *Controller) Tick(now time.Duration) {
+	c.mu.Lock()
+	var applied int64
+	for i := range c.lastMerge {
+		c.lastMerge[i] = TickStat{}
+	}
+	for si := range c.agg.shards {
+		if c.agg.drainShard(si, c.scratch) == 0 {
+			continue
+		}
+		for b := range c.scratch {
+			cell := &c.scratch[b]
+			if cell.count == 0 {
+				continue
+			}
+			mean := cell.sum / time.Duration(cell.count)
+			c.policy.ObserveLatency(b, cell.last, mean)
+			applied += cell.count
+			m := &c.lastMerge[b]
+			if m.Count == 0 || cell.min < m.Min {
+				m.Min = cell.min
+			}
+			if m.Count == 0 || cell.max > m.Max {
+				m.Max = cell.max
+			}
+			if cell.last > m.Last {
+				m.Last = cell.last
+			}
+			// Mean over all of this backend's cells, weighted by count.
+			m.Mean = (m.Mean*time.Duration(m.Count) + cell.sum) / time.Duration(m.Count+cell.count)
+			m.Count += cell.count
+		}
+	}
+	c.republishLocked()
+	c.mu.Unlock()
+	if applied != 0 {
+		c.delivered.Add(uint64(applied))
+	}
+}
+
+// republishLocked publishes a fresh snapshot when the policy's table or
+// the eject set changed since the last publication. Caller holds c.mu.
+func (c *Controller) republishLocked() {
+	if c.src == nil {
+		return
+	}
+	t := c.src.Table()
+	cur := c.snap.Load()
+	if cur != nil && cur.table == t && !c.ejDirty {
+		return
+	}
+	c.gen++
+	s := &Snapshot{
+		gen:     c.gen,
+		policy:  c.policy.Name(),
+		table:   t,
+		ejected: append([]bool(nil), c.ejected...),
+		healthy: c.healthy,
+	}
+	if w, ok := c.policy.(Weighted); ok {
+		s.weights = w.Weights()
+	}
+	c.ejDirty = false
+	c.snap.Store(s)
+}
+
+// SetEjected marks backend i health-ejected (down=true) or healthy. The
+// change republishes the snapshot immediately — health reactions do not
+// wait for the next tick. No-op when the state is unchanged.
+func (c *Controller) SetEjected(i int, down bool) {
+	c.mu.Lock()
+	if i >= 0 && i < len(c.ejected) && c.ejected[i] != down {
+		c.ejected[i] = down
+		if down {
+			c.healthy--
+		} else {
+			c.healthy++
+		}
+		c.ejDirty = true
+		c.republishLocked()
+	}
+	c.mu.Unlock()
+}
+
+// Ejected reports backend i's current eject bit.
+func (c *Controller) Ejected(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ejected[i]
+}
+
+// Snapshot returns the currently published routing snapshot, or nil when
+// the wrapped policy is not a TableSource.
+func (c *Controller) Snapshot() *Snapshot { return c.snap.Load() }
+
+// Generation returns the current snapshot's generation (0 before any
+// publication, i.e. for non-TableSource policies).
+func (c *Controller) Generation() uint64 {
+	if s := c.snap.Load(); s != nil {
+		return s.gen
+	}
+	return 0
+}
+
+// LastTick returns a copy of the per-backend merge summary from the most
+// recent tick.
+func (c *Controller) LastTick() []TickStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]TickStat(nil), c.lastMerge...)
+}
+
+// Do runs fn with the wrapped policy under the serialization lock. It is
+// how callers read policy-specific state (weights, per-server latency)
+// without racing a tick. The state fn sees includes every sample merged by
+// completed ticks; samples still in the aggregator are not yet applied.
+func (c *Controller) Do(fn func(Policy)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fn(c.policy)
+}
+
+// Delivered returns how many samples ticks have applied to the policy.
+func (c *Controller) Delivered() uint64 { return c.delivered.Load() }
+
+// Dropped returns 0: unlike the Funnel's bounded queue, shard aggregation
+// is lossless, so no sample is ever shed. Kept so callers migrating from
+// Funnel preserve their accounting identities.
+func (c *Controller) Dropped() uint64 { return 0 }
+
+// Start launches the background tick loop at the configured Interval.
+// Idempotent; Close stops it.
+func (c *Controller) Start() {
+	c.startOnce.Do(func() {
+		c.running = true
+		go func() {
+			defer close(c.done)
+			t := time.NewTicker(c.cfg.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-c.stop:
+					return
+				case <-t.C:
+					c.Tick(c.cfg.Now())
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the background tick loop (if started) and runs a final Tick
+// so every sample observed before Close is applied to the policy —
+// Delivered then accounts for every observation. Idempotent.
+func (c *Controller) Close() {
+	c.closeOnce.Do(func() {
+		if c.running {
+			close(c.stop)
+			<-c.done
+		}
+		c.Tick(c.cfg.Now())
+	})
+}

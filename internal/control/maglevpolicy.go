@@ -46,6 +46,10 @@ func (m *MaglevStatic) ObserveLatency(int, time.Duration, time.Duration) {}
 // FlowClosed implements Policy (ignored).
 func (m *MaglevStatic) FlowClosed(int, time.Duration) {}
 
+// Table implements TableSource: the routing state is the (immutable) table
+// itself, so a Controller can serve picks from snapshots.
+func (m *MaglevStatic) Table() *maglev.Table { return m.table }
+
 // P2C is power-of-two-choices guided by the in-band latency signal: sample
 // two distinct backends uniformly and route to the one with the lower EWMA
 // latency (falling back to fewer active flows, then the lower index, when
@@ -173,6 +177,7 @@ type LatencyAwareConfig struct {
 type LatencyAware struct {
 	cfg     LatencyAwareConfig
 	weights []float64
+	builder *maglev.Builder
 	table   *maglev.Table
 	lat     *core.ServerLatency
 
@@ -208,9 +213,14 @@ func NewLatencyAware(cfg LatencyAwareConfig) (*LatencyAware, error) {
 	for i := range weights {
 		weights[i] = 1.0 / float64(n)
 	}
+	builder, err := maglev.NewBuilder(cfg.TableSize, cfg.Backends)
+	if err != nil {
+		return nil, err
+	}
 	la := &LatencyAware{
 		cfg:     cfg,
 		weights: weights,
+		builder: builder,
 		lat:     core.NewServerLatency(n, cfg.Latency),
 	}
 	if err := la.rebuild(); err != nil {
@@ -331,11 +341,10 @@ func (la *LatencyAware) shiftFrom(worst int) bool {
 }
 
 func (la *LatencyAware) rebuild() error {
-	backends := make([]maglev.Backend, len(la.cfg.Backends))
-	for i, name := range la.cfg.Backends {
-		backends[i] = maglev.Backend{Name: name, Weight: la.weights[i]}
-	}
-	t, err := maglev.New(la.cfg.TableSize, backends)
+	// The builder reuses cached per-backend permutations, so each shift
+	// pays only for the population walk (and nothing at all when the
+	// weights round-trip back to a previously built vector).
+	t, err := la.builder.Build(la.weights)
 	if err != nil {
 		return err
 	}
@@ -343,6 +352,10 @@ func (la *LatencyAware) rebuild() error {
 	la.updates++
 	return nil
 }
+
+// Table implements TableSource: the current (immutable) routing table, for
+// snapshot publication by a Controller.
+func (la *LatencyAware) Table() *maglev.Table { return la.table }
 
 // Share returns the fraction of Maglev slots currently owned by backend i —
 // the live hash-table state the paper instruments to show millisecond

@@ -19,10 +19,11 @@ import (
 // Concurrency contract: implementations are single-threaded and need no
 // internal locking. Callers guarantee that no two Policy methods run
 // concurrently — the simulator calls policies from its one dataplane
-// goroutine, and the live proxy serializes all policy calls through a
-// Funnel, which batches the parallel measurement path's samples into a
-// single consumer goroutine. New callers with concurrent flows must wrap
-// their policy in a Funnel (or equivalent serialization) rather than make
+// goroutine, and the live proxy wraps its policy in a Controller, which
+// batches the parallel measurement path's samples into per-shard
+// accumulators merged under one lock at control ticks, and serves routing
+// from immutable snapshots. New callers with concurrent flows must wrap
+// their policy in a Controller (or the legacy Funnel) rather than make
 // implementations lock internally.
 type Policy interface {
 	// Name identifies the policy in reports.

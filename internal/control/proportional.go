@@ -49,6 +49,7 @@ type ProportionalConfig struct {
 type Proportional struct {
 	cfg     ProportionalConfig
 	weights []float64
+	builder *maglev.Builder
 	table   *maglev.Table
 	lat     *core.ServerLatency
 
@@ -96,9 +97,14 @@ func NewProportional(cfg ProportionalConfig) (*Proportional, error) {
 		return nil, fmt.Errorf("control: restore %v outside [0,1]", cfg.Restore)
 	}
 	n := len(cfg.Backends)
+	builder, err := maglev.NewBuilder(cfg.TableSize, cfg.Backends)
+	if err != nil {
+		return nil, err
+	}
 	p := &Proportional{
 		cfg:     cfg,
 		weights: make([]float64, n),
+		builder: builder,
 		lat:     core.NewServerLatency(n, cfg.Latency),
 	}
 	for i := range p.weights {
@@ -241,11 +247,7 @@ func (p *Proportional) step(now time.Duration) {
 }
 
 func (p *Proportional) rebuild() error {
-	backends := make([]maglev.Backend, len(p.cfg.Backends))
-	for i, name := range p.cfg.Backends {
-		backends[i] = maglev.Backend{Name: name, Weight: p.weights[i]}
-	}
-	t, err := maglev.New(p.cfg.TableSize, backends)
+	t, err := p.builder.Build(p.weights)
 	if err != nil {
 		return err
 	}
@@ -253,3 +255,7 @@ func (p *Proportional) rebuild() error {
 	p.updates++
 	return nil
 }
+
+// Table implements TableSource: the current (immutable) routing table, for
+// snapshot publication by a Controller.
+func (p *Proportional) Table() *maglev.Table { return p.table }

@@ -1,0 +1,100 @@
+package control
+
+import (
+	"time"
+
+	"inbandlb/internal/maglev"
+	"inbandlb/internal/packet"
+)
+
+// Snapshot is an immutable routing view published by a Controller: the
+// policy's current Maglev table, weight vector, and health eject set,
+// stamped with a generation counter. The data plane routes against a
+// Snapshot with pure reads — no mutex, no channel, no allocation — while
+// the control plane builds and publishes the next one. A Snapshot is never
+// mutated after publication; readers that loaded an old snapshot keep a
+// consistent (at most one control interval stale) view until their next
+// load.
+type Snapshot struct {
+	gen     uint64
+	policy  string
+	table   *maglev.Table
+	weights []float64
+	ejected []bool
+	healthy int
+}
+
+// Generation returns the publication counter; it increases by one with
+// every published snapshot, so readers can detect change cheaply.
+func (s *Snapshot) Generation() uint64 { return s.gen }
+
+// PolicyName returns the routing policy's name.
+func (s *Snapshot) PolicyName() string { return s.policy }
+
+// NumBackends returns the pool size.
+func (s *Snapshot) NumBackends() int { return len(s.ejected) }
+
+// Weights returns a copy of the weight vector the table was built from
+// (nil for unweighted policies).
+func (s *Snapshot) Weights() []float64 {
+	if s.weights == nil {
+		return nil
+	}
+	return append([]float64(nil), s.weights...)
+}
+
+// Ejected reports whether backend i is currently health-ejected.
+func (s *Snapshot) Ejected(i int) bool { return s.ejected[i] }
+
+// PickHash maps a flow hash to a backend index, ignoring health ejection.
+func (s *Snapshot) PickHash(hash uint64) int { return s.table.Lookup(hash) }
+
+// Pick maps a flow key to a backend index, ignoring health ejection.
+func (s *Snapshot) Pick(key packet.FlowKey) int { return s.table.Lookup(key.Hash()) }
+
+// Route maps a flow key to a healthy backend. When the table's pick is
+// health-ejected it falls back deterministically to the next healthy index
+// (scanning upward with wraparound, the same rule for every LB replica so
+// a flow remaps identically everywhere) and reports fellBack. When every
+// backend is ejected it returns -1.
+func (s *Snapshot) Route(key packet.FlowKey) (backend int, fellBack bool) {
+	return s.RouteHash(key.Hash())
+}
+
+// RouteHash is Route over a precomputed flow hash.
+func (s *Snapshot) RouteHash(hash uint64) (backend int, fellBack bool) {
+	b := s.table.Lookup(hash)
+	if s.healthy == len(s.ejected) || !s.ejected[b] {
+		return b, false
+	}
+	if s.healthy == 0 {
+		return -1, false
+	}
+	n := len(s.ejected)
+	for i := 1; i < n; i++ {
+		if cand := (b + i) % n; !s.ejected[cand] {
+			return cand, true
+		}
+	}
+	return -1, false
+}
+
+// TableSource is implemented by policies whose routing state is an
+// immutable Maglev table (MaglevStatic, LatencyAware, Proportional). A
+// Controller wrapping a TableSource serves Pick from published Snapshots
+// instead of taking the policy mutex.
+type TableSource interface {
+	// Table returns the current routing table. The returned table must be
+	// immutable; the policy replaces (never mutates) it on weight changes.
+	Table() *maglev.Table
+}
+
+// Ticker is implemented by policy wrappers that batch control work behind
+// a periodic tick (the Controller). Single-threaded drivers with their own
+// clock — the simulator — call Tick directly instead of starting the
+// wrapper's wall-clock ticker.
+type Ticker interface {
+	// Tick applies all latency samples observed since the previous Tick
+	// and republishes the routing snapshot if the policy changed it.
+	Tick(now time.Duration)
+}

@@ -18,28 +18,26 @@ import (
 // NewShardedFlowTable). With one shard it is behaviourally identical to a
 // mutex-wrapped FlowTable.
 //
-// All methods are safe for concurrent use. Aggregate counters (Len,
-// Evictions, Rejected) are plain atomics, so reading them never contends
-// with the hot path.
+// All methods are safe for concurrent use. The hot path (Observe) does
+// exactly one thing beyond the underlying FlowTable call: lock the owning
+// shard. Aggregate counters (Len, Evictions, Rejected) are computed on read
+// by briefly locking each shard in turn — stats are read a few times per
+// second, packets arrive millions of times per second, so the cost lives on
+// the right side.
 type ShardedFlowTable struct {
 	shards []flowShard
 	mask   uint64 // len(shards)-1; shard count is a power of two
 
-	// Aggregates, updated by delta after each shard operation so reads
-	// are lock-free.
-	tracked   atomic.Int64
-	evictions atomic.Uint64
-	rejected  atomic.Uint64
-
 	sweepCursor atomic.Uint64
 }
 
-// flowShard is padded out to a cache line so neighbouring shard mutexes do
-// not false-share under parallel load.
+// flowShard is padded out to two cache lines so neighbouring shard mutexes
+// do not false-share under parallel load (two lines, not one, because the
+// adjacent-line spatial prefetcher pulls 128-byte pairs).
 type flowShard struct {
 	mu sync.Mutex
 	ft *FlowTable
-	_  [64 - 16]byte
+	_  [128 - 16]byte
 }
 
 // NewShardedFlowTable creates a table with the given shard count, rounded
@@ -100,25 +98,21 @@ func (t *ShardedFlowTable) shard(key packet.FlowKey) *flowShard {
 
 // Observe feeds one packet arrival into the flow's shard, creating the flow
 // on first sight, and returns the latency sample produced, if any. Only the
-// owning shard's mutex is held.
+// owning shard's mutex is held, for exactly the duration of the underlying
+// FlowTable call.
 func (t *ShardedFlowTable) Observe(key packet.FlowKey, now time.Duration) (time.Duration, bool) {
-	s := t.shard(key)
+	return t.ObserveHashed(key.Hash(), key, now)
+}
+
+// ObserveHashed is Observe for callers that already computed key.Hash() —
+// the proxy hashes each flow key once and reuses it for shard selection
+// here, sample aggregation, and routing, instead of re-hashing per call.
+// hash must equal key.Hash().
+func (t *ShardedFlowTable) ObserveHashed(hash uint64, key packet.FlowKey, now time.Duration) (time.Duration, bool) {
+	s := &t.shards[hash&t.mask]
 	s.mu.Lock()
-	len0, ev0, rej0 := s.ft.Len(), s.ft.Evictions(), s.ft.Rejected()
 	sample, ok := s.ft.Observe(key, now)
-	dLen := s.ft.Len() - len0
-	dEv := s.ft.Evictions() - ev0
-	dRej := s.ft.Rejected() - rej0
 	s.mu.Unlock()
-	if dLen != 0 {
-		t.tracked.Add(int64(dLen))
-	}
-	if dEv != 0 {
-		t.evictions.Add(dEv)
-	}
-	if dRej != 0 {
-		t.rejected.Add(dRej)
-	}
 	return sample, ok
 }
 
@@ -135,26 +129,56 @@ func (t *ShardedFlowTable) Estimator(key packet.FlowKey) *EnsembleTimeout {
 
 // Forget drops a flow (connection closed).
 func (t *ShardedFlowTable) Forget(key packet.FlowKey) {
-	s := t.shard(key)
-	s.mu.Lock()
-	len0 := s.ft.Len()
-	s.ft.Forget(key)
-	dLen := s.ft.Len() - len0
-	s.mu.Unlock()
-	if dLen != 0 {
-		t.tracked.Add(int64(dLen))
-	}
+	t.ForgetHashed(key.Hash(), key)
 }
 
-// Len returns the number of tracked flows across all shards.
-func (t *ShardedFlowTable) Len() int { return int(t.tracked.Load()) }
+// ForgetHashed is Forget with a precomputed hash (hash must equal
+// key.Hash()).
+func (t *ShardedFlowTable) ForgetHashed(hash uint64, key packet.FlowKey) {
+	s := &t.shards[hash&t.mask]
+	s.mu.Lock()
+	s.ft.Forget(key)
+	s.mu.Unlock()
+}
+
+// Len returns the number of tracked flows across all shards. Shards are
+// locked one at a time, so the count is a consistent-per-shard snapshot,
+// not a single instant across the whole table — fine for stats.
+func (t *ShardedFlowTable) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += s.ft.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
 
 // Evictions returns how many flows were evicted to admit new ones.
-func (t *ShardedFlowTable) Evictions() uint64 { return t.evictions.Load() }
+func (t *ShardedFlowTable) Evictions() uint64 {
+	var n uint64
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += s.ft.Evictions()
+		s.mu.Unlock()
+	}
+	return n
+}
 
 // Rejected returns how many new flows were refused because their shard was
 // full and nothing could be evicted.
-func (t *ShardedFlowTable) Rejected() uint64 { return t.rejected.Load() }
+func (t *ShardedFlowTable) Rejected() uint64 {
+	var n uint64
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += s.ft.Rejected()
+		s.mu.Unlock()
+	}
+	return n
+}
 
 // Sweep removes idle flows from every shard and returns the number
 // removed. Each shard is locked individually, one at a time, so a sweep
@@ -181,8 +205,5 @@ func (t *ShardedFlowTable) sweepShard(s *flowShard, now time.Duration) int {
 	s.mu.Lock()
 	n := s.ft.Sweep(now)
 	s.mu.Unlock()
-	if n != 0 {
-		t.tracked.Add(int64(-n))
-	}
 	return n
 }

@@ -36,6 +36,12 @@ type Config struct {
 	ConnIdleTimeout time.Duration
 	// SweepInterval is how often idle state is swept. Defaults to 1 s.
 	SweepInterval time.Duration
+	// ControlInterval drives the control tick when Policy is a
+	// control.Ticker (i.e. a Controller wrapping the real policy): the LB
+	// calls Tick on the simulation clock at this period, merging batched
+	// latency samples into the policy and republishing the routing
+	// snapshot. Ignored for plain policies. Defaults to 2 ms.
+	ControlInterval time.Duration
 	// EstimateOnly disables routing (all packets dropped) but keeps
 	// measurement — used by experiments that tap an existing path.
 	EstimateOnly bool
@@ -75,6 +81,12 @@ type LB struct {
 	stats     Stats
 	lastSweep time.Duration
 
+	// ticker is non-nil when the policy batches control work behind ticks
+	// (a control.Controller); the LB then drives it from the packet path on
+	// the simulation clock instead of a wall-clock goroutine.
+	ticker   control.Ticker
+	lastTick time.Duration
+
 	// OnSample, when set, observes every estimator sample with the
 	// backend it was attributed to.
 	OnSample func(now time.Duration, backend int, sample time.Duration)
@@ -100,6 +112,9 @@ func New(sim *netsim.Sim, cfg Config, uplinks []*netsim.Link) (*LB, error) {
 	if cfg.SweepInterval <= 0 {
 		cfg.SweepInterval = time.Second
 	}
+	if cfg.ControlInterval <= 0 {
+		cfg.ControlInterval = 2 * time.Millisecond
+	}
 	obs := cfg.Observer
 	if obs == nil {
 		ft, err := core.NewFlowTable(cfg.FlowTable)
@@ -121,6 +136,7 @@ func New(sim *netsim.Sim, cfg Config, uplinks []*netsim.Link) (*LB, error) {
 			SampPerBack: make([]uint64, n),
 		},
 	}
+	l.ticker, _ = cfg.Policy.(control.Ticker)
 	return l, nil
 }
 
@@ -181,6 +197,15 @@ func (l *LB) HandlePacket(p *netsim.Packet) {
 	if now-l.lastSweep >= l.cfg.SweepInterval {
 		l.lastSweep = now
 		l.sweep()
+	}
+	// Control tick: when the policy is a Controller, merge its batched
+	// samples and republish the routing snapshot on the simulation clock —
+	// before this packet's measurement, so the pick below sees state at
+	// most one ControlInterval old, matching the live proxy's staleness
+	// bound.
+	if l.ticker != nil && now-l.lastTick >= l.cfg.ControlInterval {
+		l.lastTick = now
+		l.ticker.Tick(now)
 	}
 
 	// Measurement first: every packet's timestamp feeds the estimator,

@@ -310,3 +310,104 @@ func TestLBL7KeylessFollowsFlow(t *testing.T) {
 		t.Error("keyless packets split across backends")
 	}
 }
+
+// TestLBControllerMatchesDirectPolicy runs two identical simulations — one
+// with the policy driven directly, one wrapped in a control.Controller
+// (sample batching + snapshot routing, ticked from the packet path) — and
+// requires identical per-backend routing for the static-table policy. With
+// MaglevStatic the table never changes, so batching cannot alter picks:
+// any divergence is a controller bug.
+func TestLBControllerMatchesDirectPolicy(t *testing.T) {
+	run := func(wrap bool) []int {
+		sim := netsim.NewSim(1)
+		pol, err := control.NewMaglevStatic([]string{"s0", "s1", "s2"}, 1021)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p control.Policy = pol
+		var ctrl *control.Controller
+		if wrap {
+			ctrl = control.NewController(pol, control.ControllerConfig{Shards: 2})
+			defer ctrl.Close()
+			p = ctrl
+		}
+		sinks := make([]*sink, 3)
+		links := make([]*netsim.Link, 3)
+		for i := range links {
+			sinks[i] = &sink{}
+			links[i] = netsim.NewLink(sim, "up", 10*time.Microsecond, 0, sinks[i])
+		}
+		l, err := New(sim, Config{Policy: p, ControlInterval: time.Millisecond}, links)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < 50; f++ {
+			f := f
+			for s := 0; s < 4; s++ {
+				s := s
+				sim.Schedule(time.Duration(f)*100*time.Microsecond+time.Duration(s)*5*time.Millisecond,
+					func() { l.HandlePacket(req(f, uint64(s))) })
+			}
+		}
+		sim.Run()
+		got := make([]int, 3)
+		for i, s := range sinks {
+			got[i] = len(s.got)
+		}
+		if wrap && ctrl.Generation() == 0 {
+			t.Fatal("controller never published a snapshot")
+		}
+		return got
+	}
+	direct, wrapped := run(false), run(true)
+	for i := range direct {
+		if direct[i] != wrapped[i] {
+			t.Fatalf("per-backend delivery diverged: direct %v, controller %v", direct, wrapped)
+		}
+	}
+}
+
+// TestLBTicksController verifies the packet-path housekeeping actually
+// drives a wrapped Controller: samples batched in its aggregator reach the
+// underlying adaptive policy, advancing its update counter on the sim clock.
+func TestLBTicksController(t *testing.T) {
+	sim := netsim.NewSim(1)
+	la, err := control.NewLatencyAware(control.LatencyAwareConfig{
+		Backends: []string{"s0", "s1"}, TableSize: 211, Alpha: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := control.NewController(la, control.ControllerConfig{Shards: 1})
+	defer ctrl.Close()
+	sinks := make([]*sink, 2)
+	links := make([]*netsim.Link, 2)
+	for i := range links {
+		sinks[i] = &sink{}
+		links[i] = netsim.NewLink(sim, "up", 0, 0, sinks[i])
+	}
+	l, err := New(sim, Config{Policy: ctrl, ControlInterval: time.Millisecond}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two flows, enough spaced packets for the ensemble estimator to emit
+	// samples and for several control intervals to elapse.
+	for f := 0; f < 2; f++ {
+		f := f
+		for s := 0; s < 40; s++ {
+			s := s
+			sim.Schedule(time.Duration(s)*2*time.Millisecond, func() { l.HandlePacket(req(f, uint64(s))) })
+		}
+	}
+	sim.Run()
+	ctrl.Tick(sim.Now() + time.Second) // final flush on the sim clock
+	if l.Stats().Samples == 0 {
+		t.Fatal("estimator produced no samples; test is vacuous")
+	}
+	if ctrl.Delivered() == 0 {
+		t.Fatal("packet-path ticks never merged samples into the policy")
+	}
+	if la.Updates() == 0 {
+		t.Fatal("latency-aware policy never rebuilt despite merged samples")
+	}
+}

@@ -12,21 +12,30 @@
 //
 // # Concurrency model
 //
-// The measurement path is shard-striped and the control path is
-// single-threaded, mirroring a per-CPU dataplane feeding one controller:
+// The data plane and the control plane are split RCU-style around a
+// control.Controller, mirroring a per-CPU dataplane feeding one controller:
 //
 //   - Per-flow estimator state lives in a core.ShardedFlowTable
 //     (GOMAXPROCS lock-striped shards by default), so concurrent
 //     connections' request-direction reads only contend when their flows
-//     hash to the same shard. No global lock is taken on the read path.
+//     hash to the same shard. Each flow's key is hashed exactly once, at
+//     accept; the hash is reused for routing, flow-shard selection, and
+//     sample aggregation. No global lock is taken on the read path.
+//   - Routing reads an immutable control.Snapshot through an atomic
+//     pointer: for table-based policies (maglev, latency-aware,
+//     proportional) a new connection's pick — including health-eject
+//     fallback — is a pure read, no mutex, no channel, zero allocations.
+//     Stateful policies (roundrobin, leastconn, p2c) fall back to a mutex
+//     around the policy.
+//   - Packet-rate latency samples are folded into the Controller's
+//     per-shard, cache-line-padded accumulators and merged into the policy
+//     once per control tick (Config.ControlInterval). Aggregation is
+//     lossless — nothing is shed under load — so routing state lags the
+//     freshest sample by at most one control interval.
 //   - control.Policy implementations stay single-threaded (their
-//     documented contract): every policy call goes through a
-//     control.Funnel. Connection-rate calls (Pick, FlowClosed) are applied
-//     synchronously under the funnel's mutex; packet-rate latency samples
-//     are queued to the funnel's single consumer goroutine and applied in
-//     batches. When the sample buffer is full the sample is dropped and
-//     counted (Stats.SamplesDropped) — measurement is advisory, so
-//     shedding under overload is preferred over back-pressuring relays.
+//     documented contract): the Controller serializes every policy call.
+//     Connection-rate calls (FlowClosed, stateful Picks) are applied
+//     synchronously under its mutex.
 //   - All Stats counters are atomics; Stats() returns a deep copy built
 //     from them, never aliasing mutable state.
 //   - Idle-flow sweeping uses ShardedFlowTable.SweepNext, one shard per
@@ -61,13 +70,19 @@ type Config struct {
 	Policy control.Policy
 	// FlowTable configures per-connection estimators.
 	FlowTable core.FlowTableConfig
-	// Shards is the flow-table shard count, rounded up to a power of two.
-	// Zero defaults to runtime.GOMAXPROCS(0).
+	// Shards is the lock-stripe width for both the flow table and the
+	// controller's sample aggregator (they stripe on the same flow hash),
+	// rounded up to a power of two. Zero defaults to runtime.GOMAXPROCS(0).
 	Shards int
-	// SampleBuffer bounds latency samples queued to the policy consumer;
-	// samples arriving while it is full are dropped and counted in
-	// Stats.SamplesDropped. Zero defaults to 4096.
+	// SampleBuffer is deprecated and ignored: sample aggregation is
+	// lossless and unbounded-free (fixed per-shard cells), so there is no
+	// queue to size and nothing is ever dropped.
 	SampleBuffer int
+	// ControlInterval is the controller tick period: how often aggregated
+	// latency samples are merged into the policy and the routing snapshot
+	// is republished. It bounds how stale routing can be relative to the
+	// newest sample. Zero defaults to 2 ms.
+	ControlInterval time.Duration
 	// SweepInterval is the period of the incremental idle-flow sweeper
 	// (one shard per tick). Zero defaults to 1 s; negative disables it.
 	SweepInterval time.Duration
@@ -91,11 +106,12 @@ type Stats struct {
 	Accepted   uint64
 	Active     int64
 	DialErrors uint64
-	// Samples counts estimator outputs; SamplesDelivered those applied to
-	// the policy and SamplesDropped those shed because the sample buffer
-	// was full. After the proxy quiesces (Close, or an idle funnel),
-	// Samples == SamplesDelivered + SamplesDropped; while relays are hot
-	// up to Config.SampleBuffer samples may be in flight between the two.
+	// Samples counts estimator outputs; SamplesDelivered those merged into
+	// the policy by controller ticks. SamplesDropped is always zero —
+	// shard aggregation is lossless — and is kept so the accounting
+	// identity Samples == SamplesDelivered + SamplesDropped (which holds
+	// after Close; while relays are hot, up to one tick's worth of samples
+	// is in flight in the aggregator) reads the same as before.
 	Samples          uint64
 	SamplesDelivered uint64
 	SamplesDropped   uint64
@@ -109,9 +125,9 @@ type Proxy struct {
 	cfg Config
 	lis net.Listener
 
-	flows  *core.ShardedFlowTable
-	funnel *control.Funnel
-	start  time.Time
+	flows *core.ShardedFlowTable
+	ctrl  *control.Controller
+	start time.Time
 
 	// bufs recycles relay buffers (two per connection, Config.BufferSize
 	// each) so connection churn does not make the allocator the
@@ -165,13 +181,20 @@ func New(cfg Config) (*Proxy, error) {
 	p := &Proxy{
 		cfg:        cfg,
 		flows:      flows,
-		funnel:     control.NewFunnel(cfg.Policy, cfg.SampleBuffer),
 		start:      time.Now(),
 		perBackend: make([]atomic.Uint64, len(cfg.Backends)),
 		down:       make([]atomic.Bool, len(cfg.Backends)),
 		stop:       make(chan struct{}),
 		open:       make(map[net.Conn]struct{}),
 	}
+	// The controller stripes its sample aggregator like the flow table and
+	// ticks on the proxy's monotonic clock, so sample timestamps and merge
+	// timestamps share a timebase.
+	p.ctrl = control.NewController(cfg.Policy, control.ControllerConfig{
+		Shards:   flows.Shards(),
+		Interval: cfg.ControlInterval,
+		Now:      p.now,
+	})
 	// The pool is keyed to this proxy's BufferSize: every buffer it hands
 	// out has exactly that capacity, so relays never re-slice.
 	size := cfg.BufferSize
@@ -196,8 +219,8 @@ func (p *Proxy) Stats() Stats {
 		Active:           p.active.Load(),
 		DialErrors:       p.dialErrors.Load(),
 		Samples:          p.samples.Load(),
-		SamplesDelivered: p.funnel.Delivered(),
-		SamplesDropped:   p.funnel.Dropped(),
+		SamplesDelivered: p.ctrl.Delivered(),
+		SamplesDropped:   p.ctrl.Dropped(),
 		Fallbacks:        p.fallbacks.Load(),
 		PerBackend:       make([]uint64, len(p.perBackend)),
 		Down:             make([]bool, len(p.down)),
@@ -232,6 +255,7 @@ func (p *Proxy) Serve() error {
 	if p.lis == nil {
 		return errors.New("lbproxy: Serve before Listen")
 	}
+	p.ctrl.Start()
 	if p.cfg.HealthInterval > 0 {
 		go p.probeLoop()
 	}
@@ -263,12 +287,12 @@ func (p *Proxy) ListenAndServe(addr string) error {
 	return p.Serve()
 }
 
-// Close stops the proxy, closes open relays, and flushes queued latency
-// samples into the policy (so post-Close Stats satisfy
-// Samples == SamplesDelivered + SamplesDropped).
+// Close stops the proxy, closes open relays, and runs a final controller
+// tick so every aggregated latency sample is merged into the policy
+// (post-Close Stats satisfy Samples == SamplesDelivered + SamplesDropped).
 func (p *Proxy) Close() error {
 	if p.closed.Swap(true) {
-		p.funnel.Close() // idempotent; waits for the flush
+		p.ctrl.Close() // idempotent; runs the final flush tick
 		return nil
 	}
 	close(p.stop)
@@ -282,7 +306,7 @@ func (p *Proxy) Close() error {
 	}
 	p.connMu.Unlock()
 	p.wg.Wait()
-	p.funnel.Close()
+	p.ctrl.Close()
 	return err
 }
 
@@ -306,38 +330,25 @@ func flowKeyFor(conn net.Conn) packet.FlowKey {
 func (p *Proxy) handle(client net.Conn) {
 	defer client.Close()
 	key := flowKeyFor(client)
+	hash := key.Hash() // hashed once; reused for routing, sharding, sampling
 	now := p.now()
 
-	backend := p.funnel.Pick(key, now)
+	// Route applies health ejection inline: for table-based policies it is
+	// a pure snapshot read; for stateful ones the controller undoes the
+	// original pick's occupancy accounting before falling back, so nothing
+	// leaks when the pick lands on an ejected backend.
+	backend, fellBack := p.ctrl.RouteHashed(hash, key, now)
 	if backend < 0 || backend >= len(p.cfg.Backends) {
-		return
+		return // whole pool ejected (or policy misbehaved); drop
 	}
-	// Outlier ejection: skip health-check-failed backends deterministically.
-	if p.down[backend].Load() {
-		orig := backend
-		backend = -1
-		for i := 1; i <= len(p.cfg.Backends); i++ {
-			cand := (orig + i) % len(p.cfg.Backends)
-			if !p.down[cand].Load() {
-				backend = cand
-				break
-			}
-		}
-		if backend < 0 {
-			// Whole pool ejected; drop the connection. The original pick
-			// still charged a flow to orig in the policy — undo it, or the
-			// per-backend accounting leaks one flow forever.
-			p.funnel.FlowClosed(orig, p.now())
-			return
-		}
+	if fellBack {
 		p.fallbacks.Add(1)
-		p.funnel.FlowClosed(orig, p.now()) // undo the original pick's accounting
 	}
 
 	server, err := net.DialTimeout("tcp", p.cfg.Backends[backend], p.cfg.DialTimeout)
 	if err != nil {
 		p.dialErrors.Add(1)
-		p.funnel.FlowClosed(backend, p.now())
+		p.ctrl.FlowClosed(backend, p.now())
 		return
 	}
 	defer server.Close()
@@ -378,7 +389,7 @@ func (p *Proxy) handle(client net.Conn) {
 		for {
 			n, rerr := client.Read(buf)
 			if n > 0 {
-				p.observe(key, backend)
+				p.observe(hash, key, backend)
 				if _, werr := server.Write(buf[:n]); werr != nil {
 					break
 				}
@@ -394,16 +405,20 @@ func (p *Proxy) handle(client net.Conn) {
 	<-done
 	<-done
 
-	p.flows.Forget(key)
-	p.funnel.FlowClosed(backend, p.now())
+	p.flows.ForgetHashed(hash, key)
+	p.ctrl.FlowClosed(backend, p.now())
 }
 
-func (p *Proxy) observe(key packet.FlowKey, backend int) {
+// observe feeds one request-direction read into the flow's estimator shard
+// and, when a latency sample pops out, into the controller's matching
+// aggregator stripe. Both sides stripe on the same precomputed hash, so a
+// relay goroutine touches one shard's cache lines end to end.
+func (p *Proxy) observe(hash uint64, key packet.FlowKey, backend int) {
 	now := p.now()
-	sample, ok := p.flows.Observe(key, now)
+	sample, ok := p.flows.ObserveHashed(hash, key, now)
 	if ok {
 		p.samples.Add(1)
-		p.funnel.ObserveLatency(backend, now, sample)
+		p.ctrl.ObserveSharded(hash, backend, now, sample)
 	}
 }
 
@@ -416,7 +431,9 @@ func closeWrite(c net.Conn) {
 }
 
 // probeLoop actively dials each backend every HealthInterval and flips its
-// ejection bit on failure/recovery.
+// ejection bit on failure/recovery. State changes go to the controller,
+// which republishes the routing snapshot immediately — ejections take
+// effect on the next accepted connection, not the next control tick.
 func (p *Proxy) probeLoop() {
 	t := time.NewTicker(p.cfg.HealthInterval)
 	defer t.Stop()
@@ -427,13 +444,16 @@ func (p *Proxy) probeLoop() {
 		case <-t.C:
 		}
 		for i, addr := range p.cfg.Backends {
+			down := false
 			conn, err := net.DialTimeout("tcp", addr, p.cfg.HealthTimeout)
 			if err != nil {
-				p.down[i].Store(true)
-				continue
+				down = true
+			} else {
+				_ = conn.Close()
 			}
-			_ = conn.Close()
-			p.down[i].Store(false)
+			if p.down[i].Swap(down) != down {
+				p.ctrl.SetEjected(i, down)
+			}
 		}
 	}
 }

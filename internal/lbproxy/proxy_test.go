@@ -409,7 +409,7 @@ func TestWholePoolEjectedUndoesPick(t *testing.T) {
 	deadline := time.Now().Add(3 * time.Second)
 	for time.Now().Before(deadline) {
 		settled := true
-		proxy.funnel.Do(func(control.Policy) {
+		proxy.ctrl.Do(func(control.Policy) {
 			for _, n := range pol.live {
 				if n != 0 {
 					settled = false
@@ -421,7 +421,7 @@ func TestWholePoolEjectedUndoesPick(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	proxy.funnel.Do(func(control.Policy) {
+	proxy.ctrl.Do(func(control.Policy) {
 		for b, n := range pol.live {
 			if n != 0 {
 				t.Errorf("backend %d: %d live flows leaked in policy accounting", b, n)

@@ -19,6 +19,10 @@ type StatusSnapshot struct {
 	FlowTableShards int   `json:"flow_table_shards"`
 	TrackedFlows    int   `json:"tracked_flows"`
 	Stats           Stats `json:"stats"`
+	// SnapshotGeneration counts routing-snapshot publications (table
+	// rebuilds merged by control ticks plus health-eject flips); zero for
+	// stateful policies that route under the mutex instead of a snapshot.
+	SnapshotGeneration uint64 `json:"snapshot_generation"`
 	// Weights is present for weight-based policies (latency-aware,
 	// proportional); nil otherwise.
 	Weights []float64 `json:"weights,omitempty"`
@@ -41,16 +45,17 @@ type latencied interface {
 // Snapshot assembles the current status document.
 func (p *Proxy) Snapshot() StatusSnapshot {
 	snap := StatusSnapshot{
-		UptimeSeconds:   time.Since(p.start).Seconds(),
-		Policy:          p.cfg.Policy.Name(),
-		Backends:        append([]string(nil), p.cfg.Backends...),
-		FlowTableShards: p.flows.Shards(),
-		TrackedFlows:    p.flows.Len(),
-		Stats:           p.Stats(),
+		UptimeSeconds:      time.Since(p.start).Seconds(),
+		Policy:             p.cfg.Policy.Name(),
+		Backends:           append([]string(nil), p.cfg.Backends...),
+		FlowTableShards:    p.flows.Shards(),
+		TrackedFlows:       p.flows.Len(),
+		Stats:              p.Stats(),
+		SnapshotGeneration: p.ctrl.Generation(),
 	}
-	// Policy state is read under the funnel's serialization lock so the
-	// snapshot cannot race the sample consumer.
-	p.funnel.Do(func(pol control.Policy) {
+	// Policy state is read under the controller's serialization lock so the
+	// snapshot cannot race a control tick.
+	p.ctrl.Do(func(pol control.Policy) {
 		if w, ok := pol.(weighted); ok {
 			snap.Weights = w.Weights()
 		}

@@ -1,0 +1,154 @@
+package maglev
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func builderNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	return names
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewBuilder(100, builderNames(2)); !errors.Is(err, ErrTableSize) {
+		t.Errorf("non-prime size: err = %v", err)
+	}
+	if _, err := NewBuilder(7, nil); !errors.Is(err, ErrNoBackends) {
+		t.Errorf("empty pool: err = %v", err)
+	}
+	if _, err := NewBuilder(7, []string{"a", "a"}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	b, err := NewBuilder(7, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build([]float64{1}); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+	if _, err := b.Build([]float64{1, math.NaN()}); !errors.Is(err, ErrBadWeight) {
+		t.Error("NaN weight accepted")
+	}
+	if _, err := b.Build([]float64{1, -1}); !errors.Is(err, ErrBadWeight) {
+		t.Error("negative weight accepted")
+	}
+	if _, err := b.Build([]float64{0, 0}); !errors.Is(err, ErrBadWeight) {
+		t.Error("all-zero weights accepted")
+	}
+}
+
+// TestBuilderMatchesNew is the equivalence pin for the permutation cache:
+// for random weight vectors, Build must produce a table slot-for-slot
+// identical to one-shot New over the same pool — the cache is an
+// optimization, never a behavior change.
+func TestBuilderMatchesNew(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	names := builderNames(9)
+	b, err := NewBuilder(1021, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 25; trial++ {
+		weights := make([]float64, len(names))
+		backends := make([]Backend, len(names))
+		for i := range weights {
+			weights[i] = rng.Float64()
+			if trial%3 == 0 && rng.Intn(4) == 0 {
+				weights[i] = 0 // exercise zero-weight backends
+			}
+			backends[i] = Backend{Name: names[i], Weight: weights[i]}
+		}
+		var sum float64
+		for _, w := range weights {
+			sum += w
+		}
+		if sum == 0 {
+			weights[0], backends[0].Weight = 1, 1
+		}
+		cached, err := b.Build(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := New(1021, backends)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := cached.Disruption(fresh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != 0 {
+			t.Fatalf("trial %d: cached build differs from New in %d slots", trial, d)
+		}
+	}
+}
+
+// TestBuilderSameWeightsReturnsSameTable pins the quota short-circuit:
+// rebuilding with unchanged weights must return the identical (immutable)
+// table, not a fresh copy.
+func TestBuilderSameWeightsReturnsSameTable(t *testing.T) {
+	b, err := NewBuilder(1021, []string{"s0", "s1", "s2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{0.5, 0.3, 0.2}
+	t1, err := b.Build(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh slice with equal values must still hit the cache.
+	t2, err := b.Build([]float64{0.5, 0.3, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Error("unchanged weights rebuilt the table")
+	}
+	t3, err := b.Build([]float64{0.4, 0.4, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3 == t1 {
+		t.Error("changed weights returned the cached table")
+	}
+	// And back: the cache is depth-1, so this rebuilds, again identically.
+	t4, err := b.Build(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := t4.Disruption(t1); d != 0 {
+		t.Errorf("rebuild after weight round-trip differs in %d slots", d)
+	}
+}
+
+// TestBuilderTablesAreIndependent: a table returned by Build must stay
+// valid after further Builds (the controller publishes old tables via
+// snapshots while building new ones).
+func TestBuilderTablesAreIndependent(t *testing.T) {
+	b, err := NewBuilder(127, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := b.Build([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]int, t1.Size())
+	for s := 0; s < t1.Size(); s++ {
+		before[s] = t1.Lookup(uint64(s))
+	}
+	if _, err := b.Build([]float64{1, 9}); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < t1.Size(); s++ {
+		if t1.Lookup(uint64(s)) != before[s] {
+			t.Fatalf("slot %d of published table mutated by later Build", s)
+		}
+	}
+}

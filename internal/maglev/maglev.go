@@ -8,6 +8,12 @@
 // giving each backend a share of slots proportional to its weight, with the
 // minimal-disruption property: changing one backend's weight moves only the
 // slots whose ownership must change.
+//
+// A controller that rebuilds its table on every weight shift should hold a
+// Builder: it caches the per-backend permutations (which depend only on
+// names and table size, never on weights) across rebuilds, so each Build
+// pays only for the population walk. One-shot construction goes through
+// New, which is a Builder used once.
 package maglev
 
 import (
@@ -49,14 +55,125 @@ type Table struct {
 	size     int
 	entries  []int32 // slot -> backend index
 	backends []Backend
-	offsets  []uint64 // per-backend permutation offset
-	skips    []uint64 // per-backend permutation skip
-	counts   []int    // slots owned per backend
+	counts   []int // slots owned per backend
+}
+
+// Builder amortizes table construction across rebuilds. The per-backend
+// slot permutations depend only on the backend names and the table size, so
+// the Builder computes them once and every Build reuses them; only the
+// weight-dependent work (quota assignment and the population walk) runs per
+// rebuild. When the weights are unchanged from the previous Build, the
+// previous Table is returned directly (tables are immutable, so sharing is
+// safe).
+//
+// A Builder is not safe for concurrent use; the controllers that own one
+// are single-threaded per the control.Policy contract.
+type Builder struct {
+	size  int
+	names []string
+	perms [][]int32 // full slot permutation per backend
+
+	// Scratch reused across Build calls.
+	quota    []int
+	next     []int
+	backends []Backend
+
+	lastWeights []float64
+	lastTable   *Table
+}
+
+// NewBuilder validates the pool shape and precomputes each backend's slot
+// permutation. size must be prime (DefaultTableSize is a good choice);
+// names must be non-empty and unique.
+func NewBuilder(size int, names []string) (*Builder, error) {
+	if size <= 0 || !isPrime(size) {
+		return nil, fmt.Errorf("%w: %d", ErrTableSize, size)
+	}
+	if len(names) == 0 {
+		return nil, ErrNoBackends
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			return nil, fmt.Errorf("maglev: duplicate backend name %q", n)
+		}
+		seen[n] = true
+	}
+	b := &Builder{
+		size:        size,
+		names:       append([]string(nil), names...),
+		perms:       make([][]int32, len(names)),
+		quota:       make([]int, len(names)),
+		next:        make([]int, len(names)),
+		backends:    make([]Backend, len(names)),
+		lastWeights: make([]float64, len(names)),
+	}
+	for i, name := range names {
+		offset, skip := permParams(name, size)
+		perm := make([]int32, size)
+		slot := offset
+		for j := range perm {
+			perm[j] = int32(slot)
+			slot += skip
+			if slot >= uint64(size) {
+				slot -= uint64(size)
+			}
+		}
+		b.perms[i] = perm
+	}
+	return b, nil
+}
+
+// Size returns the table size this builder produces.
+func (b *Builder) Size() int { return b.size }
+
+// NumBackends returns the pool size.
+func (b *Builder) NumBackends() int { return len(b.names) }
+
+// Build constructs the table for the given weight vector (one weight per
+// name passed to NewBuilder, in order). Weights must be finite and
+// non-negative with a positive total. If the weights are identical to the
+// previous Build's, the previously built (immutable) Table is returned
+// without any work.
+func (b *Builder) Build(weights []float64) (*Table, error) {
+	if len(weights) != len(b.names) {
+		return nil, fmt.Errorf("maglev: %d weights for %d backends", len(weights), len(b.names))
+	}
+	var totalWeight float64
+	for i, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("%w: backend %q weight %v", ErrBadWeight, b.names[i], w)
+		}
+		totalWeight += w
+	}
+	if totalWeight <= 0 {
+		return nil, fmt.Errorf("%w: total weight is zero", ErrBadWeight)
+	}
+	if b.lastTable != nil && equalWeights(b.lastWeights, weights) {
+		return b.lastTable, nil
+	}
+
+	for i := range b.backends {
+		b.backends[i] = Backend{Name: b.names[i], Weight: weights[i]}
+	}
+	t := &Table{
+		size:     b.size,
+		entries:  make([]int32, b.size),
+		backends: append([]Backend(nil), b.backends...),
+		counts:   make([]int, len(b.names)),
+	}
+	assignQuotas(b.quota, t.backends, totalWeight, b.size)
+	t.populate(b.perms, b.quota, b.next)
+
+	copy(b.lastWeights, weights)
+	b.lastTable = t
+	return t, nil
 }
 
 // New builds a table of the given size (a prime; DefaultTableSize is a good
 // choice) over the backends. Backends with weight zero own no slots; at
-// least one backend must have positive weight.
+// least one backend must have positive weight. Callers that rebuild with
+// the same names should hold a Builder instead.
 func New(size int, backends []Backend) (*Table, error) {
 	if size <= 0 || !isPrime(size) {
 		return nil, fmt.Errorf("%w: %d", ErrTableSize, size)
@@ -64,50 +181,41 @@ func New(size int, backends []Backend) (*Table, error) {
 	if len(backends) == 0 {
 		return nil, ErrNoBackends
 	}
+	// Validate weights before names so callers get the same error
+	// precedence the pre-Builder implementation had.
 	var totalWeight float64
-	seen := make(map[string]bool, len(backends))
-	for _, b := range backends {
-		if math.IsNaN(b.Weight) || math.IsInf(b.Weight, 0) || b.Weight < 0 {
-			return nil, fmt.Errorf("%w: backend %q weight %v", ErrBadWeight, b.Name, b.Weight)
+	for _, bk := range backends {
+		if math.IsNaN(bk.Weight) || math.IsInf(bk.Weight, 0) || bk.Weight < 0 {
+			return nil, fmt.Errorf("%w: backend %q weight %v", ErrBadWeight, bk.Name, bk.Weight)
 		}
-		if seen[b.Name] {
-			return nil, fmt.Errorf("maglev: duplicate backend name %q", b.Name)
-		}
-		seen[b.Name] = true
-		totalWeight += b.Weight
+		totalWeight += bk.Weight
 	}
 	if totalWeight <= 0 {
 		return nil, fmt.Errorf("%w: total weight is zero", ErrBadWeight)
 	}
-
-	t := &Table{
-		size:     size,
-		entries:  make([]int32, size),
-		backends: append([]Backend(nil), backends...),
-		offsets:  make([]uint64, len(backends)),
-		skips:    make([]uint64, len(backends)),
-		counts:   make([]int, len(backends)),
+	names := make([]string, len(backends))
+	weights := make([]float64, len(backends))
+	for i, bk := range backends {
+		names[i] = bk.Name
+		weights[i] = bk.Weight
 	}
-	for i, b := range backends {
-		h1 := hashString(b.Name, 0x9ae16a3b2f90404f)
-		h2 := hashString(b.Name, 0xc3a5c85c97cb3127)
-		t.offsets[i] = h1 % uint64(size)
-		t.skips[i] = h2%uint64(size-1) + 1
+	b, err := NewBuilder(size, names)
+	if err != nil {
+		return nil, err
 	}
-	t.populate(totalWeight)
-	return t, nil
+	return b.Build(weights)
 }
 
 // populate fills the table using the weighted Maglev population loop: each
 // round, every backend with remaining quota claims its next unclaimed
 // preferred slot. Quotas follow weights via a largest-remainder allocation,
-// so slot counts match weight shares to within one slot.
-func (t *Table) populate(totalWeight float64) {
+// so slot counts match weight shares to within one slot. next is scratch
+// for the per-backend permutation cursors.
+func (t *Table) populate(perms [][]int32, quota []int, next []int) {
 	n := len(t.backends)
-	quota := make([]int, n)
-	assignQuotas(quota, t.backends, totalWeight, t.size)
-
-	next := make([]uint64, n) // next permutation index per backend
+	for i := range next {
+		next[i] = 0
+	}
 	for i := range t.entries {
 		t.entries[i] = -1
 	}
@@ -118,10 +226,13 @@ func (t *Table) populate(totalWeight float64) {
 			if quota[i] == 0 {
 				continue
 			}
-			// Walk backend i's permutation to its next free slot.
-			var slot uint64
+			// Walk backend i's permutation to its next free slot. The
+			// permutation covers every slot, and quota remaining implies
+			// free slots remain, so the walk always terminates.
+			perm := perms[i]
+			var slot int32
 			for {
-				slot = (t.offsets[i] + next[i]*t.skips[i]) % uint64(t.size)
+				slot = perm[next[i]]
 				next[i]++
 				if t.entries[slot] < 0 {
 					break
@@ -186,6 +297,15 @@ func assignQuotas(quota []int, backends []Backend, totalWeight float64, size int
 	}
 }
 
+func equalWeights(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Lookup maps a flow hash to a backend index.
 func (t *Table) Lookup(hash uint64) int {
 	return int(t.entries[hash%uint64(t.size)])
@@ -234,6 +354,14 @@ func (t *Table) Disruption(o *Table) (int, error) {
 		}
 	}
 	return d, nil
+}
+
+// permParams derives backend name's permutation offset and skip for a table
+// of the given size: offset in [0, size), skip in [1, size).
+func permParams(name string, size int) (offset, skip uint64) {
+	h1 := hashString(name, 0x9ae16a3b2f90404f)
+	h2 := hashString(name, 0xc3a5c85c97cb3127)
+	return h1 % uint64(size), h2%uint64(size-1) + 1
 }
 
 // hashString is FNV-1a over the string mixed with a seed, giving the two

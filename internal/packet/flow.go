@@ -45,24 +45,31 @@ func (k FlowKey) String() string {
 		netip.AddrFrom4(k.SrcIP), k.SrcPort, netip.AddrFrom4(k.DstIP), k.DstPort)
 }
 
-// Hash returns a 64-bit hash of the key using the FNV-1a construction,
-// inlined to keep the per-packet path allocation-free.
+// Hash returns a 64-bit hash of the key using the FNV-1a construction over
+// the 13 bytes SrcIP‖DstIP‖SrcPort(be)‖DstPort(be)‖Proto, fully unrolled:
+// no staging buffer, no loop, just the thirteen xor-multiply steps. The
+// digest is identical to hashing that byte string with hash/fnv (a test
+// pins this) and must never change — Maglev slot assignments, flow-shard
+// placement, and the golden experiment metrics are all functions of it.
 func (k FlowKey) Hash() uint64 {
-	var buf [13]byte
-	copy(buf[0:4], k.SrcIP[:])
-	copy(buf[4:8], k.DstIP[:])
-	binary.BigEndian.PutUint16(buf[8:10], k.SrcPort)
-	binary.BigEndian.PutUint16(buf[10:12], k.DstPort)
-	buf[12] = k.Proto
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
-	for _, b := range buf {
-		h ^= uint64(b)
-		h *= prime64
-	}
+	h = (h ^ uint64(k.SrcIP[0])) * prime64
+	h = (h ^ uint64(k.SrcIP[1])) * prime64
+	h = (h ^ uint64(k.SrcIP[2])) * prime64
+	h = (h ^ uint64(k.SrcIP[3])) * prime64
+	h = (h ^ uint64(k.DstIP[0])) * prime64
+	h = (h ^ uint64(k.DstIP[1])) * prime64
+	h = (h ^ uint64(k.DstIP[2])) * prime64
+	h = (h ^ uint64(k.DstIP[3])) * prime64
+	h = (h ^ uint64(k.SrcPort>>8)) * prime64
+	h = (h ^ uint64(k.SrcPort&0xff)) * prime64
+	h = (h ^ uint64(k.DstPort>>8)) * prime64
+	h = (h ^ uint64(k.DstPort&0xff)) * prime64
+	h = (h ^ uint64(k.Proto)) * prime64
 	return h
 }
 

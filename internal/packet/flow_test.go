@@ -1,6 +1,8 @@
 package packet
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"net/netip"
 	"strings"
 	"testing"
@@ -42,6 +44,34 @@ func TestFlowKeyHashDeterministic(t *testing.T) {
 	k2.SrcPort++
 	if k.Hash() == k2.Hash() {
 		t.Error("distinct keys hash equal (unlikely collision — investigate)")
+	}
+}
+
+// TestFlowKeyHashMatchesFNV pins Hash to the FNV-1a digest of the key's
+// canonical 13-byte encoding. Maglev slot assignments, flow-shard placement,
+// and the golden experiment metrics are all functions of this value, so the
+// unrolled implementation must track the reference bit-for-bit forever.
+func TestFlowKeyHashMatchesFNV(t *testing.T) {
+	ref := func(k FlowKey) uint64 {
+		h := fnv.New64a()
+		var buf [13]byte
+		copy(buf[0:4], k.SrcIP[:])
+		copy(buf[4:8], k.DstIP[:])
+		binary.BigEndian.PutUint16(buf[8:10], k.SrcPort)
+		binary.BigEndian.PutUint16(buf[10:12], k.DstPort)
+		buf[12] = k.Proto
+		h.Write(buf[:])
+		return h.Sum64()
+	}
+	if got, want := testKey().Hash(), ref(testKey()); got != want {
+		t.Fatalf("Hash() = %#x, reference FNV-1a = %#x", got, want)
+	}
+	f := func(src, dst [4]byte, sp, dp uint16, proto uint8) bool {
+		k := FlowKey{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: proto}
+		return k.Hash() == ref(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
 	}
 }
 

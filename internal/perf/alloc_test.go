@@ -205,6 +205,100 @@ func TestProxyMeasurementPathZeroAlloc(t *testing.T) {
 	}, body)
 }
 
+// TestSnapshotPickZeroAlloc covers the tentpole's data-plane guarantee: a
+// Controller wrapping a table-based policy serves Pick and Route as pure
+// snapshot reads — zero allocations, no mutex (a mutex would not show up
+// here, but the lock-free claim is exercised under -race by the lbproxy
+// stress tests; this gate pins the allocation half).
+func TestSnapshotPickZeroAlloc(t *testing.T) {
+	la, err := control.NewLatencyAware(control.LatencyAwareConfig{
+		Backends: []string{"b0", "b1", "b2", "b3"}, Alpha: 0.1, TableSize: 1021,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := control.NewController(la, control.ControllerConfig{})
+	defer ctrl.Close()
+	ctrl.SetEjected(1, true) // exercise the fallback scan, not just the fast path
+	keys := benchKeys()
+	i := 0
+	assertZeroAllocs(t, "Controller.Pick (snapshot)", nil, func() {
+		ctrl.Pick(keys[i%len(keys)], 0)
+		i++
+	})
+	assertZeroAllocs(t, "Controller.Route (snapshot)", nil, func() {
+		ctrl.Route(keys[i%len(keys)], 0)
+		i++
+	})
+	snap := ctrl.Snapshot()
+	assertZeroAllocs(t, "Snapshot.RouteHash", nil, func() {
+		snap.RouteHash(uint64(i))
+		i++
+	})
+}
+
+// TestControllerObserveShardedZeroAlloc pins the per-sample half of the
+// controller's data plane: folding a latency observation into its shard
+// cell allocates nothing.
+func TestControllerObserveShardedZeroAlloc(t *testing.T) {
+	ctrl := control.NewController(control.NewRoundRobin(4), control.ControllerConfig{Shards: 4})
+	defer ctrl.Close()
+	i := 0
+	assertZeroAllocs(t, "Controller.ObserveSharded", nil, func() {
+		ctrl.ObserveSharded(uint64(i), i%4, time.Duration(i), time.Millisecond)
+		i++
+	})
+}
+
+// TestControllerTickZeroAllocWhenIdle pins the control-plane steady state:
+// a tick with no queued samples and an unchanged table drains the shards,
+// merges nothing, republishes nothing — and allocates nothing. Ticks run
+// every few milliseconds forever; they must not feed the garbage collector.
+func TestControllerTickZeroAllocWhenIdle(t *testing.T) {
+	ctrl := control.NewController(control.NewRoundRobin(4), control.ControllerConfig{Shards: 4})
+	defer ctrl.Close()
+	now := time.Duration(0)
+	assertZeroAllocs(t, "Controller.Tick (idle)", nil, func() {
+		now += time.Millisecond
+		ctrl.Tick(now)
+	})
+}
+
+// TestControllerMeasurementPathZeroAlloc is the proxy's current per-read
+// pipeline as a hard invariant: sharded flow-table observe (prehashed, as
+// the proxy calls it) plus the controller's shard-local sample fold. This
+// supersedes the funnel variant above as the path the live proxy actually
+// runs; both stay gated while the funnel remains supported.
+func TestControllerMeasurementPathZeroAlloc(t *testing.T) {
+	tbl := core.MustSharded(core.FlowTableConfig{}, 4)
+	ctrl := control.NewController(control.NewRoundRobin(4), control.ControllerConfig{Shards: 4})
+	defer ctrl.Close()
+	keys := benchKeys()
+	hashes := make([]uint64, len(keys))
+	for i, k := range keys {
+		hashes[i] = k.Hash()
+	}
+	now := time.Duration(0)
+	i := 0
+	body := func() {
+		now += 5 * time.Microsecond
+		if i%4 == 0 {
+			now += 500 * time.Microsecond
+		}
+		j := i % len(keys)
+		sample, ok := tbl.ObserveHashed(hashes[j], keys[j], now)
+		if ok {
+			ctrl.ObserveSharded(hashes[j], i%4, now, sample)
+		}
+		i++
+	}
+	assertZeroAllocs(t, "controller measurement path", func() {
+		for j := 0; j < 4*len(keys); j++ {
+			body()
+		}
+	}, body)
+}
+
 // TestEnsembleConstructionSharesDefaultLadder pins the per-connection
 // construction cost: an estimator built with the default config performs
 // exactly three allocations (struct, batch heads, counts) — in particular
