@@ -40,10 +40,18 @@ func main() {
 		halfLife   = flag.Duration("half-life", 20*time.Millisecond, "per-server latency EWMA half-life")
 		seed       = flag.Int64("seed", 1, "random seed for randomized policies")
 		shards     = flag.Int("shards", 0, "flow-table and sample-aggregator shard count (0 = GOMAXPROCS)")
-		sampleBuf  = flag.Int("sample-buffer", 0, "deprecated: sample aggregation is lossless; value is ignored")
 		ctrlEvery  = flag.Duration("control-interval", 0, "control tick period: sample merge + snapshot republish (0 = default 2ms)")
 		report     = flag.Duration("report-every", 0, "periodic stats report interval (0 = off)")
 		health     = flag.Duration("health-interval", time.Second, "active health-probe period (0 = disabled)")
+		healthFail = flag.Int("health-fail", 0, "consecutive probe failures before ejection (0 = default 3)")
+		healthOK   = flag.Int("health-ok", 0, "consecutive probe successes before readmission (0 = default 2)")
+		passive    = flag.Bool("passive-detect", false, "enable passive in-band failure detection (ejection without probes)")
+		failThresh = flag.Int("failure-threshold", 0, "passive: consecutive dial/relay failures before ejection (0 = default 3)")
+		backoff    = flag.Duration("eject-backoff", 0, "passive: initial re-probe backoff after ejection (0 = default 500ms)")
+		backoffMax = flag.Duration("eject-backoff-max", 0, "passive: re-probe backoff cap (0 = default 8s)")
+		slowStart  = flag.Int("slow-start-ticks", 0, "passive: control ticks to ramp a recovered backend to full traffic (0 = default 50)")
+		idleTO     = flag.Duration("idle-timeout", 0, "per-direction relay idle timeout (0 = none)")
+		drainTO    = flag.Duration("drain-timeout", 0, "grace period for in-flight connections on shutdown (0 = immediate)")
 		statusAddr = flag.String("status-addr", "", "serve JSON status at http://<addr>/ (empty = off)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof at this address (e.g. localhost:6060; empty = off)")
 	)
@@ -61,15 +69,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *sampleBuf != 0 {
-		fmt.Fprintln(os.Stderr, "lbproxy: -sample-buffer is deprecated and ignored (aggregation is lossless)")
-	}
 	proxy, err := lbproxy.New(lbproxy.Config{
-		Backends:        addrs,
-		Policy:          pol,
-		Shards:          *shards,
-		ControlInterval: *ctrlEvery,
-		HealthInterval:  *health,
+		Backends:               addrs,
+		Policy:                 pol,
+		Shards:                 *shards,
+		ControlInterval:        *ctrlEvery,
+		HealthInterval:         *health,
+		HealthFailThreshold:    *healthFail,
+		HealthRecoverThreshold: *healthOK,
+		IdleTimeout:            *idleTO,
+		DrainTimeout:           *drainTO,
+		Detector: control.DetectorConfig{
+			Enabled:          *passive,
+			FailureThreshold: *failThresh,
+			BackoffInitial:   *backoff,
+			BackoffMax:       *backoffMax,
+			SlowStartTicks:   *slowStart,
+			Seed:             *seed,
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lbproxy: %v\n", err)
@@ -111,8 +128,11 @@ func main() {
 				// consumer; touching the policy directly would race it.
 				snap := proxy.Snapshot()
 				st := snap.Stats
-				line := fmt.Sprintf("conns=%d active=%d samples=%d dropped=%d per-backend=%v down=%v",
-					st.Accepted, st.Active, st.Samples, st.SamplesDropped, st.PerBackend, st.Down)
+				line := fmt.Sprintf("conns=%d active=%d samples=%d dropped=%d failovers=%d shed=%d per-backend=%v down=%v",
+					st.Accepted, st.Active, st.Samples, st.SamplesDropped, st.Failovers, st.Dropped, st.PerBackend, st.Down)
+				if *passive {
+					line += fmt.Sprintf(" health=%v", st.Health)
+				}
 				if snap.Weights != nil {
 					line += fmt.Sprintf(" weights=%.3v", snap.Weights)
 				}

@@ -6,8 +6,8 @@
 //	lbsim -exp fig3 -duration 20s -seed 42 -csv out/ -plot
 //	lbsim -exp all
 //
-// Experiments: fig2a, fig2b, fig3, abl-epoch, abl-ladder, abl-alpha,
-// abl-violations, abl-far, abl-policies, abl-scale, abl-multi-lb,
+// Experiments: fig2a, fig2b, fig3, outage, abl-epoch, abl-ladder,
+// abl-alpha, abl-violations, abl-far, abl-policies, abl-scale, abl-multi-lb,
 // abl-dependency, abl-controllers, abl-utilization, abl-affinity,
 // abl-shared-ladder, abl-churn, abl-l7, abl-handshake, abl-signal, all.
 package main
@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (fig2a|fig2b|fig3|abl-*|all)")
+		exp       = flag.String("exp", "all", "experiment to run (fig2a|fig2b|fig3|outage|abl-*|all)")
 		seed      = flag.Int64("seed", 42, "random seed")
 		duration  = flag.Duration("duration", 0, "simulated duration (0 = per-experiment default)")
 		csvDir    = flag.String("csv", "", "directory to write per-experiment CSV series into")
@@ -60,6 +60,9 @@ func main() {
 		"fig3": func() *experiments.Result {
 			return experiments.Fig3(experiments.Fig3Config{Seed: *seed, Duration: *duration})
 		},
+		"outage": func() *experiments.Result {
+			return experiments.Outage(experiments.OutageConfig{Seed: *seed, Duration: *duration})
+		},
 		"abl-epoch":         func() *experiments.Result { return experiments.AblationEpoch(*seed, *duration) },
 		"abl-ladder":        func() *experiments.Result { return experiments.AblationLadder(*seed, *duration) },
 		"abl-alpha":         func() *experiments.Result { return experiments.AblationAlpha(*seed, *duration) },
@@ -79,7 +82,7 @@ func main() {
 		"abl-signal":        func() *experiments.Result { return experiments.AblationSignal(*seed, *duration) },
 	}
 	order := []string{
-		"fig2a", "fig2b", "fig3",
+		"fig2a", "fig2b", "fig3", "outage",
 		"abl-epoch", "abl-ladder", "abl-alpha", "abl-violations",
 		"abl-far", "abl-policies", "abl-scale", "abl-multi-lb",
 		"abl-dependency", "abl-controllers", "abl-utilization",

@@ -30,6 +30,10 @@ type ControllerConfig struct {
 	// timestamps share a timebase). Nil defaults to time-since-creation.
 	// Drivers that call Tick directly (the simulator) never use it.
 	Now func() time.Duration
+	// Detector configures passive, in-band failure detection. The zero
+	// value disables it, preserving the legacy behavior: SetEjected is the
+	// only health input and flips take effect instantly and fully.
+	Detector DetectorConfig
 }
 
 // Controller splits the data plane from the control plane around a
@@ -50,6 +54,13 @@ type ControllerConfig struct {
 //     timestamp), then republishes the snapshot if the policy replaced
 //     its table. Routing therefore lags policy state by at most one
 //     control interval — the staleness bound DESIGN.md documents.
+//   - Health is two stacked layers. SetEjected is the manual/probe layer:
+//     a boolean veto, as before. The optional passive detector layer
+//     (ControllerConfig.Detector) consumes in-band signals — reported
+//     dial/relay failures between ticks, per-backend latency aggregates
+//     at each tick — and drives the healthy → ejected → half-open →
+//     slow-start state machine, expressed to the data plane purely as
+//     per-backend admission fractions in the published Snapshot.
 //
 // Controller implements Policy, so it drops in anywhere a Funnel did. The
 // wrapped policy never sees concurrent calls, exactly as the Policy
@@ -61,14 +72,18 @@ type Controller struct {
 	src    TableSource // nil when the policy keeps no immutable table
 	cfg    ControllerConfig
 
-	mu        sync.Mutex // serializes every call into policy
-	agg       *aggregator
-	scratch   []sampleCell // drain buffer, reused every tick
-	lastMerge []TickStat   // per-backend summary of the newest tick
-	ejected   []bool       // health eject set (mirrored into snapshots)
-	healthy   int
-	ejDirty   bool
-	gen       uint64
+	mu          sync.Mutex // serializes every call into policy
+	agg         *aggregator
+	scratch     []sampleCell // drain buffer, reused every tick
+	lastMerge   []TickStat   // per-backend summary of the newest tick
+	manual      []bool       // SetEjected layer (probe / operator vetoes)
+	det         *detector    // passive layer; nil when disabled
+	medScratch  []time.Duration
+	medScratch2 []time.Duration // others-median rebuilds for recovery states
+	admit       []uint32        // combined admission view (manual ∧ detector)
+	healthy     int             // backends with admit > 0
+	dirty       bool
+	gen         uint64
 
 	snap      atomic.Pointer[Snapshot]
 	delivered atomic.Uint64
@@ -108,11 +123,20 @@ func NewController(policy Policy, cfg ControllerConfig) *Controller {
 		agg:       newAggregator(cfg.Shards, n),
 		scratch:   make([]sampleCell, n),
 		lastMerge: make([]TickStat, n),
-		ejected:   make([]bool, n),
+		manual:    make([]bool, n),
+		admit:     make([]uint32, n),
 		healthy:   n,
 		start:     time.Now(),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
+	}
+	for i := range c.admit {
+		c.admit[i] = admitFull
+	}
+	if cfg.Detector.Enabled {
+		c.det = newDetector(cfg.Detector, n)
+		c.medScratch = make([]time.Duration, 0, n)
+		c.medScratch2 = make([]time.Duration, 0, n)
 	}
 	if cfg.Now == nil {
 		c.cfg.Now = func() time.Duration { return time.Since(c.start) }
@@ -144,12 +168,13 @@ func (c *Controller) Pick(key packet.FlowKey, now time.Duration) int {
 	return b
 }
 
-// Route picks a healthy backend for a new flow, applying the eject set.
+// Route picks an admitted backend for a new flow, applying health state.
 // On the snapshot path this is lock-free. On the mutex path (stateful
-// policies) a pick that lands on an ejected backend is re-pointed to the
-// next healthy index and the original pick's occupancy accounting is
-// undone via FlowClosed, so per-backend counters do not leak. Returns -1
-// when the whole pool is ejected (any charged pick is undone first).
+// policies) a pick that lands on a non-admitting backend is re-pointed to
+// the next admitted index and the original pick's occupancy accounting is
+// undone via FlowClosed, so per-backend counters do not leak. The fallback
+// target is never charged. Returns -1 when the whole pool is ejected (any
+// charged pick is undone first).
 func (c *Controller) Route(key packet.FlowKey, now time.Duration) (backend int, fellBack bool) {
 	return c.RouteHashed(key.Hash(), key, now)
 }
@@ -164,10 +189,10 @@ func (c *Controller) RouteHashed(hash uint64, key packet.FlowKey, now time.Durat
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	b := c.policy.Pick(key, now)
-	if b < 0 || b >= len(c.ejected) {
+	if b < 0 || b >= len(c.admit) {
 		return -1, false
 	}
-	if !c.ejected[b] {
+	if admits(c.admit[b], hash) {
 		return b, false
 	}
 	orig := b
@@ -175,13 +200,27 @@ func (c *Controller) RouteHashed(hash uint64, key packet.FlowKey, now time.Durat
 	if c.healthy == 0 {
 		return -1, false
 	}
-	n := len(c.ejected)
-	for i := 1; i < n; i++ {
-		if cand := (orig + i) % n; !c.ejected[cand] {
-			return cand, true
-		}
+	if cand := nextAdmitted(c.admit, orig); cand >= 0 {
+		return cand, true
+	}
+	if c.admit[orig] > 0 { // only admitted backend is the partial pick
+		return orig, false
 	}
 	return -1, false
+}
+
+// FailoverTarget returns an alternative backend for a connection whose
+// dial to skip just failed: the next admitted backend, preferring fully
+// admitted ones. It never consults or charges the policy — the caller owns
+// occupancy accounting for the retry. Returns -1 when no alternative
+// exists. Lock-free on the snapshot path.
+func (c *Controller) FailoverTarget(skip int) int {
+	if s := c.snap.Load(); s != nil {
+		return s.NextHealthy(skip)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return nextAdmitted(c.admit, skip)
 }
 
 // ObserveLatency implements Policy: the sample is folded into a shard
@@ -208,11 +247,137 @@ func (c *Controller) FlowClosed(b int, now time.Duration) {
 	c.mu.Unlock()
 }
 
+// ReportDialError feeds the passive detector one connection-establishment
+// failure against backend b at time now. Consecutive failures (with no
+// intervening success) past the configured threshold eject the backend; a
+// failure during a half-open trial or slow-start ramp re-ejects it with
+// doubled backoff. No-op when the detector is disabled. Any resulting
+// health transition republishes the snapshot immediately.
+func (c *Controller) ReportDialError(b int, now time.Duration) {
+	c.reportFailure(b, now)
+}
+
+// ReportRelayError feeds the passive detector one mid-stream connection
+// failure (relay reset) against backend b. Same thresholds and transitions
+// as ReportDialError — a reset stream and a refused dial are the same
+// in-band evidence.
+func (c *Controller) ReportRelayError(b int, now time.Duration) {
+	c.reportFailure(b, now)
+}
+
+func (c *Controller) reportFailure(b int, now time.Duration) {
+	if c.det == nil {
+		return
+	}
+	c.mu.Lock()
+	c.det.sawDials = true
+	if b >= 0 && b < len(c.det.st) {
+		h := &c.det.st[b]
+		switch h.state {
+		case Healthy, SlowStart:
+			h.consecFails++
+			if h.consecFails >= c.det.cfg.FailureThreshold {
+				if h.state == SlowStart {
+					c.det.reEject(b, now)
+				} else {
+					c.det.eject(b, now, c.othersRoutableLocked(b))
+				}
+			}
+		case HalfOpen:
+			// A failed trial: one strike re-ejects with doubled backoff.
+			c.det.reEject(b, now)
+		}
+		c.refreshAdmitLocked()
+		if c.dirty {
+			c.republishLocked()
+		}
+	}
+	c.mu.Unlock()
+}
+
+// ReportDialSuccess feeds the passive detector one successful connection
+// establishment against backend b: it clears the consecutive-failure
+// streak and, during a half-open trial, counts toward the success
+// threshold that promotes the backend into slow-start recovery. No-op when
+// the detector is disabled.
+func (c *Controller) ReportDialSuccess(b int) {
+	if c.det == nil {
+		return
+	}
+	c.mu.Lock()
+	c.det.sawDials = true
+	if b >= 0 && b < len(c.det.st) {
+		h := &c.det.st[b]
+		h.dialsSinceSample++
+		switch h.state {
+		case Healthy, SlowStart:
+			h.consecFails = 0
+		case HalfOpen:
+			h.successes++
+			if h.successes >= c.det.cfg.SuccessThreshold {
+				c.det.recoverTo(b)
+				c.refreshAdmitLocked()
+				if c.dirty {
+					c.republishLocked()
+				}
+			}
+		}
+	}
+	c.mu.Unlock()
+}
+
+// othersRoutableLocked reports whether any backend besides b currently
+// admits traffic — the guard that keeps the passive detector from ejecting
+// the last routable backend.
+func (c *Controller) othersRoutableLocked(b int) bool {
+	for i, a := range c.admit {
+		if i != b && a > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// refreshAdmitLocked recomputes the combined admission view (manual veto ∧
+// detector state) and the healthy count, marking the snapshot dirty on any
+// change. Allocation-free.
+func (c *Controller) refreshAdmitLocked() {
+	healthy := 0
+	changed := false
+	for i := range c.admit {
+		var a uint32
+		switch {
+		case c.manual[i]:
+			a = 0
+		case c.det != nil:
+			a = c.det.admit(i)
+		default:
+			a = admitFull
+		}
+		if a != c.admit[i] {
+			c.admit[i] = a
+			changed = true
+		}
+		if a > 0 {
+			healthy++
+		}
+	}
+	if healthy != c.healthy {
+		c.healthy = healthy
+		changed = true
+	}
+	if changed {
+		c.dirty = true
+	}
+}
+
 // Tick runs one control interval: drain every aggregator shard into the
-// policy, then republish the routing snapshot if the policy replaced its
-// table (or the eject set changed). Safe to call concurrently with the
-// data plane; single-threaded drivers (the simulator, via the Ticker
-// interface) call it directly with their own clock.
+// policy, run the passive detector's tick-granularity checks (latency
+// outlier, sample starvation, timer-driven state advances), then republish
+// the routing snapshot if the policy replaced its table or health state
+// changed. Safe to call concurrently with the data plane; single-threaded
+// drivers (the simulator, via the Ticker interface) call it directly with
+// their own clock.
 func (c *Controller) Tick(now time.Duration) {
 	c.mu.Lock()
 	var applied int64
@@ -246,6 +411,9 @@ func (c *Controller) Tick(now time.Duration) {
 			m.Count += cell.count
 		}
 	}
+	if c.det != nil {
+		c.detectorTickLocked(now)
+	}
 	c.republishLocked()
 	c.mu.Unlock()
 	if applied != 0 {
@@ -253,15 +421,189 @@ func (c *Controller) Tick(now time.Duration) {
 	}
 }
 
+// detectorTickLocked runs the tick-granularity half of passive detection:
+// latency-outlier and sample-starvation checks against this tick's merged
+// aggregates, plus the timer- and counter-driven state advances (backoff
+// expiry → half-open, trial success → slow-start, ramp completion →
+// healthy). Allocation-free: the median scratch is preallocated.
+func (c *Controller) detectorTickLocked(now time.Duration) {
+	// Pool-wide view of this tick: total samples and median backend mean.
+	var pool int64
+	med := c.medScratch[:0]
+	for b := range c.lastMerge {
+		m := &c.lastMerge[b]
+		if m.Count == 0 {
+			continue
+		}
+		pool += m.Count
+		c.det.st[b].everSampled = true
+		// Insertion sort keeps this allocation-free; pools are small.
+		med = append(med, m.Mean)
+		for i := len(med) - 1; i > 0 && med[i] < med[i-1]; i-- {
+			med[i], med[i-1] = med[i-1], med[i]
+		}
+	}
+	var median time.Duration
+	if len(med) > 0 {
+		median = med[len(med)/2]
+	}
+	active := pool >= c.det.cfg.MinPoolSamples
+
+	for b := range c.det.st {
+		h := &c.det.st[b]
+		m := &c.lastMerge[b]
+		switch h.state {
+		case Ejected:
+			if !c.manual[b] && now >= h.reopenAt {
+				h.state = HalfOpen
+				h.trialTicks = 0
+				h.successes = 0
+			}
+		case HalfOpen:
+			// Judge the trial against the rest of the pool, never against
+			// the suspect's own samples: when a timeout burst makes the
+			// suspect the only backend merged this tick, the whole-pool
+			// median IS the suspect's mean and any garbage looks in-family.
+			// With no cross-pool evidence the tick proves nothing either way.
+			if om := c.othersMedianLocked(b); m.Count > 0 && om > 0 {
+				if outlier(m.Min, om, c.det.cfg.OutlierFactor) {
+					// Every trial sample was far out of family — e.g. only
+					// the estimator's close-after-timeout artifacts came
+					// back, the signature of clients giving up on a
+					// still-dead backend. In-band proof the trial failed;
+					// no need to wait out the window.
+					c.det.reEject(b, now)
+					continue
+				}
+				// In-band evidence the trial worked: samples flowed, and
+				// at least one was in family with the pool.
+				h.successes++
+			}
+			if h.successes >= c.det.cfg.SuccessThreshold {
+				c.det.recoverTo(b)
+			} else if h.trialTicks++; h.trialTicks >= c.det.cfg.HalfOpenTicks {
+				// No successful trial in time — whether trials failed or
+				// never arrived, the backend goes back to the bench.
+				c.det.reEject(b, now)
+			}
+		case SlowStart:
+			if om := c.othersMedianLocked(b); m.Count > 0 && om > 0 &&
+				outlier(m.Min, om, c.det.cfg.OutlierFactor) {
+				// The ramp's own traffic is uniformly slow: pause the ramp,
+				// and send the backend back to the bench if it persists.
+				if h.outlierTicks++; h.outlierTicks >= c.det.cfg.OutlierTicks {
+					c.det.reEject(b, now)
+				}
+				continue
+			}
+			h.outlierTicks = 0
+			if h.rampTick++; h.rampTick >= c.det.cfg.SlowStartTicks {
+				c.det.heal(b)
+			}
+		case Healthy:
+			if !active {
+				continue // too little pool evidence to judge anyone
+			}
+			if m.Count == 0 {
+				// Starvation: flows route there, nothing comes back. Silence
+				// is only evidence when routing actually sent the backend
+				// traffic. Where dial outcomes are reported (the live
+				// proxy), that means a connection was established since the
+				// backend last produced a sample — routed-but-silent; a
+				// backend a weighted policy pushed down to its floor gets no
+				// dials, so its silence never counts. Connection-granular
+				// routing makes anything weaker unsound at low concurrency:
+				// a minority-share backend can hold zero of eight live
+				// connections for many ticks while perfectly healthy.
+				// Without dial reports (the simulator), fall back to the
+				// sample-share expectation: the backend's share of this
+				// tick's pool must have been worth at least one sample.
+				// Below either bar the count freezes rather than resets.
+				routed := h.dialsSinceSample > 0
+				if !c.det.sawDials {
+					routed = c.expectedShareLocked(b)*float64(pool) >= 1
+				}
+				if h.everSampled && routed {
+					if h.silentTicks++; h.silentTicks >= c.det.cfg.StarvationTicks {
+						c.det.eject(b, now, c.othersRoutableLocked(b))
+					}
+				}
+				continue
+			}
+			h.silentTicks = 0
+			h.dialsSinceSample = 0
+			if outlier(m.Mean, median, c.det.cfg.OutlierFactor) {
+				if h.outlierTicks++; h.outlierTicks >= c.det.cfg.OutlierTicks {
+					c.det.eject(b, now, c.othersRoutableLocked(b))
+				}
+			} else {
+				h.outlierTicks = 0
+			}
+		}
+	}
+	c.refreshAdmitLocked()
+}
+
+// outlier reports whether v is more than factor times the pool median; a
+// zero median (no pool evidence) never judges anyone an outlier.
+func outlier(v, median time.Duration, factor float64) bool {
+	return median > 0 && float64(v) > factor*float64(median)
+}
+
+// expectedShareLocked estimates backend b's share of the pool's samples:
+// its published routing weight when the policy exposes one, an equal split
+// otherwise. Reads the last published snapshot (one tick stale at most)
+// rather than Weighted.Weights, which copies — the detector tick must stay
+// allocation-free.
+func (c *Controller) expectedShareLocked(b int) float64 {
+	n := len(c.det.st)
+	if s := c.snap.Load(); s != nil && len(s.weights) == n {
+		var sum float64
+		for _, v := range s.weights {
+			sum += v
+		}
+		if sum > 0 {
+			return s.weights[b] / sum
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return 1 / float64(n)
+}
+
+// othersMedianLocked returns the median of this tick's per-backend mean
+// latencies excluding backend b, or 0 when no other backend merged samples.
+// Only recovery states (half-open, slow-start) consult it, so the O(n)
+// rebuild per suspect stays off the common path. Caller holds c.mu.
+func (c *Controller) othersMedianLocked(b int) time.Duration {
+	med := c.medScratch2[:0]
+	for i := range c.lastMerge {
+		if i == b || c.lastMerge[i].Count == 0 {
+			continue
+		}
+		med = append(med, c.lastMerge[i].Mean)
+		for j := len(med) - 1; j > 0 && med[j] < med[j-1]; j-- {
+			med[j], med[j-1] = med[j-1], med[j]
+		}
+	}
+	c.medScratch2 = med[:0]
+	if len(med) == 0 {
+		return 0
+	}
+	return med[len(med)/2]
+}
+
 // republishLocked publishes a fresh snapshot when the policy's table or
-// the eject set changed since the last publication. Caller holds c.mu.
+// the health/admission state changed since the last publication. Caller
+// holds c.mu.
 func (c *Controller) republishLocked() {
 	if c.src == nil {
 		return
 	}
 	t := c.src.Table()
 	cur := c.snap.Load()
-	if cur != nil && cur.table == t && !c.ejDirty {
+	if cur != nil && cur.table == t && !c.dirty {
 		return
 	}
 	c.gen++
@@ -269,39 +611,79 @@ func (c *Controller) republishLocked() {
 		gen:     c.gen,
 		policy:  c.policy.Name(),
 		table:   t,
-		ejected: append([]bool(nil), c.ejected...),
+		admit:   append([]uint32(nil), c.admit...),
 		healthy: c.healthy,
+		full:    c.healthy == len(c.admit),
+	}
+	if s.full {
+		for _, a := range c.admit {
+			if a != admitFull {
+				s.full = false
+				break
+			}
+		}
 	}
 	if w, ok := c.policy.(Weighted); ok {
 		s.weights = w.Weights()
 	}
-	c.ejDirty = false
+	c.dirty = false
 	c.snap.Store(s)
 }
 
-// SetEjected marks backend i health-ejected (down=true) or healthy. The
-// change republishes the snapshot immediately — health reactions do not
-// wait for the next tick. No-op when the state is unchanged.
+// SetEjected marks backend i health-ejected (down=true) or healthy — the
+// manual layer, fed by active probes or operators, stacked as a veto on
+// top of the passive detector. The change republishes the snapshot
+// immediately — health reactions do not wait for the next tick. Clearing
+// the veto with the detector enabled re-admits through slow-start (ramped
+// admission) rather than instantly; with the detector disabled the flip is
+// instantaneous and full, as before. No-op when the state is unchanged.
 func (c *Controller) SetEjected(i int, down bool) {
 	c.mu.Lock()
-	if i >= 0 && i < len(c.ejected) && c.ejected[i] != down {
-		c.ejected[i] = down
-		if down {
-			c.healthy--
-		} else {
-			c.healthy++
+	if i >= 0 && i < len(c.manual) && c.manual[i] != down {
+		c.manual[i] = down
+		if !down && c.det != nil && c.det.st[i].state == Healthy {
+			// Probe-driven recovery: ramp back in instead of slamming the
+			// backend with its full share on the first snapshot.
+			c.det.recoverTo(i)
 		}
-		c.ejDirty = true
+		c.refreshAdmitLocked()
 		c.republishLocked()
 	}
 	c.mu.Unlock()
 }
 
-// Ejected reports backend i's current eject bit.
+// Ejected reports whether backend i currently admits no traffic (manually
+// vetoed or passively ejected).
 func (c *Controller) Ejected(i int) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.ejected[i]
+	return c.admit[i] == 0
+}
+
+// HealthState returns backend i's passive-detector state. A manual veto
+// reports Ejected regardless of detector state; with the detector disabled
+// an unvetoed backend is always Healthy.
+func (c *Controller) HealthState(i int) HealthState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.manual[i] {
+		return Ejected
+	}
+	if c.det == nil {
+		return Healthy
+	}
+	return c.det.st[i].state
+}
+
+// Ejections returns backend i's cumulative passive-ejection count (0 when
+// the detector is disabled).
+func (c *Controller) Ejections(i int) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.det == nil {
+		return 0
+	}
+	return c.det.st[i].ejections
 }
 
 // Snapshot returns the currently published routing snapshot, or nil when

@@ -1,0 +1,284 @@
+package control
+
+import (
+	"math/rand"
+	"time"
+)
+
+// HealthState is one backend's position in the failure-detection state
+// machine:
+//
+//	Healthy ──(consecutive failures | latency outlier | sample
+//	           starvation)──▶ Ejected ──(backoff expires)──▶ HalfOpen
+//	HalfOpen ──(trial succeeds)──▶ SlowStart ──(ramp completes)──▶ Healthy
+//	HalfOpen / SlowStart ──(failure)──▶ Ejected (backoff doubled)
+//
+// Every transition republishes the routing Snapshot (an RCU republish), so
+// the data plane's Pick/Route stay lock-free and allocation-free: ejection
+// is admit-fraction 0, half-open a sliver of the hash space, slow-start a
+// ramp back to full admission.
+type HealthState uint8
+
+const (
+	// Healthy backends receive their full table share.
+	Healthy HealthState = iota
+	// Ejected backends receive nothing; a backoff timer arms re-probing.
+	Ejected
+	// HalfOpen backends receive a small trial fraction of their hash
+	// range; the first in-band success promotes, any failure re-ejects
+	// with doubled backoff.
+	HalfOpen
+	// SlowStart backends ramp linearly back to full admission so
+	// re-admission cannot re-overload a barely recovered server.
+	SlowStart
+)
+
+// String names the state for status endpoints and logs.
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Ejected:
+		return "ejected"
+	case HalfOpen:
+		return "half-open"
+	case SlowStart:
+		return "slow-start"
+	}
+	return "unknown"
+}
+
+// DetectorConfig parameterizes passive, in-band failure detection inside a
+// Controller. The signals are the ones the data plane already produces —
+// dial errors and relay resets reported by the proxy, and per-backend
+// latency aggregates merged each control tick — so detection reacts at
+// connection/tick granularity instead of probe granularity. Active probes
+// (the proxy's HealthInterval) remain available as a slow backstop via
+// SetEjected.
+type DetectorConfig struct {
+	// Enabled turns passive detection on. Off (the zero value) preserves
+	// the legacy behavior exactly: SetEjected flips are instantaneous and
+	// no admission ramping ever happens.
+	Enabled bool
+	// FailureThreshold ejects a backend after this many consecutive
+	// connection failures (dial errors, relay resets) with no intervening
+	// success. Default 3.
+	FailureThreshold int
+	// OutlierFactor and OutlierTicks drive the latency-outlier detector: a
+	// backend whose per-tick mean exceeds OutlierFactor × the pool median
+	// for OutlierTicks consecutive ticks is ejected. Defaults 8 and 10.
+	OutlierFactor float64
+	OutlierTicks  int
+	// StarvationTicks ejects a backend that produced zero samples for this
+	// many consecutive ticks while the rest of the pool produced at least
+	// MinPoolSamples per tick — the blackhole signature: flows are routed
+	// there but nothing ever comes back through the estimator. Only
+	// backends that have produced samples before are eligible, so an
+	// idle-from-birth backend is never starved out. Default 25.
+	StarvationTicks int
+	// MinPoolSamples gates the tick-granularity detectors: outlier and
+	// starvation judgments require at least this many pool-wide samples in
+	// the tick, so an idle system never ejects anyone. Default 8.
+	MinPoolSamples int64
+	// BackoffInitial is the first ejection's re-probe delay; every failed
+	// half-open trial doubles it up to BackoffMax. BackoffJitter spreads
+	// re-probe times by ±jitter fraction so many LBs (or many backends)
+	// do not re-probe in lockstep. Defaults 500ms, 8s, 0.1.
+	BackoffInitial time.Duration
+	BackoffMax     time.Duration
+	BackoffJitter  float64
+	// HalfOpenFraction is the share of the backend's hash range admitted
+	// while half-open — the trial traffic. Default 1/16.
+	HalfOpenFraction float64
+	// HalfOpenTicks bounds a trial: if no success arrives within this many
+	// ticks of entering half-open, the backend re-ejects with doubled
+	// backoff (covers both "trials failed silently" and "no trial traffic
+	// landed"). Default 150.
+	HalfOpenTicks int
+	// SuccessThreshold promotes a half-open backend to slow-start after
+	// this many successes (reported dial successes, or ticks that merged
+	// samples from it). Default 1.
+	SuccessThreshold int
+	// SlowStartInitial and SlowStartTicks shape recovery: admission starts
+	// at SlowStartInitial of the full share and ramps linearly to full
+	// over SlowStartTicks control ticks. Defaults 0.25 and 50.
+	SlowStartInitial float64
+	SlowStartTicks   int
+	// Seed feeds the backoff-jitter RNG so simulations are deterministic.
+	Seed int64
+}
+
+func (c *DetectorConfig) applyDefaults() {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.OutlierFactor <= 1 {
+		c.OutlierFactor = 8
+	}
+	if c.OutlierTicks <= 0 {
+		c.OutlierTicks = 10
+	}
+	if c.StarvationTicks <= 0 {
+		c.StarvationTicks = 25
+	}
+	if c.MinPoolSamples <= 0 {
+		c.MinPoolSamples = 8
+	}
+	if c.BackoffInitial <= 0 {
+		c.BackoffInitial = 500 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 8 * time.Second
+	}
+	if c.BackoffJitter < 0 || c.BackoffJitter >= 1 {
+		c.BackoffJitter = 0.1
+	}
+	if c.HalfOpenFraction <= 0 || c.HalfOpenFraction > 1 {
+		c.HalfOpenFraction = 1.0 / 16
+	}
+	if c.HalfOpenTicks <= 0 {
+		c.HalfOpenTicks = 150
+	}
+	if c.SuccessThreshold <= 0 {
+		c.SuccessThreshold = 1
+	}
+	if c.SlowStartInitial <= 0 || c.SlowStartInitial > 1 {
+		c.SlowStartInitial = 0.25
+	}
+	if c.SlowStartTicks <= 0 {
+		c.SlowStartTicks = 50
+	}
+}
+
+// admitFull is the admission denominator: a backend's admit fraction is
+// admit/admitFull of its hash range. Full admission compares the top 16
+// hash bits (decorrelated from the Maglev index, which is hash mod a prime
+// over the low-entropy-mixed whole word) against admit.
+const admitFull = 1 << 16
+
+// backendHealth is one backend's detector state, guarded by Controller.mu.
+type backendHealth struct {
+	state            HealthState
+	consecFails      int           // consecutive reported connection failures
+	successes        int           // successes while half-open
+	outlierTicks     int           // consecutive latency-outlier ticks
+	silentTicks      int           // consecutive sampleless ticks (pool active)
+	dialsSinceSample int           // successful dials since the last merged sample
+	everSampled      bool          // starvation eligibility
+	backoff          time.Duration // current re-probe backoff
+	reopenAt         time.Duration // when the ejected backend turns half-open
+	trialTicks       int           // ticks spent in half-open
+	rampTick         int           // ticks spent in slow-start
+	ejections        uint64        // cumulative passive ejections
+}
+
+// detector is the passive failure-detection plane of a Controller. All
+// methods are called with Controller.mu held.
+type detector struct {
+	cfg      DetectorConfig
+	rng      *rand.Rand
+	st       []backendHealth
+	sawDials bool // a caller reports dial outcomes (live proxy, not sim)
+}
+
+func newDetector(cfg DetectorConfig, backends int) *detector {
+	cfg.applyDefaults()
+	return &detector{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		st:  make([]backendHealth, backends),
+	}
+}
+
+// admit returns backend b's current admission fraction in [0, admitFull].
+func (d *detector) admit(b int) uint32 {
+	h := &d.st[b]
+	switch h.state {
+	case Ejected:
+		return 0
+	case HalfOpen:
+		return fracToAdmit(d.cfg.HalfOpenFraction)
+	case SlowStart:
+		lo := d.cfg.SlowStartInitial
+		frac := lo + (1-lo)*float64(h.rampTick)/float64(d.cfg.SlowStartTicks)
+		return fracToAdmit(frac)
+	}
+	return admitFull
+}
+
+func fracToAdmit(f float64) uint32 {
+	if f >= 1 {
+		return admitFull
+	}
+	a := uint32(f * admitFull)
+	if a == 0 {
+		a = 1 // a half-open backend must see *some* trial traffic
+	}
+	return a
+}
+
+// eject moves b to Ejected at now, arming the jittered re-probe timer.
+// Returns false when ejection is vetoed because it would empty the pool
+// (the caller's admit view must keep at least one routable backend).
+func (d *detector) eject(b int, now time.Duration, othersRoutable bool) bool {
+	if !othersRoutable {
+		return false
+	}
+	h := &d.st[b]
+	if h.state == Ejected {
+		return false
+	}
+	if h.backoff == 0 {
+		h.backoff = d.cfg.BackoffInitial
+	}
+	h.state = Ejected
+	h.reopenAt = now + d.jittered(h.backoff)
+	h.consecFails = 0
+	h.successes = 0
+	h.outlierTicks = 0
+	h.silentTicks = 0
+	h.ejections++
+	return true
+}
+
+// reEject is eject after a failed recovery attempt: the backoff doubles.
+func (d *detector) reEject(b int, now time.Duration) {
+	h := &d.st[b]
+	h.backoff *= 2
+	if h.backoff > d.cfg.BackoffMax {
+		h.backoff = d.cfg.BackoffMax
+	}
+	h.state = Healthy // let eject() see a transition
+	d.eject(b, now, true)
+}
+
+// recoverTo promotes b into slow-start (a successful trial).
+func (d *detector) recoverTo(b int) {
+	h := &d.st[b]
+	h.state = SlowStart
+	h.rampTick = 0
+	h.trialTicks = 0
+	h.successes = 0
+	h.consecFails = 0
+}
+
+// heal returns b to full health and resets the backoff ladder.
+func (d *detector) heal(b int) {
+	h := &d.st[b]
+	h.state = Healthy
+	h.backoff = 0
+	h.rampTick = 0
+	h.trialTicks = 0
+	h.outlierTicks = 0
+	h.silentTicks = 0
+	h.consecFails = 0
+	h.successes = 0
+}
+
+func (d *detector) jittered(base time.Duration) time.Duration {
+	if d.cfg.BackoffJitter == 0 {
+		return base
+	}
+	span := 2*d.rng.Float64() - 1 // [-1, 1)
+	return base + time.Duration(span*d.cfg.BackoffJitter*float64(base))
+}

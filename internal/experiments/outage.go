@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"inbandlb/internal/control"
+	"inbandlb/internal/faults"
+	"inbandlb/internal/netsim"
+	"inbandlb/internal/server"
+	"inbandlb/internal/stats"
+	"inbandlb/internal/tcpsim"
+	"inbandlb/internal/testbed"
+)
+
+// OutageConfig parameterizes the failure-recovery experiment: a step outage
+// (Fig. 3's shape, but a hard failure instead of a 1 ms inflation) on one
+// server of a small pool, comparing passive in-band detection against a
+// probe-only health checker.
+type OutageConfig struct {
+	Seed     int64
+	Duration time.Duration
+	// OutageAt / OutageEnd bound the fault window on server 0. Defaults:
+	// Duration/3 and 2·Duration/3, mirroring the mid-run step of Fig. 3.
+	OutageAt  time.Duration
+	OutageEnd time.Duration
+	// Refuse makes the outage fail fast (RST on every packet) instead of
+	// the default blackhole (silent drop) — the blackhole is the harder
+	// case, visible only through missing in-band samples and client
+	// timeouts.
+	Refuse bool
+	// Servers is the pool size (default 3; the outage hits server 0).
+	Servers int
+	// ControlInterval drives the Controller tick (default 2 ms).
+	ControlInterval time.Duration
+	// ProbeInterval is the probe-only leg's health-check period (default
+	// Duration/15 — out-of-band detection is orders of magnitude slower
+	// than the in-band signal at any realistic probe rate).
+	ProbeInterval time.Duration
+	// RequestTimeout is the client's per-request deadline (default 250 ms);
+	// it is what makes the blackhole survivable at all.
+	RequestTimeout time.Duration
+	// Connections and RequestsPerConn shape the closed-loop workload.
+	Connections     int
+	RequestsPerConn int
+	// WindowSample is the p95 series sampling period (default 100 ms).
+	WindowSample time.Duration
+}
+
+func (c *OutageConfig) applyDefaults() {
+	if c.Duration <= 0 {
+		c.Duration = 30 * time.Second
+	}
+	if c.OutageAt <= 0 {
+		c.OutageAt = c.Duration / 3
+	}
+	if c.OutageEnd <= 0 {
+		c.OutageEnd = 2 * c.Duration / 3
+	}
+	if c.Servers < 2 {
+		c.Servers = 3
+	}
+	if c.ControlInterval <= 0 {
+		c.ControlInterval = 2 * time.Millisecond
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = c.Duration / 15
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 250 * time.Millisecond
+	}
+	if c.Connections <= 0 {
+		c.Connections = 16
+	}
+	if c.RequestsPerConn <= 0 {
+		c.RequestsPerConn = 50
+	}
+	if c.WindowSample <= 0 {
+		c.WindowSample = 100 * time.Millisecond
+	}
+}
+
+// outageLeg is the outcome of one detection mode.
+type outageLeg struct {
+	p95 *stats.Series
+	// ejectDelay is outage start → server 0 unroutable (-1: never ejected).
+	ejectDelay time.Duration
+	// readmitDelay is outage end → server 0 fully healthy again (-1:
+	// never readmitted).
+	readmitDelay time.Duration
+	timeouts     uint64
+	aborts       uint64
+	fallbacks    uint64
+	responses    uint64
+	preP95       time.Duration
+	postP95      time.Duration
+}
+
+// simDetector tunes the passive detector for simulator timescales: ticks
+// are 2 ms and the workload is a handful of closed-loop connections, so
+// starvation shows up within a few ticks and backoffs are sub-second.
+func simDetector(cfg OutageConfig) control.DetectorConfig {
+	return control.DetectorConfig{
+		Enabled:          true,
+		FailureThreshold: 3,
+		StarvationTicks:  8,
+		MinPoolSamples:   4,
+		BackoffInitial:   200 * time.Millisecond,
+		BackoffMax:       time.Second,
+		// Keep trial traffic cheap: each half-open probe window admits a
+		// 1/16 sliver of the backend's hash share for at most 100 ticks,
+		// so an unhealed backend costs a handful of client timeouts per
+		// trial instead of a steady stream.
+		HalfOpenFraction: 1.0 / 16,
+		HalfOpenTicks:    100,
+		SlowStartInitial: 0.25,
+		SlowStartTicks:   25,
+		Seed:             cfg.Seed,
+	}
+}
+
+func runOutageLeg(cfg OutageConfig, passive bool) (*outageLeg, error) {
+	name := "probe-only"
+	ctrlCfg := control.ControllerConfig{Interval: cfg.ControlInterval}
+	if passive {
+		name = "passive"
+		ctrlCfg.Detector = simDetector(cfg)
+	}
+	maglev, err := control.NewMaglevStatic(serverNames(cfg.Servers), 4093)
+	if err != nil {
+		return nil, err
+	}
+	ctrl := control.NewController(maglev, ctrlCfg)
+
+	sched := faults.Outage{Start: cfg.OutageAt, End: cfg.OutageEnd, Blackhole: !cfg.Refuse}
+	servers := make([]server.Config, cfg.Servers)
+	for i := range servers {
+		servers[i] = server.Config{
+			Name:    fmt.Sprintf("server-%d", i),
+			Workers: 8,
+			Service: server.LogNormal{Median: 150 * time.Microsecond, Sigma: 0.25},
+		}
+	}
+	servers[0].ConnFaults = sched
+
+	cluster, err := testbed.NewCluster(testbed.ClusterConfig{
+		Seed:            cfg.Seed,
+		Policy:          ctrl,
+		Servers:         servers,
+		ControlInterval: cfg.ControlInterval,
+		Workload: tcpsim.RequestConfig{
+			Connections:     cfg.Connections,
+			RequestsPerConn: cfg.RequestsPerConn,
+			RequestTimeout:  cfg.RequestTimeout,
+			ReopenDelay:     500 * time.Microsecond,
+			ThinkTime:       50 * time.Microsecond,
+			ThinkJitter:     50 * time.Microsecond,
+			GetFraction:     0.5,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	leg := &outageLeg{
+		p95:          stats.NewSeries("p95 " + name),
+		ejectDelay:   -1,
+		readmitDelay: -1,
+	}
+
+	// The probe-only leg models an out-of-band health checker: every
+	// ProbeInterval it "connects" to server 0 (consults the fault schedule
+	// the way a real TCP probe would experience it) and flips SetEjected on
+	// 3 consecutive failures / 2 consecutive successes — the de-flapped
+	// active checker, with zero in-band signal.
+	if !passive {
+		const probeID = ^uint64(0)
+		fails, oks := 0, 0
+		cluster.Sim.Every(cfg.ProbeInterval, cfg.ProbeInterval, func() bool {
+			now := cluster.Sim.Now()
+			if sched.ConnFaultAt(now, probeID).Kind != faults.ConnNone {
+				fails++
+				oks = 0
+				if fails >= 3 && !ctrl.Ejected(0) {
+					ctrl.SetEjected(0, true)
+				}
+			} else {
+				oks++
+				fails = 0
+				if oks >= 2 && ctrl.Ejected(0) {
+					ctrl.SetEjected(0, false)
+				}
+			}
+			return now < cfg.Duration
+		})
+	}
+
+	// Recovery-time observer: sampled at the control interval, so the
+	// delays below are accurate to one tick.
+	cluster.Sim.Every(cfg.ControlInterval, cfg.ControlInterval, func() bool {
+		now := cluster.Sim.Now()
+		if leg.ejectDelay < 0 && now >= cfg.OutageAt && ctrl.Ejected(0) {
+			leg.ejectDelay = now - cfg.OutageAt
+		}
+		if leg.ejectDelay >= 0 && leg.readmitDelay < 0 && now >= cfg.OutageEnd &&
+			ctrl.HealthState(0) == control.Healthy {
+			leg.readmitDelay = now - cfg.OutageEnd
+		}
+		return now < cfg.Duration
+	})
+
+	window := stats.NewWindowedHistogram(10, cfg.WindowSample)
+	preHist := stats.NewDefaultHistogram()
+	postHist := stats.NewDefaultHistogram()
+	postFrom := cfg.Duration - (cfg.Duration-cfg.OutageEnd)/2
+	cluster.Client.OnResponse = func(now time.Duration, op netsim.Op, lat time.Duration) {
+		window.Record(now, lat)
+		if now >= cfg.OutageAt/2 && now < cfg.OutageAt {
+			preHist.Record(lat)
+		}
+		if now >= postFrom {
+			postHist.Record(lat)
+		}
+	}
+	cluster.Sim.Every(cfg.WindowSample, cfg.WindowSample, func() bool {
+		now := cluster.Sim.Now()
+		if window.Count(now) > 0 {
+			leg.p95.AddDuration(now, window.Quantile(now, 0.95))
+		}
+		return now < cfg.Duration
+	})
+
+	cluster.Run(cfg.Duration)
+
+	cs := cluster.Client.Stats()
+	leg.timeouts = cs.Timeouts
+	leg.aborts = cs.Aborts
+	leg.responses = cs.Responses
+	leg.fallbacks = cluster.LB.Stats().Fallbacks
+	leg.preP95 = preHist.Quantile(0.95)
+	leg.postP95 = postHist.Quantile(0.95)
+	return leg, nil
+}
+
+// Outage compares failure detection modes on a step outage: server 0 of the
+// pool blackholes (or refuses) every connection during the middle third of
+// the run. The passive leg ejects on the in-band signal alone — the sample
+// stream going silent — within a few control ticks, re-admits through
+// half-open trials and a slow-start ramp, and sheds only the connections
+// caught in flight. The probe-only leg waits for an out-of-band health
+// checker to accumulate consecutive failures, during which every new flow
+// hashed to the dead server burns a full client timeout.
+func Outage(cfg OutageConfig) *Result {
+	cfg.applyDefaults()
+	res := newResult("outage")
+
+	passive, err := runOutageLeg(cfg, true)
+	if err != nil {
+		res.addNote("passive leg failed: %v", err)
+		return res
+	}
+	probe, err := runOutageLeg(cfg, false)
+	if err != nil {
+		res.addNote("probe-only leg failed: %v", err)
+		return res
+	}
+
+	res.Series = append(res.Series, passive.p95, probe.p95)
+	res.Header = []string{"detection", "eject_ms", "readmit_ms", "timeouts", "aborts", "fallbacks", "p95_pre_ms", "p95_post_ms", "responses"}
+	rowFor := func(name string, l *outageLeg) {
+		eject, readmit := "never", "never"
+		if l.ejectDelay >= 0 {
+			eject = msStr(l.ejectDelay)
+		}
+		if l.readmitDelay >= 0 {
+			readmit = msStr(l.readmitDelay)
+		}
+		res.addRow(name, eject, readmit,
+			fmt.Sprintf("%d", l.timeouts), fmt.Sprintf("%d", l.aborts),
+			fmt.Sprintf("%d", l.fallbacks),
+			msStr(l.preP95), msStr(l.postP95), fmt.Sprintf("%d", l.responses))
+	}
+	rowFor("passive", passive)
+	rowFor("probe-only", probe)
+
+	for name, l := range map[string]*outageLeg{"passive": passive, "probe": probe} {
+		res.Metrics[name+"_eject_ms"] = float64(l.ejectDelay) / 1e6
+		res.Metrics[name+"_readmit_ms"] = float64(l.readmitDelay) / 1e6
+		res.Metrics[name+"_timeouts"] = float64(l.timeouts)
+		res.Metrics[name+"_pre_p95_ms"] = float64(l.preP95) / 1e6
+		res.Metrics[name+"_post_p95_ms"] = float64(l.postP95) / 1e6
+	}
+	if passive.ejectDelay >= 0 && probe.ejectDelay >= 0 {
+		res.addNote("passive detection ejected the dead server %v after the outage began; the %v-interval prober took %v",
+			passive.ejectDelay, cfg.ProbeInterval, probe.ejectDelay)
+	}
+	res.addNote("client timeouts: %d passive vs %d probe-only — the in-band signal turns an outage from a timeout storm into a blip",
+		passive.timeouts, probe.timeouts)
+	return res
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// shortOutage keeps the recovery experiment fast in tests: a 12 s run with
+// the outage over [4 s, 8 s) and a 1 s probe interval. The bounds asserted
+// below are inequalities on recovery structure, not bit-exact goldens: they
+// hold with wide margins across seeds because the mechanisms are separated
+// by orders of magnitude (control ticks vs. probe intervals).
+func shortOutage() OutageConfig {
+	return OutageConfig{Seed: 42, Duration: 12 * time.Second, ProbeInterval: time.Second}
+}
+
+func TestOutageRecoveryGoldens(t *testing.T) {
+	res := Outage(shortOutage())
+
+	passiveEject := res.Metrics["passive_eject_ms"]
+	probeEject := res.Metrics["probe_eject_ms"]
+	passiveReadmit := res.Metrics["passive_readmit_ms"]
+	probeReadmit := res.Metrics["probe_readmit_ms"]
+
+	// Passive detection rides the in-band signal: the sample stream going
+	// silent is visible within a handful of control ticks (2 ms each), so
+	// ejection lands within a small multiple of the control interval.
+	if passiveEject < 0 {
+		t.Fatal("passive leg never ejected the dead server")
+	}
+	if passiveEject > 100 {
+		t.Errorf("passive eject took %.0f ms, want < 100 ms (a few control ticks)", passiveEject)
+	}
+	// The probe-only leg cannot see anything between probes: 3 consecutive
+	// failures at a 1 s interval puts detection beyond a full second.
+	if probeEject < 0 {
+		t.Fatal("probe leg never ejected the dead server")
+	}
+	if probeEject < 1000 {
+		t.Errorf("probe eject took %.0f ms, want >= 1000 ms (3 probe failures)", probeEject)
+	}
+	if passiveEject > probeEject/5 {
+		t.Errorf("passive eject %.0f ms not well under probe eject %.0f ms", passiveEject, probeEject)
+	}
+
+	// Both legs must re-admit after the outage lifts. Passive recovery pays
+	// at most one residual backoff (capped at 1 s in the sim tuning) plus a
+	// half-open trial and the slow-start ramp; probe recovery pays two
+	// probe successes.
+	if passiveReadmit < 0 {
+		t.Fatal("passive leg never re-admitted the recovered server")
+	}
+	if passiveReadmit > 3000 {
+		t.Errorf("passive readmit took %.0f ms, want < 3000 ms (backoff cap + trial + ramp)", passiveReadmit)
+	}
+	if probeReadmit < 0 {
+		t.Fatal("probe leg never re-admitted the recovered server")
+	}
+
+	// The point of the experiment: every second of detection blindness is
+	// paid in client timeouts. Passive detection must shed far fewer.
+	passiveTimeouts := res.Metrics["passive_timeouts"]
+	probeTimeouts := res.Metrics["probe_timeouts"]
+	if probeTimeouts == 0 {
+		t.Fatal("probe leg saw no timeouts; outage did not bite")
+	}
+	if passiveTimeouts >= probeTimeouts/2 {
+		t.Errorf("passive timeouts = %.0f, probe = %.0f; want passive well under half",
+			passiveTimeouts, probeTimeouts)
+	}
+
+	// After recovery the pool must look like it did before the outage.
+	for _, leg := range []string{"passive", "probe"} {
+		pre := res.Metrics[leg+"_pre_p95_ms"]
+		post := res.Metrics[leg+"_post_p95_ms"]
+		if pre <= 0 {
+			t.Fatalf("%s leg has no pre-outage latency baseline", leg)
+		}
+		if post > 3*pre {
+			t.Errorf("%s post-recovery p95 %.3f ms vs pre %.3f ms; pool did not recover", leg, post, pre)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestOutageWindow(t *testing.T) {
+	o := Outage{Start: 100 * time.Millisecond, End: 200 * time.Millisecond}
+	cases := []struct {
+		t    time.Duration
+		want ConnFaultKind
+	}{
+		{0, ConnNone},
+		{99 * time.Millisecond, ConnNone},
+		{100 * time.Millisecond, ConnRefuse},
+		{199 * time.Millisecond, ConnRefuse},
+		{200 * time.Millisecond, ConnNone},
+	}
+	for _, c := range cases {
+		if got := o.ConnFaultAt(c.t, 0).Kind; got != c.want {
+			t.Errorf("ConnFaultAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+
+	bh := Outage{Start: time.Second, Blackhole: true} // End 0 = forever
+	if got := bh.ConnFaultAt(time.Hour, 0).Kind; got != ConnBlackhole {
+		t.Errorf("open-ended blackhole at 1h = %v, want blackhole", got)
+	}
+	if got := bh.ConnFaultAt(0, 0).Kind; got != ConnNone {
+		t.Errorf("blackhole before start = %v, want none", got)
+	}
+}
+
+func TestResetSchedule(t *testing.T) {
+	r := Reset{Start: time.Second, End: 2 * time.Second, AfterBytes: 64}
+	f := r.ConnFaultAt(1500*time.Millisecond, 0)
+	if f.Kind != ConnReset || f.AfterBytes != 64 {
+		t.Errorf("in-window = %+v, want reset after 64", f)
+	}
+	if got := r.ConnFaultAt(2*time.Second, 0).Kind; got != ConnNone {
+		t.Errorf("at end = %v, want none", got)
+	}
+}
+
+func TestFlakyDeterministicAndProportional(t *testing.T) {
+	f := Flaky{P: 0.3, Seed: 42}
+	const n = 20000
+	hits := 0
+	for id := uint64(0); id < n; id++ {
+		a := f.ConnFaultAt(0, id)
+		b := f.ConnFaultAt(0, id)
+		if a != b {
+			t.Fatalf("id %d: not deterministic (%+v vs %+v)", id, a, b)
+		}
+		if a.Kind == ConnRefuse {
+			hits++
+		} else if a.Kind != ConnNone {
+			t.Fatalf("id %d: unexpected kind %v", id, a.Kind)
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Errorf("fault fraction %.3f, want ~0.30", frac)
+	}
+
+	// A different seed fails a different subsequence.
+	g := Flaky{P: 0.3, Seed: 43}
+	same := 0
+	for id := uint64(0); id < n; id++ {
+		if f.ConnFaultAt(0, id).Kind == g.ConnFaultAt(0, id).Kind {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("seeds 42 and 43 fault identical subsequences")
+	}
+
+	// The configured fault is passed through.
+	rf := Flaky{P: 1, Fault: ConnFault{Kind: ConnReset, AfterBytes: 7}}
+	if got := rf.ConnFaultAt(0, 1); got.Kind != ConnReset || got.AfterBytes != 7 {
+		t.Errorf("Flaky fault passthrough = %+v", got)
+	}
+}
+
+func TestConnStackFirstWins(t *testing.T) {
+	s := ConnStack{
+		Outage{Start: time.Hour}, // inactive now
+		Reset{AfterBytes: 9},
+		Outage{}, // active, but shadowed by the reset
+	}
+	f := s.ConnFaultAt(0, 0)
+	if f.Kind != ConnReset || f.AfterBytes != 9 {
+		t.Errorf("stack = %+v, want first active (reset 9)", f)
+	}
+	if got := (ConnStack{}).ConnFaultAt(0, 0).Kind; got != ConnNone {
+		t.Errorf("empty stack = %v, want none", got)
+	}
+}
+
+// echoListener accepts one connection at a time and echoes bytes back.
+func echoListener(t *testing.T) net.Listener {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				_, _ = io.Copy(conn, conn)
+			}()
+		}
+	}()
+	t.Cleanup(func() { lis.Close() })
+	return lis
+}
+
+func TestChaosDialerRefuse(t *testing.T) {
+	lis := echoListener(t)
+	clock := func() time.Duration { return 0 }
+	dial := ChaosDialer(nil, Outage{}, clock) // refuse always
+	if _, err := dial(lis.Addr().String(), time.Second); !errors.Is(err, ErrInjectedRefuse) {
+		t.Fatalf("dial err = %v, want ErrInjectedRefuse", err)
+	}
+	// Outside the window the dialer passes through.
+	healthy := ChaosDialer(nil, Outage{Start: time.Hour}, clock)
+	conn, err := healthy(lis.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("healthy dial: %v", err)
+	}
+	conn.Close()
+}
+
+func TestChaosDialerBlackhole(t *testing.T) {
+	lis := echoListener(t)
+	dial := ChaosDialer(nil, Outage{Blackhole: true}, func() time.Duration { return 0 })
+	conn, err := dial(lis.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatalf("blackhole write: %v", err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 4)
+	if _, err := conn.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("blackhole read err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestChaosDialerReset(t *testing.T) {
+	lis := echoListener(t)
+	dial := ChaosDialer(nil, Reset{AfterBytes: 8}, func() time.Duration { return 0 })
+	conn, err := dial(lis.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("01234567")); err != nil { // spends the budget
+		t.Fatalf("write within budget: %v", err)
+	}
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrConnReset) {
+		t.Fatalf("write past budget err = %v, want ErrConnReset", err)
+	}
+	if _, err := conn.Read(make([]byte, 1)); !errors.Is(err, ErrConnReset) {
+		t.Fatalf("read past budget err = %v, want ErrConnReset", err)
+	}
+}
+
+func TestChaosListenerRefuseAndRecover(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now time.Duration // manual clock, advanced below
+	lis := NewChaosListener(inner, Outage{End: time.Second}, func() time.Duration { return now })
+	defer lis.Close()
+
+	accepted := make(chan net.Conn, 4)
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	// During the outage the connection is aborted at accept and never
+	// surfaced. Depending on timing the client sees the RST at connect or
+	// at first read; either way the attempt fails.
+	conn, err := net.Dial("tcp", inner.Addr().String())
+	if err == nil {
+		_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+		if _, rerr := conn.Read(make([]byte, 1)); rerr == nil {
+			t.Fatal("read on refused conn succeeded, want abort")
+		}
+		conn.Close()
+	}
+	select {
+	case <-accepted:
+		t.Fatal("refused connection surfaced to Accept")
+	default:
+	}
+
+	// After the outage window connections flow again.
+	now = 2 * time.Second
+	conn2, err := net.Dial("tcp", inner.Addr().String())
+	if err != nil {
+		t.Fatalf("post-outage dial: %v", err)
+	}
+	defer conn2.Close()
+	select {
+	case c := <-accepted:
+		c.Close()
+	case <-time.After(2 * time.Second):
+		t.Fatal("post-outage connection never surfaced")
+	}
+}

@@ -66,6 +66,7 @@ type Stats struct {
 	Swept       uint64 // flows removed by idle sweeps
 	Samples     uint64 // estimator samples produced
 	NoBackend   uint64 // packets dropped for lack of a backend
+	Fallbacks   uint64 // new flows rerouted off an ejected/partial backend
 	PerBackend  []uint64
 	NewPerBack  []uint64
 	SampPerBack []uint64
@@ -87,6 +88,14 @@ type LB struct {
 	ticker   control.Ticker
 	lastTick time.Duration
 
+	// router is non-nil when the policy can route around ejected or
+	// admission-limited backends (a control.Controller with health state);
+	// new flows then go through Route instead of Pick so passive failure
+	// detection steers the sim dataplane exactly as it steers the proxy.
+	router interface {
+		Route(packet.FlowKey, time.Duration) (int, bool)
+	}
+
 	// OnSample, when set, observes every estimator sample with the
 	// backend it was attributed to.
 	OnSample func(now time.Duration, backend int, sample time.Duration)
@@ -95,6 +104,10 @@ type LB struct {
 type connEntry struct {
 	backend  int
 	lastSeen time.Duration
+	// charged records whether the policy's occupancy was incremented for
+	// this flow. Fallback targets chosen by Route are never charged, so
+	// FlowClosed must not decrement them (mirrors the live proxy).
+	charged bool
 }
 
 // New creates a load balancer forwarding to uplinks (one per backend, in
@@ -137,6 +150,9 @@ func New(sim *netsim.Sim, cfg Config, uplinks []*netsim.Link) (*LB, error) {
 		},
 	}
 	l.ticker, _ = cfg.Policy.(control.Ticker)
+	l.router, _ = cfg.Policy.(interface {
+		Route(packet.FlowKey, time.Duration) (int, bool)
+	})
 	return l, nil
 }
 
@@ -216,12 +232,23 @@ func (l *LB) HandlePacket(p *netsim.Packet) {
 	// Connection affinity: existing flows stick to their backend.
 	entry, known := l.conns[p.Flow]
 	if !known {
-		b := l.cfg.Policy.Pick(p.Flow, now)
+		var b int
+		charged := true
+		if l.router != nil {
+			var fellBack bool
+			b, fellBack = l.router.Route(p.Flow, now)
+			if fellBack {
+				l.stats.Fallbacks++
+				charged = false
+			}
+		} else {
+			b = l.cfg.Policy.Pick(p.Flow, now)
+		}
 		if b < 0 || b >= l.cfg.Policy.NumBackends() {
 			l.stats.NoBackend++
 			return
 		}
-		entry = connEntry{backend: b}
+		entry = connEntry{backend: b, charged: charged}
 		l.stats.NewFlows++
 		l.stats.NewPerBack[b]++
 	}
@@ -238,7 +265,7 @@ func (l *LB) HandlePacket(p *netsim.Packet) {
 	}
 
 	if p.Kind == netsim.KindClose {
-		l.closeFlow(p.Flow, entry.backend, now)
+		l.closeFlow(p.Flow, entry, now)
 		// The close itself is still forwarded so the server could clean
 		// up; harmless for the simulated server, faithful to a real FIN.
 	}
@@ -275,11 +302,13 @@ func keyFlow(key uint64) packet.FlowKey {
 	}
 }
 
-func (l *LB) closeFlow(key packet.FlowKey, backend int, now time.Duration) {
+func (l *LB) closeFlow(key packet.FlowKey, e connEntry, now time.Duration) {
 	delete(l.conns, key)
 	l.flows.Forget(key)
 	l.stats.Closed++
-	l.cfg.Policy.FlowClosed(backend, now)
+	if e.charged {
+		l.cfg.Policy.FlowClosed(e.backend, now)
+	}
 }
 
 // sweep evicts idle connections and estimator flows.
@@ -290,7 +319,9 @@ func (l *LB) sweep() {
 		if e.lastSeen < cutoff {
 			delete(l.conns, k)
 			l.stats.Swept++
-			l.cfg.Policy.FlowClosed(e.backend, now)
+			if e.charged {
+				l.cfg.Policy.FlowClosed(e.backend, now)
+			}
 		}
 	}
 	l.flows.Sweep(now)

@@ -49,6 +49,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/netip"
 	"sync"
@@ -74,10 +75,6 @@ type Config struct {
 	// controller's sample aggregator (they stripe on the same flow hash),
 	// rounded up to a power of two. Zero defaults to runtime.GOMAXPROCS(0).
 	Shards int
-	// SampleBuffer is deprecated and ignored: sample aggregation is
-	// lossless and unbounded-free (fixed per-shard cells), so there is no
-	// queue to size and nothing is ever dropped.
-	SampleBuffer int
 	// ControlInterval is the controller tick period: how often aggregated
 	// latency samples are merged into the policy and the routing snapshot
 	// is republished. It bounds how stale routing can be relative to the
@@ -91,21 +88,60 @@ type Config struct {
 	// BufferSize is the relay buffer size. Defaults to 32 KiB.
 	BufferSize int
 	// HealthInterval enables active health probes (TCP dial) at this
-	// period; backends failing a probe are ejected from routing until a
-	// probe succeeds again. Zero disables probing.
+	// period, jittered ±10% so probes across instances do not synchronize.
+	// Probe results flip ejection only after consecutive-result thresholds
+	// (HealthFailThreshold / HealthRecoverThreshold), so one lost SYN does
+	// not flap routing. Zero disables probing — with passive detection
+	// enabled (Detector) probes are a backstop, not the primary signal.
 	HealthInterval time.Duration
 	// HealthTimeout bounds each probe dial. Defaults to min(1s,
 	// HealthInterval).
 	HealthTimeout time.Duration
+	// HealthFailThreshold is how many consecutive probe failures eject a
+	// backend; HealthRecoverThreshold how many consecutive successes
+	// readmit it. Defaults 3 and 2.
+	HealthFailThreshold    int
+	HealthRecoverThreshold int
+	// Detector configures passive in-band failure detection in the
+	// controller: dial errors, relay resets, and per-tick latency
+	// aggregates eject without waiting for a probe, and recovery re-admits
+	// through half-open trials and slow-start. Zero value disables it.
+	Detector control.DetectorConfig
+	// Dial overrides the backend dial function (net.DialTimeout on "tcp"
+	// by default). Tests and chaos harnesses inject faults.ChaosDialer
+	// here; it also carries health-probe dials so the same fault schedule
+	// governs both.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// IdleTimeout bounds how long a relay direction may sit idle (no bytes)
+	// before the connection is torn down, so a blackholed backend cannot
+	// pin goroutines forever. A server-side idle expiry is reported to the
+	// passive detector as a relay failure. Zero disables deadlines.
+	IdleTimeout time.Duration
+	// DrainTimeout is the grace period Close gives in-flight relays before
+	// force-closing them. Zero force-closes immediately (the legacy
+	// behavior).
+	DrainTimeout time.Duration
 }
 
-// Stats are cumulative proxy counters. Every accepted connection either
-// dial-errors or is counted in exactly one PerBackend slot, so
-// Accepted == sum(PerBackend) + DialErrors + dropped-for-lack-of-backend.
+// Stats are cumulative proxy counters. Every accepted connection ends in
+// exactly one of three buckets — relayed through some backend
+// (PerBackend), failed every dial attempt (DialErrors), or dropped for
+// lack of any admitted backend (Dropped) — so the accounting identity
+//
+//	Accepted == sum(PerBackend) + DialErrors + Dropped
+//
+// holds once in-flight handlers settle (always after Close).
 type Stats struct {
-	Accepted   uint64
-	Active     int64
+	Accepted uint64
+	Active   int64
+	// DialErrors counts connections that failed to reach any backend: the
+	// routed dial failed and the one-shot failover either had no target or
+	// failed too. A connection saved by failover is not a DialError — it
+	// lands in PerBackend (for the rescue backend) and in Failovers.
 	DialErrors uint64
+	// Dropped counts connections discarded because no backend admitted
+	// any traffic (whole pool ejected).
+	Dropped uint64
 	// Samples counts estimator outputs; SamplesDelivered those merged into
 	// the policy by controller ticks. SamplesDropped is always zero —
 	// shard aggregation is lossless — and is kept so the accounting
@@ -116,8 +152,10 @@ type Stats struct {
 	SamplesDelivered uint64
 	SamplesDropped   uint64
 	Fallbacks        uint64   // connections rerouted away from an ejected backend
+	Failovers        uint64   // connections rescued by the post-dial-error retry
 	PerBackend       []uint64 // connections routed per backend
-	Down             []bool   // health state per backend (false = healthy)
+	Down             []bool   // per backend: admits no traffic (probe or passive)
+	Health           []string // per backend: passive-detector state name
 }
 
 // Proxy is a running load balancer instance.
@@ -138,10 +176,12 @@ type Proxy struct {
 	accepted   atomic.Uint64
 	active     atomic.Int64
 	dialErrors atomic.Uint64
+	dropped    atomic.Uint64
 	samples    atomic.Uint64
 	fallbacks  atomic.Uint64
+	failovers  atomic.Uint64
 	perBackend []atomic.Uint64
-	down       []atomic.Bool
+	down       []atomic.Bool // probe layer's own view (streak bookkeeping)
 	stop       chan struct{}
 
 	closed atomic.Bool
@@ -174,6 +214,12 @@ func New(cfg Config) (*Proxy, error) {
 			cfg.HealthTimeout = cfg.HealthInterval
 		}
 	}
+	if cfg.HealthFailThreshold <= 0 {
+		cfg.HealthFailThreshold = 3
+	}
+	if cfg.HealthRecoverThreshold <= 0 {
+		cfg.HealthRecoverThreshold = 2
+	}
 	flows, err := core.NewShardedFlowTable(cfg.FlowTable, cfg.Shards)
 	if err != nil {
 		return nil, err
@@ -194,6 +240,7 @@ func New(cfg Config) (*Proxy, error) {
 		Shards:   flows.Shards(),
 		Interval: cfg.ControlInterval,
 		Now:      p.now,
+		Detector: cfg.Detector,
 	})
 	// The pool is keyed to this proxy's BufferSize: every buffer it hands
 	// out has exactly that capacity, so relays never re-slice.
@@ -218,18 +265,32 @@ func (p *Proxy) Stats() Stats {
 		Accepted:         p.accepted.Load(),
 		Active:           p.active.Load(),
 		DialErrors:       p.dialErrors.Load(),
+		Dropped:          p.dropped.Load(),
 		Samples:          p.samples.Load(),
 		SamplesDelivered: p.ctrl.Delivered(),
 		SamplesDropped:   p.ctrl.Dropped(),
 		Fallbacks:        p.fallbacks.Load(),
+		Failovers:        p.failovers.Load(),
 		PerBackend:       make([]uint64, len(p.perBackend)),
-		Down:             make([]bool, len(p.down)),
+		Down:             make([]bool, len(p.perBackend)),
+		Health:           make([]string, len(p.perBackend)),
 	}
 	for i := range p.perBackend {
 		st.PerBackend[i] = p.perBackend[i].Load()
-		st.Down[i] = p.down[i].Load()
+		// Down reflects what routing sees — manual probe vetoes AND
+		// passive ejections — not just the probe loop's own bookkeeping.
+		st.Down[i] = p.ctrl.Ejected(i)
+		st.Health[i] = p.ctrl.HealthState(i).String()
 	}
 	return st
+}
+
+// dial opens one backend connection through the configured dial hook.
+func (p *Proxy) dial(addr string, timeout time.Duration) (net.Conn, error) {
+	if p.cfg.Dial != nil {
+		return p.cfg.Dial(addr, timeout)
+	}
+	return net.DialTimeout("tcp", addr, timeout)
 }
 
 // Listen binds addr.
@@ -287,9 +348,11 @@ func (p *Proxy) ListenAndServe(addr string) error {
 	return p.Serve()
 }
 
-// Close stops the proxy, closes open relays, and runs a final controller
-// tick so every aggregated latency sample is merged into the policy
-// (post-Close Stats satisfy Samples == SamplesDelivered + SamplesDropped).
+// Close stops the proxy: it stops accepting, gives in-flight relays up to
+// Config.DrainTimeout to finish on their own (graceful drain), force-closes
+// whatever remains, and runs a final controller tick so every aggregated
+// latency sample is merged into the policy (post-Close Stats satisfy
+// Samples == SamplesDelivered + SamplesDropped and the Accepted identity).
 func (p *Proxy) Close() error {
 	if p.closed.Swap(true) {
 		p.ctrl.Close() // idempotent; runs the final flush tick
@@ -299,6 +362,17 @@ func (p *Proxy) Close() error {
 	var err error
 	if p.lis != nil {
 		err = p.lis.Close()
+	}
+	if p.cfg.DrainTimeout > 0 {
+		drained := make(chan struct{})
+		go func() {
+			p.wg.Wait()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case <-time.After(p.cfg.DrainTimeout):
+		}
 	}
 	p.connMu.Lock()
 	for c := range p.open {
@@ -339,18 +413,43 @@ func (p *Proxy) handle(client net.Conn) {
 	// leaks when the pick lands on an ejected backend.
 	backend, fellBack := p.ctrl.RouteHashed(hash, key, now)
 	if backend < 0 || backend >= len(p.cfg.Backends) {
-		return // whole pool ejected (or policy misbehaved); drop
+		p.dropped.Add(1) // whole pool ejected (or policy misbehaved)
+		return
 	}
 	if fellBack {
 		p.fallbacks.Add(1)
 	}
+	// charged tracks whether the policy holds an open-flow debit for
+	// `backend`. Fallback and failover targets are never charged (the
+	// controller undid the original pick's debit), so the end-of-connection
+	// FlowClosed must be skipped for them or occupancy goes negative.
+	charged := !fellBack
 
-	server, err := net.DialTimeout("tcp", p.cfg.Backends[backend], p.cfg.DialTimeout)
+	server, err := p.dial(p.cfg.Backends[backend], p.cfg.DialTimeout)
 	if err != nil {
-		p.dialErrors.Add(1)
-		p.ctrl.FlowClosed(backend, p.now())
-		return
+		p.ctrl.ReportDialError(backend, p.now())
+		if charged {
+			p.ctrl.FlowClosed(backend, p.now())
+			charged = false
+		}
+		// One-shot failover: retry against the next admitted backend so a
+		// connection racing an ejection (or hitting a not-yet-detected
+		// failure) is rescued instead of shed. The target is uncharged.
+		if alt := p.ctrl.FailoverTarget(backend); alt >= 0 {
+			server, err = p.dial(p.cfg.Backends[alt], p.cfg.DialTimeout)
+			if err == nil {
+				backend = alt
+				p.failovers.Add(1)
+			} else {
+				p.ctrl.ReportDialError(alt, p.now())
+			}
+		}
+		if err != nil {
+			p.dialErrors.Add(1) // terminal: no backend accepted the dial
+			return
+		}
 	}
+	p.ctrl.ReportDialSuccess(backend)
 	defer server.Close()
 	p.perBackend[backend].Add(1)
 	p.active.Add(1)
@@ -366,15 +465,35 @@ func (p *Proxy) handle(client net.Conn) {
 		delete(p.open, server)
 		p.connMu.Unlock()
 	}()
+	if p.closed.Load() {
+		// Raced Close's force-close sweep: tear down now rather than start
+		// relays Close will never see.
+		client.Close()
+		server.Close()
+	}
 
 	done := make(chan struct{}, 2)
 
-	// Response direction: a blind relay. No timestamps are taken here —
-	// the estimator must work without seeing this traffic, as under DSR.
+	// Response direction: a blind relay. No timestamps feed measurement
+	// here — the estimator must work without seeing this traffic, as under
+	// DSR. (Idle deadlines are liveness bounds, not measurement.)
 	go func() {
 		bufp := p.getBuf()
 		defer p.putBuf(bufp)
-		_, _ = io.CopyBuffer(client, server, *bufp)
+		buf := *bufp
+		for {
+			p.armIdle(server)
+			n, rerr := server.Read(buf)
+			if n > 0 {
+				if _, werr := client.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if rerr != nil {
+				p.reportRelayErr(backend, rerr)
+				break
+			}
+		}
 		closeWrite(client)
 		done <- struct{}{}
 	}()
@@ -387,15 +506,17 @@ func (p *Proxy) handle(client net.Conn) {
 		defer p.putBuf(bufp)
 		buf := *bufp
 		for {
+			p.armIdle(client)
 			n, rerr := client.Read(buf)
 			if n > 0 {
 				p.observe(hash, key, backend)
 				if _, werr := server.Write(buf[:n]); werr != nil {
+					p.reportRelayErr(backend, werr)
 					break
 				}
 			}
 			if rerr != nil {
-				break
+				break // client-side failure: not the backend's fault
 			}
 		}
 		closeWrite(server)
@@ -406,7 +527,27 @@ func (p *Proxy) handle(client net.Conn) {
 	<-done
 
 	p.flows.ForgetHashed(hash, key)
-	p.ctrl.FlowClosed(backend, p.now())
+	if charged {
+		p.ctrl.FlowClosed(backend, p.now())
+	}
+}
+
+// armIdle sets the connection's read deadline IdleTimeout into the future,
+// bounding how long a relay direction can sit byteless.
+func (p *Proxy) armIdle(c net.Conn) {
+	if p.cfg.IdleTimeout > 0 {
+		_ = c.SetReadDeadline(time.Now().Add(p.cfg.IdleTimeout))
+	}
+}
+
+// reportRelayErr forwards an abnormal server-side relay failure to the
+// passive detector. Clean EOFs are normal teardown; net.ErrClosed means the
+// proxy itself (or the peer goroutine) tore the connection down.
+func (p *Proxy) reportRelayErr(backend int, err error) {
+	if err == nil || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || p.closed.Load() {
+		return
+	}
+	p.ctrl.ReportRelayError(backend, p.now())
 }
 
 // observe feeds one request-direction read into the flow's estimator shard
@@ -430,32 +571,50 @@ func closeWrite(c net.Conn) {
 	}
 }
 
-// probeLoop actively dials each backend every HealthInterval and flips its
-// ejection bit on failure/recovery. State changes go to the controller,
-// which republishes the routing snapshot immediately — ejections take
-// effect on the next accepted connection, not the next control tick.
+// probeLoop actively dials each backend roughly every HealthInterval
+// (jittered ±10% so many proxies' probes do not synchronize) and flips its
+// ejection bit only after HealthFailThreshold consecutive failures or
+// HealthRecoverThreshold consecutive successes — one lost SYN no longer
+// flaps routing. State changes go to the controller, which republishes the
+// routing snapshot immediately — ejections take effect on the next
+// accepted connection, not the next control tick.
 func (p *Proxy) probeLoop() {
-	t := time.NewTicker(p.cfg.HealthInterval)
-	defer t.Stop()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	fails := make([]int, len(p.cfg.Backends))
+	oks := make([]int, len(p.cfg.Backends))
+	timer := time.NewTimer(p.jitteredProbePeriod(rng))
+	defer timer.Stop()
 	for {
 		select {
 		case <-p.stop:
 			return
-		case <-t.C:
+		case <-timer.C:
 		}
+		timer.Reset(p.jitteredProbePeriod(rng))
 		for i, addr := range p.cfg.Backends {
-			down := false
-			conn, err := net.DialTimeout("tcp", addr, p.cfg.HealthTimeout)
+			conn, err := p.dial(addr, p.cfg.HealthTimeout)
 			if err != nil {
-				down = true
-			} else {
-				_ = conn.Close()
+				oks[i] = 0
+				if fails[i]++; fails[i] >= p.cfg.HealthFailThreshold && !p.down[i].Load() {
+					p.down[i].Store(true)
+					p.ctrl.SetEjected(i, true)
+				}
+				continue
 			}
-			if p.down[i].Swap(down) != down {
-				p.ctrl.SetEjected(i, down)
+			_ = conn.Close()
+			fails[i] = 0
+			if oks[i]++; oks[i] >= p.cfg.HealthRecoverThreshold && p.down[i].Load() {
+				p.down[i].Store(false)
+				p.ctrl.SetEjected(i, false)
 			}
 		}
 	}
+}
+
+// jitteredProbePeriod spreads probe rounds over HealthInterval ±10%.
+func (p *Proxy) jitteredProbePeriod(rng *rand.Rand) time.Duration {
+	base := float64(p.cfg.HealthInterval)
+	return time.Duration(base * (0.9 + 0.2*rng.Float64()))
 }
 
 // sweepLoop incrementally expires idle flows, one shard per tick, so

@@ -5,11 +5,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"inbandlb/internal/control"
 	"inbandlb/internal/core"
+	"inbandlb/internal/faults"
 	"inbandlb/internal/memcache"
 	"inbandlb/internal/packet"
 )
@@ -376,19 +378,21 @@ func (f *flowCountPolicy) Pick(_ packet.FlowKey, _ time.Duration) int {
 	return b
 }
 
-// TestWholePoolEjectedUndoesPick ejects every backend and verifies that
-// dropped connections undo their pick in the policy: without the
-// FlowClosed(orig) on the drop path, each dropped connection would leak one
-// live flow in the policy's per-backend accounting forever.
+// TestWholePoolEjectedUndoesPick ejects every backend through the
+// controller (the layer routing actually consults) and verifies that
+// dropped connections are counted in Stats.Dropped, satisfy the accounting
+// identity, and undo their pick in the policy: without the FlowClosed(orig)
+// on the drop path, each dropped connection would leak one live flow in the
+// policy's per-backend accounting forever.
 func TestWholePoolEjectedUndoesPick(t *testing.T) {
 	_, addrA := startBackend(t)
 	_, addrB := startBackend(t)
 	pol := newFlowCountPolicy(2)
 	proxy, paddr := startProxy(t, pol, addrA, addrB)
 
-	// Eject the whole pool directly (the prober is off in this config).
-	proxy.down[0].Store(true)
-	proxy.down[1].Store(true)
+	// Eject the whole pool (the prober is off in this config).
+	proxy.ctrl.SetEjected(0, true)
+	proxy.ctrl.SetEjected(1, true)
 
 	for i := 0; i < 4; i++ {
 		c, err := net.DialTimeout("tcp", paddr, time.Second)
@@ -407,19 +411,20 @@ func TestWholePoolEjectedUndoesPick(t *testing.T) {
 	// handle() runs in per-connection goroutines; wait for the accounting
 	// to settle.
 	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) {
-		settled := true
-		proxy.ctrl.Do(func(control.Policy) {
-			for _, n := range pol.live {
-				if n != 0 {
-					settled = false
-				}
-			}
-		})
-		if settled {
-			break
-		}
+	for time.Now().Before(deadline) && proxy.Stats().Dropped < 4 {
 		time.Sleep(10 * time.Millisecond)
+	}
+	st := proxy.Stats()
+	if st.Dropped != 4 {
+		t.Errorf("Dropped = %d, want 4", st.Dropped)
+	}
+	var routed uint64
+	for _, n := range st.PerBackend {
+		routed += n
+	}
+	if st.Accepted != routed+st.DialErrors+st.Dropped {
+		t.Errorf("identity violated: accepted=%d routed=%d dialErrors=%d dropped=%d",
+			st.Accepted, routed, st.DialErrors, st.Dropped)
 	}
 	proxy.ctrl.Do(func(control.Policy) {
 		for b, n := range pol.live {
@@ -428,6 +433,221 @@ func TestWholePoolEjectedUndoesPick(t *testing.T) {
 			}
 		}
 	})
+}
+
+// TestProxyDialFailover kills one of two backends without ejecting it: the
+// routed dial fails, the one-shot failover rescues the connection onto the
+// live backend, and the accounting records a Failover — not a DialError.
+func TestProxyDialFailover(t *testing.T) {
+	a := memcache.NewServer()
+	if err := a.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addrA := a.Addr().String()
+	go func() { _ = a.Serve() }()
+	_, addrB := startBackend(t)
+	proxy, paddr := startProxy(t, control.NewRoundRobin(2), addrA, addrB)
+
+	_ = a.Close() // A is dead but NOT ejected: every dial to it fails
+
+	for i := 0; i < 6; i++ {
+		c, err := memcache.Dial(paddr, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+		if err := c.Set("k", []byte("v")); err != nil {
+			t.Fatalf("conn %d through failover: %v", i, err)
+		}
+		_ = c.Close()
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && proxy.Stats().Active > 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := proxy.Stats()
+	if st.Failovers == 0 {
+		t.Error("no failovers recorded with a dead un-ejected backend")
+	}
+	if st.DialErrors != 0 {
+		t.Errorf("DialErrors = %d, want 0 (failover should absorb)", st.DialErrors)
+	}
+	if st.PerBackend[0] != 0 {
+		t.Errorf("dead backend relayed %d connections", st.PerBackend[0])
+	}
+	var routed uint64
+	for _, n := range st.PerBackend {
+		routed += n
+	}
+	if st.Accepted != routed+st.DialErrors+st.Dropped {
+		t.Errorf("identity violated: %+v", st)
+	}
+}
+
+// TestProxyPassiveOutageEjection is the acceptance scenario: active probes
+// OFF, a refuse-outage on one backend injected through the chaos dialer,
+// and only passive in-band signals available. The proxy must eject the
+// backend from dial errors alone, absorb subsequent picks via failover
+// with zero terminal dial errors, and re-admit through slow-start once the
+// outage lifts.
+func TestProxyPassiveOutageEjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-socket timing test")
+	}
+	_, addrA := startBackend(t)
+	_, addrB := startBackend(t)
+
+	outageEnd := make(chan struct{})
+	var dialSeq atomic.Uint64
+	chaos := func(addr string, timeout time.Duration) (net.Conn, error) {
+		dialSeq.Add(1)
+		if addr == addrA {
+			select {
+			case <-outageEnd:
+			default:
+				return nil, faults.ErrInjectedRefuse
+			}
+		}
+		return net.DialTimeout("tcp", addr, timeout)
+	}
+
+	proxy, err := New(Config{
+		Backends:        []string{addrA, addrB},
+		Policy:          control.NewRoundRobin(2),
+		ControlInterval: 2 * time.Millisecond,
+		// HealthInterval zero: NO active probes. Detection is passive only.
+		Detector: control.DetectorConfig{
+			Enabled:          true,
+			FailureThreshold: 3,
+			BackoffInitial:   150 * time.Millisecond,
+			SlowStartTicks:   20,
+		},
+		Dial: chaos,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = proxy.Serve() }()
+	t.Cleanup(func() { _ = proxy.Close() })
+	paddr := proxy.Addr().String()
+
+	doSet := func() error {
+		c, err := memcache.Dial(paddr, time.Second)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+		return c.Set("k", []byte("v"))
+	}
+
+	// Drive connections until passive detection ejects A. Every one must
+	// succeed — failover absorbs the refused dials meanwhile.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && !proxy.Stats().Down[0] {
+		if err := doSet(); err != nil {
+			t.Fatalf("request during outage failed: %v", err)
+		}
+	}
+	st := proxy.Stats()
+	if !st.Down[0] {
+		t.Fatal("passive signals never ejected the dead backend")
+	}
+	if st.Failovers == 0 {
+		t.Error("no failovers while outage was undetected")
+	}
+	if st.DialErrors != 0 {
+		t.Errorf("terminal DialErrors = %d, want 0", st.DialErrors)
+	}
+
+	// After ejection no more dials reach A: routing avoids it entirely, so
+	// connections stop being refused at the dial layer too.
+	seqAtEject := dialSeq.Load()
+	for i := 0; i < 6; i++ {
+		if err := doSet(); err != nil {
+			t.Fatalf("request after ejection failed: %v", err)
+		}
+	}
+	if st := proxy.Stats(); st.DialErrors != 0 {
+		t.Errorf("post-ejection terminal DialErrors = %d, want 0", st.DialErrors)
+	}
+	_ = seqAtEject
+
+	// Lift the outage: the backoff expires, a half-open trial succeeds, and
+	// slow-start ramps A back to full admission.
+	close(outageEnd)
+	deadline = time.Now().Add(8 * time.Second)
+	for time.Now().Before(deadline) {
+		if !proxy.Stats().Down[0] && proxy.ctrl.HealthState(0) == control.Healthy {
+			break
+		}
+		_ = doSet() // keep trial traffic flowing
+		time.Sleep(5 * time.Millisecond)
+	}
+	if proxy.Stats().Down[0] {
+		t.Fatal("backend never re-admitted after outage end")
+	}
+	if hs := proxy.ctrl.HealthState(0); hs != control.Healthy {
+		t.Fatalf("health state after recovery = %v, want healthy", hs)
+	}
+	// And it takes traffic again.
+	if err := doSet(); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+}
+
+// TestProxyGracefulDrain verifies Close with a DrainTimeout lets an
+// in-flight connection finish instead of chopping it.
+func TestProxyGracefulDrain(t *testing.T) {
+	_, baddr := startBackend(t)
+	p, err := New(Config{
+		Backends:     []string{baddr},
+		Policy:       control.NewRoundRobin(1),
+		DrainTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = p.Serve() }()
+
+	c, err := memcache.Dial(p.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(3 * time.Second))
+	if err := c.Set("warm", []byte("up")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Close concurrently with one more request on the established conn:
+	// drain must let it complete.
+	closed := make(chan error, 1)
+	go func() { closed <- p.Close() }()
+	// Give Close a moment to stop the accept loop.
+	time.Sleep(50 * time.Millisecond)
+	if err := c.Set("mid-drain", []byte("v")); err != nil {
+		t.Errorf("in-flight request chopped during drain: %v", err)
+	}
+	_ = c.Close()
+	if err := <-closed; err != nil {
+		t.Errorf("close: %v", err)
+	}
+	st := p.Stats()
+	var routed uint64
+	for _, n := range st.PerBackend {
+		routed += n
+	}
+	if st.Accepted != routed+st.DialErrors+st.Dropped {
+		t.Errorf("identity violated after drain: %+v", st)
+	}
 }
 
 // TestRelayBufferPool verifies the relay buffer pool hands out

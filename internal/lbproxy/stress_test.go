@@ -2,12 +2,14 @@ package lbproxy
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"inbandlb/internal/control"
 	"inbandlb/internal/core"
+	"inbandlb/internal/faults"
 	"inbandlb/internal/memcache"
 	"inbandlb/internal/packet"
 )
@@ -18,8 +20,9 @@ import (
 // publications, the health prober, and status snapshots all run.
 // Afterwards the Stats invariants must hold exactly:
 //
-//   - Accepted == sum(PerBackend) + DialErrors (every accepted connection
-//     is routed to exactly one backend or failed its dial),
+//   - Accepted == sum(PerBackend) + DialErrors + Dropped (every accepted
+//     connection is routed to exactly one backend, failed every dial, or
+//     was dropped with the pool ejected),
 //   - Active returns to 0 once clients drain,
 //   - after Close, Samples == SamplesDelivered + SamplesDropped (and with
 //     lossless shard aggregation, SamplesDropped is always zero).
@@ -150,9 +153,9 @@ func TestProxyConcurrentStress(t *testing.T) {
 	for _, n := range st.PerBackend {
 		routed += n
 	}
-	if st.Accepted != routed+st.DialErrors {
-		t.Errorf("accepted %d != routed %d + dial errors %d",
-			st.Accepted, routed, st.DialErrors)
+	if st.Accepted != routed+st.DialErrors+st.Dropped {
+		t.Errorf("accepted %d != routed %d + dial errors %d + dropped %d",
+			st.Accepted, routed, st.DialErrors, st.Dropped)
 	}
 	if st.Samples == 0 {
 		t.Error("no estimator samples under concurrent load")
@@ -179,6 +182,165 @@ func TestProxyConcurrentStress(t *testing.T) {
 	}
 	if sum < 0.99 || sum > 1.01 {
 		t.Errorf("weights sum %.4f after stress, want ≈1", sum)
+	}
+}
+
+// TestProxyChaosFlappingStress pours connections through a chaos dialer
+// whose Flaky schedules refuse, reset, and blackhole a deterministic slice
+// of dials while the passive detector flaps backends through ejection,
+// half-open trials, and slow-start — the ejection-churn scenario. With the
+// race detector on, this is the proof that detector transitions, admission
+// republishes, failover retries, and deadline-bounded relays are all safe
+// together. Afterwards:
+//
+//   - no goroutine leaks (blackholed relays are bounded by IdleTimeout),
+//   - snapshot generations observed during the run are monotonic,
+//   - the Stats accounting identity holds exactly after Close.
+func TestProxyChaosFlappingStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-socket stress test")
+	}
+	const nBackends = 3
+	backends := make([]string, nBackends)
+	for i := range backends {
+		_, backends[i] = startBackend(t)
+	}
+	baseGoroutines := runtime.NumGoroutine()
+
+	sched := faults.ConnStack{
+		faults.Flaky{P: 0.25, Seed: 7}, // refuse
+		faults.Flaky{P: 0.08, Seed: 9, Fault: faults.ConnFault{Kind: faults.ConnReset, AfterBytes: 48}},
+		faults.Flaky{P: 0.04, Seed: 11, Fault: faults.ConnFault{Kind: faults.ConnBlackhole}},
+	}
+	testStart := time.Now()
+	chaosDial := faults.ChaosDialer(nil, sched, func() time.Duration { return time.Since(testStart) })
+
+	la, err := control.NewLatencyAware(control.LatencyAwareConfig{
+		Backends:  []string{"b0", "b1", "b2"},
+		Alpha:     0.10,
+		TableSize: 1021,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := New(Config{
+		Backends:        backends,
+		Policy:          la,
+		Shards:          4,
+		ControlInterval: time.Millisecond,
+		SweepInterval:   20 * time.Millisecond,
+		FlowTable:       core.FlowTableConfig{IdleTimeout: 100 * time.Millisecond},
+		Detector: control.DetectorConfig{
+			Enabled:          true,
+			FailureThreshold: 2,
+			BackoffInitial:   20 * time.Millisecond,
+			BackoffMax:       80 * time.Millisecond,
+			SlowStartTicks:   10,
+		},
+		Dial:         chaosDial,
+		IdleTimeout:  150 * time.Millisecond,
+		DrainTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = proxy.Serve() }()
+	paddr := proxy.Addr().String()
+
+	// Generation monitor: publications must be strictly monotonic from the
+	// reader's side, no matter how fast health churn republishes.
+	genStop := make(chan struct{})
+	var genWg sync.WaitGroup
+	genWg.Add(1)
+	go func() {
+		defer genWg.Done()
+		var last uint64
+		for {
+			select {
+			case <-genStop:
+				return
+			default:
+			}
+			g := proxy.ctrl.Generation()
+			if g < last {
+				t.Errorf("snapshot generation went backwards: %d -> %d", last, g)
+				return
+			}
+			last = g
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	const (
+		workers     = 16
+		connsPerWkr = 20
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for c := 0; c < connsPerWkr; c++ {
+				cli, err := memcache.Dial(paddr, 2*time.Second)
+				if err != nil {
+					continue // chaos: accepted-then-dropped is expected
+				}
+				_ = cli.SetDeadline(time.Now().Add(time.Second))
+				for s := 0; s < 5; s++ {
+					if err := cli.Set(fmt.Sprintf("k-%d-%d", w, s), []byte("v")); err != nil {
+						break // refused/reset/blackholed mid-stream: fine
+					}
+				}
+				_ = cli.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Drain, then close (Close force-closes whatever chaos left pinned
+	// after the drain grace).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && proxy.Stats().Active > 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(genStop)
+	genWg.Wait()
+	if err := proxy.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := proxy.Stats()
+	if st.Active != 0 {
+		t.Errorf("active = %d after close, want 0", st.Active)
+	}
+	var routed uint64
+	for _, n := range st.PerBackend {
+		routed += n
+	}
+	if st.Accepted != routed+st.DialErrors+st.Dropped {
+		t.Errorf("identity violated: accepted %d != routed %d + dialErrors %d + dropped %d",
+			st.Accepted, routed, st.DialErrors, st.Dropped)
+	}
+	if st.Samples != st.SamplesDelivered+st.SamplesDropped {
+		t.Errorf("samples %d != delivered %d + dropped %d after close",
+			st.Samples, st.SamplesDelivered, st.SamplesDropped)
+	}
+	if st.Accepted == 0 || routed == 0 {
+		t.Errorf("chaos shed everything (accepted=%d routed=%d): schedule too hostile", st.Accepted, routed)
+	}
+
+	// No goroutine leaks: relays, probes, sweeper, ticker all wound down.
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > baseGoroutines+4 {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseGoroutines+4 {
+		buf := make([]byte, 1<<16)
+		t.Errorf("goroutine leak: %d now vs %d at start\n%s",
+			g, baseGoroutines, buf[:runtime.Stack(buf, true)])
 	}
 }
 

@@ -237,6 +237,49 @@ func TestSnapshotPickZeroAlloc(t *testing.T) {
 	})
 }
 
+// TestSnapshotRoutePartialAdmissionZeroAlloc pins the recovery path's
+// data-plane guarantee: with the passive detector holding a backend in a
+// partial-admission state (half-open trial / slow-start ramp), Route and
+// RouteHash remain pure snapshot reads — the admission check and the
+// prefer-fully-admitted fallback scan allocate nothing and take no locks.
+func TestSnapshotRoutePartialAdmissionZeroAlloc(t *testing.T) {
+	la, err := control.NewLatencyAware(control.LatencyAwareConfig{
+		Backends: []string{"b0", "b1", "b2", "b3"}, Alpha: 0.1, TableSize: 1021,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := control.NewController(la, control.ControllerConfig{
+		Detector: control.DetectorConfig{
+			Enabled:          true,
+			FailureThreshold: 1,
+			BackoffInitial:   time.Millisecond,
+			BackoffJitter:    0.1,
+			SlowStartTicks:   1 << 30, // park backend 1 mid-ramp for the test
+		},
+	})
+	defer ctrl.Close()
+	// Drive backend 1 through eject → half-open → slow-start so its
+	// admission fraction is partial while the others are full.
+	ctrl.ReportDialError(1, 0)
+	ctrl.Tick(10 * time.Millisecond) // backoff expired → half-open
+	ctrl.ReportDialSuccess(1)        // trial success → slow-start
+	if st := ctrl.HealthState(1); st != control.SlowStart {
+		t.Fatalf("setup: state = %v, want slow-start", st)
+	}
+	keys := benchKeys()
+	i := 0
+	assertZeroAllocs(t, "Controller.Route (partial admission)", nil, func() {
+		ctrl.Route(keys[i%len(keys)], 0)
+		i++
+	})
+	snap := ctrl.Snapshot()
+	assertZeroAllocs(t, "Snapshot.RouteHash (partial admission)", nil, func() {
+		snap.RouteHash(uint64(i) * 0x9e3779b97f4a7c15)
+		i++
+	})
+}
+
 // TestControllerObserveShardedZeroAlloc pins the per-sample half of the
 // controller's data plane: folding a latency observation into its shard
 // cell allocates nothing.
@@ -261,6 +304,19 @@ func TestControllerTickZeroAllocWhenIdle(t *testing.T) {
 	assertZeroAllocs(t, "Controller.Tick (idle)", nil, func() {
 		now += time.Millisecond
 		ctrl.Tick(now)
+	})
+
+	// The passive detector's per-tick pass (outlier median, starvation,
+	// state advances) must not change this: an idle, all-healthy tick
+	// stays allocation-free with detection enabled.
+	det := control.NewController(control.NewRoundRobin(4), control.ControllerConfig{
+		Shards:   4,
+		Detector: control.DetectorConfig{Enabled: true},
+	})
+	defer det.Close()
+	assertZeroAllocs(t, "Controller.Tick (idle, detector on)", nil, func() {
+		now += time.Millisecond
+		det.Tick(now)
 	})
 }
 

@@ -23,6 +23,13 @@ type Config struct {
 	// This is where the paper's 1 ms inflation lands when injected at the
 	// server rather than the link.
 	Injected faults.Schedule
+	// ConnFaults breaks connections outright (nil = none): refused or reset
+	// flows are answered with a KindClose toward the client (the RST, via
+	// DSR), blackholed flows are dropped silently. The decision is keyed on
+	// the flow hash, so a faulted flow stays faulted for the schedule's
+	// duration — one schedule drives this simulated server and the live
+	// chaos wrappers alike.
+	ConnFaults faults.ConnSchedule
 	// ResponseSize is the wire size of generated responses in bytes.
 	ResponseSize int
 	// CacheSize, when positive, models a hot-key cache of that many keys:
@@ -45,10 +52,12 @@ type Config struct {
 
 // Stats are cumulative counters and distributions for one server.
 type Stats struct {
-	Served    uint64
-	Dropped   uint64
-	Hits      uint64 // cache hits (CacheSize > 0 and request carried a key)
-	Misses    uint64 // cache misses
+	Served     uint64
+	Dropped    uint64
+	Refused    uint64 // packets rejected with a KindClose by ConnFaults
+	Blackholed uint64 // packets silently dropped by ConnFaults
+	Hits       uint64 // cache hits (CacheSize > 0 and request carried a key)
+	Misses     uint64 // cache misses
 	MaxQueue  int
 	Service   *stats.Histogram // processing time actually applied
 	QueueWait *stats.Histogram // time spent waiting for a worker
@@ -85,6 +94,9 @@ func New(sim *netsim.Sim, cfg Config) *Server {
 	}
 	if cfg.Injected == nil {
 		cfg.Injected = faults.None
+	}
+	if cfg.ConnFaults == nil {
+		cfg.ConnFaults = faults.NoConnFaults
 	}
 	if cfg.ResponseSize <= 0 {
 		cfg.ResponseSize = 128
@@ -127,6 +139,30 @@ func (s *Server) QueueLen() int { return len(s.queue) }
 // dropped — a DSR server never sees ACK-only traffic from the LB in this
 // model.
 func (s *Server) HandlePacket(p *netsim.Packet) {
+	if p.Kind == netsim.KindOpen || p.Kind == netsim.KindRequest {
+		switch s.cfg.ConnFaults.ConnFaultAt(s.sim.Now(), p.Flow.Hash()).Kind {
+		case faults.ConnRefuse, faults.ConnReset:
+			// RST toward the client over the DSR return path: SYNs are
+			// refused, established flows are reset mid-stream. Either way
+			// the client learns in one RTT and must reconnect.
+			s.stats.Refused++
+			if s.out != nil {
+				s.out(&netsim.Packet{
+					Flow:      p.Flow,
+					Kind:      netsim.KindClose,
+					Size:      64,
+					SentAt:    s.sim.Now(),
+					ReqSentAt: p.SentAt,
+				})
+			}
+			return
+		case faults.ConnBlackhole:
+			// Silent drop: the client sees nothing until its own timeout,
+			// and the LB sees the in-band sample stream go quiet.
+			s.stats.Blackholed++
+			return
+		}
+	}
 	if p.Kind == netsim.KindOpen {
 		if s.out != nil {
 			s.out(&netsim.Packet{

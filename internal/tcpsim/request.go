@@ -52,6 +52,13 @@ type RequestConfig struct {
 	// KeyZipfS > 1 skews popularity; otherwise keys are uniform.
 	Keys     int
 	KeyZipfS float64
+	// RequestTimeout, when positive, bounds how long the client waits for
+	// any single response. A request that times out aborts its whole
+	// connection (the application's deadline firing and tearing down the
+	// socket): the flow is closed toward the LB and a fresh connection is
+	// opened on a new source port. This is what makes blackholed backends
+	// survivable — without it a silent server pins its connections forever.
+	RequestTimeout time.Duration
 	// EmitOpen models connection establishment: a KindOpen packet (the
 	// SYN) goes out first, and the pipeline fills only when the server's
 	// KindOpen reply (the SYN-ACK, via DSR) arrives — so the first request
@@ -68,6 +75,8 @@ type RequestStats struct {
 	Sent      uint64
 	Responses uint64
 	Opened    uint64 // connections opened (including reopens)
+	Timeouts  uint64 // requests abandoned by RequestTimeout
+	Aborts    uint64 // connections torn down early (timeout or server RST)
 	// Latency distributions by operation, measured request-send to
 	// response-receipt at the client.
 	GetLatency *stats.Histogram
@@ -235,6 +244,20 @@ func (c *RequestClient) sendRequest(cn *conn) {
 		Size:   c.cfg.ReqSize,
 		SentAt: now,
 	})
+	if c.cfg.RequestTimeout > 0 {
+		c.sim.After(c.cfg.RequestTimeout, func() {
+			if cn.closed {
+				return
+			}
+			if _, waiting := cn.sendTimes[seq]; !waiting {
+				return
+			}
+			// Deadline fired with the response still outstanding: the
+			// application gives up on the whole socket and reconnects.
+			c.stats.Timeouts++
+			c.abortConn(cn)
+		})
+	}
 }
 
 // HandlePacket receives responses (and SYN-ACKs) from servers.
@@ -257,6 +280,14 @@ func (c *RequestClient) HandlePacket(p *netsim.Packet) {
 			c.sim.After(c.cfg.OpenDelay, fill)
 		} else {
 			fill()
+		}
+		return
+	}
+	if p.Kind == netsim.KindClose {
+		// Server-side RST (ConnFaults) arriving over the DSR return path:
+		// tear the connection down and reconnect on a fresh port.
+		if cn := c.findConn(p.Flow); cn != nil {
+			c.abortConn(cn)
 		}
 		return
 	}
@@ -309,6 +340,17 @@ func (c *RequestClient) HandlePacket(p *netsim.Packet) {
 			c.sendRequest(cn)
 		}
 	}
+}
+
+// abortConn tears a connection down before its workload completed —
+// outstanding requests are abandoned, the flow is closed toward the LB, and
+// a replacement connection opens on a fresh source port.
+func (c *RequestClient) abortConn(cn *conn) {
+	if cn.closed {
+		return
+	}
+	c.stats.Aborts++
+	c.closeConn(cn)
 }
 
 func (c *RequestClient) closeConn(cn *conn) {

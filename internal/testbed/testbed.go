@@ -163,6 +163,9 @@ type ClusterConfig struct {
 	// LB tuning (optional).
 	ConnIdleTimeout time.Duration
 	SweepInterval   time.Duration
+	// ControlInterval drives the Controller tick when Policy is a
+	// control.Controller (see lb.Config.ControlInterval).
+	ControlInterval time.Duration
 	// L7 enables key-based request routing at the LB (cache affinity).
 	L7 bool
 	// SharedDependency, when set, creates one downstream service on the
@@ -251,6 +254,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Observer:        cfg.Observer,
 		ConnIdleTimeout: cfg.ConnIdleTimeout,
 		SweepInterval:   cfg.SweepInterval,
+		ControlInterval: cfg.ControlInterval,
 		L7:              cfg.L7,
 	}, c.ServerLinks)
 	if err != nil {
