@@ -6,10 +6,14 @@
 //	lbsim -exp fig3 -duration 20s -seed 42 -csv out/ -plot
 //	lbsim -exp all
 //
-// Experiments: fig2a, fig2b, fig3, outage, abl-epoch, abl-ladder,
+// Experiments: fig2a, fig2b, fig3, outage, dst, abl-epoch, abl-ladder,
 // abl-alpha, abl-violations, abl-far, abl-policies, abl-scale, abl-multi-lb,
 // abl-dependency, abl-controllers, abl-utilization, abl-affinity,
 // abl-shared-ladder, abl-churn, abl-l7, abl-handshake, abl-signal, all.
+//
+// The dst experiment sweeps randomized deterministic-simulation scenarios
+// (seeds *seed..*seed+24) through the invariant oracles and prints minimized
+// repro lines for any violation; see internal/dst and DESIGN.md §10.
 package main
 
 import (
@@ -63,6 +67,9 @@ func main() {
 		"outage": func() *experiments.Result {
 			return experiments.Outage(experiments.OutageConfig{Seed: *seed, Duration: *duration})
 		},
+		"dst": func() *experiments.Result {
+			return experiments.DST(experiments.DSTConfig{Base: *seed})
+		},
 		"abl-epoch":         func() *experiments.Result { return experiments.AblationEpoch(*seed, *duration) },
 		"abl-ladder":        func() *experiments.Result { return experiments.AblationLadder(*seed, *duration) },
 		"abl-alpha":         func() *experiments.Result { return experiments.AblationAlpha(*seed, *duration) },
@@ -82,7 +89,7 @@ func main() {
 		"abl-signal":        func() *experiments.Result { return experiments.AblationSignal(*seed, *duration) },
 	}
 	order := []string{
-		"fig2a", "fig2b", "fig3", "outage",
+		"fig2a", "fig2b", "fig3", "outage", "dst",
 		"abl-epoch", "abl-ladder", "abl-alpha", "abl-violations",
 		"abl-far", "abl-policies", "abl-scale", "abl-multi-lb",
 		"abl-dependency", "abl-controllers", "abl-utilization",

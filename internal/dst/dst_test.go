@@ -1,0 +1,307 @@
+package dst
+
+import (
+	"flag"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The repro contract: a violation anywhere prints
+//
+//	go test ./internal/dst -run 'TestDST$' -dst.seed=N [-dst.keep=i,j] [-dst.mutate]
+//
+// and that exact command replays the exact failing run, because the
+// scenario is a pure function of the seed and the harness runs entirely
+// on the simulated clock.
+var (
+	seedFlag   = flag.Int64("dst.seed", -1, "run a single DST scenario by seed")
+	keepFlag   = flag.String("dst.keep", "", "comma-separated fault indices to keep (with -dst.seed)")
+	mutateFlag = flag.Bool("dst.mutate", false, "run with the deliberately broken controller")
+	sweepFlag  = flag.Int("dst.sweep", 60, "number of seeds TestDSTSweep covers")
+	baseFlag   = flag.Int64("dst.base", 1, "first seed of the sweep")
+)
+
+// runSeed executes one scenario, shrinks on failure, and reports the
+// minimal repro. keep (nil = all) selects a fault subset first.
+func runSeed(t *testing.T, seed int64, keep []int, mutated bool) *Report {
+	t.Helper()
+	sc := Generate(seed)
+	if keep != nil {
+		sub := make([]FaultSpec, len(keep))
+		for i, k := range keep {
+			if k < 0 || k >= len(sc.Faults) {
+				t.Fatalf("seed %d: -dst.keep index %d outside schedule of %d faults", seed, k, len(sc.Faults))
+			}
+			sub[i] = sc.Faults[k]
+		}
+		sc.Faults = sub
+		sc.finalize()
+	}
+	runner := Run
+	if mutated {
+		trigger, ok := MutationTrigger(Generate(seed))
+		if !ok {
+			t.Fatalf("seed %d: no latency fault tall enough for -dst.mutate", seed)
+		}
+		runner = func(s Scenario) (*Report, error) { return RunMutated(s, Mutate(trigger)) }
+	}
+	rep, err := runner(sc)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if !rep.Failed() {
+		return rep
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("seed %d: %v", seed, v)
+	}
+	if shrunk := Shrink(sc, runner); shrunk != nil {
+		kept := shrunk.Kept
+		if keep != nil { // map back through the subset we started from
+			orig := make([]int, len(kept))
+			for i, k := range kept {
+				orig[i] = keep[k]
+			}
+			kept = orig
+		}
+		t.Errorf("seed %d: shrunk to %d fault(s) in %d runs; minimal schedule:", seed, len(shrunk.Kept), shrunk.Runs)
+		for _, f := range shrunk.Scenario.Faults {
+			t.Errorf("  %v", f)
+		}
+		t.Errorf("repro: %s", ReproLine(seed, kept, mutated))
+	} else {
+		t.Errorf("repro: %s", ReproLine(seed, nil, mutated))
+	}
+	return rep
+}
+
+// TestDST replays a single seed when -dst.seed is given (the repro path)
+// and otherwise smoke-runs a handful of fixed seeds.
+func TestDST(t *testing.T) {
+	if *seedFlag >= 0 {
+		var keep []int
+		if *keepFlag != "" {
+			for _, part := range strings.Split(*keepFlag, ",") {
+				k, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					t.Fatalf("bad -dst.keep %q: %v", *keepFlag, err)
+				}
+				keep = append(keep, k)
+			}
+			if keep == nil {
+				keep = []int{}
+			}
+		}
+		rep := runSeed(t, *seedFlag, keep, *mutateFlag)
+		t.Logf("seed %d: digest=%016x violations=%d stats=%+v",
+			*seedFlag, rep.Digest, rep.Total, rep.Stats)
+		return
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		rep := runSeed(t, seed, nil, false)
+		if rep.Stats.Responses == 0 {
+			t.Errorf("seed %d: workload produced no responses", seed)
+		}
+	}
+}
+
+// TestDSTSweep is the wide randomized gate: -dst.sweep seeds (default 60,
+// a few hundred in the nightly job), every oracle on every tick.
+func TestDSTSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping seed sweep in -short mode")
+	}
+	var requests, violations uint64
+	for i := 0; i < *sweepFlag; i++ {
+		seed := *baseFlag + int64(i)
+		rep := runSeed(t, seed, nil, false)
+		requests += rep.Stats.Sent
+		violations += uint64(rep.Total)
+	}
+	t.Logf("swept %d seeds: %d requests, %d violations", *sweepFlag, requests, violations)
+}
+
+// TestDSTDeterminism pins the replay contract: the same seed must yield
+// byte-identical trace digests and identical counters, run to run.
+func TestDSTDeterminism(t *testing.T) {
+	for _, seed := range []int64{7, 42, 1001} {
+		a, err := Run(Generate(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Run(Generate(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if a.Digest != b.Digest {
+			t.Errorf("seed %d: digests differ across runs: %016x vs %016x", seed, a.Digest, b.Digest)
+		}
+		if a.Stats != b.Stats {
+			t.Errorf("seed %d: stats differ across runs:\n%+v\n%+v", seed, a.Stats, b.Stats)
+		}
+	}
+}
+
+// TestDSTGeneratorBounds property-checks the generator itself over many
+// seeds without running the simulator: documented ranges, fault windows
+// inside the band, and the always-routable protected backend.
+func TestDSTGeneratorBounds(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		sc := Generate(seed)
+		if sc.Backends < 2 || sc.Backends > 16 {
+			t.Fatalf("seed %d: %d backends outside [2,16]", seed, sc.Backends)
+		}
+		if len(sc.Faults) == 0 || len(sc.Faults) > 5 {
+			t.Fatalf("seed %d: %d faults outside [1,5]", seed, len(sc.Faults))
+		}
+		connFaulted := make(map[int]bool)
+		for _, f := range sc.Faults {
+			if f.Start < warmupEnd || f.End > faultUntil || f.End <= f.Start {
+				t.Fatalf("seed %d: fault window %v outside [%v,%v)", seed, f, warmupEnd, faultUntil)
+			}
+			if f.Server < 0 || f.Server >= sc.Backends {
+				t.Fatalf("seed %d: fault %v targets unknown server", seed, f)
+			}
+			if f.Kind != FaultLatencyStep {
+				connFaulted[f.Server] = true
+			}
+		}
+		if len(connFaulted) >= sc.Backends {
+			t.Fatalf("seed %d: every backend connection-faulted; pool can be emptied", seed)
+		}
+		if sc.Duration <= sc.CleanFrom || sc.CleanFrom <= sc.LastFaultEnd {
+			t.Fatalf("seed %d: inconsistent timeline %v/%v/%v", seed, sc.LastFaultEnd, sc.CleanFrom, sc.Duration)
+		}
+		if sc.Workload.RequestTimeout < 20*sc.ServiceMedian[0] {
+			t.Fatalf("seed %d: request timeout %v too tight", seed, sc.Workload.RequestTimeout)
+		}
+	}
+}
+
+// mutationSeed is a seed whose generated schedule consists of latency-step
+// faults tall enough to arm BrokenWeights (found by findMutationSeed's
+// scan; the generator is deterministic, so it stays valid until Generate
+// changes, and findMutationSeed re-scans automatically if it does). The
+// shrunk counterexample it yields is recorded in EXPERIMENTS.md.
+const mutationSeed = 719
+
+// TestDSTMutationSmoke proves the oracles have teeth: a deliberately
+// broken weight update (BrokenWeights) must be caught, the clean run must
+// not be, and the shrinker must reduce the schedule to the single latency
+// fault the corruption depends on.
+func TestDSTMutationSmoke(t *testing.T) {
+	seed := findMutationSeed(t)
+	sc := Generate(seed)
+	trigger, ok := MutationTrigger(sc)
+	if !ok {
+		t.Fatalf("seed %d no longer suitable for mutation (generator changed?)", seed)
+	}
+
+	clean, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Failed() {
+		t.Fatalf("clean run of seed %d violates oracles: %v", seed, clean.Violations)
+	}
+
+	runner := func(s Scenario) (*Report, error) { return RunMutated(s, Mutate(trigger)) }
+	broken, err := runner(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !broken.Failed() {
+		t.Fatalf("mutated run of seed %d not caught by any oracle", seed)
+	}
+	caught := false
+	for _, v := range broken.Violations {
+		if v.Oracle == "snapshot-weights" {
+			caught = true
+			break
+		}
+	}
+	if !caught {
+		t.Fatalf("broken weights not caught by the snapshot-weights oracle: %v", broken.Violations)
+	}
+
+	shrunk := Shrink(sc, runner)
+	if shrunk == nil {
+		t.Fatal("shrinker could not reproduce the mutated failure")
+	}
+	if len(shrunk.Kept) != 1 {
+		t.Fatalf("expected a 1-fault minimal schedule, got %d: %v", len(shrunk.Kept), shrunk.Scenario.Faults)
+	}
+	if k := shrunk.Scenario.Faults[0].Kind; k != FaultLatencyStep {
+		t.Fatalf("minimal schedule kept a %v fault; corruption is latency-armed", k)
+	}
+	t.Logf("mutation caught and shrunk to %v in %d runs; repro: %s",
+		shrunk.Scenario.Faults[0], shrunk.Runs, ReproLine(seed, shrunk.Kept, true))
+}
+
+// findMutationSeed scans for a seed whose schedule is all latency steps
+// with at least one tall enough to arm the mutation — deterministic, so
+// the scan cost is paid once and the result cached for the process.
+func findMutationSeed(t *testing.T) int64 {
+	t.Helper()
+	suitable := func(seed int64) bool {
+		sc := Generate(seed)
+		if len(sc.Faults) < 2 || sc.Workload.Pipeline != 1 {
+			return false
+		}
+		for _, f := range sc.Faults {
+			if f.Kind != FaultLatencyStep {
+				return false
+			}
+		}
+		_, ok := MutationTrigger(sc)
+		return ok
+	}
+	if suitable(mutationSeed) {
+		return mutationSeed
+	}
+	for seed := int64(1); seed < 4000; seed++ {
+		if suitable(seed) {
+			t.Logf("mutationSeed %d stale; scanned to %d (update the constant)", mutationSeed, seed)
+			return seed
+		}
+	}
+	t.Fatal("no mutation-suitable seed in scan range")
+	return -1
+}
+
+// TestDSTShrunkRegression pins the counterexample the mutation smoke test
+// shrinks to (see EXPERIMENTS.md "DST"): the minimal one-fault schedule
+// must keep tripping the snapshot-weights oracle forever.
+func TestDSTShrunkRegression(t *testing.T) {
+	seed := findMutationSeed(t)
+	sc := Generate(seed)
+	trigger, ok := MutationTrigger(sc)
+	if !ok {
+		t.Fatalf("seed %d no longer suitable (generator changed?)", seed)
+	}
+	// Reduce to the single tallest latency fault — the shape the shrinker
+	// converges to — and require the oracle to fire on it alone.
+	best, bestIdx := time.Duration(0), -1
+	for i, f := range sc.Faults {
+		if f.Kind == FaultLatencyStep && f.Extra > best {
+			best, bestIdx = f.Extra, i
+		}
+	}
+	sc.Faults = []FaultSpec{sc.Faults[bestIdx]}
+	sc.finalize()
+	rep, err := RunMutated(sc, Mutate(trigger))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := false
+	for _, v := range rep.Violations {
+		if v.Oracle == "snapshot-weights" {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatalf("regression: minimal schedule no longer caught (violations: %v)", rep.Violations)
+	}
+}

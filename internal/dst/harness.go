@@ -1,0 +1,499 @@
+package dst
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"time"
+
+	"inbandlb/internal/control"
+	"inbandlb/internal/faults"
+	"inbandlb/internal/server"
+	"inbandlb/internal/testbed"
+)
+
+// Violation is one oracle failure, timestamped on the sim clock.
+type Violation struct {
+	At     time.Duration
+	Oracle string
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%v %s: %s", v.At, v.Oracle, v.Detail)
+}
+
+// RunStats are the end-of-run counters a Report carries for sweeps and
+// the experiment harness.
+type RunStats struct {
+	Sent      uint64
+	Responses uint64
+	Timeouts  uint64
+	Aborts    uint64
+	Stale     uint64
+	Abandoned uint64
+	NewFlows  uint64
+	Fallbacks uint64
+	NoBackend uint64
+	Ejections uint64
+}
+
+// Report is the outcome of one scenario run. Digest is a 64-bit FNV-1a
+// fold of every per-tick counter tuple plus the final state: two runs of
+// the same Scenario must produce equal digests, which is what makes a
+// repro line from CI trustworthy on a developer laptop.
+type Report struct {
+	Scenario Scenario
+	// Violations holds the first recorded failures (capped); Total counts
+	// all of them, so a pathologically broken run stays bounded.
+	Violations []Violation
+	Total      int
+	Digest     uint64
+	Stats      RunStats
+}
+
+// Failed reports whether any oracle fired.
+func (r *Report) Failed() bool { return r.Total > 0 }
+
+// maxRecordedViolations bounds Report.Violations; Total keeps counting.
+const maxRecordedViolations = 64
+
+// livenessEvidence is how many post-recovery flow arrivals a backend must
+// have seen before a non-Healthy end state counts as a liveness failure.
+// Below it, the backend simply never received trial traffic inside the
+// run — a statement about the bounded workload, not about the controller
+// (the first sample needs two packets, and backoff can eat the rest).
+const livenessEvidence = 4
+
+// Run executes the scenario with the real controller and returns its
+// report. It is RunMutated with the identity policy.
+func Run(sc Scenario) (*Report, error) { return RunMutated(sc, nil) }
+
+// RunMutated executes the scenario, optionally substituting a wrapped
+// (deliberately broken) policy built around the real LatencyAware — the
+// hook the mutation-smoke test uses to prove the oracles have teeth.
+func RunMutated(sc Scenario, mutate func(*control.LatencyAware) control.Policy) (*Report, error) {
+	if sc.Backends < 2 {
+		return nil, fmt.Errorf("dst: scenario not generated (backends=%d)", sc.Backends)
+	}
+	names := make([]string, sc.Backends)
+	for i := range names {
+		names[i] = fmt.Sprintf("server-%d", i)
+	}
+	la, err := control.NewLatencyAware(control.LatencyAwareConfig{
+		Backends:  names,
+		TableSize: sc.TableSize,
+		Alpha:     sc.Alpha,
+		MinWeight: sc.MinWeight,
+		Cooldown:  sc.ControlInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pol control.Policy = la
+	if mutate != nil {
+		pol = mutate(la)
+	}
+	ctrl := control.NewController(pol, control.ControllerConfig{
+		Interval: sc.ControlInterval,
+		Detector: detectorConfig(sc),
+	})
+
+	servers := make([]server.Config, sc.Backends)
+	scheds := make([]faults.Schedule, sc.Backends)
+	for i := range servers {
+		servers[i] = server.Config{
+			Name:       names[i],
+			Workers:    sc.Workers[i],
+			QueueLimit: sc.QueueLimit[i],
+			Service:    server.LogNormal{Median: sc.ServiceMedian[i], Sigma: sc.ServiceSigma[i]},
+		}
+		scheds[i] = faults.Step{Extra: sc.BaseDelay[i]}
+	}
+	for _, f := range sc.Faults {
+		switch f.Kind {
+		case FaultLatencyStep:
+			scheds[f.Server] = faults.Stack{scheds[f.Server],
+				faults.Step{Start: f.Start, End: f.End, Extra: f.Extra}}
+		case FaultOutageRefuse, FaultOutageBlackhole:
+			servers[f.Server].ConnFaults = stackConn(servers[f.Server].ConnFaults,
+				faults.Outage{Start: f.Start, End: f.End, Blackhole: f.Kind == FaultOutageBlackhole})
+		case FaultFlaky:
+			servers[f.Server].ConnFaults = stackConn(servers[f.Server].ConnFaults,
+				faults.Flaky{Start: f.Start, End: f.End, P: f.P, Seed: f.Seed})
+		case FaultReset:
+			servers[f.Server].ConnFaults = stackConn(servers[f.Server].ConnFaults,
+				faults.Reset{Start: f.Start, End: f.End, AfterBytes: f.AfterBytes})
+		}
+	}
+
+	cluster, err := testbed.NewCluster(testbed.ClusterConfig{
+		Seed:                sc.Seed,
+		Policy:              ctrl,
+		Servers:             servers,
+		Workload:            sc.Workload,
+		ClientToLB:          sc.ClientToLB,
+		LBToServer:          sc.LBToServer,
+		ServerToClient:      sc.ServerToClient,
+		LinkRate:            sc.LinkRate,
+		ServerPathSchedules: scheds,
+		ControlInterval:     sc.ControlInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	h := &harness{
+		sc:         sc,
+		ctrl:       ctrl,
+		cluster:    cluster,
+		report:     &Report{Scenario: sc},
+		digest:     fnv.New64a(),
+		samples:    make([][]time.Duration, sc.Backends),
+		lastState:  make([]control.HealthState, sc.Backends),
+		lastChange: make([]time.Duration, sc.Backends),
+	}
+
+	// In-band samples feed the estimator-bounds oracle, but only samples
+	// taken on clean stretches and only under Pipeline==1 (with pipelined
+	// sends the triggered-gap signal intentionally mixes in-batch gaps; the
+	// paper's ensemble handles that adaptively, but a fixed two-sided
+	// factor bound would not be meaningful there).
+	if sc.Workload.Pipeline == 1 {
+		cluster.LB.OnSample = func(now time.Duration, backend int, sample time.Duration) {
+			if !sc.cleanAt(now) || len(h.samples[backend]) >= 4096 {
+				return
+			}
+			h.samples[backend] = append(h.samples[backend], sample)
+		}
+	}
+
+	cluster.Sim.Every(sc.CheckInterval, sc.CheckInterval, func() bool {
+		h.checkTick()
+		return cluster.Sim.Now() < sc.Duration
+	})
+
+	cluster.Run(sc.Duration)
+	// Drain: stop issuing work and let every in-flight packet and pending
+	// request timeout resolve, so the cross-tier conservation identities
+	// close exactly instead of modulo in-flight state.
+	cluster.Client.Stop()
+	cluster.Sim.Run()
+	h.checkFinal()
+
+	h.report.Digest = h.digest.Sum64()
+	return h.report, nil
+}
+
+// detectorConfig tunes passive detection for the harness's timescales:
+// 2 ms ticks, sub-second backoffs, and half-open trials wide enough
+// (half the hash share, 500 ms) that reopened connections actually land
+// trial traffic on recovering backends before the liveness deadline.
+func detectorConfig(sc Scenario) control.DetectorConfig {
+	return control.DetectorConfig{
+		Enabled:          true,
+		FailureThreshold: 3,
+		OutlierFactor:    8,
+		OutlierTicks:     10,
+		MinPoolSamples:   4,
+		// Starvation patience scales with the pool: with B backends and a
+		// couple dozen closed-loop connections, a healthy minority-share
+		// backend can legitimately hold zero flows for tens of
+		// milliseconds, and the sim has no dial reports to disambiguate.
+		StarvationTicks: 8 + 4*sc.Backends,
+		BackoffInitial:  100 * time.Millisecond,
+		BackoffMax:      300 * time.Millisecond,
+		HalfOpenFraction: 0.5,
+		HalfOpenTicks:    250,
+		SlowStartInitial: 0.25,
+		SlowStartTicks:   20,
+		Seed:             sc.Seed,
+	}
+}
+
+func stackConn(cur faults.ConnSchedule, add faults.ConnSchedule) faults.ConnSchedule {
+	if cur == nil {
+		return add
+	}
+	if st, ok := cur.(faults.ConnStack); ok {
+		return append(st, add)
+	}
+	return faults.ConnStack{cur, add}
+}
+
+// harness carries oracle state across ticks for one run.
+type harness struct {
+	sc      Scenario
+	ctrl    *control.Controller
+	cluster *testbed.Cluster
+	report  *Report
+	digest  interface {
+		Write([]byte) (int, error)
+		Sum64() uint64
+	}
+
+	lastGen   uint64
+	samples   [][]time.Duration // clean in-band samples per backend
+	baselined bool
+	baseNew   []uint64 // NewPerBack at CleanFrom
+	baseResp  uint64   // client responses at CleanFrom
+
+	// Health-state transition tracking for the liveness oracle: sampled
+	// each check tick, so "stuck" means no transition across many ticks.
+	lastState  []control.HealthState
+	lastChange []time.Duration
+}
+
+func (h *harness) violate(oracle, format string, args ...any) {
+	h.report.Total++
+	if len(h.report.Violations) < maxRecordedViolations {
+		h.report.Violations = append(h.report.Violations, Violation{
+			At:     h.cluster.Sim.Now(),
+			Oracle: oracle,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+}
+
+// fold mixes values into the trace digest.
+func (h *harness) fold(vals ...uint64) {
+	var buf [8]byte
+	for _, v := range vals {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		buf[4] = byte(v >> 32)
+		buf[5] = byte(v >> 40)
+		buf[6] = byte(v >> 48)
+		buf[7] = byte(v >> 56)
+		h.digest.Write(buf[:])
+	}
+}
+
+// checkTick runs the per-tick oracles and folds the observable state into
+// the trace digest.
+func (h *harness) checkTick() {
+	now := h.cluster.Sim.Now()
+	ls := h.cluster.LB.Stats()
+	cs := h.cluster.Client.Stats()
+	connCount := uint64(h.cluster.LB.ConnCount())
+	outstanding := uint64(h.cluster.Client.Outstanding())
+
+	// Conservation: every client→server packet the LB saw was forwarded
+	// to exactly one backend or dropped for lack of one.
+	var perBackend uint64
+	for _, n := range ls.PerBackend {
+		perBackend += n
+	}
+	if ls.Packets != perBackend+ls.NoBackend {
+		h.violate("conservation-packets", "Packets=%d != sum(PerBackend)=%d + NoBackend=%d",
+			ls.Packets, perBackend, ls.NoBackend)
+	}
+	// Conservation: every tracked flow is still open, closed, or swept.
+	if ls.NewFlows != ls.Closed+ls.Swept+connCount {
+		h.violate("conservation-flows", "NewFlows=%d != Closed=%d + Swept=%d + open=%d",
+			ls.NewFlows, ls.Closed, ls.Swept, connCount)
+	}
+	// Conservation: every request the client sent is answered, abandoned,
+	// or still outstanding — at every instant, not just at drain.
+	if cs.Sent != cs.Responses+cs.Abandoned+outstanding {
+		h.violate("conservation-client", "Sent=%d != Responses=%d + Abandoned=%d + Outstanding=%d",
+			cs.Sent, cs.Responses, cs.Abandoned, outstanding)
+	}
+
+	// Snapshot sanity.
+	snap := h.ctrl.Snapshot()
+	if snap == nil {
+		h.violate("snapshot-sanity", "no published snapshot")
+		return
+	}
+	gen := snap.Generation()
+	if gen < h.lastGen {
+		h.violate("snapshot-generation", "generation went backwards: %d -> %d", h.lastGen, gen)
+	}
+	h.lastGen = gen
+	weights := snap.Weights()
+	if len(weights) != h.sc.Backends {
+		h.violate("snapshot-weights", "weight vector has %d entries for %d backends",
+			len(weights), h.sc.Backends)
+	}
+	var wsum float64
+	for i, w := range weights {
+		wsum += w
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < h.sc.MinWeight*(1-1e-9) || w > 1+1e-9 {
+			h.violate("snapshot-weights", "weight[%d]=%v outside [MinWeight=%v, 1]", i, w, h.sc.MinWeight)
+		}
+	}
+	if len(weights) > 0 && (wsum < 0.99 || wsum > 1.01) {
+		h.violate("snapshot-weights", "weights not normalized: sum=%v", wsum)
+	}
+	admitted := 0
+	for i := 0; i < snap.NumBackends(); i++ {
+		a := snap.Admission(i)
+		if a < 0 || a > 1 {
+			h.violate("snapshot-admission", "admission[%d]=%v outside [0,1]", i, a)
+		}
+		if a > 0 {
+			admitted++
+		}
+	}
+	if admitted == 0 {
+		h.violate("snapshot-admission", "every backend ejected: the pool went unroutable")
+	}
+
+	// Post-fault baselines for the starvation and liveness oracles.
+	if !h.baselined && now >= h.sc.CleanFrom {
+		h.baselined = true
+		h.baseNew = append([]uint64(nil), ls.NewPerBack...)
+		h.baseResp = cs.Responses
+	}
+
+	// Trace digest: the complete per-tick observable state.
+	h.fold(uint64(now), ls.Packets, ls.NewFlows, ls.Closed, ls.Swept,
+		ls.Samples, ls.NoBackend, ls.Fallbacks, connCount,
+		cs.Sent, cs.Responses, cs.Timeouts, cs.Aborts, cs.Opened,
+		cs.Stale, cs.Abandoned, outstanding, gen)
+	for i := 0; i < h.sc.Backends; i++ {
+		st := h.ctrl.HealthState(i)
+		if st != h.lastState[i] {
+			h.lastState[i] = st
+			h.lastChange[i] = now
+		}
+		h.fold(ls.PerBackend[i], ls.NewPerBack[i], ls.SampPerBack[i],
+			uint64(st), math.Float64bits(snap.Admission(i)))
+	}
+	for _, w := range weights {
+		h.fold(math.Float64bits(w))
+	}
+}
+
+// checkFinal runs the end-of-run oracles after the drain: cross-tier
+// conservation, estimator bounds, liveness, and starvation.
+func (h *harness) checkFinal() {
+	ls := h.cluster.LB.Stats()
+	cs := h.cluster.Client.Stats()
+
+	// Drain conservation: nothing may remain outstanding, and both the
+	// client-side and cross-tier identities must close exactly.
+	if out := h.cluster.Client.Outstanding(); out != 0 {
+		h.violate("conservation-drain", "%d requests still outstanding after drain", out)
+	}
+	if cs.Sent != cs.Responses+cs.Abandoned {
+		h.violate("conservation-drain", "Sent=%d != Responses=%d + Abandoned=%d",
+			cs.Sent, cs.Responses, cs.Abandoned)
+	}
+	var served uint64
+	for _, srv := range h.cluster.Servers {
+		served += srv.Stats().Served
+	}
+	if served != cs.Responses+cs.Stale {
+		h.violate("conservation-drain", "sum(Served)=%d != Responses=%d + Stale=%d",
+			served, cs.Responses, cs.Stale)
+	}
+
+	// Estimator bounds: on clean stretches the in-band median per backend
+	// must sit within a factor of the scenario's ground truth (one RTT +
+	// service median + think time — the triggered-gap signal the LB sees).
+	const factor = 8.0
+	if h.sc.Workload.Pipeline == 1 {
+		think := h.sc.Workload.ThinkTime + h.sc.Workload.ThinkJitter/2
+		for b, samp := range h.samples {
+			if len(samp) < 120 {
+				continue // not enough clean traffic landed here to judge
+			}
+			truth := h.sc.ClientToLB + h.sc.LBToServer + h.sc.BaseDelay[b] +
+				h.sc.ServerToClient + h.sc.ServiceMedian[b] + think
+			med := median(samp)
+			if float64(med) > factor*float64(truth) || float64(truth) > factor*float64(med) {
+				h.violate("estimator-bounds",
+					"backend %d in-band median %v vs ground truth %v exceeds factor %v (%d samples)",
+					b, med, truth, factor, len(samp))
+			}
+		}
+	}
+
+	// Liveness: after the last fault plus the seed-derived margin, every
+	// backend that received real post-recovery traffic must be Healthy,
+	// and the pool as a whole must have made progress.
+	snap := h.ctrl.Snapshot()
+	var tailNew uint64
+	tails := make([]uint64, h.sc.Backends)
+	if h.baselined {
+		for i := range tails {
+			tails[i] = ls.NewPerBack[i] - h.baseNew[i]
+			tailNew += tails[i]
+		}
+		if cs.Responses == h.baseResp {
+			h.violate("liveness", "no responses at all after faults cleared at %v", h.sc.CleanFrom)
+		}
+	} else {
+		h.violate("liveness", "run ended before the post-fault baseline at %v", h.sc.CleanFrom)
+	}
+	// A correctly wired state machine never dwells in one non-Healthy
+	// state longer than its timer allows: Ejected ≤ jittered BackoffMax,
+	// HalfOpen ≤ HalfOpenTicks, SlowStart ≤ SlowStartTicks. The stuck
+	// threshold sits above the longest legitimate dwell, so it catches a
+	// dead backoff timer, unbounded backoff growth, or a ramp that never
+	// completes — while excusing a backend that is merely mid-cycle at the
+	// deadline (an idle minority-share backend can be re-ejected for
+	// sample starvation at any time; that is the detector working).
+	const stuckThreshold = 800 * time.Millisecond
+	for i := 0; i < h.sc.Backends; i++ {
+		st := h.ctrl.HealthState(i)
+		h.report.Stats.Ejections += h.ctrl.Ejections(i)
+		if st != control.Healthy && h.baselined && tails[i] >= livenessEvidence {
+			if dwell := h.sc.Duration - h.lastChange[i]; dwell >= stuckThreshold {
+				h.violate("liveness",
+					"backend %d stuck in %v for %v at the recovery deadline (%d post-fault flows)",
+					i, st, dwell, tails[i])
+			}
+		}
+		// Starvation: a backend the snapshot says should receive traffic
+		// must actually receive it once enough post-fault flows arrived.
+		if h.baselined && snap != nil {
+			expected := float64(tailNew) * weightOf(snap, i) * snap.Admission(i)
+			if expected >= 12 && tails[i] == 0 {
+				h.violate("starvation",
+					"backend %d (weight %.3f, admission %.2f) got 0 of %d post-fault flows",
+					i, weightOf(snap, i), snap.Admission(i), tailNew)
+			}
+		}
+	}
+
+	h.report.Stats = RunStats{
+		Sent:      cs.Sent,
+		Responses: cs.Responses,
+		Timeouts:  cs.Timeouts,
+		Aborts:    cs.Aborts,
+		Stale:     cs.Stale,
+		Abandoned: cs.Abandoned,
+		NewFlows:  ls.NewFlows,
+		Fallbacks: ls.Fallbacks,
+		NoBackend: ls.NoBackend,
+		Ejections: h.report.Stats.Ejections,
+	}
+
+	// Final digest fold: drained totals and per-server outcomes.
+	h.fold(cs.Sent, cs.Responses, cs.Timeouts, cs.Aborts, cs.Stale,
+		cs.Abandoned, ls.NewFlows, ls.Fallbacks, served, uint64(h.report.Total))
+	for _, srv := range h.cluster.Servers {
+		st := srv.Stats()
+		h.fold(st.Served, st.Dropped, st.Refused, st.Blackholed)
+	}
+}
+
+func weightOf(snap *control.Snapshot, i int) float64 {
+	w := snap.Weights()
+	if i < len(w) {
+		return w[i]
+	}
+	return 0
+}
+
+func median(samples []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}

@@ -1,0 +1,92 @@
+package dst
+
+import (
+	"math"
+	"time"
+
+	"inbandlb/internal/control"
+)
+
+// BrokenWeights is the deliberately broken controller for the
+// mutation-smoke test: it behaves exactly like the real LatencyAware
+// policy until it observes a single latency sample at or above Trigger,
+// after which every Weights() read — including the one the Controller
+// copies into each published Snapshot — reports a de-normalized vector.
+// The bug therefore only manifests when the fault schedule actually
+// produces a latency excursion, which is what makes it a meaningful
+// target for the shrinker: the minimal reproducing schedule must retain a
+// latency-step fault tall enough to arm it.
+type BrokenWeights struct {
+	*control.LatencyAware
+	// Trigger arms the corruption; pick it above the scenario's honest
+	// latency ceiling (see MutationTrigger) so only injected faults fire it.
+	Trigger time.Duration
+	armed   bool
+}
+
+// ObserveLatency arms the corruption on the first over-Trigger sample and
+// otherwise defers to the real policy.
+func (b *BrokenWeights) ObserveLatency(i int, now, sample time.Duration) {
+	if sample >= b.Trigger {
+		b.armed = true
+	}
+	b.LatencyAware.ObserveLatency(i, now, sample)
+}
+
+// Weights returns the real vector until armed, then a corrupted one — the
+// broken weight update the snapshot-weights oracle must catch.
+func (b *BrokenWeights) Weights() []float64 {
+	w := b.LatencyAware.Weights()
+	if b.armed && len(w) > 0 {
+		w[0] += 0.5
+	}
+	return w
+}
+
+// Mutate is the RunMutated hook installing BrokenWeights.
+func Mutate(trigger time.Duration) func(*control.LatencyAware) control.Policy {
+	return func(la *control.LatencyAware) control.Policy {
+		return &BrokenWeights{LatencyAware: la, Trigger: trigger}
+	}
+}
+
+// MutationTrigger computes a trigger threshold for sc that honest traffic
+// cannot plausibly reach but the scenario's tallest latency-step fault
+// clears with margin. ok is false when the schedule has no such fault (or
+// honest tails could reach it), in which case sc is unsuitable for the
+// mutation-smoke test.
+func MutationTrigger(sc Scenario) (trigger time.Duration, ok bool) {
+	var maxBase, maxTail time.Duration
+	for i := 0; i < sc.Backends; i++ {
+		// Per-server log-normal 5σ tail: beyond any service sample a
+		// few-second run plausibly draws (Φ(-5) ≈ 3e-7 per sample).
+		tail := time.Duration(float64(sc.ServiceMedian[i]) * math.Exp(5*sc.ServiceSigma[i]))
+		if tail > maxTail {
+			maxTail = tail
+		}
+		if sc.BaseDelay[i] > maxBase {
+			maxBase = sc.BaseDelay[i]
+		}
+	}
+	rtt := sc.ClientToLB + sc.LBToServer + sc.ServerToClient
+	// Honest ceiling: one RTT, the worst static path delay, a full think
+	// gap, the service tail, and a 1 ms allowance for transient queueing.
+	ceiling := rtt + maxBase + sc.Workload.ThinkTime + sc.Workload.ThinkJitter +
+		maxTail + time.Millisecond
+	// Guaranteed excursion: during the tallest latency fault every
+	// triggered-gap sample from that server carries the full RTT, the
+	// injected Extra, and at least the configured think time.
+	var excursion time.Duration
+	for _, f := range sc.Faults {
+		if f.Kind != FaultLatencyStep {
+			continue
+		}
+		if e := f.Extra + rtt + sc.Workload.ThinkTime; e > excursion {
+			excursion = e
+		}
+	}
+	if excursion < ceiling+200*time.Microsecond {
+		return 0, false
+	}
+	return (ceiling + excursion) / 2, true
+}

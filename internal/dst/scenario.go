@@ -1,0 +1,328 @@
+// Package dst is a deterministic simulation-testing harness in the
+// FoundationDB style: from a single integer seed it derives a random
+// topology, a random closed-loop workload mix, and a random fault
+// schedule; runs the whole stack (client → LB → control plane → servers)
+// on the simulated clock; and checks invariant oracles every tick —
+// conservation identities, routing-snapshot sanity, estimator bounds, and
+// post-fault liveness. Every run is a pure function of its Scenario, so a
+// violation found anywhere (a nightly seed sweep, a -race shard, a
+// laptop) replays everywhere, and a bisecting shrinker reduces the fault
+// schedule to a minimal counterexample with a copy-pasteable repro line.
+package dst
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"inbandlb/internal/tcpsim"
+)
+
+// FaultKind enumerates the fault primitives the generator draws from.
+// Latency steps land on the LB→server link (faults.Step); the connection
+// kinds land on the server's ConnFaults schedule (faults.Outage /
+// faults.Flaky / faults.Reset), exactly the knobs the chaos wrappers use
+// against live listeners.
+type FaultKind uint8
+
+const (
+	// FaultLatencyStep inflates one server's path delay during the window.
+	FaultLatencyStep FaultKind = iota
+	// FaultOutageRefuse RSTs every connection to the server (fail-fast).
+	FaultOutageRefuse
+	// FaultOutageBlackhole silently drops everything (fail-silent — the
+	// hard case, visible only as the in-band sample stream going quiet).
+	FaultOutageBlackhole
+	// FaultFlaky fails a deterministic P-fraction of flows with an RST.
+	FaultFlaky
+	// FaultReset kills accepted flows mid-stream after AfterBytes.
+	FaultReset
+)
+
+// String names the kind for repro logs.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultLatencyStep:
+		return "latency-step"
+	case FaultOutageRefuse:
+		return "outage-refuse"
+	case FaultOutageBlackhole:
+		return "outage-blackhole"
+	case FaultFlaky:
+		return "flaky"
+	case FaultReset:
+		return "reset"
+	}
+	return "unknown"
+}
+
+// FaultSpec is one scheduled fault. It is plain data — independent of the
+// seed that produced it — so the shrinker can delete entries and bisect
+// windows while everything else about the scenario stays fixed.
+type FaultSpec struct {
+	Kind   FaultKind
+	Server int
+	Start  time.Duration
+	End    time.Duration
+	// Extra is the injected path delay (FaultLatencyStep only).
+	Extra time.Duration
+	// P is the failure probability (FaultFlaky only).
+	P float64
+	// AfterBytes is the mid-stream kill threshold (FaultReset only).
+	AfterBytes int
+	// Seed drives the flaky schedule's per-flow coin.
+	Seed uint64
+}
+
+// String renders the spec for violation reports and repro logs.
+func (f FaultSpec) String() string {
+	s := fmt.Sprintf("%v@server-%d[%v,%v)", f.Kind, f.Server, f.Start, f.End)
+	switch f.Kind {
+	case FaultLatencyStep:
+		s += fmt.Sprintf("+%v", f.Extra)
+	case FaultFlaky:
+		s += fmt.Sprintf(" p=%.2f", f.P)
+	case FaultReset:
+		s += fmt.Sprintf(" after=%dB", f.AfterBytes)
+	}
+	return s
+}
+
+// Scenario is a fully materialized test case: topology, workload, control
+// settings, and fault schedule. Generate fills one deterministically from
+// a seed; the shrinker edits Faults and calls finalize to recompute the
+// derived timeline. Running a Scenario twice yields byte-identical trace
+// digests.
+type Scenario struct {
+	Seed     int64
+	Backends int
+
+	// Per-server heterogeneity, indexed by backend.
+	ServiceMedian []time.Duration // log-normal service-time median
+	ServiceSigma  []float64       // log-normal spread
+	Workers       []int           // service concurrency
+	QueueLimit    []int           // 0 = unbounded
+	BaseDelay     []time.Duration // static extra LB→server path delay
+
+	// Path delays and client-link bandwidth (0 = infinite).
+	ClientToLB     time.Duration
+	LBToServer     time.Duration
+	ServerToClient time.Duration
+	LinkRate       float64
+
+	// Workload is the closed-loop request mix (connection churn supplies
+	// the quasi-open-loop arrival process; Pipeline > 1 supplies bursts;
+	// Keys/KeyZipfS supply skew).
+	Workload tcpsim.RequestConfig
+
+	// Control-plane shape.
+	ControlInterval time.Duration
+	Alpha           float64
+	MinWeight       float64
+	TableSize       int
+
+	Faults []FaultSpec
+
+	// CheckInterval is the oracle cadence.
+	CheckInterval time.Duration
+
+	// Derived timeline (finalize).
+	FirstFault   time.Duration // earliest fault start; 0 when no faults
+	LastFaultEnd time.Duration // latest fault end (warmupEnd when none)
+	CleanFrom    time.Duration // all faults over, detector settled
+	Duration     time.Duration // run length == the recovery deadline
+}
+
+// Generator timeline: faults are confined to a mid-run band so the
+// estimator warms up on clean traffic and the tail is long enough for the
+// liveness deadline to be meaningful.
+const (
+	warmupEnd  = 800 * time.Millisecond
+	faultUntil = 2600 * time.Millisecond
+	// cleanSettle pads the last fault's end before post-fault baselines
+	// are taken: in-flight timeouts and backoff timers drain first.
+	cleanSettle = 400 * time.Millisecond
+)
+
+// recoveryMargin is the seed-derived liveness budget after the last fault
+// ends: re-probe backoffs are bounded (≤ 400 ms), but half-open trial
+// traffic arrives only when a reopened connection hashes into the trial
+// sliver, which thins with pool size — hence the per-backend term.
+func recoveryMargin(backends int) time.Duration {
+	return 1500*time.Millisecond + time.Duration(backends)*100*time.Millisecond
+}
+
+// Generate derives a full scenario from seed. Constraints the oracles
+// rely on: every fault window sits inside [warmupEnd, faultUntil); at
+// least one backend never receives a connection fault (the pool stays
+// routable); the client's request timeout exceeds any honest latency the
+// schedule can produce, so only genuine blackholes burn timeouts.
+func Generate(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	us := func(lo, hi int) time.Duration {
+		return time.Duration(lo+rng.Intn(hi-lo+1)) * time.Microsecond
+	}
+
+	b := 2 + rng.Intn(15) // 2..16
+	sc := Scenario{
+		Seed:            seed,
+		Backends:        b,
+		ServiceMedian:   make([]time.Duration, b),
+		ServiceSigma:    make([]float64, b),
+		Workers:         make([]int, b),
+		QueueLimit:      make([]int, b),
+		BaseDelay:       make([]time.Duration, b),
+		ClientToLB:      us(20, 100),
+		LBToServer:      us(20, 100),
+		ControlInterval: 2 * time.Millisecond,
+		CheckInterval:   10 * time.Millisecond,
+		Alpha:           0.05 + 0.10*rng.Float64(),
+		MinWeight:       0.02 + 0.03*rng.Float64(),
+		TableSize:       1021,
+	}
+	sc.ServerToClient = sc.ClientToLB + sc.LBToServer
+	if rng.Intn(5) < 2 {
+		sc.LinkRate = 1e8 * (1 + 9*rng.Float64()) // 100 MB/s .. 1 GB/s
+	}
+	for i := 0; i < b; i++ {
+		sc.ServiceMedian[i] = us(80, 400)
+		sc.ServiceSigma[i] = 0.1 + 0.5*rng.Float64()
+		sc.Workers[i] = 2 + rng.Intn(7)
+		if rng.Intn(5) < 2 {
+			// Bounded queue, but deeper than the client's total pipeline
+			// capacity so overload shedding needs a fault to happen.
+			sc.QueueLimit[i] = 64 + rng.Intn(448)
+		}
+		sc.BaseDelay[i] = us(0, 200)
+	}
+
+	pipeline := 1
+	if rng.Intn(4) == 0 {
+		pipeline = 2 // bursty mode: paired sends, sub-RTT gaps at the LB
+	}
+	wl := tcpsim.RequestConfig{
+		// Scale concurrency with the pool so every backend sees flows at
+		// a usable rate even at 16 backends; below ~1 connection per
+		// backend the sample stream is mostly silence and the detector's
+		// low-concurrency caveats dominate the run.
+		Connections:     b + 2 + rng.Intn(9),
+		Pipeline:        pipeline,
+		RequestsPerConn: 10 + rng.Intn(21), // 10..30: churn feeds re-routing
+		ReopenDelay:     us(100, 600),
+		ThinkTime:       us(300, 1200),
+		GetFraction:     0.3 + 0.4*rng.Float64(),
+		RequestTimeout:  time.Duration(80+rng.Intn(120)) * time.Millisecond,
+	}
+	wl.ThinkJitter = time.Duration(rng.Int63n(int64(wl.ThinkTime)/2 + 1))
+	if rng.Intn(2) == 0 {
+		wl.Keys = 64 + rng.Intn(1000)
+		if rng.Intn(2) == 0 {
+			wl.KeyZipfS = 1.05 + 0.4*rng.Float64()
+		}
+	}
+	sc.Workload = wl
+
+	// Fault schedule. One backend is protected from connection faults so
+	// the detector can never be asked to empty the pool.
+	protected := rng.Intn(b)
+	nf := 1 + rng.Intn(5)
+	for i := 0; i < nf; i++ {
+		start := warmupEnd + time.Duration(rng.Int63n(int64(1400*time.Millisecond)))
+		length := 150*time.Millisecond + time.Duration(rng.Int63n(int64(850*time.Millisecond)))
+		end := start + length
+		if end > faultUntil {
+			end = faultUntil
+		}
+		f := FaultSpec{Start: start, End: end, Server: rng.Intn(b)}
+		switch r := rng.Intn(100); {
+		case r < 30:
+			f.Kind = FaultLatencyStep
+			f.Extra = us(500, 3500)
+		case r < 50:
+			f.Kind = FaultOutageRefuse
+		case r < 70:
+			f.Kind = FaultOutageBlackhole
+		case r < 90:
+			f.Kind = FaultFlaky
+			f.P = 0.05 + 0.30*rng.Float64()
+			f.Seed = uint64(rng.Int63())
+		default:
+			f.Kind = FaultReset
+			f.AfterBytes = 256 + rng.Intn(4096)
+		}
+		if f.Kind != FaultLatencyStep && f.Server == protected {
+			f.Server = (f.Server + 1 + rng.Intn(b-1)) % b
+		}
+		sc.Faults = append(sc.Faults, f)
+	}
+	sc.finalize()
+	return sc
+}
+
+// finalize recomputes the derived timeline from the current fault list.
+// The shrinker calls it after every edit, so shrunk scenarios also shrink
+// their run length (faults that end earlier move the deadline up).
+func (sc *Scenario) finalize() {
+	sc.FirstFault, sc.LastFaultEnd = 0, warmupEnd
+	for i, f := range sc.Faults {
+		if i == 0 || f.Start < sc.FirstFault {
+			sc.FirstFault = f.Start
+		}
+		if f.End > sc.LastFaultEnd {
+			sc.LastFaultEnd = f.End
+		}
+	}
+	sc.CleanFrom = sc.LastFaultEnd + cleanSettle
+	sc.Duration = sc.LastFaultEnd + recoveryMargin(sc.Backends)
+	// Round up so the last oracle check lands exactly at the end.
+	if rem := sc.Duration % sc.CheckInterval; rem != 0 {
+		sc.Duration += sc.CheckInterval - rem
+	}
+}
+
+// cleanAt reports whether t lies outside every fault window with enough
+// margin that in-band samples taken at t reflect steady-state latency —
+// the gate for the estimator-bounds oracle.
+func (sc *Scenario) cleanAt(t time.Duration) bool {
+	if t < 300*time.Millisecond {
+		return false // estimator still warming up
+	}
+	if len(sc.Faults) == 0 {
+		return true
+	}
+	if t+50*time.Millisecond < sc.FirstFault {
+		return true
+	}
+	return t >= sc.CleanFrom
+}
+
+// connFaultedAt reports whether backend b is under a connection fault
+// (refuse/blackhole/flaky/reset) at t.
+func (sc *Scenario) connFaultedAt(b int, t time.Duration) bool {
+	for _, f := range sc.Faults {
+		if f.Kind != FaultLatencyStep && f.Server == b && t >= f.Start && t < f.End {
+			return true
+		}
+	}
+	return false
+}
+
+// ReproLine renders the exact command that replays this scenario: the
+// seed regenerates everything, keep selects the (possibly shrunk) fault
+// subset, mutate re-enables the deliberately broken controller.
+func ReproLine(seed int64, kept []int, mutated bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "go test ./internal/dst -run 'TestDST$' -dst.seed=%d", seed)
+	if kept != nil {
+		parts := make([]string, len(kept))
+		for i, k := range kept {
+			parts[i] = fmt.Sprintf("%d", k)
+		}
+		fmt.Fprintf(&sb, " -dst.keep=%s", strings.Join(parts, ","))
+	}
+	if mutated {
+		sb.WriteString(" -dst.mutate")
+	}
+	return sb.String()
+}

@@ -1,0 +1,157 @@
+package dst
+
+import "time"
+
+// ShrinkResult is a minimized counterexample: the smallest fault subset
+// (and tightest windows) of the original scenario that still violates an
+// oracle, plus the report of the final failing run.
+type ShrinkResult struct {
+	Scenario Scenario
+	// Kept maps the surviving faults back to their indices in the original
+	// schedule — the -dst.keep= argument of the repro line.
+	Kept   []int
+	Report *Report
+	Runs   int
+}
+
+// maxShrinkRuns bounds the total re-executions a shrink may spend; the
+// budget is generous for the ≤5-fault schedules Generate produces.
+const maxShrinkRuns = 96
+
+// Shrink minimizes sc's fault schedule against runner (which must be the
+// same Run/RunMutated closure that produced the original failure). It
+// applies delta debugging (ddmin) over the fault list — so the surviving
+// set is 1-minimal: removing any single fault makes the violation vanish —
+// then bisects each survivor's window. Returns nil when the unshrunk
+// scenario does not fail under runner.
+func Shrink(sc Scenario, runner func(Scenario) (*Report, error)) *ShrinkResult {
+	res := &ShrinkResult{}
+	fails := func(kept []int) *Report {
+		if res.Runs >= maxShrinkRuns {
+			return nil
+		}
+		res.Runs++
+		cand := sc
+		cand.Faults = make([]FaultSpec, len(kept))
+		for i, k := range kept {
+			cand.Faults[i] = sc.Faults[k]
+		}
+		cand.finalize()
+		r, err := runner(cand)
+		if err != nil || !r.Failed() {
+			return nil
+		}
+		r.Scenario = cand
+		return r
+	}
+
+	all := make([]int, len(sc.Faults))
+	for i := range all {
+		all[i] = i
+	}
+	base := fails(all)
+	if base == nil {
+		return nil
+	}
+	res.Kept, res.Report = all, base
+
+	// ddmin over fault indices: try dropping ever-smaller chunks until the
+	// set is 1-minimal.
+	gran := 2
+	for len(res.Kept) >= 2 {
+		chunk := (len(res.Kept) + gran - 1) / gran
+		reduced := false
+		for start := 0; start < len(res.Kept); start += chunk {
+			end := start + chunk
+			if end > len(res.Kept) {
+				end = len(res.Kept)
+			}
+			cand := append(append([]int(nil), res.Kept[:start]...), res.Kept[end:]...)
+			if len(cand) == 0 {
+				continue
+			}
+			if r := fails(cand); r != nil {
+				res.Kept, res.Report = cand, r
+				if gran > 2 {
+					gran--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if gran >= len(res.Kept) {
+				break
+			}
+			gran *= 2
+			if gran > len(res.Kept) {
+				gran = len(res.Kept)
+			}
+		}
+	}
+
+	// Can the violation survive with no faults at all? (A mutation that
+	// does not actually depend on the schedule shrinks to the empty one.)
+	if len(res.Kept) == 1 {
+		if r := fails(nil); r != nil {
+			res.Kept, res.Report = []int{}, r
+		}
+	}
+
+	// Window bisection: tighten each surviving fault's [Start, End) while
+	// the violation persists. Operates on a scratch copy of the schedule
+	// so each accepted tightening feeds the next probe.
+	tightened := make([]FaultSpec, len(res.Kept))
+	for i, k := range res.Kept {
+		tightened[i] = sc.Faults[k]
+	}
+	failsWith := func(fs []FaultSpec) *Report {
+		if res.Runs >= maxShrinkRuns {
+			return nil
+		}
+		res.Runs++
+		cand := sc
+		cand.Faults = append([]FaultSpec(nil), fs...)
+		cand.finalize()
+		r, err := runner(cand)
+		if err != nil || !r.Failed() {
+			return nil
+		}
+		r.Scenario = cand
+		return r
+	}
+	for i := range tightened {
+		for iter := 0; iter < 5; iter++ {
+			f := tightened[i]
+			span := f.End - f.Start
+			if span <= 100*time.Millisecond {
+				break
+			}
+			trial := tightened[i]
+			trial.End = f.Start + span/2
+			probe := append([]FaultSpec(nil), tightened...)
+			probe[i] = trial
+			if r := failsWith(probe); r != nil {
+				tightened[i] = trial
+				res.Report = r
+				continue
+			}
+			trial = tightened[i]
+			trial.Start = f.End - span/2
+			probe = append([]FaultSpec(nil), tightened...)
+			probe[i] = trial
+			if r := failsWith(probe); r != nil {
+				tightened[i] = trial
+				res.Report = r
+				continue
+			}
+			break
+		}
+	}
+
+	final := sc
+	final.Faults = tightened
+	final.finalize()
+	res.Scenario = final
+	return res
+}

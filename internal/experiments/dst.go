@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"inbandlb/internal/dst"
+)
+
+// DSTConfig parameterizes the ad-hoc deterministic-simulation seed sweep
+// (`lbsim -exp dst`): Seeds scenarios starting at Base, every invariant
+// oracle checked on every tick. The nightly CI job runs the same sweep
+// through `go test ./internal/dst` with a few hundred seeds.
+type DSTConfig struct {
+	// Base is the first seed (the -seed flag).
+	Base int64
+	// Seeds is the sweep width (default 25 — a quick interactive pass).
+	Seeds int
+	// MaxRepro bounds how many failing seeds are shrunk and reported.
+	MaxRepro int
+}
+
+func (c *DSTConfig) applyDefaults() {
+	if c.Seeds <= 0 {
+		c.Seeds = 25
+	}
+	if c.MaxRepro <= 0 {
+		c.MaxRepro = 3
+	}
+}
+
+// DST sweeps randomized simulation scenarios and reports violations with
+// minimized repro lines. A clean sweep is the standing correctness gate:
+// conservation, snapshot sanity, estimator bounds, and liveness held on
+// every control tick of every scenario.
+func DST(cfg DSTConfig) *Result {
+	cfg.applyDefaults()
+	res := newResult("dst")
+	res.Header = []string{"seed", "backends", "faults", "requests", "timeouts", "ejections", "violations", "digest"}
+
+	var requests, violations uint64
+	var failed, shrunk int
+	var simTime time.Duration
+	for i := 0; i < cfg.Seeds; i++ {
+		seed := cfg.Base + int64(i)
+		sc := dst.Generate(seed)
+		rep, err := dst.Run(sc)
+		if err != nil {
+			res.addNote("seed %d: harness error: %v", seed, err)
+			failed++
+			continue
+		}
+		requests += rep.Stats.Sent
+		violations += uint64(rep.Total)
+		simTime += sc.Duration
+		if rep.Failed() {
+			failed++
+			res.addRow(fmt.Sprintf("%d", seed), fmt.Sprintf("%d", sc.Backends),
+				fmt.Sprintf("%d", len(sc.Faults)), fmt.Sprintf("%d", rep.Stats.Sent),
+				fmt.Sprintf("%d", rep.Stats.Timeouts), fmt.Sprintf("%d", rep.Stats.Ejections),
+				fmt.Sprintf("%d", rep.Total), fmt.Sprintf("%016x", rep.Digest))
+			res.addNote("seed %d first violation: %v", seed, rep.Violations[0])
+			if shrunk < cfg.MaxRepro {
+				shrunk++
+				if sr := dst.Shrink(sc, dst.Run); sr != nil {
+					res.addNote("seed %d shrunk to %d fault(s) in %d runs; repro: %s",
+						seed, len(sr.Kept), sr.Runs, dst.ReproLine(seed, sr.Kept, false))
+				}
+			}
+		}
+	}
+	if failed == 0 {
+		res.addRow(fmt.Sprintf("%d..%d", cfg.Base, cfg.Base+int64(cfg.Seeds)-1),
+			"-", "-", fmt.Sprintf("%d", requests), "-", "-", "0", "-")
+	}
+	res.Metrics["seeds"] = float64(cfg.Seeds)
+	res.Metrics["failed_seeds"] = float64(failed)
+	res.Metrics["violations"] = float64(violations)
+	res.Metrics["requests"] = float64(requests)
+	res.addNote("swept %d seeds (%v simulated): %d requests, %d violating seed(s)",
+		cfg.Seeds, simTime.Round(time.Millisecond), requests, failed)
+	return res
+}

@@ -1,6 +1,7 @@
 package lbproxy
 
 import (
+	"flag"
 	"fmt"
 	"runtime"
 	"sync"
@@ -13,6 +14,12 @@ import (
 	"inbandlb/internal/memcache"
 	"inbandlb/internal/packet"
 )
+
+// chaosSeed parameterizes every random choice in the chaos flapping stress
+// test — the Flaky schedules and the detector's backoff jitter — so a -race
+// failure seen in CI reproduces locally from the seed the test logs. The
+// default keeps the schedule the test has always run (7, 9, 11).
+var chaosSeed = flag.Int64("chaos.seed", 7, "base seed for TestProxyChaosFlappingStress fault schedules")
 
 // TestProxyConcurrentStress is the race-detector proof of the sharded
 // measurement path: many concurrent clients hammer the proxy while the
@@ -207,10 +214,12 @@ func TestProxyChaosFlappingStress(t *testing.T) {
 	}
 	baseGoroutines := runtime.NumGoroutine()
 
+	seed := *chaosSeed
+	t.Logf("repro: go test -race ./internal/lbproxy -run TestProxyChaosFlappingStress -chaos.seed=%d", seed)
 	sched := faults.ConnStack{
-		faults.Flaky{P: 0.25, Seed: 7}, // refuse
-		faults.Flaky{P: 0.08, Seed: 9, Fault: faults.ConnFault{Kind: faults.ConnReset, AfterBytes: 48}},
-		faults.Flaky{P: 0.04, Seed: 11, Fault: faults.ConnFault{Kind: faults.ConnBlackhole}},
+		faults.Flaky{P: 0.25, Seed: uint64(seed)}, // refuse
+		faults.Flaky{P: 0.08, Seed: uint64(seed) + 2, Fault: faults.ConnFault{Kind: faults.ConnReset, AfterBytes: 48}},
+		faults.Flaky{P: 0.04, Seed: uint64(seed) + 4, Fault: faults.ConnFault{Kind: faults.ConnBlackhole}},
 	}
 	testStart := time.Now()
 	chaosDial := faults.ChaosDialer(nil, sched, func() time.Duration { return time.Since(testStart) })
@@ -236,6 +245,7 @@ func TestProxyChaosFlappingStress(t *testing.T) {
 			BackoffInitial:   20 * time.Millisecond,
 			BackoffMax:       80 * time.Millisecond,
 			SlowStartTicks:   10,
+			Seed:             seed, // jittered backoff follows the test seed
 		},
 		Dial:         chaosDial,
 		IdleTimeout:  150 * time.Millisecond,

@@ -1,0 +1,152 @@
+package maglev
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// normalizedShares returns each backend's weight as a fraction of the total.
+func normalizedShares(weights []float64) []float64 {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	out := make([]float64, len(weights))
+	for i, w := range weights {
+		out[i] = w / total
+	}
+	return out
+}
+
+// shareDelta is half the L1 distance between normalized weight vectors: the
+// minimum fraction of slots any table would have to move to realize the new
+// shares.
+func shareDelta(before, after []float64) float64 {
+	a, b := normalizedShares(before), normalizedShares(after)
+	var l1 float64
+	for i := range a {
+		l1 += math.Abs(a[i] - b[i])
+	}
+	return l1 / 2
+}
+
+// Property: across a long churn sequence driven through one Builder — alpha
+// steps, drains, restores — every rebuild's disruption stays within a small
+// multiple of the minimum movement the weight change demands, and a rebuild
+// with unchanged weights moves nothing. This is the controller's operating
+// regime: it holds one Builder and rebuilds on every weight shift, so a
+// regression here silently turns every control action into a mass reshuffle
+// of flow-to-backend assignments.
+func TestBuilderChurnDisruptionBoundProperty(t *testing.T) {
+	const size = 2039
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(7) + 4 // 4–10 backends
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("s%d", i)
+		}
+		builder, err := NewBuilder(size, names)
+		if err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+			return false
+		}
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = 1
+		}
+		prevTable, err := builder.Build(weights)
+		if err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+			return false
+		}
+		prevWeights := append([]float64(nil), weights...)
+
+		for step := 0; step < 25; step++ {
+			switch rng.Intn(4) {
+			case 0: // alpha step: move mass from one backend to the others
+				src := rng.Intn(n)
+				alpha := (0.02 + 0.13*rng.Float64()) * weights[src]
+				weights[src] -= alpha
+				for i := range weights {
+					if i != src {
+						weights[i] += alpha / float64(n-1)
+					}
+				}
+			case 1: // drain, if another positive-weight backend survives
+				positive := 0
+				for _, w := range weights {
+					if w > 0 {
+						positive++
+					}
+				}
+				if positive > 1 {
+					for _, i := range rng.Perm(n) {
+						if weights[i] > 0 {
+							weights[i] = 0
+							break
+						}
+					}
+				}
+			case 2: // restore a drained backend at the mean positive weight
+				var sum float64
+				positive := 0
+				for _, w := range weights {
+					if w > 0 {
+						sum += w
+						positive++
+					}
+				}
+				for _, i := range rng.Perm(n) {
+					if weights[i] == 0 {
+						weights[i] = sum / float64(positive)
+						break
+					}
+				}
+			case 3: // no-op rebuild: the Builder cache must move nothing
+			}
+
+			table, err := builder.Build(weights)
+			if err != nil {
+				t.Errorf("seed %d step %d: %v", seed, step, err)
+				return false
+			}
+			var owned int
+			for i := 0; i < table.NumBackends(); i++ {
+				owned += table.SlotCount(i)
+			}
+			if owned != size {
+				t.Errorf("seed %d step %d: %d slots owned, want %d", seed, step, owned, size)
+				return false
+			}
+			d, err := prevTable.Disruption(table)
+			if err != nil {
+				t.Errorf("seed %d step %d: %v", seed, step, err)
+				return false
+			}
+			minMove := shareDelta(prevWeights, weights)
+			if minMove == 0 && d != 0 {
+				t.Errorf("seed %d step %d: unchanged weights disrupted %d slots", seed, step, d)
+				return false
+			}
+			// Maglev is not strictly minimal (NSDI'16 §3.4 measures the extra
+			// shuffling); allow 4× the demanded movement plus rounding slack,
+			// still far below a full reshuffle.
+			bound := 4*minMove*float64(size) + 0.02*float64(size)
+			if float64(d) > bound {
+				t.Errorf("seed %d step %d: disruption %d slots exceeds bound %.0f (min move %.3f)",
+					seed, step, d, bound, minMove)
+				return false
+			}
+			prevTable = table
+			copy(prevWeights, weights)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

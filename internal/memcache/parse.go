@@ -1,0 +1,109 @@
+package memcache
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strconv"
+)
+
+// maxKeyLen mirrors memcached's 250-byte key limit. Longer keys are
+// rejected with CLIENT_ERROR rather than silently stored, so a proxy in
+// front of a real memcached sees identical behavior from both.
+const maxKeyLen = 250
+
+// request is one fully parsed client command: the verb, its raw arguments,
+// and — for set — the data block that followed the command line.
+type request struct {
+	verb string
+	args [][]byte
+	data []byte // set payload without the trailing CRLF; nil otherwise
+}
+
+// protocolError is a recoverable per-command error: the connection stays
+// usable and the server reports CLIENT_ERROR <msg>. Any other error from
+// readRequest means the stream is unrecoverable (torn frame, I/O failure)
+// and the connection must be closed.
+type protocolError struct{ msg string }
+
+func (e *protocolError) Error() string { return e.msg }
+
+// readRequest parses the next request from r, skipping empty lines.
+// maxValue bounds the accepted set payload size.
+//
+// The error contract, which handle() relies on:
+//   - (req, nil): a complete well-formed request, possibly with an unknown
+//     verb (the dispatcher answers ERROR for those);
+//   - (nil, *protocolError): malformed but recoverable — answer
+//     CLIENT_ERROR and keep reading. The stream is positioned at the next
+//     command: a set whose data-block length was parseable has had the
+//     block consumed even when the command is rejected, so pipelined
+//     requests behind it still parse;
+//   - (nil, other): torn frame (EOF mid-line or mid-data-block) or I/O
+//     error — unrecoverable.
+func readRequest(r *bufio.Reader, maxValue int) (*request, error) {
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			// A partial final line with no newline is a torn frame; err is
+			// already io.EOF or the underlying failure.
+			return nil, err
+		}
+		fields := bytes.Fields(bytes.TrimRight(line, "\r\n"))
+		if len(fields) == 0 {
+			// Blank or whitespace-only line; the fuzzer found that indexing
+			// fields[0] here crashed the pre-extraction parser.
+			continue
+		}
+		req := &request{verb: string(fields[0]), args: fields[1:]}
+		switch req.verb {
+		case "get", "gets":
+			if len(req.args) == 0 {
+				return nil, &protocolError{"bad command line"}
+			}
+			for _, k := range req.args {
+				if len(k) > maxKeyLen {
+					return nil, &protocolError{"key too long"}
+				}
+			}
+		case "delete":
+			if len(req.args) < 1 {
+				return nil, &protocolError{"bad command line"}
+			}
+			if len(req.args[0]) > maxKeyLen {
+				return nil, &protocolError{"key too long"}
+			}
+		case "set":
+			return readSet(r, req, maxValue)
+		}
+		return req, nil
+	}
+}
+
+// readSet finishes parsing a storage command: validates the header
+// (key flags exptime bytes) and consumes the CRLF-terminated data block.
+func readSet(r *bufio.Reader, req *request, maxValue int) (*request, error) {
+	if len(req.args) < 4 {
+		return nil, &protocolError{"bad command line"}
+	}
+	n, err := strconv.Atoi(string(req.args[3]))
+	if err != nil || n < 0 || n > maxValue {
+		// The block length is unknown or unacceptable; nothing is consumed,
+		// so the payload (if any) will be re-parsed as commands — the same
+		// desync real memcached produces for an unparseable set header.
+		return nil, &protocolError{"bad data chunk"}
+	}
+	data := make([]byte, n+2)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err // torn data block: unrecoverable
+	}
+	if !bytes.HasSuffix(data, []byte("\r\n")) {
+		return nil, &protocolError{"bad data chunk"}
+	}
+	if len(req.args[0]) > maxKeyLen {
+		// Rejected, but the block was consumed, keeping the stream framed.
+		return nil, &protocolError{"key too long"}
+	}
+	req.data = data[:n:n]
+	return req, nil
+}

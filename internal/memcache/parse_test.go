@@ -1,0 +1,314 @@
+package memcache
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// want describes one expected readRequest outcome in sequence.
+type want struct {
+	verb    string   // expected verb when the parse succeeds
+	args    []string // expected args when the parse succeeds
+	data    string   // expected set payload ("" = nil expected)
+	perr    string   // expected protocolError message ("" = none)
+	torn    bool     // expected unrecoverable error (torn frame / EOF mid-request)
+	cleanly bool     // expected clean io.EOF (stream ended between requests)
+}
+
+// TestReadRequest drives the parser over whole input streams, asserting
+// the exact sequence of requests, recoverable errors, and torn-frame
+// terminations — including how the stream is re-framed after each error.
+func TestReadRequest(t *testing.T) {
+	longKey := strings.Repeat("k", maxKeyLen+1)
+	edgeKey := strings.Repeat("k", maxKeyLen)
+	cases := []struct {
+		name     string
+		input    string
+		maxValue int
+		seq      []want
+	}{
+		{
+			name:  "simple get",
+			input: "get foo\r\n",
+			seq:   []want{{verb: "get", args: []string{"foo"}}, {cleanly: true}},
+		},
+		{
+			name:  "pipelined gets",
+			input: "get a\r\nget b c\r\ngets d\r\n",
+			seq: []want{
+				{verb: "get", args: []string{"a"}},
+				{verb: "get", args: []string{"b", "c"}},
+				{verb: "gets", args: []string{"d"}},
+				{cleanly: true},
+			},
+		},
+		{
+			name:  "bare lf accepted",
+			input: "get foo\nget bar\n",
+			seq: []want{
+				{verb: "get", args: []string{"foo"}},
+				{verb: "get", args: []string{"bar"}},
+				{cleanly: true},
+			},
+		},
+		{
+			name:  "empty lines skipped",
+			input: "\r\n\r\nget foo\r\n\r\n",
+			seq:   []want{{verb: "get", args: []string{"foo"}}, {cleanly: true}},
+		},
+		{
+			// Regression: a whitespace-only line crashed the pre-extraction
+			// parser (fields[0] on an empty Fields result).
+			name:  "whitespace-only line skipped",
+			input: " \n\t \r\nget foo\r\n",
+			seq:   []want{{verb: "get", args: []string{"foo"}}, {cleanly: true}},
+		},
+		{
+			name:  "set with payload",
+			input: "set k 0 0 5\r\nhello\r\n",
+			seq:   []want{{verb: "set", args: []string{"k", "0", "0", "5"}, data: "hello"}, {cleanly: true}},
+		},
+		{
+			name:  "set payload containing crlf",
+			input: "set k 0 0 6\r\nab\r\ncd\r\n",
+			seq:   []want{{verb: "set", args: []string{"k", "0", "0", "6"}, data: "ab\r\ncd"}, {cleanly: true}},
+		},
+		{
+			name:  "empty value",
+			input: "set k 0 0 0\r\n\r\nget k\r\n",
+			seq: []want{
+				{verb: "set", args: []string{"k", "0", "0", "0"}},
+				{verb: "get", args: []string{"k"}},
+				{cleanly: true},
+			},
+		},
+		{
+			name:  "torn command line",
+			input: "get fo",
+			seq:   []want{{torn: true}},
+		},
+		{
+			name:  "torn set data block",
+			input: "set k 0 0 10\r\nhell",
+			seq:   []want{{torn: true}},
+		},
+		{
+			name:  "torn between requests is a clean eof",
+			input: "get a\r\n",
+			seq:   []want{{verb: "get", args: []string{"a"}}, {cleanly: true}},
+		},
+		{
+			name:  "get without keys",
+			input: "get\r\nget ok\r\n",
+			seq: []want{
+				{perr: "bad command line"},
+				{verb: "get", args: []string{"ok"}},
+				{cleanly: true},
+			},
+		},
+		{
+			name:  "oversized get key",
+			input: "get " + longKey + "\r\nget ok\r\n",
+			seq: []want{
+				{perr: "key too long"},
+				{verb: "get", args: []string{"ok"}},
+				{cleanly: true},
+			},
+		},
+		{
+			name:  "250-byte key is the edge and accepted",
+			input: "get " + edgeKey + "\r\n",
+			seq:   []want{{verb: "get", args: []string{edgeKey}}, {cleanly: true}},
+		},
+		{
+			name:  "oversized delete key",
+			input: "delete " + longKey + "\r\n",
+			seq:   []want{{perr: "key too long"}, {cleanly: true}},
+		},
+		{
+			// The oversized-key set is rejected but its data block must be
+			// consumed so the pipelined get behind it still parses.
+			name:  "oversized set key keeps stream framed",
+			input: "set " + longKey + " 0 0 5\r\nhello\r\nget ok\r\n",
+			seq: []want{
+				{perr: "key too long"},
+				{verb: "get", args: []string{"ok"}},
+				{cleanly: true},
+			},
+		},
+		{
+			name:  "set header too short",
+			input: "set k 0 0\r\nget ok\r\n",
+			seq: []want{
+				{perr: "bad command line"},
+				{verb: "get", args: []string{"ok"}},
+				{cleanly: true},
+			},
+		},
+		{
+			name:  "set negative size",
+			input: "set k 0 0 -5\r\n",
+			seq:   []want{{perr: "bad data chunk"}, {cleanly: true}},
+		},
+		{
+			name:  "set unparseable size",
+			input: "set k 0 0 zap\r\n",
+			seq:   []want{{perr: "bad data chunk"}, {cleanly: true}},
+		},
+		{
+			name:     "set over max value",
+			input:    "set k 0 0 64\r\n",
+			maxValue: 16,
+			seq:      []want{{perr: "bad data chunk"}, {cleanly: true}},
+		},
+		{
+			name:  "set size overflow",
+			input: "set k 0 0 99999999999999999999\r\n",
+			seq:   []want{{perr: "bad data chunk"}, {cleanly: true}},
+		},
+		{
+			// A block with the wrong terminator is consumed (n+2 bytes) and
+			// rejected; framing resumes right after it.
+			name:  "set bad terminator",
+			input: "set k 0 0 5\r\nhelloXXget ok\r\n",
+			seq: []want{
+				{perr: "bad data chunk"},
+				{verb: "get", args: []string{"ok"}},
+				{cleanly: true},
+			},
+		},
+		{
+			name:  "unknown verb passes through for dispatcher",
+			input: "bogus a b\r\n",
+			seq:   []want{{verb: "bogus", args: []string{"a", "b"}}, {cleanly: true}},
+		},
+		{
+			name:  "whitespace runs collapse",
+			input: "get   a \t b\r\n",
+			seq:   []want{{verb: "get", args: []string{"a", "b"}}, {cleanly: true}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			maxValue := tc.maxValue
+			if maxValue == 0 {
+				maxValue = 1 << 20
+			}
+			r := bufio.NewReader(strings.NewReader(tc.input))
+			for i, w := range tc.seq {
+				req, err := readRequest(r, maxValue)
+				switch {
+				case w.cleanly:
+					if !errors.Is(err, io.EOF) || req != nil {
+						t.Fatalf("step %d: want clean EOF, got req=%+v err=%v", i, req, err)
+					}
+				case w.torn:
+					if err == nil {
+						t.Fatalf("step %d: want torn-frame error, got %+v", i, req)
+					}
+					var perr *protocolError
+					if errors.As(err, &perr) {
+						t.Fatalf("step %d: torn frame misreported as recoverable %q", i, perr.msg)
+					}
+				case w.perr != "":
+					var perr *protocolError
+					if !errors.As(err, &perr) {
+						t.Fatalf("step %d: want protocolError %q, got req=%+v err=%v", i, w.perr, req, err)
+					}
+					if perr.msg != w.perr {
+						t.Fatalf("step %d: protocolError = %q, want %q", i, perr.msg, w.perr)
+					}
+				default:
+					if err != nil {
+						t.Fatalf("step %d: %v", i, err)
+					}
+					if req.verb != w.verb {
+						t.Fatalf("step %d: verb = %q, want %q", i, req.verb, w.verb)
+					}
+					if len(req.args) != len(w.args) {
+						t.Fatalf("step %d: args = %q, want %q", i, req.args, w.args)
+					}
+					for j, a := range w.args {
+						if string(req.args[j]) != a {
+							t.Fatalf("step %d: arg %d = %q, want %q", i, j, req.args[j], a)
+						}
+					}
+					if string(req.data) != w.data {
+						t.Fatalf("step %d: data = %q, want %q", i, req.data, w.data)
+					}
+				}
+			}
+		})
+	}
+}
+
+// FuzzParse fuzzes the pure parser with no sockets involved: arbitrary
+// byte streams must never panic, must always make progress (no infinite
+// loop on any input), and every request that parses must be internally
+// consistent.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte("get foo\r\n"))
+	f.Add([]byte("get a\r\nget b c\r\ngets d e f\r\n"))
+	f.Add([]byte("set k 0 0 5\r\nhello\r\n"))
+	f.Add([]byte("set k 0 0 5\r\nhel")) // torn data block
+	f.Add([]byte("set k 0 0 99999999999999999999\r\n"))
+	f.Add([]byte("get " + strings.Repeat("k", 300) + "\r\n"))
+	f.Add([]byte("set " + strings.Repeat("k", 300) + " 0 0 2\r\nhi\r\nget ok\r\n"))
+	f.Add([]byte("\r\n\r\nquit\r\n"))
+	f.Add([]byte{0x00, 0xff, 0x0a, 0x0d, 0x0a})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		// Each iteration either errors (we stop) or consumed at least one
+		// newline byte, so more iterations than input bytes means the
+		// parser stopped making progress.
+		for steps := 0; ; steps++ {
+			if steps > len(data)+1 {
+				t.Fatalf("parser made no progress on %q", data)
+			}
+			req, err := readRequest(r, 1<<20)
+			if err != nil {
+				var perr *protocolError
+				if errors.As(err, &perr) {
+					continue // recoverable: the stream is still framed
+				}
+				return // torn frame or EOF terminates the stream
+			}
+			if req.verb == "" {
+				t.Fatalf("empty verb parsed from %q", data)
+			}
+			if req.data != nil {
+				if req.verb != "set" {
+					t.Fatalf("%q carries a data block", req.verb)
+				}
+				n, aerr := strconv.Atoi(string(req.args[3]))
+				if aerr != nil || n != len(req.data) {
+					t.Fatalf("set block length %d does not match header %q", len(req.data), req.args[3])
+				}
+			}
+			for _, k := range keysOf(req) {
+				if len(k) > maxKeyLen {
+					t.Fatalf("oversized key %d bytes accepted", len(k))
+				}
+			}
+		}
+	})
+}
+
+// keysOf returns the key arguments of a parsed request.
+func keysOf(req *request) [][]byte {
+	switch req.verb {
+	case "get", "gets":
+		return req.args
+	case "delete":
+		return req.args[:1]
+	case "set":
+		return req.args[:1]
+	}
+	return nil
+}

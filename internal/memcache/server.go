@@ -11,13 +11,10 @@ package memcache
 
 import (
 	"bufio"
-	"bytes"
 	"container/list"
 	"errors"
 	"fmt"
-	"io"
 	"net"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -177,34 +174,31 @@ func (s *Server) handle(conn net.Conn) {
 		if err := w.Flush(); err != nil {
 			return
 		}
-		line, err := r.ReadBytes('\n')
+		req, err := readRequest(r, s.MaxValue)
 		if err != nil {
-			return
+			var perr *protocolError
+			if errors.As(err, &perr) {
+				fmt.Fprintf(w, "CLIENT_ERROR %s\r\n", perr.msg)
+				continue
+			}
+			return // torn frame or I/O failure
 		}
-		line = bytes.TrimRight(line, "\r\n")
-		if len(line) == 0 {
-			continue
-		}
-		fields := bytes.Fields(line)
-		cmd := string(fields[0])
 
-		if d := s.Delay(); d > 0 && cmd != "delay" {
+		if d := s.Delay(); d > 0 && req.verb != "delay" {
 			time.Sleep(d)
 		}
 
-		switch cmd {
+		switch req.verb {
 		case "get", "gets":
-			s.cmdGet(w, fields[1:])
+			s.cmdGet(w, req.args)
 		case "set":
-			if !s.cmdSet(conn, r, w, fields[1:]) {
-				return
-			}
+			s.cmdSet(w, req)
 		case "delete":
-			s.cmdDelete(w, fields[1:])
+			s.cmdDelete(w, req.args)
 		case "stats":
 			s.cmdStats(w)
 		case "delay":
-			s.cmdDelay(w, fields[1:])
+			s.cmdDelay(w, req.args)
 		case "version":
 			fmt.Fprintf(w, "VERSION inbandlb-0.1\r\n")
 		case "quit":
@@ -239,30 +233,14 @@ func (s *Server) cmdGet(w *bufio.Writer, keys [][]byte) {
 	_, _ = w.WriteString("END\r\n")
 }
 
-// cmdSet returns false when the connection is unrecoverable.
-func (s *Server) cmdSet(conn net.Conn, r *bufio.Reader, w *bufio.Writer, args [][]byte) bool {
-	if len(args) < 4 {
-		fmt.Fprintf(w, "CLIENT_ERROR bad command line\r\n")
-		return true
-	}
-	n, err := strconv.Atoi(string(args[3]))
-	if err != nil || n < 0 || n > s.MaxValue {
-		fmt.Fprintf(w, "CLIENT_ERROR bad data chunk\r\n")
-		return true
-	}
-	data := make([]byte, n+2)
-	if _, err := io.ReadFull(r, data); err != nil {
-		return false
-	}
-	if !bytes.HasSuffix(data, []byte("\r\n")) {
-		fmt.Fprintf(w, "CLIENT_ERROR bad data chunk\r\n")
-		return true
-	}
+// cmdSet stores the already-parsed request (readRequest validated the
+// header and consumed the data block).
+func (s *Server) cmdSet(w *bufio.Writer, req *request) {
 	s.sets.Add(1)
-	key := string(args[0])
+	key := string(req.args[0])
 	s.mu.Lock()
 	if el, ok := s.items[key]; ok {
-		el.Value.(*entry).value = data[:n:n]
+		el.Value.(*entry).value = req.data
 		s.order.MoveToFront(el)
 	} else {
 		if s.MaxItems > 0 && s.order.Len() >= s.MaxItems {
@@ -272,12 +250,10 @@ func (s *Server) cmdSet(conn net.Conn, r *bufio.Reader, w *bufio.Writer, args []
 				s.evictions.Add(1)
 			}
 		}
-		s.items[key] = s.order.PushFront(&entry{key: key, value: data[:n:n]})
+		s.items[key] = s.order.PushFront(&entry{key: key, value: req.data})
 	}
 	s.mu.Unlock()
-	_ = conn // reserved for per-command deadlines
 	fmt.Fprintf(w, "STORED\r\n")
-	return true
 }
 
 func (s *Server) cmdDelete(w *bufio.Writer, args [][]byte) {

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestQuantileEmpty pins the empty-distribution contract: every summary
+// reads as zero rather than panicking or returning sentinel garbage.
+func TestQuantileEmpty(t *testing.T) {
+	h := NewDefaultHistogram()
+	for _, q := range []float64{0, 0.5, 1, -1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Errorf("empty summary: min=%v max=%v mean=%v n=%d", h.Min(), h.Max(), h.Mean(), h.Count())
+	}
+
+	w := NewWindowedHistogram(4, 100*time.Millisecond)
+	if got := w.Quantile(time.Second, 0.99); got != 0 {
+		t.Errorf("empty window Quantile = %v, want 0", got)
+	}
+	if got := w.Count(time.Second); got != 0 {
+		t.Errorf("empty window Count = %d, want 0", got)
+	}
+
+	if got := ExactQuantile(nil, 0.5); got != 0 {
+		t.Errorf("ExactQuantile(nil) = %v, want 0", got)
+	}
+}
+
+// TestQuantileSingleSample: with one observation every quantile is that
+// observation, exactly — the min/max clamps must defeat bucket rounding.
+func TestQuantileSingleSample(t *testing.T) {
+	const v = 1234567 * time.Nanosecond
+	h := NewDefaultHistogram()
+	h.Record(v)
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != v {
+			t.Errorf("single-sample Quantile(%v) = %v, want %v", q, got, v)
+		}
+	}
+	if h.Min() != v || h.Max() != v || h.Mean() != v {
+		t.Errorf("single-sample summary: min=%v max=%v mean=%v", h.Min(), h.Max(), h.Mean())
+	}
+
+	w := NewWindowedHistogram(4, 100*time.Millisecond)
+	w.Record(0, v)
+	if got := w.Quantile(0, 0.5); got != v {
+		t.Errorf("single-sample window Quantile = %v, want %v", got, v)
+	}
+
+	if got := ExactQuantile([]time.Duration{v}, 0.5); got != v {
+		t.Errorf("single-sample ExactQuantile = %v, want %v", got, v)
+	}
+}
+
+// TestQuantileNaNGuard: a NaN quantile request must not reach the
+// float→uint64 rank conversion (implementation-defined) — it answers 0,
+// same as an empty distribution. Infinities clamp to the range edges.
+func TestQuantileNaNGuard(t *testing.T) {
+	h := NewDefaultHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Quantile(math.NaN()); got != 0 {
+		t.Errorf("Quantile(NaN) = %v, want 0", got)
+	}
+	if got := h.Quantile(math.Inf(1)); got != h.Max() {
+		t.Errorf("Quantile(+Inf) = %v, want max %v", got, h.Max())
+	}
+	if got := h.Quantile(math.Inf(-1)); got > h.Quantile(0) {
+		t.Errorf("Quantile(-Inf) = %v above Quantile(0) = %v", got, h.Quantile(0))
+	}
+
+	samples := []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond}
+	if got := ExactQuantile(samples, math.NaN()); got != 0 {
+		t.Errorf("ExactQuantile(NaN) = %v, want 0", got)
+	}
+	if got := ExactQuantile(samples, math.Inf(1)); got != 3*time.Millisecond {
+		t.Errorf("ExactQuantile(+Inf) = %v, want max", got)
+	}
+	if got := ExactQuantile(samples, math.Inf(-1)); got != time.Millisecond {
+		t.Errorf("ExactQuantile(-Inf) = %v, want min", got)
+	}
+
+	w := NewWindowedHistogram(4, 100*time.Millisecond)
+	w.Record(0, time.Millisecond)
+	if got := w.Quantile(0, math.NaN()); got != 0 {
+		t.Errorf("window Quantile(NaN) = %v, want 0", got)
+	}
+}

@@ -145,9 +145,14 @@ func (h *Histogram) Mean() time.Duration {
 }
 
 // Quantile returns an upper-bound estimate for the q-quantile (q in [0,1]).
-// Returns 0 when the histogram is empty.
+// Returns 0 when the histogram is empty or q is NaN.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.total == 0 {
+		return 0
+	}
+	if math.IsNaN(q) {
+		// NaN slips through both range clamps, and converting it to a rank
+		// is implementation-defined; answer as for an empty histogram.
 		return 0
 	}
 	if q < 0 {
@@ -239,7 +244,7 @@ func (h *Histogram) String() string {
 // It is used by tests to validate Histogram against ground truth and by
 // small-sample reports where exactness matters more than memory.
 func ExactQuantile(samples []time.Duration, q float64) time.Duration {
-	if len(samples) == 0 {
+	if len(samples) == 0 || math.IsNaN(q) {
 		return 0
 	}
 	s := make([]time.Duration, len(samples))

@@ -77,6 +77,16 @@ type RequestStats struct {
 	Opened    uint64 // connections opened (including reopens)
 	Timeouts  uint64 // requests abandoned by RequestTimeout
 	Aborts    uint64 // connections torn down early (timeout or server RST)
+	// Abandoned counts requests that were still outstanding when their
+	// connection closed (timeout aborts, server RSTs): the client gave up
+	// on them and any late response is counted as Stale instead. Together
+	// with Outstanding they close the conservation identity
+	// Sent == Responses + Abandoned + Outstanding at every instant.
+	Abandoned uint64
+	// Stale counts responses that arrived for a connection the client had
+	// already torn down. At full drain sum(server Served) ==
+	// Responses + Stale: every processed request's response is accounted.
+	Stale uint64
 	// Latency distributions by operation, measured request-send to
 	// response-receipt at the client.
 	GetLatency *stats.Histogram
@@ -296,10 +306,12 @@ func (c *RequestClient) HandlePacket(p *netsim.Packet) {
 	}
 	cn := c.findConn(p.Flow)
 	if cn == nil {
-		return // response for a connection we already closed
+		c.stats.Stale++ // response for a connection we already closed
+		return
 	}
 	sentAt, ok := cn.sendTimes[p.Seq]
 	if !ok {
+		c.stats.Stale++
 		return
 	}
 	delete(cn.sendTimes, p.Seq)
@@ -355,6 +367,9 @@ func (c *RequestClient) abortConn(cn *conn) {
 
 func (c *RequestClient) closeConn(cn *conn) {
 	cn.closed = true
+	// Requests still awaiting responses are given up on; any response that
+	// arrives later is counted as Stale, never as a completion.
+	c.stats.Abandoned += uint64(len(cn.sendTimes))
 	// Tell the path (and thus the LB's connection tracker) that this flow
 	// is done — the FIN of the modelled TCP connection.
 	c.out(&netsim.Packet{
@@ -390,3 +405,15 @@ func (c *RequestClient) findConn(f packet.FlowKey) *conn {
 
 // OpenConns returns the number of currently open connections.
 func (c *RequestClient) OpenConns() int { return len(c.conns) }
+
+// Outstanding returns the number of requests currently awaiting a response
+// across all open connections. At every instant
+// Sent == Responses + Abandoned + Outstanding — the client-side
+// conservation identity the simulation-testing oracles check each tick.
+func (c *RequestClient) Outstanding() int {
+	n := 0
+	for _, cn := range c.conns {
+		n += len(cn.sendTimes)
+	}
+	return n
+}
