@@ -4,16 +4,19 @@
 // Usage:
 //
 //	lbsim -exp fig3 -duration 20s -seed 42 -csv out/ -plot
+//	lbsim -exp arena -arena.seeds 10 -arena.out results/arena
 //	lbsim -exp all
 //
-// Experiments: fig2a, fig2b, fig3, outage, dst, abl-epoch, abl-ladder,
-// abl-alpha, abl-violations, abl-far, abl-policies, abl-scale, abl-multi-lb,
-// abl-dependency, abl-controllers, abl-utilization, abl-affinity,
-// abl-shared-ladder, abl-churn, abl-l7, abl-handshake, abl-signal, all.
+// Run `lbsim -exp help` (or any unknown name) for the experiment list; the
+// dispatch table lives in internal/experiments and is shared with the
+// usage text, so the two cannot drift apart.
 //
 // The dst experiment sweeps randomized deterministic-simulation scenarios
 // (seeds *seed..*seed+24) through the invariant oracles and prints minimized
-// repro lines for any violation; see internal/dst and DESIGN.md §10.
+// repro lines for any violation; see internal/dst and DESIGN.md §10. The
+// arena experiment races every registered routing policy through the same
+// DST seed set, outage, and Fig-3 legs and scores a leaderboard; see
+// internal/arena and DESIGN.md §11.
 package main
 
 import (
@@ -22,22 +25,38 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux for -pprof
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"inbandlb/internal/experiments"
 	"inbandlb/internal/trace"
 )
 
+// gitRev tags arena artifacts the way bench.sh tags bench deltas.
+func gitRev() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return "dev"
+	}
+	if rev := strings.TrimSpace(string(out)); rev != "" {
+		return rev
+	}
+	return "dev"
+}
+
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (fig2a|fig2b|fig3|outage|abl-*|all)")
-		seed      = flag.Int64("seed", 42, "random seed")
-		duration  = flag.Duration("duration", 0, "simulated duration (0 = per-experiment default)")
-		csvDir    = flag.String("csv", "", "directory to write per-experiment CSV series into")
-		plot      = flag.Bool("plot", false, "render ASCII plots of the series")
-		pcapPath  = flag.String("pcap", "", "write the fig2a tap's packet trace as a pcap file (fig2a only)")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof at this address (e.g. localhost:6060; empty = off)")
+		exp        = flag.String("exp", "all", "experiment to run (see -exp help for the list)")
+		seed       = flag.Int64("seed", 42, "random seed")
+		duration   = flag.Duration("duration", 0, "simulated duration (0 = per-experiment default)")
+		csvDir     = flag.String("csv", "", "directory to write per-experiment CSV series into")
+		plot       = flag.Bool("plot", false, "render ASCII plots of the series")
+		pcapPath   = flag.String("pcap", "", "write the fig2a tap's packet trace as a pcap file (fig2a only)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof at this address (e.g. localhost:6060; empty = off)")
+		arenaSeeds = flag.Int("arena.seeds", 0, "arena: DST seeds per policy (0 = default 50)")
+		arenaOut   = flag.String("arena.out", "", "arena: directory for ARENA_<rev>.json (empty = don't write)")
 	)
 	flag.Parse()
 
@@ -54,67 +73,36 @@ func main() {
 	if *pcapPath != "" {
 		rec = trace.NewRecorder(2_000_000)
 	}
-	runners := map[string]func() *experiments.Result{
-		"fig2a": func() *experiments.Result {
-			return experiments.Fig2a(experiments.Fig2Config{Seed: *seed, Duration: *duration, Trace: rec})
-		},
-		"fig2b": func() *experiments.Result {
-			return experiments.Fig2b(experiments.Fig2Config{Seed: *seed, Duration: *duration})
-		},
-		"fig3": func() *experiments.Result {
-			return experiments.Fig3(experiments.Fig3Config{Seed: *seed, Duration: *duration})
-		},
-		"outage": func() *experiments.Result {
-			return experiments.Outage(experiments.OutageConfig{Seed: *seed, Duration: *duration})
-		},
-		"dst": func() *experiments.Result {
-			return experiments.DST(experiments.DSTConfig{Base: *seed})
-		},
-		"abl-epoch":         func() *experiments.Result { return experiments.AblationEpoch(*seed, *duration) },
-		"abl-ladder":        func() *experiments.Result { return experiments.AblationLadder(*seed, *duration) },
-		"abl-alpha":         func() *experiments.Result { return experiments.AblationAlpha(*seed, *duration) },
-		"abl-violations":    func() *experiments.Result { return experiments.AblationViolations(*seed, *duration) },
-		"abl-far":           func() *experiments.Result { return experiments.AblationFarClients(*seed, *duration) },
-		"abl-policies":      func() *experiments.Result { return experiments.PolicyComparison(*seed, *duration) },
-		"abl-scale":         func() *experiments.Result { return experiments.AblationPoolScale(*seed, *duration) },
-		"abl-multi-lb":      func() *experiments.Result { return experiments.AblationMultiLB(*seed, *duration) },
-		"abl-dependency":    func() *experiments.Result { return experiments.AblationDependency(*seed, *duration) },
-		"abl-controllers":   func() *experiments.Result { return experiments.AblationControllers(*seed, *duration) },
-		"abl-utilization":   func() *experiments.Result { return experiments.AblationUtilization(*seed, *duration) },
-		"abl-affinity":      func() *experiments.Result { return experiments.AblationAffinity(*seed, *duration) },
-		"abl-shared-ladder": func() *experiments.Result { return experiments.AblationSharedLadder(*seed, *duration) },
-		"abl-churn":         func() *experiments.Result { return experiments.AblationChurn(*seed, *duration) },
-		"abl-l7":            func() *experiments.Result { return experiments.AblationL7(*seed, *duration) },
-		"abl-handshake":     func() *experiments.Result { return experiments.AblationHandshake(*seed, *duration) },
-		"abl-signal":        func() *experiments.Result { return experiments.AblationSignal(*seed, *duration) },
+	opts := experiments.Options{
+		Seed:       *seed,
+		Duration:   *duration,
+		Trace:      rec,
+		ArenaSeeds: *arenaSeeds,
+		ArenaOut:   *arenaOut,
 	}
-	order := []string{
-		"fig2a", "fig2b", "fig3", "outage", "dst",
-		"abl-epoch", "abl-ladder", "abl-alpha", "abl-violations",
-		"abl-far", "abl-policies", "abl-scale", "abl-multi-lb",
-		"abl-dependency", "abl-controllers", "abl-utilization",
-		"abl-affinity", "abl-shared-ladder", "abl-churn", "abl-l7",
-		"abl-handshake", "abl-signal",
+	if *arenaOut != "" || *exp == "arena" || *exp == "all" {
+		opts.Rev = gitRev()
 	}
 
-	var selected []string
+	var selected []experiments.Entry
 	if *exp == "all" {
-		selected = order
-	} else if _, ok := runners[*exp]; ok {
-		selected = []string{*exp}
+		selected = experiments.Entries()
+	} else if e, ok := experiments.Lookup(*exp); ok {
+		selected = []experiments.Entry{e}
 	} else {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %v, all\n", *exp, order)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s, all\n",
+			*exp, strings.Join(experiments.Names(), ", "))
 		os.Exit(2)
 	}
 
-	for _, name := range selected {
+	for _, e := range selected {
 		start := time.Now()
-		res := runners[name]()
+		res := e.Run(opts)
 		if err := res.Report(os.Stdout, *plot); err != nil {
-			fmt.Fprintf(os.Stderr, "reporting %s: %v\n", name, err)
+			fmt.Fprintf(os.Stderr, "reporting %s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s completed in %v wall-clock)\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s completed in %v wall-clock)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 
 		if *csvDir != "" && len(res.Series) > 0 {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {

@@ -1,0 +1,284 @@
+// Package arena races every registered routing policy through the same
+// gauntlet — the DST seed set, the outage experiment, and the Fig-3
+// workload — and scores each run into a leaderboard. The point is not to
+// crown a winner once but to keep the comparison honest as policies evolve:
+// every run replays identical seeds, folds per-seed trace digests so
+// determinism is a checkable claim, and lands machine-readable results in
+// results/arena/ARENA_<rev>.json next to the bench deltas.
+package arena
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Config parameterizes one tournament.
+type Config struct {
+	// Seed is the base seed shared by every leg (default 1). The DST leg
+	// sweeps Seed..Seed+DSTSeeds-1; the outage and Fig-3 legs seed their
+	// simulators with it directly, so every policy sees identical worlds.
+	Seed int64
+	// DSTSeeds is the sweep width per policy (default 50).
+	DSTSeeds int
+	// DeterminismSeeds is how many of the sweep's first seeds are replayed
+	// a second time to prove digest equality (default 8, capped at
+	// DSTSeeds).
+	DeterminismSeeds int
+	// Policies are the registered policy names to race (default: the four
+	// adaptive contenders — latency-aware, knapsack, p2c, wlc).
+	Policies []string
+	// OutageDuration is the simulated length of the outage leg (default
+	// 12 s; the blackhole covers the middle third).
+	OutageDuration time.Duration
+	// Fig3Duration is the simulated length of the Fig-3 leg (default 8 s;
+	// +1 ms is injected at the midpoint).
+	Fig3Duration time.Duration
+	// Rev tags the output (e.g. `git describe`); recorded verbatim.
+	Rev string
+	// Logf, when set, receives progress lines as legs complete.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) applyDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.DSTSeeds <= 0 {
+		c.DSTSeeds = 50
+	}
+	if c.DeterminismSeeds <= 0 {
+		c.DeterminismSeeds = 8
+	}
+	if c.DeterminismSeeds > c.DSTSeeds {
+		c.DeterminismSeeds = c.DSTSeeds
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = DefaultPolicies()
+	}
+	if c.OutageDuration <= 0 {
+		c.OutageDuration = 12 * time.Second
+	}
+	if c.Fig3Duration <= 0 {
+		c.Fig3Duration = 8 * time.Second
+	}
+	if c.Rev == "" {
+		c.Rev = "dev"
+	}
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// DefaultPolicies is the standard field: the four adaptive policies the
+// conformance kit certifies. Static maglev is deliberately absent — it
+// disqualifies itself on adaptation lag and would only pad the table.
+func DefaultPolicies() []string {
+	return []string{"latency-aware", "knapsack", "p2c", "wlc"}
+}
+
+// ScoreWeights is the fixed scoring rubric: each metric is min-max
+// normalized across qualified policies and the weighted deficit is
+// subtracted from a perfect 100.
+var ScoreWeights = map[string]float64{
+	"p99":        0.35,
+	"lag":        0.25,
+	"disruption": 0.15,
+	"timeouts":   0.25,
+}
+
+// DSTLeg is one policy's sweep through the randomized scenario set.
+type DSTLeg struct {
+	Seeds            int      `json:"seeds"`
+	Requests         uint64   `json:"requests"`
+	Timeouts         uint64   `json:"timeouts"`
+	Violations       int      `json:"violations"`
+	FailedSeeds      []int64  `json:"failed_seeds,omitempty"`
+	SweepDigest      string   `json:"sweep_digest"`
+	DeterminismSeeds int      `json:"determinism_seeds"`
+	Deterministic    bool     `json:"deterministic"`
+	SeedDigests      []string `json:"seed_digests"`
+}
+
+// OutageLeg is one policy's run through the mid-run blackhole.
+type OutageLeg struct {
+	P99Ms          float64 `json:"p99_ms"`
+	AdaptLagMs     float64 `json:"adapt_lag_ms"`
+	Timeouts       uint64  `json:"timeouts"`
+	Responses      uint64  `json:"responses"`
+	FallbacksPer1k float64 `json:"fallbacks_per_1k_flows"`
+	// MovedFrac is the mean fraction of live flows whose current table
+	// pick disagrees with their pinned backend, sampled during the run.
+	// Only meaningful for table-building policies; 0 for the rest (their
+	// routing is per-flow, so "table churn" has no analogue).
+	MovedFrac float64 `json:"affinity_moved_frac"`
+}
+
+// Fig3Leg is one policy's run through the paper's +1 ms latency step.
+type Fig3Leg struct {
+	PreP99Ms   float64 `json:"pre_p99_ms"`
+	PostP99Ms  float64 `json:"post_p99_ms"`
+	AdaptLagMs float64 `json:"adapt_lag_ms"`
+	Timeouts   uint64  `json:"timeouts"`
+	Responses  uint64  `json:"responses"`
+}
+
+// PolicyResult is one contender's full scorecard.
+type PolicyResult struct {
+	Policy string    `json:"policy"`
+	DST    DSTLeg    `json:"dst"`
+	Outage OutageLeg `json:"outage"`
+	Fig3   Fig3Leg   `json:"fig3"`
+
+	// Scored composites (raw, before normalization).
+	P99Ms      float64 `json:"metric_p99_ms"`
+	LagMs      float64 `json:"metric_lag_ms"`
+	Disruption float64 `json:"metric_disruption"`
+	Timeouts   float64 `json:"metric_timeouts"`
+
+	Score float64 `json:"score"`
+	Rank  int     `json:"rank"`
+	// Disqualified marks a policy whose DST sweep violated an oracle or
+	// failed same-seed digest equality: its score is forced to 0 and it
+	// ranks below every qualified contender regardless of latency.
+	Disqualified bool `json:"disqualified"`
+}
+
+// Tournament is the full arena outcome, serialized verbatim to
+// results/arena/ARENA_<rev>.json.
+type Tournament struct {
+	Rev      string             `json:"rev"`
+	Seed     int64              `json:"seed"`
+	DSTSeeds int                `json:"dst_seeds"`
+	Weights  map[string]float64 `json:"score_weights"`
+	// Policies are in rank order (Rank 1 first).
+	Policies []PolicyResult `json:"policies"`
+}
+
+// Run races every configured policy through all three legs and scores the
+// field. Results are deterministic in (Seed, DSTSeeds, Policies).
+func Run(cfg Config) (*Tournament, error) {
+	cfg.applyDefaults()
+	t := &Tournament{
+		Rev:      cfg.Rev,
+		Seed:     cfg.Seed,
+		DSTSeeds: cfg.DSTSeeds,
+		Weights:  ScoreWeights,
+	}
+	for _, name := range cfg.Policies {
+		pr := PolicyResult{Policy: name}
+		var err error
+		pr.DST, err = runDSTLeg(name, cfg.Seed, cfg.DSTSeeds, cfg.DeterminismSeeds)
+		if err != nil {
+			return nil, fmt.Errorf("arena: %s dst leg: %w", name, err)
+		}
+		cfg.logf("%s: dst %d seeds, %d violations, deterministic=%v",
+			name, pr.DST.Seeds, pr.DST.Violations, pr.DST.Deterministic)
+		pr.Outage, err = runOutageLeg(name, cfg.Seed, cfg.OutageDuration)
+		if err != nil {
+			return nil, fmt.Errorf("arena: %s outage leg: %w", name, err)
+		}
+		cfg.logf("%s: outage p99 %.3f ms, lag %.1f ms, %d timeouts",
+			name, pr.Outage.P99Ms, pr.Outage.AdaptLagMs, pr.Outage.Timeouts)
+		pr.Fig3, err = runFig3Leg(name, cfg.Seed, cfg.Fig3Duration)
+		if err != nil {
+			return nil, fmt.Errorf("arena: %s fig3 leg: %w", name, err)
+		}
+		cfg.logf("%s: fig3 post p99 %.3f ms, lag %.1f ms",
+			name, pr.Fig3.PostP99Ms, pr.Fig3.AdaptLagMs)
+		t.Policies = append(t.Policies, pr)
+	}
+	scoreField(t.Policies)
+	sort.SliceStable(t.Policies, func(i, j int) bool {
+		a, b := &t.Policies[i], &t.Policies[j]
+		if a.Disqualified != b.Disqualified {
+			return !a.Disqualified
+		}
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.Policy < b.Policy
+	})
+	for i := range t.Policies {
+		t.Policies[i].Rank = i + 1
+	}
+	return t, nil
+}
+
+// scoreField computes the composite metrics and min-max-normalized scores.
+func scoreField(field []PolicyResult) {
+	for i := range field {
+		p := &field[i]
+		p.P99Ms = (p.Outage.P99Ms + p.Fig3.PostP99Ms) / 2
+		p.LagMs = (p.Outage.AdaptLagMs + p.Fig3.AdaptLagMs) / 2
+		// Fallback rate and moved-flow fraction measure the same harm —
+		// flows that lost their pinned backend — on different scales;
+		// moved fraction is rescaled to per-mille to match.
+		p.Disruption = p.Outage.FallbacksPer1k + 1000*p.Outage.MovedFrac
+		p.Timeouts = float64(p.Outage.Timeouts + p.Fig3.Timeouts)
+		p.Disqualified = p.DST.Violations > 0 || !p.DST.Deterministic
+	}
+	norm := func(get func(*PolicyResult) float64) func(*PolicyResult) float64 {
+		lo, hi := 0.0, 0.0
+		first := true
+		for i := range field {
+			if field[i].Disqualified {
+				continue
+			}
+			v := get(&field[i])
+			if first || v < lo {
+				lo = v
+			}
+			if first || v > hi {
+				hi = v
+			}
+			first = false
+		}
+		return func(p *PolicyResult) float64 {
+			if hi <= lo {
+				return 0
+			}
+			return (get(p) - lo) / (hi - lo)
+		}
+	}
+	nP99 := norm(func(p *PolicyResult) float64 { return p.P99Ms })
+	nLag := norm(func(p *PolicyResult) float64 { return p.LagMs })
+	nDis := norm(func(p *PolicyResult) float64 { return p.Disruption })
+	nTo := norm(func(p *PolicyResult) float64 { return p.Timeouts })
+	for i := range field {
+		p := &field[i]
+		if p.Disqualified {
+			p.Score = 0
+			continue
+		}
+		deficit := ScoreWeights["p99"]*nP99(p) +
+			ScoreWeights["lag"]*nLag(p) +
+			ScoreWeights["disruption"]*nDis(p) +
+			ScoreWeights["timeouts"]*nTo(p)
+		p.Score = 100 * (1 - deficit)
+	}
+}
+
+// WriteJSON persists the tournament as dir/ARENA_<rev>.json and returns the
+// path.
+func WriteJSON(t *Tournament, dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("ARENA_%s.json", t.Rev))
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,122 @@
+package arena
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// smallConfig keeps the tournament test-sized: 3 DST seeds, 2 determinism
+// replays, and short outage/fig3 legs.
+func smallConfig(policies ...string) Config {
+	return Config{
+		Seed:             1,
+		DSTSeeds:         3,
+		DeterminismSeeds: 2,
+		Policies:         policies,
+		OutageDuration:   4 * time.Second,
+		Fig3Duration:     3 * time.Second,
+		Rev:              "test",
+	}
+}
+
+func TestArenaTournament(t *testing.T) {
+	cfg := smallConfig(DefaultPolicies()...)
+	tour, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got, want := len(tour.Policies), len(cfg.Policies); got != want {
+		t.Fatalf("scored %d policies, want %d", got, want)
+	}
+	seen := map[string]bool{}
+	for i, p := range tour.Policies {
+		seen[p.Policy] = true
+		if p.Rank != i+1 {
+			t.Errorf("%s: rank %d at position %d", p.Policy, p.Rank, i)
+		}
+		if p.DST.Violations != 0 {
+			t.Errorf("%s: %d DST violations on seeds %v", p.Policy, p.DST.Violations, p.DST.FailedSeeds)
+		}
+		if !p.DST.Deterministic {
+			t.Errorf("%s: same-seed replay diverged", p.Policy)
+		}
+		if p.Disqualified {
+			t.Errorf("%s: disqualified", p.Policy)
+		}
+		if p.Score < 0 || p.Score > 100 {
+			t.Errorf("%s: score %.2f outside [0,100]", p.Policy, p.Score)
+		}
+		if len(p.DST.SeedDigests) != cfg.DeterminismSeeds {
+			t.Errorf("%s: %d seed digests, want %d", p.Policy, len(p.DST.SeedDigests), cfg.DeterminismSeeds)
+		}
+		if p.Outage.Responses == 0 || p.Fig3.Responses == 0 {
+			t.Errorf("%s: empty leg (outage %d, fig3 %d responses)",
+				p.Policy, p.Outage.Responses, p.Fig3.Responses)
+		}
+		if p.Outage.AdaptLagMs <= 0 {
+			t.Errorf("%s: outage adaptation lag %.2f ms", p.Policy, p.Outage.AdaptLagMs)
+		}
+	}
+	for _, name := range cfg.Policies {
+		if !seen[name] {
+			t.Errorf("policy %s missing from results", name)
+		}
+	}
+}
+
+// TestArenaDeterministic proves the whole tournament — not just the DST
+// leg — is a pure function of its config.
+func TestArenaDeterministic(t *testing.T) {
+	cfg := smallConfig("latency-aware", "wlc")
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("tournament not deterministic:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
+func TestArenaWriteJSON(t *testing.T) {
+	tour := &Tournament{
+		Rev:      "test",
+		Seed:     1,
+		DSTSeeds: 3,
+		Weights:  ScoreWeights,
+		Policies: []PolicyResult{{Policy: "wlc", Rank: 1, Score: 100}},
+	}
+	dir := t.TempDir()
+	path, err := WriteJSON(tour, filepath.Join(dir, "arena"))
+	if err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	var got Tournament
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if got.Rev != "test" || len(got.Policies) != 1 || got.Policies[0].Policy != "wlc" {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+}
+
+// TestArenaUnknownPolicy: a typo'd policy name must fail loudly with the
+// registry's candidate list, not produce a silent empty leaderboard.
+func TestArenaUnknownPolicy(t *testing.T) {
+	cfg := smallConfig("no-such-policy")
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted an unregistered policy")
+	}
+}

@@ -660,6 +660,31 @@ func (c *Controller) Ejected(i int) bool {
 	return c.admit[i] == 0
 }
 
+// Admission returns backend i's combined admission fraction in [0, 1] —
+// the manual-veto ∧ passive-detector view the next published snapshot will
+// carry. Unlike Snapshot().Admission it is defined for non-TableSource
+// policies too, which never publish snapshots.
+func (c *Controller) Admission(i int) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.admit) {
+		return 0
+	}
+	return float64(c.admit[i]) / float64(admitFull)
+}
+
+// BindOccupancy forwards a live occupancy source to the wrapped policy when
+// it consults one (see OccupancyBinder); no-op otherwise. The binding is
+// installed under the serialization lock, so in-flight picks never observe
+// a half-installed source.
+func (c *Controller) BindOccupancy(fn func(b int) int) {
+	if ob, ok := c.policy.(OccupancyBinder); ok {
+		c.mu.Lock()
+		ob.BindOccupancy(fn)
+		c.mu.Unlock()
+	}
+}
+
 // HealthState returns backend i's passive-detector state. A manual veto
 // reports Ejected regardless of detector state; with the detector disabled
 // an unvetoed backend is always Healthy.

@@ -1,0 +1,117 @@
+package control
+
+import (
+	"testing"
+	"time"
+
+	"inbandlb/internal/core"
+	"inbandlb/internal/packet"
+)
+
+func testKey(i int) packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP:   [4]byte{10, 0, byte(i >> 8), byte(i)},
+		DstIP:   [4]byte{192, 0, 2, 1},
+		SrcPort: uint16(1024 + i),
+		DstPort: 80,
+		Proto:   6,
+	}
+}
+
+// TestWLCLeastConnWithoutSignal: before any latency sample every cost
+// reduces to occupancy, so picks rotate round-robin-fairly.
+func TestWLCLeastConnWithoutSignal(t *testing.T) {
+	w := NewWeightedLeastConn(3, testLatencyCfg())
+	counts := make([]int, 3)
+	for i := 0; i < 9; i++ {
+		counts[w.Pick(testKey(i), 0)]++
+	}
+	for i, c := range counts {
+		if c != 3 {
+			t.Errorf("backend %d picked %d of 9 times without signal, want 3", i, c)
+		}
+	}
+}
+
+// TestWLCAvoidsSlowBackend: equal occupancy, one 5x-slower backend — the
+// latency weighting must push picks elsewhere.
+func TestWLCAvoidsSlowBackend(t *testing.T) {
+	w := NewWeightedLeastConn(3, testLatencyCfg())
+	now := time.Millisecond
+	for i := 0; i < 20; i++ {
+		now += time.Millisecond
+		w.ObserveLatency(0, now, time.Millisecond)
+		w.ObserveLatency(1, now, 200*time.Microsecond)
+		w.ObserveLatency(2, now, 200*time.Microsecond)
+	}
+	counts := make([]int, 3)
+	for i := 0; i < 30; i++ {
+		b := w.Pick(testKey(i), now)
+		counts[b]++
+		w.FlowClosed(b, now) // hold occupancy flat: isolate the latency term
+	}
+	if counts[0] != 0 {
+		t.Errorf("5x-slower backend still picked %d of 30 times at equal occupancy", counts[0])
+	}
+}
+
+// TestWLCOccupancyCounterbalancesLatency: without closes, the slow
+// backend's low occupancy eventually undercuts the fast backends' rising
+// counts — least-connections pressure keeps it from starving forever.
+func TestWLCOccupancyCounterbalancesLatency(t *testing.T) {
+	w := NewWeightedLeastConn(2, testLatencyCfg())
+	now := time.Millisecond
+	for i := 0; i < 20; i++ {
+		now += time.Millisecond
+		w.ObserveLatency(0, now, time.Millisecond)
+		w.ObserveLatency(1, now, 200*time.Microsecond)
+	}
+	counts := make([]int, 2)
+	for i := 0; i < 40; i++ {
+		counts[w.Pick(testKey(i), now)]++
+	}
+	if counts[0] == 0 {
+		t.Error("slow backend never picked: occupancy term is dead")
+	}
+	if counts[0] >= counts[1] {
+		t.Errorf("slow backend picked %d >= fast %d", counts[0], counts[1])
+	}
+}
+
+// TestWLCBindOccupancy: once bound, picks cost against the external
+// source (the LB's live flow table in production) while the internal
+// charged-flow counters keep running for unbind safety.
+func TestWLCBindOccupancy(t *testing.T) {
+	w := NewWeightedLeastConn(2, testLatencyCfg())
+	external := []int{100, 0} // backend 0 looks saturated externally
+	w.BindOccupancy(func(b int) int { return external[b] })
+	for i := 0; i < 10; i++ {
+		if b := w.Pick(testKey(i), 0); b != 1 {
+			t.Fatalf("pick %d chose saturated backend %d", i, b)
+		}
+	}
+	if w.Active(1) != 10 {
+		t.Errorf("internal counter = %d, want 10 (still tracked while bound)", w.Active(1))
+	}
+	if w.Occupancy(0) != 100 || w.Occupancy(1) != 0 {
+		t.Errorf("Occupancy = %d,%d, want the external 100,0", w.Occupancy(0), w.Occupancy(1))
+	}
+	w.BindOccupancy(nil) // unbind: fall back to internal counters
+	if w.Occupancy(1) != 10 {
+		t.Errorf("unbound Occupancy = %d, want internal 10", w.Occupancy(1))
+	}
+}
+
+// TestWLCFlowClosedBounds: out-of-range and over-closed backends must not
+// panic or drive counters negative.
+func TestWLCFlowClosedBounds(t *testing.T) {
+	w := NewWeightedLeastConn(2, testLatencyCfg())
+	w.FlowClosed(-1, 0)
+	w.FlowClosed(5, 0)
+	w.FlowClosed(0, 0) // never picked: counter at 0 stays 0
+	if w.Active(0) != 0 {
+		t.Errorf("Active(0) = %d after spurious closes, want 0", w.Active(0))
+	}
+}
+
+func testLatencyCfg() (c core.ServerLatencyConfig) { return }

@@ -21,13 +21,16 @@ var (
 	mutateFlag = flag.Bool("dst.mutate", false, "run with the deliberately broken controller")
 	sweepFlag  = flag.Int("dst.sweep", 60, "number of seeds TestDSTSweep covers")
 	baseFlag   = flag.Int64("dst.base", 1, "first seed of the sweep")
+	policyFlag = flag.String("dst.policy", "", "registered policy to sweep (empty = latency-aware)")
 )
 
-// runSeed executes one scenario, shrinks on failure, and reports the
-// minimal repro. keep (nil = all) selects a fault subset first.
-func runSeed(t *testing.T, seed int64, keep []int, mutated bool) *Report {
+// runSeed executes one scenario under the named policy (empty = default),
+// shrinks on failure, and reports the minimal repro. keep (nil = all)
+// selects a fault subset first.
+func runSeed(t *testing.T, seed int64, keep []int, policy string, mutated bool) *Report {
 	t.Helper()
 	sc := Generate(seed)
+	sc.Policy = policy
 	if keep != nil {
 		sub := make([]FaultSpec, len(keep))
 		for i, k := range keep {
@@ -70,9 +73,9 @@ func runSeed(t *testing.T, seed int64, keep []int, mutated bool) *Report {
 		for _, f := range shrunk.Scenario.Faults {
 			t.Errorf("  %v", f)
 		}
-		t.Errorf("repro: %s", ReproLine(seed, kept, mutated))
+		t.Errorf("repro: %s", ReproLine(seed, policy, kept, mutated))
 	} else {
-		t.Errorf("repro: %s", ReproLine(seed, nil, mutated))
+		t.Errorf("repro: %s", ReproLine(seed, policy, nil, mutated))
 	}
 	return rep
 }
@@ -94,13 +97,13 @@ func TestDST(t *testing.T) {
 				keep = []int{}
 			}
 		}
-		rep := runSeed(t, *seedFlag, keep, *mutateFlag)
+		rep := runSeed(t, *seedFlag, keep, *policyFlag, *mutateFlag)
 		t.Logf("seed %d: digest=%016x violations=%d stats=%+v",
 			*seedFlag, rep.Digest, rep.Total, rep.Stats)
 		return
 	}
 	for seed := int64(1); seed <= 8; seed++ {
-		rep := runSeed(t, seed, nil, false)
+		rep := runSeed(t, seed, nil, *policyFlag, false)
 		if rep.Stats.Responses == 0 {
 			t.Errorf("seed %d: workload produced no responses", seed)
 		}
@@ -116,22 +119,46 @@ func TestDSTSweep(t *testing.T) {
 	var requests, violations uint64
 	for i := 0; i < *sweepFlag; i++ {
 		seed := *baseFlag + int64(i)
-		rep := runSeed(t, seed, nil, false)
+		rep := runSeed(t, seed, nil, *policyFlag, false)
 		requests += rep.Stats.Sent
 		violations += uint64(rep.Total)
 	}
-	t.Logf("swept %d seeds: %d requests, %d violations", *sweepFlag, requests, violations)
+	t.Logf("swept %d seeds (policy %q): %d requests, %d violations",
+		*sweepFlag, *policyFlag, requests, violations)
+}
+
+// TestDSTPolicyMatrix runs a small seed slice under every arena policy, so
+// the default test gate exercises each policy against every oracle; the
+// nightly cross-policy matrix widens the per-policy seed count via
+// -dst.policy and -dst.sweep.
+func TestDSTPolicyMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping policy matrix in -short mode")
+	}
+	for _, policy := range []string{"latency-aware", "knapsack", "p2c", "wlc"} {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				rep := runSeed(t, seed, nil, policy, false)
+				if rep.Stats.Responses == 0 {
+					t.Errorf("seed %d policy %s: workload produced no responses", seed, policy)
+				}
+			}
+		})
+	}
 }
 
 // TestDSTDeterminism pins the replay contract: the same seed must yield
 // byte-identical trace digests and identical counters, run to run.
 func TestDSTDeterminism(t *testing.T) {
 	for _, seed := range []int64{7, 42, 1001} {
-		a, err := Run(Generate(seed))
+		sc := Generate(seed)
+		sc.Policy = *policyFlag
+		a, err := Run(sc)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		b, err := Run(Generate(seed))
+		b, err := Run(sc)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -237,7 +264,47 @@ func TestDSTMutationSmoke(t *testing.T) {
 		t.Fatalf("minimal schedule kept a %v fault; corruption is latency-armed", k)
 	}
 	t.Logf("mutation caught and shrunk to %v in %d runs; repro: %s",
-		shrunk.Scenario.Faults[0], shrunk.Runs, ReproLine(seed, shrunk.Kept, true))
+		shrunk.Scenario.Faults[0], shrunk.Runs, ReproLine(seed, "", shrunk.Kept, true))
+}
+
+// TestDSTKnapsackMutationSmoke is the knapsack solver's teeth check: the
+// same seed runs clean under the real solver, but with BrokenKnapsack's
+// de-normalizing projection armed by the latency excursion, the
+// snapshot-weights oracle must fire.
+func TestDSTKnapsackMutationSmoke(t *testing.T) {
+	seed := findMutationSeed(t)
+	sc := Generate(seed)
+	sc.Policy = "knapsack"
+	trigger, ok := MutationTrigger(sc)
+	if !ok {
+		t.Fatalf("seed %d no longer suitable for mutation (generator changed?)", seed)
+	}
+
+	clean, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Failed() {
+		t.Fatalf("clean knapsack run of seed %d violates oracles: %v", seed, clean.Violations)
+	}
+
+	broken, err := RunMutated(sc, MutateKnapsack(trigger))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !broken.Failed() {
+		t.Fatalf("mutated knapsack run of seed %d not caught by any oracle", seed)
+	}
+	caught := false
+	for _, v := range broken.Violations {
+		if v.Oracle == "snapshot-weights" {
+			caught = true
+			break
+		}
+	}
+	if !caught {
+		t.Fatalf("broken knapsack weights not caught by the snapshot-weights oracle: %v", broken.Violations)
+	}
 }
 
 // findMutationSeed scans for a seed whose schedule is all latency steps

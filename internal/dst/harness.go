@@ -71,9 +71,12 @@ const livenessEvidence = 4
 func Run(sc Scenario) (*Report, error) { return RunMutated(sc, nil) }
 
 // RunMutated executes the scenario, optionally substituting a wrapped
-// (deliberately broken) policy built around the real LatencyAware — the
-// hook the mutation-smoke test uses to prove the oracles have teeth.
-func RunMutated(sc Scenario, mutate func(*control.LatencyAware) control.Policy) (*Report, error) {
+// (deliberately broken) policy built around the real one — the hook the
+// mutation-smoke tests use to prove the oracles have teeth. The scenario's
+// Policy field selects any registered routing policy; oracles that assert
+// on published snapshots or weight vectors apply themselves only to
+// policies that produce them.
+func RunMutated(sc Scenario, mutate func(control.Policy) control.Policy) (*Report, error) {
 	if sc.Backends < 2 {
 		return nil, fmt.Errorf("dst: scenario not generated (backends=%d)", sc.Backends)
 	}
@@ -81,19 +84,19 @@ func RunMutated(sc Scenario, mutate func(*control.LatencyAware) control.Policy) 
 	for i := range names {
 		names[i] = fmt.Sprintf("server-%d", i)
 	}
-	la, err := control.NewLatencyAware(control.LatencyAwareConfig{
+	pol, err := control.BuildPolicy(sc.PolicyName(), control.PolicySpec{
 		Backends:  names,
 		TableSize: sc.TableSize,
 		Alpha:     sc.Alpha,
 		MinWeight: sc.MinWeight,
-		Cooldown:  sc.ControlInterval,
+		Interval:  sc.ControlInterval,
+		Seed:      sc.Seed,
 	})
 	if err != nil {
 		return nil, err
 	}
-	var pol control.Policy = la
 	if mutate != nil {
-		pol = mutate(la)
+		pol = mutate(pol)
 	}
 	ctrl := control.NewController(pol, control.ControllerConfig{
 		Interval: sc.ControlInterval,
@@ -144,10 +147,14 @@ func RunMutated(sc Scenario, mutate func(*control.LatencyAware) control.Policy) 
 		return nil, err
 	}
 
+	_, hasTable := pol.(control.TableSource)
+	_, weighted := pol.(control.Weighted)
 	h := &harness{
 		sc:         sc,
 		ctrl:       ctrl,
 		cluster:    cluster,
+		hasTable:   hasTable,
+		weighted:   weighted,
 		report:     &Report{Scenario: sc},
 		digest:     fnv.New64a(),
 		samples:    make([][]time.Duration, sc.Backends),
@@ -227,8 +234,13 @@ type harness struct {
 	sc      Scenario
 	ctrl    *control.Controller
 	cluster *testbed.Cluster
-	report  *Report
-	digest  interface {
+	// hasTable and weighted gate the snapshot and weight oracles: only
+	// TableSource policies publish snapshots, and only Weighted policies
+	// carry a weight vector to normalize.
+	hasTable bool
+	weighted bool
+	report   *Report
+	digest   interface {
 		Write([]byte) (int, error)
 		Sum64() uint64
 	}
@@ -303,35 +315,42 @@ func (h *harness) checkTick() {
 			cs.Sent, cs.Responses, cs.Abandoned, outstanding)
 	}
 
-	// Snapshot sanity.
-	snap := h.ctrl.Snapshot()
-	if snap == nil {
-		h.violate("snapshot-sanity", "no published snapshot")
-		return
-	}
-	gen := snap.Generation()
-	if gen < h.lastGen {
-		h.violate("snapshot-generation", "generation went backwards: %d -> %d", h.lastGen, gen)
-	}
-	h.lastGen = gen
-	weights := snap.Weights()
-	if len(weights) != h.sc.Backends {
-		h.violate("snapshot-weights", "weight vector has %d entries for %d backends",
-			len(weights), h.sc.Backends)
-	}
-	var wsum float64
-	for i, w := range weights {
-		wsum += w
-		if math.IsNaN(w) || math.IsInf(w, 0) || w < h.sc.MinWeight*(1-1e-9) || w > 1+1e-9 {
-			h.violate("snapshot-weights", "weight[%d]=%v outside [MinWeight=%v, 1]", i, w, h.sc.MinWeight)
+	// Snapshot sanity — only table-building policies publish snapshots;
+	// mutex-path policies (p2c, wlc) have no snapshot to check, but their
+	// admission state is still validated below via the controller.
+	var weights []float64
+	if h.hasTable {
+		snap := h.ctrl.Snapshot()
+		if snap == nil {
+			h.violate("snapshot-sanity", "no published snapshot")
+			return
+		}
+		gen := snap.Generation()
+		if gen < h.lastGen {
+			h.violate("snapshot-generation", "generation went backwards: %d -> %d", h.lastGen, gen)
+		}
+		h.lastGen = gen
+		if h.weighted {
+			weights = snap.Weights()
+			if len(weights) != h.sc.Backends {
+				h.violate("snapshot-weights", "weight vector has %d entries for %d backends",
+					len(weights), h.sc.Backends)
+			}
+			var wsum float64
+			for i, w := range weights {
+				wsum += w
+				if math.IsNaN(w) || math.IsInf(w, 0) || w < h.sc.MinWeight*(1-1e-9) || w > 1+1e-9 {
+					h.violate("snapshot-weights", "weight[%d]=%v outside [MinWeight=%v, 1]", i, w, h.sc.MinWeight)
+				}
+			}
+			if len(weights) > 0 && (wsum < 0.99 || wsum > 1.01) {
+				h.violate("snapshot-weights", "weights not normalized: sum=%v", wsum)
+			}
 		}
 	}
-	if len(weights) > 0 && (wsum < 0.99 || wsum > 1.01) {
-		h.violate("snapshot-weights", "weights not normalized: sum=%v", wsum)
-	}
 	admitted := 0
-	for i := 0; i < snap.NumBackends(); i++ {
-		a := snap.Admission(i)
+	for i := 0; i < h.sc.Backends; i++ {
+		a := h.ctrl.Admission(i)
 		if a < 0 || a > 1 {
 			h.violate("snapshot-admission", "admission[%d]=%v outside [0,1]", i, a)
 		}
@@ -354,7 +373,7 @@ func (h *harness) checkTick() {
 	h.fold(uint64(now), ls.Packets, ls.NewFlows, ls.Closed, ls.Swept,
 		ls.Samples, ls.NoBackend, ls.Fallbacks, connCount,
 		cs.Sent, cs.Responses, cs.Timeouts, cs.Aborts, cs.Opened,
-		cs.Stale, cs.Abandoned, outstanding, gen)
+		cs.Stale, cs.Abandoned, outstanding, h.ctrl.Generation())
 	for i := 0; i < h.sc.Backends; i++ {
 		st := h.ctrl.HealthState(i)
 		if st != h.lastState[i] {
@@ -362,7 +381,7 @@ func (h *harness) checkTick() {
 			h.lastChange[i] = now
 		}
 		h.fold(ls.PerBackend[i], ls.NewPerBack[i], ls.SampPerBack[i],
-			uint64(st), math.Float64bits(snap.Admission(i)))
+			uint64(st), math.Float64bits(h.ctrl.Admission(i)))
 	}
 	for _, w := range weights {
 		h.fold(math.Float64bits(w))

@@ -43,10 +43,56 @@ func (b *BrokenWeights) Weights() []float64 {
 	return w
 }
 
-// Mutate is the RunMutated hook installing BrokenWeights.
-func Mutate(trigger time.Duration) func(*control.LatencyAware) control.Policy {
-	return func(la *control.LatencyAware) control.Policy {
+// Mutate is the RunMutated hook installing BrokenWeights. It applies only
+// to the latency-aware policy; other policies pass through unchanged (each
+// new policy has its own characteristic mutant and hook).
+func Mutate(trigger time.Duration) func(control.Policy) control.Policy {
+	return func(p control.Policy) control.Policy {
+		la, ok := p.(*control.LatencyAware)
+		if !ok {
+			return p
+		}
 		return &BrokenWeights{LatencyAware: la, Trigger: trigger}
+	}
+}
+
+// BrokenKnapsack is the knapsack solver's characteristic mutant: a solver
+// whose greedy fill is correct but whose published allocation silently
+// de-normalizes once a latency excursion arms it — the shape of a
+// projection bug (clamping without renormalizing). The snapshot-weights
+// oracle must catch it exactly as it catches BrokenWeights.
+type BrokenKnapsack struct {
+	*control.KnapsackGreedy
+	Trigger time.Duration
+	armed   bool
+}
+
+// ObserveLatency arms the corruption on the first over-Trigger sample.
+func (b *BrokenKnapsack) ObserveLatency(i int, now, sample time.Duration) {
+	if sample >= b.Trigger {
+		b.armed = true
+	}
+	b.KnapsackGreedy.ObserveLatency(i, now, sample)
+}
+
+// Weights returns the real vector until armed, then a de-normalized one.
+func (b *BrokenKnapsack) Weights() []float64 {
+	w := b.KnapsackGreedy.Weights()
+	if b.armed && len(w) > 0 {
+		w[0] += 0.5
+	}
+	return w
+}
+
+// MutateKnapsack is the RunMutated hook installing BrokenKnapsack; other
+// policies pass through unchanged.
+func MutateKnapsack(trigger time.Duration) func(control.Policy) control.Policy {
+	return func(p control.Policy) control.Policy {
+		kg, ok := p.(*control.KnapsackGreedy)
+		if !ok {
+			return p
+		}
+		return &BrokenKnapsack{KnapsackGreedy: kg, Trigger: trigger}
 	}
 }
 

@@ -116,7 +116,11 @@ type Scenario struct {
 	// Keys/KeyZipfS supply skew).
 	Workload tcpsim.RequestConfig
 
-	// Control-plane shape.
+	// Control-plane shape. Policy names a registered routing policy
+	// (control.PolicyNames); empty selects the paper's latency-aware
+	// α-shift controller. Generate never sets it — the field exists so the
+	// same seed can replay under any policy (-dst.policy, the arena).
+	Policy          string
 	ControlInterval time.Duration
 	Alpha           float64
 	MinWeight       float64
@@ -281,6 +285,15 @@ func (sc *Scenario) finalize() {
 	}
 }
 
+// PolicyName resolves the scenario's policy, defaulting to the paper's
+// latency-aware controller when the field is unset.
+func (sc *Scenario) PolicyName() string {
+	if sc.Policy == "" {
+		return "latency-aware"
+	}
+	return sc.Policy
+}
+
 // cleanAt reports whether t lies outside every fault window with enough
 // margin that in-band samples taken at t reflect steady-state latency —
 // the gate for the estimator-bounds oracle.
@@ -309,11 +322,15 @@ func (sc *Scenario) connFaultedAt(b int, t time.Duration) bool {
 }
 
 // ReproLine renders the exact command that replays this scenario: the
-// seed regenerates everything, keep selects the (possibly shrunk) fault
-// subset, mutate re-enables the deliberately broken controller.
-func ReproLine(seed int64, kept []int, mutated bool) string {
+// seed regenerates everything, policy selects the routing policy (empty =
+// default), keep selects the (possibly shrunk) fault subset, mutate
+// re-enables the deliberately broken controller.
+func ReproLine(seed int64, policy string, kept []int, mutated bool) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "go test ./internal/dst -run 'TestDST$' -dst.seed=%d", seed)
+	if policy != "" && policy != "latency-aware" {
+		fmt.Fprintf(&sb, " -dst.policy=%s", policy)
+	}
 	if kept != nil {
 		parts := make([]string, len(kept))
 		for i, k := range kept {

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"inbandlb/internal/arena"
+)
+
+// ArenaConfig parameterizes the policy tournament (`lbsim -exp arena`).
+type ArenaConfig struct {
+	// Seed is the shared base seed (the -seed flag).
+	Seed int64
+	// Seeds is the DST sweep width per policy (0 = arena default, 50;
+	// CI's arena-smoke job narrows it to 10).
+	Seeds int
+	// OutDir, when non-empty, receives ARENA_<rev>.json.
+	OutDir string
+	// Rev tags the JSON output (git describe; "dev" fallback).
+	Rev string
+}
+
+// Arena races every registered contender through the shared gauntlet and
+// renders the scored leaderboard. The JSON artifact carries the full
+// per-leg detail; the table is the human summary EXPERIMENTS.md commits.
+func Arena(cfg ArenaConfig) *Result {
+	res := newResult("arena")
+	tour, err := arena.Run(arena.Config{
+		Seed:     cfg.Seed,
+		DSTSeeds: cfg.Seeds,
+		Rev:      cfg.Rev,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "arena: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		res.addNote("tournament failed: %v", err)
+		return res
+	}
+
+	res.Header = []string{"rank", "policy", "score", "p99_ms", "lag_ms", "disrupt", "timeouts", "dst_seeds", "violations", "deterministic", "sweep_digest"}
+	for _, p := range tour.Policies {
+		score := fmt.Sprintf("%.1f", p.Score)
+		if p.Disqualified {
+			score = "DQ"
+		}
+		res.addRow(fmt.Sprintf("%d", p.Rank), p.Policy, score,
+			fmt.Sprintf("%.3f", p.P99Ms), fmt.Sprintf("%.1f", p.LagMs),
+			fmt.Sprintf("%.2f", p.Disruption), fmt.Sprintf("%.0f", p.Timeouts),
+			fmt.Sprintf("%d", p.DST.Seeds), fmt.Sprintf("%d", p.DST.Violations),
+			fmt.Sprintf("%v", p.DST.Deterministic), p.DST.SweepDigest)
+
+		prefix := p.Policy
+		res.Metrics[prefix+"_score"] = p.Score
+		res.Metrics[prefix+"_p99_ms"] = p.P99Ms
+		res.Metrics[prefix+"_lag_ms"] = p.LagMs
+		res.Metrics[prefix+"_disruption"] = p.Disruption
+		res.Metrics[prefix+"_timeouts"] = p.Timeouts
+		res.Metrics[prefix+"_dst_violations"] = float64(p.DST.Violations)
+	}
+	res.addNote("score = 100·(1 − Σ wᵢ·norm): p99 %.2f, adaptation lag %.2f, disruption %.2f, timeouts %.2f; DST violation or digest divergence disqualifies",
+		arena.ScoreWeights["p99"], arena.ScoreWeights["lag"],
+		arena.ScoreWeights["disruption"], arena.ScoreWeights["timeouts"])
+	res.addNote("every policy swept seeds %d..%d; first %d seeds replayed twice for digest equality",
+		tour.Seed, tour.Seed+int64(tour.DSTSeeds)-1, tour.Policies[0].DST.DeterminismSeeds)
+
+	if cfg.OutDir != "" {
+		path, err := arena.WriteJSON(tour, cfg.OutDir)
+		if err != nil {
+			res.addNote("writing arena JSON: %v", err)
+		} else {
+			res.addNote("full scorecards written to %s", path)
+		}
+	}
+	return res
+}

@@ -18,6 +18,9 @@ type DSTConfig struct {
 	Seeds int
 	// MaxRepro bounds how many failing seeds are shrunk and reported.
 	MaxRepro int
+	// Policy selects the registered routing policy the sweep exercises
+	// (empty = the paper's latency-aware controller).
+	Policy string
 }
 
 func (c *DSTConfig) applyDefaults() {
@@ -44,6 +47,7 @@ func DST(cfg DSTConfig) *Result {
 	for i := 0; i < cfg.Seeds; i++ {
 		seed := cfg.Base + int64(i)
 		sc := dst.Generate(seed)
+		sc.Policy = cfg.Policy
 		rep, err := dst.Run(sc)
 		if err != nil {
 			res.addNote("seed %d: harness error: %v", seed, err)
@@ -64,7 +68,7 @@ func DST(cfg DSTConfig) *Result {
 				shrunk++
 				if sr := dst.Shrink(sc, dst.Run); sr != nil {
 					res.addNote("seed %d shrunk to %d fault(s) in %d runs; repro: %s",
-						seed, len(sr.Kept), sr.Runs, dst.ReproLine(seed, sr.Kept, false))
+						seed, len(sr.Kept), sr.Runs, dst.ReproLine(seed, cfg.Policy, sr.Kept, false))
 				}
 			}
 		}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"time"
+
+	"inbandlb/internal/trace"
+)
+
+// Options is the flag surface every registered experiment draws from: one
+// struct, filled once by lbsim (or a test), so the binary and the registry
+// cannot drift apart on what an experiment needs.
+type Options struct {
+	// Seed is the shared random seed (lbsim -seed).
+	Seed int64
+	// Duration overrides the experiment's simulated length (0 = default).
+	Duration time.Duration
+	// Trace, when non-nil, captures the fig2a tap's packets for pcap
+	// export.
+	Trace *trace.Recorder
+	// ArenaSeeds overrides the arena's DST sweep width (0 = default 50).
+	ArenaSeeds int
+	// ArenaOut is where the arena writes ARENA_<rev>.json ("" = don't).
+	ArenaOut string
+	// Rev tags arena output (lbsim derives it from git describe).
+	Rev string
+}
+
+// Entry is one runnable experiment: the single source of truth shared by
+// lbsim's dispatch, its usage text, and the unknown-experiment error.
+type Entry struct {
+	Name string
+	Run  func(Options) *Result
+}
+
+// registry is the ordered experiment table; `lbsim -exp all` runs it top
+// to bottom.
+var registry = []Entry{
+	{"fig2a", func(o Options) *Result {
+		return Fig2a(Fig2Config{Seed: o.Seed, Duration: o.Duration, Trace: o.Trace})
+	}},
+	{"fig2b", func(o Options) *Result {
+		return Fig2b(Fig2Config{Seed: o.Seed, Duration: o.Duration})
+	}},
+	{"fig3", func(o Options) *Result {
+		return Fig3(Fig3Config{Seed: o.Seed, Duration: o.Duration})
+	}},
+	{"outage", func(o Options) *Result {
+		return Outage(OutageConfig{Seed: o.Seed, Duration: o.Duration})
+	}},
+	{"dst", func(o Options) *Result {
+		return DST(DSTConfig{Base: o.Seed})
+	}},
+	{"arena", func(o Options) *Result {
+		return Arena(ArenaConfig{Seed: o.Seed, Seeds: o.ArenaSeeds, OutDir: o.ArenaOut, Rev: o.Rev})
+	}},
+	{"abl-epoch", func(o Options) *Result { return AblationEpoch(o.Seed, o.Duration) }},
+	{"abl-ladder", func(o Options) *Result { return AblationLadder(o.Seed, o.Duration) }},
+	{"abl-alpha", func(o Options) *Result { return AblationAlpha(o.Seed, o.Duration) }},
+	{"abl-violations", func(o Options) *Result { return AblationViolations(o.Seed, o.Duration) }},
+	{"abl-far", func(o Options) *Result { return AblationFarClients(o.Seed, o.Duration) }},
+	{"abl-policies", func(o Options) *Result { return PolicyComparison(o.Seed, o.Duration) }},
+	{"abl-scale", func(o Options) *Result { return AblationPoolScale(o.Seed, o.Duration) }},
+	{"abl-multi-lb", func(o Options) *Result { return AblationMultiLB(o.Seed, o.Duration) }},
+	{"abl-dependency", func(o Options) *Result { return AblationDependency(o.Seed, o.Duration) }},
+	{"abl-controllers", func(o Options) *Result { return AblationControllers(o.Seed, o.Duration) }},
+	{"abl-utilization", func(o Options) *Result { return AblationUtilization(o.Seed, o.Duration) }},
+	{"abl-affinity", func(o Options) *Result { return AblationAffinity(o.Seed, o.Duration) }},
+	{"abl-shared-ladder", func(o Options) *Result { return AblationSharedLadder(o.Seed, o.Duration) }},
+	{"abl-churn", func(o Options) *Result { return AblationChurn(o.Seed, o.Duration) }},
+	{"abl-l7", func(o Options) *Result { return AblationL7(o.Seed, o.Duration) }},
+	{"abl-handshake", func(o Options) *Result { return AblationHandshake(o.Seed, o.Duration) }},
+	{"abl-signal", func(o Options) *Result { return AblationSignal(o.Seed, o.Duration) }},
+}
+
+// Entries returns the ordered experiment table.
+func Entries() []Entry {
+	return append([]Entry(nil), registry...)
+}
+
+// Names returns the experiment names in run order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// Lookup finds a registered experiment by name.
+func Lookup(name string) (Entry, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+// TestRegistryNames: the shared dispatch table carries every experiment
+// lbsim advertises, in a stable order, with no duplicates — it is the one
+// source for dispatch, usage text, and the unknown-experiment error.
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate experiment %q", n)
+		}
+		seen[n] = true
+	}
+	for _, want := range []string{"fig2a", "fig2b", "fig3", "outage", "dst", "arena"} {
+		if !seen[want] {
+			t.Errorf("registry missing %q (have %v)", want, names)
+		}
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	for _, name := range Names() {
+		e, ok := Lookup(name)
+		if !ok || e.Name != name || e.Run == nil {
+			t.Errorf("Lookup(%q) = %+v, %v", name, e, ok)
+		}
+	}
+	if _, ok := Lookup("no-such-experiment"); ok {
+		t.Error("Lookup accepted an unknown name")
+	}
+}

@@ -78,6 +78,7 @@ type LB struct {
 	cfg       Config
 	flows     core.Observer
 	conns     map[packet.FlowKey]connEntry
+	open      []int // live per-backend connection-table occupancy
 	uplink    []*netsim.Link
 	stats     Stats
 	lastSweep time.Duration
@@ -142,6 +143,7 @@ func New(sim *netsim.Sim, cfg Config, uplinks []*netsim.Link) (*LB, error) {
 		cfg:    cfg,
 		flows:  obs,
 		conns:  make(map[packet.FlowKey]connEntry),
+		open:   make([]int, n),
 		uplink: uplinks,
 		stats: Stats{
 			PerBackend:  make([]uint64, n),
@@ -153,6 +155,13 @@ func New(sim *netsim.Sim, cfg Config, uplinks []*netsim.Link) (*LB, error) {
 	l.router, _ = cfg.Policy.(interface {
 		Route(packet.FlowKey, time.Duration) (int, bool)
 	})
+	// Policies that consult live occupancy (weighted least-connections,
+	// possibly wrapped in a Controller) read the connection table's truth
+	// instead of shadow-counting charged flows: the table also sees
+	// uncharged fallback flows, idle sweeps, and L7 retargets.
+	if ob, ok := cfg.Policy.(control.OccupancyBinder); ok {
+		ob.BindOccupancy(l.OpenConns)
+	}
 	return l, nil
 }
 
@@ -167,6 +176,16 @@ func (l *LB) Stats() Stats {
 
 // ConnCount returns the connection-table occupancy.
 func (l *LB) ConnCount() int { return len(l.conns) }
+
+// OpenConns returns the number of connection-table entries currently
+// pinned to backend b — the sharded flow table's live occupancy, which
+// occupancy-driven policies bind as their load signal.
+func (l *LB) OpenConns(b int) int {
+	if b < 0 || b >= len(l.open) {
+		return 0
+	}
+	return l.open[b]
+}
 
 // FlowTable exposes the default per-flow estimator table for
 // instrumentation; it returns nil when a custom Observer is installed.
@@ -251,6 +270,7 @@ func (l *LB) HandlePacket(p *netsim.Packet) {
 		entry = connEntry{backend: b, charged: charged}
 		l.stats.NewFlows++
 		l.stats.NewPerBack[b]++
+		l.open[b]++
 	}
 	entry.lastSeen = now
 	l.conns[p.Flow] = entry
@@ -281,6 +301,8 @@ func (l *LB) HandlePacket(p *netsim.Packet) {
 			// Track the latest dispatch so samples and the connection
 			// table follow the flow's current server.
 			if target != entry.backend {
+				l.open[entry.backend]--
+				l.open[target]++
 				entry.backend = target
 				l.conns[p.Flow] = entry
 			}
@@ -304,6 +326,7 @@ func keyFlow(key uint64) packet.FlowKey {
 
 func (l *LB) closeFlow(key packet.FlowKey, e connEntry, now time.Duration) {
 	delete(l.conns, key)
+	l.open[e.backend]--
 	l.flows.Forget(key)
 	l.stats.Closed++
 	if e.charged {
@@ -318,6 +341,7 @@ func (l *LB) sweep() {
 	for k, e := range l.conns {
 		if e.lastSeen < cutoff {
 			delete(l.conns, k)
+			l.open[e.backend]--
 			l.stats.Swept++
 			if e.charged {
 				l.cfg.Policy.FlowClosed(e.backend, now)

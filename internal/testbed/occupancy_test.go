@@ -1,0 +1,51 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"inbandlb/internal/control"
+	"inbandlb/internal/core"
+)
+
+// TestClusterOccupancyMirrorsConnTable: the LB's per-backend open-flow
+// counters must always sum to the connection-table size — they are the
+// live occupancy signal BindOccupancy hands to wlc, so drift here silently
+// skews every weighted-least-connections decision.
+func TestClusterOccupancyMirrorsConnTable(t *testing.T) {
+	wlc := control.NewWeightedLeastConn(2, core.ServerLatencyConfig{})
+	c, err := NewCluster(defaultClusterConfig(wlc, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Audit at a cadence that catches mid-run states, not just the drained
+	// end state.
+	const horizon = 300 * time.Millisecond
+	c.Sim.Every(10*time.Millisecond, 10*time.Millisecond, func() bool {
+		total := 0
+		for b := 0; b < 2; b++ {
+			open := c.LB.OpenConns(b)
+			if open < 0 {
+				t.Errorf("t=%v: backend %d open count %d negative", c.Sim.Now(), b, open)
+			}
+			total += open
+		}
+		if total != c.LB.ConnCount() {
+			t.Errorf("t=%v: per-backend open %d != conn table %d", c.Sim.Now(), total, c.LB.ConnCount())
+		}
+		return c.Sim.Now() < horizon
+	})
+	c.Run(horizon)
+
+	if c.Client.Stats().Responses == 0 {
+		t.Fatal("no responses: the audit never saw live flows")
+	}
+	// The wlc policy was auto-bound to the flow table at construction, so
+	// its view of occupancy is exactly the LB's counters.
+	for b := 0; b < 2; b++ {
+		if got, want := wlc.Occupancy(b), c.LB.OpenConns(b); got != want {
+			t.Errorf("backend %d: wlc occupancy %d != LB open %d", b, got, want)
+		}
+	}
+}
