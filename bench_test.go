@@ -10,6 +10,8 @@ package inbandlb_test
 
 import (
 	"fmt"
+	"io"
+	"net"
 	"net/netip"
 	"runtime"
 	"sync"
@@ -483,6 +485,296 @@ func BenchmarkProxyConcurrentConns(b *testing.B) {
 					}
 				}
 			})
+		})
+	}
+}
+
+// ---- Syscall-diet dataplane benchmarks --------------------------------------
+
+// reportRelaySyscalls attaches the proxy's own relay syscall counters as
+// per-op metrics (the container has no strace; the proxy counts its
+// read/write/splice calls itself).
+func reportRelaySyscalls(b *testing.B, p *lbproxy.Proxy, ops int) {
+	st := p.Stats()
+	total := st.RelayReads + st.RelayWrites + st.RelaySplices
+	b.ReportMetric(float64(total)/float64(ops), "relay-syscalls/op")
+	b.ReportMetric(float64(st.RelaySplices)/float64(ops), "splices/op")
+}
+
+// dietProxy builds the full syscall-diet configuration: zero-copy splice,
+// backend connection pooling, and acceptor shards.
+func dietProxy(b *testing.B, backends []string, policy control.Policy) *lbproxy.Proxy {
+	proxy, err := lbproxy.New(lbproxy.Config{
+		Backends:    backends,
+		Policy:      policy,
+		Shards:      runtime.GOMAXPROCS(0),
+		Acceptors:   runtime.GOMAXPROCS(0),
+		Splice:      true,
+		PoolIdle:    64,
+		PoolQuiesce: 50 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := proxy.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = proxy.Serve() }()
+	return proxy
+}
+
+// BenchmarkProxySpliceRelay measures bulk relay throughput: one client
+// streams 64 KiB writes through the proxy to a discard sink, with the
+// relay in userspace-copy mode and in zero-copy splice mode. The
+// relay-syscalls/op metric is the diet itself: copy pays a read+write
+// pair per chunk and touches every byte; splice moves page references.
+func BenchmarkProxySpliceRelay(b *testing.B) {
+	const chunk = 64 << 10
+	for _, mode := range []struct {
+		name   string
+		splice bool
+	}{{"copy", false}, {"splice", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sink, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sink.Close()
+			go func() {
+				for {
+					c, err := sink.Accept()
+					if err != nil {
+						return
+					}
+					go func() { _, _ = io.Copy(io.Discard, c); _ = c.Close() }()
+				}
+			}()
+			proxy, err := lbproxy.New(lbproxy.Config{
+				Backends: []string{sink.Addr().String()},
+				Policy:   control.NewRoundRobin(1),
+				Splice:   mode.splice,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := proxy.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			go func() { _ = proxy.Serve() }()
+			defer proxy.Close()
+
+			conn, err := net.DialTimeout("tcp", proxy.Addr().String(), 2*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			buf := make([]byte, chunk)
+			b.SetBytes(chunk)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := conn.Write(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			// Drain the relay before reading its counters: half-close and
+			// wait for the proxied connection to finish.
+			_ = conn.(*net.TCPConn).CloseWrite()
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) && proxy.Stats().Active > 0 {
+				time.Sleep(time.Millisecond)
+			}
+			reportRelaySyscalls(b, proxy, b.N)
+		})
+	}
+}
+
+// BenchmarkProxyPooledDial measures the connection-per-operation shape —
+// dial, one SET, close — which is where backend pooling pays: with the
+// pool on, the backend leg's connect/handshake is amortized across client
+// sessions instead of being paid per operation.
+func BenchmarkProxyPooledDial(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		idle int
+	}{{"fresh-dial", 0}, {"pooled", 64}} {
+		b.Run(mode.name, func(b *testing.B) {
+			srv := memcache.NewServer()
+			if err := srv.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			go func() { _ = srv.Serve() }()
+			defer srv.Close()
+			proxy, err := lbproxy.New(lbproxy.Config{
+				Backends:    []string{srv.Addr().String()},
+				Policy:      control.NewRoundRobin(1),
+				Splice:      true,
+				PoolIdle:    mode.idle,
+				PoolQuiesce: 50 * time.Microsecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := proxy.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			go func() { _ = proxy.Serve() }()
+			defer proxy.Close()
+			addr := proxy.Addr().String()
+
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					cli, err := memcache.Dial(addr, 2*time.Second)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if err := cli.Set("bench", []byte("v")); err != nil {
+						b.Error(err)
+						_ = cli.Close()
+						return
+					}
+					_ = cli.Close()
+				}
+			})
+			b.StopTimer()
+			st := proxy.Stats()
+			if st.Accepted > 0 {
+				b.ReportMetric(float64(st.PoolHits)/float64(st.Accepted), "pool-hits/conn")
+			}
+		})
+	}
+}
+
+// BenchmarkAcceptShardParallel measures concurrent connection-per-op
+// admission with one accept loop versus SO_REUSEPORT listener shards.
+// (On a single-core host the shards mostly measure that the sharded path
+// adds no overhead; the contention win needs real parallelism.)
+func BenchmarkAcceptShardParallel(b *testing.B) {
+	for _, acceptors := range []int{1, 4} {
+		b.Run(fmt.Sprintf("acceptors=%d", acceptors), func(b *testing.B) {
+			srv := memcache.NewServer()
+			if err := srv.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			go func() { _ = srv.Serve() }()
+			defer srv.Close()
+			proxy, err := lbproxy.New(lbproxy.Config{
+				Backends:  []string{srv.Addr().String()},
+				Policy:    control.NewRoundRobin(1),
+				Acceptors: acceptors,
+				Splice:    true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := proxy.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			go func() { _ = proxy.Serve() }()
+			defer proxy.Close()
+			addr := proxy.Addr().String()
+
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					cli, err := memcache.Dial(addr, 2*time.Second)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if err := cli.Set("bench", []byte("v")); err != nil {
+						b.Error(err)
+						_ = cli.Close()
+						return
+					}
+					_ = cli.Close()
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkProxyDietConcurrentConns is the syscall-diet counterpart of
+// BenchmarkProxyConcurrentConns (which is kept unchanged as the committed
+// baseline shape): the same persistent-client SET round trips through the
+// full diet configuration, plus a pipelined variant. Pipelining is where
+// the diet compounds: a burst of k SETs crosses the proxy as one or two
+// spliced readiness events instead of k read+write pairs, and the backend
+// answers the burst with one flush.
+func BenchmarkProxyDietConcurrentConns(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		depth int
+	}{{"serial", 1}, {"pipelined=8", 8}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var backends []string
+			for i := 0; i < 2; i++ {
+				srv := memcache.NewServer()
+				if err := srv.Listen("127.0.0.1:0"); err != nil {
+					b.Fatal(err)
+				}
+				go func() { _ = srv.Serve() }()
+				defer srv.Close()
+				backends = append(backends, srv.Addr().String())
+			}
+			la, err := control.NewLatencyAware(control.LatencyAwareConfig{
+				Backends: []string{"b0", "b1"}, Alpha: 0.1, TableSize: 1021,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			proxy := dietProxy(b, backends, la)
+			defer proxy.Close()
+			addr := proxy.Addr().String()
+
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				cli, err := memcache.Dial(addr, 2*time.Second)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer cli.Close()
+				pending := 0
+				drain := func() bool {
+					if err := cli.Flush(); err != nil {
+						b.Error(err)
+						return false
+					}
+					for ; pending > 0; pending-- {
+						if err := cli.RecvSet(); err != nil {
+							b.Error(err)
+							return false
+						}
+					}
+					return true
+				}
+				for pb.Next() {
+					if mode.depth == 1 {
+						if err := cli.Set("bench", []byte("v")); err != nil {
+							b.Error(err)
+							return
+						}
+						continue
+					}
+					if err := cli.SendSet("bench", []byte("v")); err != nil {
+						b.Error(err)
+						return
+					}
+					if pending++; pending == mode.depth {
+						if !drain() {
+							return
+						}
+					}
+				}
+				if pending > 0 {
+					drain()
+				}
+			})
+			b.StopTimer()
+			reportRelaySyscalls(b, proxy, b.N)
 		})
 	}
 }

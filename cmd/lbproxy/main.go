@@ -52,6 +52,10 @@ func main() {
 		slowStart  = flag.Int("slow-start-ticks", 0, "passive: control ticks to ramp a recovered backend to full traffic (0 = default 50)")
 		idleTO     = flag.Duration("idle-timeout", 0, "per-direction relay idle timeout (0 = none)")
 		drainTO    = flag.Duration("drain-timeout", 0, "grace period for in-flight connections on shutdown (0 = immediate)")
+		acceptors  = flag.Int("acceptors", 1, "parallel accept loops (SO_REUSEPORT listener shards on Linux)")
+		splice     = flag.Bool("splice", true, "zero-copy splice(2) relay on Linux (falls back to buffer copies elsewhere)")
+		poolIdle   = flag.Int("pool-idle", 0, "max idle pooled connections per backend (0 = pooling off)")
+		poolMaxAge = flag.Duration("pool-max-age", 30*time.Second, "evict pooled backend connections older than this (0 = no cap)")
 		statusAddr = flag.String("status-addr", "", "serve JSON status at http://<addr>/ (empty = off)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof at this address (e.g. localhost:6060; empty = off)")
 	)
@@ -79,6 +83,10 @@ func main() {
 		HealthRecoverThreshold: *healthOK,
 		IdleTimeout:            *idleTO,
 		DrainTimeout:           *drainTO,
+		Acceptors:              *acceptors,
+		Splice:                 *splice,
+		PoolIdle:               *poolIdle,
+		PoolMaxAge:             *poolMaxAge,
 		Detector: control.DetectorConfig{
 			Enabled:          *passive,
 			FailureThreshold: *failThresh,

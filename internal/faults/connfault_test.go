@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -183,8 +184,8 @@ func TestChaosListenerRefuseAndRecover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var now time.Duration // manual clock, advanced below
-	lis := NewChaosListener(inner, Outage{End: time.Second}, func() time.Duration { return now })
+	var now atomic.Int64 // manual clock (ns), advanced below; read from the Accept goroutine
+	lis := NewChaosListener(inner, Outage{End: time.Second}, func() time.Duration { return time.Duration(now.Load()) })
 	defer lis.Close()
 
 	accepted := make(chan net.Conn, 4)
@@ -216,7 +217,7 @@ func TestChaosListenerRefuseAndRecover(t *testing.T) {
 	}
 
 	// After the outage window connections flow again.
-	now = 2 * time.Second
+	now.Store(int64(2 * time.Second))
 	conn2, err := net.Dial("tcp", inner.Addr().String())
 	if err != nil {
 		t.Fatalf("post-outage dial: %v", err)

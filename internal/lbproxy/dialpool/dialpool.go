@@ -1,0 +1,362 @@
+// Package dialpool maintains per-backend free lists of idle backend
+// connections so that a new client connection does not always pay a fresh
+// dial (TCP connect, handshake RTT, congestion-window slow start) before
+// its first byte can be relayed.
+//
+// The pool is striped: each backend's free list is split into Stripes
+// independent LIFO stacks, and the proxy pins each acceptor loop to one
+// stripe index. A connection checked in by acceptor i is preferentially
+// checked out by acceptor i again, so in steady state a stripe's mutex and
+// free-list cache lines are touched by one goroutine and never bounce
+// between acceptors. Checkout falls back to stealing from sibling stripes
+// before declaring a miss, so pinning is a fast path, not a partition.
+//
+// # Liveness
+//
+// An idle connection can die silently (backend restart, idle-timeout RST,
+// middlebox reap). Every checkout therefore runs one non-blocking 1-byte
+// read directly on the raw fd (a past read deadline cannot be used for
+// this: Go short-circuits an expired deadline before attempting the read,
+// so it would never see a pending EOF):
+//
+//   - EAGAIN    → no data pending and the socket is open: healthy.
+//   - EOF/error → the backend closed it: discard, try the next one.
+//   - data      → leftover unconsumed response bytes: the previous relay
+//     ended mid-message, so the connection's framing is unknown. Unusable;
+//     discard. This is also the safety net that keeps a misframed
+//     connection from ever being handed to a second client.
+//
+// The probe costs one read syscall on a ready socket — far cheaper than
+// the connect/handshake it saves — and it never blocks.
+//
+// A probe can only prove the connection was alive at checkout; the backend
+// can still die between checkout and the first relayed byte. The proxy
+// treats a pooled connection's first-write failure as a dial failure (not
+// a relay failure) and retries through its normal dial/failover path, so
+// the failure accounting and the passive detector see exactly what they
+// would have seen had the dial itself failed.
+package dialpool
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// syscallConner matches *net.TCPConn's raw-fd access surface.
+type syscallConner interface {
+	SyscallConn() (syscall.RawConn, error)
+}
+
+// Config parameterizes a Pool.
+type Config struct {
+	// Backends is the number of backend slots (indexed 0..Backends-1).
+	Backends int
+	// Stripes is the number of independent free lists per backend; the
+	// proxy passes one stripe index per acceptor. Values < 1 mean 1.
+	Stripes int
+	// MaxIdlePerBackend caps idle connections kept per backend (summed
+	// across stripes). Checkins beyond the cap close the connection.
+	// Values < 1 mean 1.
+	MaxIdlePerBackend int
+	// MaxAge evicts a connection once it has been in pool custody this
+	// long (measured from its first checkin), bounding how stale a kept
+	// connection can get. Zero disables age eviction.
+	MaxAge time.Duration
+	// Now overrides the clock (tests). Defaults to time.Now.
+	Now func() time.Time
+}
+
+// Stats are cumulative pool counters.
+type Stats struct {
+	// Hits counts checkouts satisfied from the pool; Misses checkouts
+	// that found no usable idle connection (the caller dials fresh).
+	Hits, Misses uint64
+	// DeadOnCheckout counts idle connections discarded by the checkout
+	// probe (closed by the backend, or carrying leftover bytes).
+	DeadOnCheckout uint64
+	// AgedOut counts connections evicted by MaxAge (at checkout or sweep).
+	AgedOut uint64
+	// Checkins counts successful returns to the pool; Rejected counts
+	// returns closed instead (stripe full or pool closed).
+	Checkins, Rejected uint64
+}
+
+type idleConn struct {
+	c net.Conn
+	// born is when the connection first entered pool custody; MaxAge
+	// eviction is measured from it.
+	born time.Time
+}
+
+// stripe is one backend's per-acceptor free list. The padding keeps
+// adjacent stripes' mutexes off each other's cache lines, matching the
+// aggregator's layout convention.
+type stripe struct {
+	mu    sync.Mutex
+	conns []idleConn // LIFO: most recently used last
+	_     [64 - 8]byte
+}
+
+// Pool is a striped per-backend idle-connection pool. All methods are safe
+// for concurrent use.
+type Pool struct {
+	cfg       Config
+	stripes   []stripe // backend-major: index = backend*cfg.Stripes + stripe
+	capPer    int      // per-stripe idle cap
+	closed    atomic.Bool
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	dead      atomic.Uint64
+	aged      atomic.Uint64
+	checkins  atomic.Uint64
+	rejected  atomic.Uint64
+	sweepNext atomic.Uint64 // round-robin cursor for incremental Sweep
+}
+
+// New creates a pool.
+func New(cfg Config) *Pool {
+	if cfg.Stripes < 1 {
+		cfg.Stripes = 1
+	}
+	if cfg.MaxIdlePerBackend < 1 {
+		cfg.MaxIdlePerBackend = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	capPer := (cfg.MaxIdlePerBackend + cfg.Stripes - 1) / cfg.Stripes
+	return &Pool{
+		cfg:     cfg,
+		stripes: make([]stripe, cfg.Backends*cfg.Stripes),
+		capPer:  capPer,
+	}
+}
+
+// prober is the reusable scratch state for one checkout probe: the 1-byte
+// read buffer and the pre-bound read callback, pooled so a probe's only
+// allocation is the rawConn that (*net.TCPConn).SyscallConn returns.
+type prober struct {
+	healthy bool
+	b       [1]byte
+	fn      func(fd uintptr) bool
+}
+
+func (pr *prober) read(fd uintptr) bool {
+	_, rerr := syscall.Read(int(fd), pr.b[:])
+	pr.healthy = rerr == syscall.EAGAIN
+	return true // one-shot: never park waiting for readability
+}
+
+var proberPool = sync.Pool{New: func() any {
+	pr := &prober{}
+	pr.fn = pr.read
+	return pr
+}}
+
+// probe reports whether an idle connection is still usable: one
+// non-blocking 1-byte read on the raw fd must come back EAGAIN. Data,
+// EOF, or any other result means the connection is dead or misframed.
+// Connections without raw-fd access (test pipes, wrappers) pass
+// unprobed — the caller's first-write-failure handling is their safety
+// net.
+func probe(c net.Conn) bool {
+	sc, ok := c.(syscallConner)
+	if !ok {
+		return true
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	pr := proberPool.Get().(*prober)
+	pr.healthy = false
+	rerr := raw.Read(pr.fn)
+	healthy := pr.healthy
+	proberPool.Put(pr)
+	return rerr == nil && healthy
+}
+
+func (p *Pool) stripeAt(backend, idx int) *stripe {
+	return &p.stripes[backend*p.cfg.Stripes+idx%p.cfg.Stripes]
+}
+
+// Get checks out an idle connection for backend, preferring the caller's
+// own stripe and stealing from siblings before giving up. It returns the
+// connection and the time it first entered the pool (for re-checkin), or
+// ok=false when the caller should dial fresh.
+func (p *Pool) Get(backend, stripeIdx int) (c net.Conn, born time.Time, ok bool) {
+	if p.closed.Load() || backend < 0 || backend >= p.cfg.Backends {
+		return nil, time.Time{}, false
+	}
+	if stripeIdx < 0 {
+		stripeIdx = -stripeIdx
+	}
+	for off := 0; off < p.cfg.Stripes; off++ {
+		if c, born, ok = p.getFrom(p.stripeAt(backend, stripeIdx+off)); ok {
+			p.hits.Add(1)
+			return c, born, true
+		}
+	}
+	p.misses.Add(1)
+	return nil, time.Time{}, false
+}
+
+// getFrom pops LIFO from one stripe until it finds a live connection.
+func (p *Pool) getFrom(s *stripe) (net.Conn, time.Time, bool) {
+	now := p.cfg.Now()
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		if n == 0 {
+			s.mu.Unlock()
+			return nil, time.Time{}, false
+		}
+		ic := s.conns[n-1]
+		s.conns[n-1] = idleConn{}
+		s.conns = s.conns[:n-1]
+		s.mu.Unlock()
+
+		if p.cfg.MaxAge > 0 && now.Sub(ic.born) > p.cfg.MaxAge {
+			p.aged.Add(1)
+			_ = ic.c.Close()
+			continue
+		}
+		// Probe outside the stripe lock: it costs a syscall.
+		if !probe(ic.c) {
+			p.dead.Add(1)
+			_ = ic.c.Close()
+			continue
+		}
+		return ic.c, ic.born, true
+	}
+}
+
+// Put checks a connection in for reuse. born is the value Get returned for
+// a reused connection, or the zero time for one the caller dialed fresh
+// (its age starts now). Put reports whether the connection was kept; when
+// it returns false the connection has been closed.
+func (p *Pool) Put(backend, stripeIdx int, c net.Conn, born time.Time) bool {
+	if c == nil {
+		return false
+	}
+	now := p.cfg.Now()
+	if born.IsZero() {
+		born = now
+	}
+	if p.closed.Load() || backend < 0 || backend >= p.cfg.Backends ||
+		(p.cfg.MaxAge > 0 && now.Sub(born) > p.cfg.MaxAge) {
+		p.rejected.Add(1)
+		_ = c.Close()
+		return false
+	}
+	// A checked-in connection must present no artificial deadline to its
+	// next checkout probe.
+	if err := c.SetReadDeadline(time.Time{}); err != nil {
+		p.rejected.Add(1)
+		_ = c.Close()
+		return false
+	}
+	if stripeIdx < 0 {
+		stripeIdx = -stripeIdx
+	}
+	s := p.stripeAt(backend, stripeIdx)
+	s.mu.Lock()
+	if len(s.conns) >= p.capPer {
+		s.mu.Unlock()
+		p.rejected.Add(1)
+		_ = c.Close()
+		return false
+	}
+	s.conns = append(s.conns, idleConn{c: c, born: born})
+	s.mu.Unlock()
+	p.checkins.Add(1)
+	// Closing raced the checkin: make sure nothing is stranded.
+	if p.closed.Load() {
+		p.drain(s)
+	}
+	return true
+}
+
+// Sweep evicts MaxAge-expired connections from one stripe per call (the
+// proxy calls it from its periodic sweep loop, mirroring the flow table's
+// incremental sweeper). It reports how many connections it closed.
+func (p *Pool) Sweep() int {
+	if p.cfg.MaxAge <= 0 || len(p.stripes) == 0 {
+		return 0
+	}
+	s := &p.stripes[int(p.sweepNext.Add(1))%len(p.stripes)]
+	now := p.cfg.Now()
+	var expired []net.Conn
+	s.mu.Lock()
+	kept := s.conns[:0]
+	for _, ic := range s.conns {
+		if now.Sub(ic.born) > p.cfg.MaxAge {
+			expired = append(expired, ic.c)
+		} else {
+			kept = append(kept, ic)
+		}
+	}
+	for i := len(kept); i < len(s.conns); i++ {
+		s.conns[i] = idleConn{}
+	}
+	s.conns = kept
+	s.mu.Unlock()
+	for _, c := range expired {
+		p.aged.Add(1)
+		_ = c.Close()
+	}
+	return len(expired)
+}
+
+// Idle returns the number of idle connections currently pooled for backend
+// (all stripes).
+func (p *Pool) Idle(backend int) int {
+	if backend < 0 || backend >= p.cfg.Backends {
+		return 0
+	}
+	n := 0
+	for i := 0; i < p.cfg.Stripes; i++ {
+		s := p.stripeAt(backend, i)
+		s.mu.Lock()
+		n += len(s.conns)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Hits:           p.hits.Load(),
+		Misses:         p.misses.Load(),
+		DeadOnCheckout: p.dead.Load(),
+		AgedOut:        p.aged.Load(),
+		Checkins:       p.checkins.Load(),
+		Rejected:       p.rejected.Load(),
+	}
+}
+
+// Close closes every idle connection and makes all future checkins close
+// their argument. In-flight checkouts are unaffected (their connections
+// are owned by the caller until Put).
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	for i := range p.stripes {
+		p.drain(&p.stripes[i])
+	}
+}
+
+func (p *Pool) drain(s *stripe) {
+	s.mu.Lock()
+	conns := s.conns
+	s.conns = nil
+	s.mu.Unlock()
+	for _, ic := range conns {
+		_ = ic.c.Close()
+	}
+}

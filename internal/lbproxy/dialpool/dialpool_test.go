@@ -1,0 +1,307 @@
+package dialpool
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// acceptSink returns a TCP listener whose accepted connections are kept
+// open (and optionally handed to the caller) until the test ends.
+func acceptSink(t *testing.T) (net.Listener, func() net.Conn) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := make(chan net.Conn, 64)
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			conns <- c
+		}
+	}()
+	t.Cleanup(func() {
+		_ = lis.Close()
+		for {
+			select {
+			case c := <-conns:
+				_ = c.Close()
+			default:
+				return
+			}
+		}
+	})
+	return lis, func() net.Conn {
+		select {
+		case c := <-conns:
+			return c
+		case <-time.After(2 * time.Second):
+			t.Fatal("no accepted conn")
+			return nil
+		}
+	}
+}
+
+func dialT(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPoolHitReturnsSameConn(t *testing.T) {
+	lis, _ := acceptSink(t)
+	p := New(Config{Backends: 1, Stripes: 1, MaxIdlePerBackend: 4})
+	defer p.Close()
+
+	c := dialT(t, lis.Addr().String())
+	if !p.Put(0, 0, c, time.Time{}) {
+		t.Fatal("checkin rejected")
+	}
+	got, _, ok := p.Get(0, 0)
+	if !ok {
+		t.Fatal("expected pool hit")
+	}
+	if got != c {
+		t.Error("hit returned a different conn")
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Checkins != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	_ = got.Close()
+}
+
+func TestPoolMissWhenEmpty(t *testing.T) {
+	p := New(Config{Backends: 2, Stripes: 2, MaxIdlePerBackend: 4})
+	defer p.Close()
+	if _, _, ok := p.Get(1, 0); ok {
+		t.Fatal("hit on empty pool")
+	}
+	if st := p.Stats(); st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+}
+
+// TestPoolCheckoutProbe is the liveness table: each case prepares a pooled
+// connection in a particular state and says whether checkout may hand it
+// out. This is the unit-level half of the dead-pooled-backend story (the
+// proxy integration test asserts the failover + stats identity).
+func TestPoolCheckoutProbe(t *testing.T) {
+	cases := []struct {
+		name string
+		// prepare returns a conn to pool after putting it in the tested
+		// state (and anything to wait for).
+		prepare func(t *testing.T, lis net.Listener, accept func() net.Conn) net.Conn
+		wantHit bool
+	}{
+		{
+			name: "healthy idle conn",
+			prepare: func(t *testing.T, lis net.Listener, accept func() net.Conn) net.Conn {
+				c := dialT(t, lis.Addr().String())
+				accept()
+				return c
+			},
+			wantHit: true,
+		},
+		{
+			name: "backend closed the conn",
+			prepare: func(t *testing.T, lis net.Listener, accept func() net.Conn) net.Conn {
+				c := dialT(t, lis.Addr().String())
+				s := accept()
+				_ = s.Close()
+				time.Sleep(20 * time.Millisecond) // let the FIN land
+				return c
+			},
+			wantHit: false,
+		},
+		{
+			name: "leftover unread response bytes",
+			prepare: func(t *testing.T, lis net.Listener, accept func() net.Conn) net.Conn {
+				c := dialT(t, lis.Addr().String())
+				s := accept()
+				if _, err := s.Write([]byte("stale")); err != nil {
+					t.Fatal(err)
+				}
+				time.Sleep(20 * time.Millisecond)
+				return c
+			},
+			wantHit: false,
+		},
+		{
+			name: "conn closed locally while pooled",
+			prepare: func(t *testing.T, lis net.Listener, accept func() net.Conn) net.Conn {
+				c := dialT(t, lis.Addr().String())
+				accept()
+				_ = c.Close()
+				return c
+			},
+			wantHit: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lis, accept := acceptSink(t)
+			p := New(Config{Backends: 1, Stripes: 1, MaxIdlePerBackend: 4})
+			defer p.Close()
+			c := tc.prepare(t, lis, accept)
+			// Put probes nothing; the state is only examined at checkout.
+			p.Put(0, 0, c, time.Time{})
+			got, _, ok := p.Get(0, 0)
+			if ok != tc.wantHit {
+				t.Fatalf("hit = %v, want %v", ok, tc.wantHit)
+			}
+			if ok {
+				_ = got.Close()
+				return
+			}
+			st := p.Stats()
+			if st.DeadOnCheckout+st.Rejected == 0 {
+				t.Errorf("dead conn not accounted: %+v", st)
+			}
+		})
+	}
+}
+
+func TestPoolStripePinningAndStealing(t *testing.T) {
+	lis, _ := acceptSink(t)
+	p := New(Config{Backends: 1, Stripes: 4, MaxIdlePerBackend: 8})
+	defer p.Close()
+
+	// Checkin on stripe 2 only.
+	c := dialT(t, lis.Addr().String())
+	p.Put(0, 2, c, time.Time{})
+
+	// A checkout on stripe 0 must steal it rather than miss.
+	got, _, ok := p.Get(0, 0)
+	if !ok || got != c {
+		t.Fatalf("steal failed: ok=%v", ok)
+	}
+	_ = got.Close()
+}
+
+func TestPoolMaxIdleCap(t *testing.T) {
+	lis, _ := acceptSink(t)
+	p := New(Config{Backends: 1, Stripes: 1, MaxIdlePerBackend: 2})
+	defer p.Close()
+	for i := 0; i < 4; i++ {
+		p.Put(0, 0, dialT(t, lis.Addr().String()), time.Time{})
+	}
+	if n := p.Idle(0); n != 2 {
+		t.Errorf("idle = %d, want cap 2", n)
+	}
+	if st := p.Stats(); st.Rejected != 2 {
+		t.Errorf("rejected = %d, want 2", st.Rejected)
+	}
+}
+
+func TestPoolMaxAgeEviction(t *testing.T) {
+	lis, _ := acceptSink(t)
+	clock := time.Unix(1000, 0)
+	p := New(Config{
+		Backends: 1, Stripes: 1, MaxIdlePerBackend: 4,
+		MaxAge: time.Minute,
+		Now:    func() time.Time { return clock },
+	})
+	defer p.Close()
+
+	p.Put(0, 0, dialT(t, lis.Addr().String()), time.Time{}) // born at clock
+	clock = clock.Add(2 * time.Minute)
+
+	// Checkout-side eviction.
+	if _, _, ok := p.Get(0, 0); ok {
+		t.Fatal("aged conn handed out")
+	}
+	if st := p.Stats(); st.AgedOut != 1 {
+		t.Errorf("agedOut = %d, want 1", st.AgedOut)
+	}
+
+	// Sweep-side eviction.
+	p.Put(0, 0, dialT(t, lis.Addr().String()), time.Time{})
+	clock = clock.Add(2 * time.Minute)
+	evicted := 0
+	for i := 0; i < 4; i++ { // sweep is incremental: one stripe per call
+		evicted += p.Sweep()
+	}
+	if evicted != 1 || p.Idle(0) != 0 {
+		t.Errorf("sweep evicted %d, idle %d", evicted, p.Idle(0))
+	}
+
+	// A checkin past its age is refused outright.
+	old := dialT(t, lis.Addr().String())
+	if p.Put(0, 0, old, clock.Add(-2*time.Minute)) {
+		t.Error("over-age checkin accepted")
+	}
+}
+
+func TestPoolCloseDrains(t *testing.T) {
+	lis, accept := acceptSink(t)
+	p := New(Config{Backends: 1, Stripes: 2, MaxIdlePerBackend: 4})
+	c := dialT(t, lis.Addr().String())
+	s := accept()
+	p.Put(0, 0, c, time.Time{})
+	p.Close()
+	// The pooled side was closed: the backend end sees EOF.
+	_ = s.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := s.Read(make([]byte, 1)); err == nil {
+		t.Error("pooled conn still open after Close")
+	}
+	// Checkins after Close close their argument.
+	c2 := dialT(t, lis.Addr().String())
+	if p.Put(0, 0, c2, time.Time{}) {
+		t.Error("checkin accepted after Close")
+	}
+	if _, _, ok := p.Get(0, 0); ok {
+		t.Error("checkout succeeded after Close")
+	}
+}
+
+func TestPoolConcurrentChurn(t *testing.T) {
+	lis, _ := acceptSink(t)
+	p := New(Config{Backends: 2, Stripes: 4, MaxIdlePerBackend: 8})
+	defer p.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				b := (w + i) % 2
+				c, born, ok := p.Get(b, w)
+				if !ok {
+					var err error
+					c, err = net.DialTimeout("tcp", lis.Addr().String(), time.Second)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					born = time.Time{}
+				}
+				p.Put(b, w, c, born)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Hits == 0 {
+		t.Error("no hits under churn")
+	}
+	total := 0
+	for b := 0; b < 2; b++ {
+		total += p.Idle(b)
+	}
+	if total == 0 {
+		t.Error("nothing pooled after churn")
+	}
+	if testing.Verbose() {
+		fmt.Printf("churn stats: %+v idle=%d\n", st, total)
+	}
+}

@@ -1,0 +1,18 @@
+package lbproxy
+
+// Perf-gate hooks: internal/perf asserts the steady-state relay allocates
+// nothing, which means the buffer pool and the splice pipe pool must both
+// recycle. These exported cycles exist so those gates can exercise one
+// checkout/checkin round trip without opening sockets.
+
+// BufCycle runs one relay-buffer pool checkout/checkin. Steady state this
+// is allocation-free; the internal/perf gate pins that.
+func (p *Proxy) BufCycle() {
+	b := p.getBuf()
+	p.putBuf(b)
+}
+
+// PipeCycle runs one splice-pipe pool checkout/checkin and reports whether
+// the platform has a splice pipe pool at all (false on non-Linux builds or
+// when pipe creation fails). Steady state this is allocation-free.
+func PipeCycle() bool { return pipeCycle() }

@@ -58,6 +58,7 @@ import (
 
 	"inbandlb/internal/control"
 	"inbandlb/internal/core"
+	"inbandlb/internal/lbproxy/dialpool"
 	"inbandlb/internal/packet"
 )
 
@@ -121,6 +122,39 @@ type Config struct {
 	// force-closing them. Zero force-closes immediately (the legacy
 	// behavior).
 	DrainTimeout time.Duration
+	// Acceptors is the number of parallel accept loops. On Linux each loop
+	// gets its own SO_REUSEPORT listener socket, so the kernel hashes
+	// incoming SYNs across independent accept queues; elsewhere the loops
+	// share one listener. The acceptor index doubles as the connection's
+	// dial-pool stripe, keeping a connection's accept→checkout→checkin
+	// path on one stripe's cache lines. Zero or 1 means the historical
+	// single-acceptor, plain-Listen behavior.
+	Acceptors int
+	// Splice enables the zero-copy splice(2) relay on Linux: response
+	// bytes (and request bytes after the first-chunk observation) move
+	// socket→pipe→socket without entering userspace. Non-TCP connections,
+	// non-Linux builds, and kernels that refuse splice fall back to the
+	// pooled-buffer copy path transparently. Estimator semantics are
+	// unchanged — every request-direction chunk arrival is still
+	// timestamped, it just is not copied.
+	Splice bool
+	// PoolIdle enables backend connection pooling when > 0: up to PoolIdle
+	// idle connections are kept per backend (probed live at checkout) so a
+	// client connection does not always pay a fresh dial. Zero disables
+	// pooling, preserving the historical conn-per-client behavior,
+	// including immediate FIN propagation to the backend on client EOF.
+	PoolIdle int
+	// PoolMaxAge evicts pooled connections this long after they first
+	// entered the pool. Zero means no age cap.
+	PoolMaxAge time.Duration
+	// PoolQuiesce is the response-direction silence window after a clean
+	// client EOF that marks a pooled exchange as over: any response byte
+	// re-arms it, a full window of silence recycles the backend connection
+	// into the pool. It trades a small tail latency on connection teardown
+	// for dial elimination; clients that half-close and then expect
+	// responses slower than this window should not enable pooling.
+	// Defaults to 2 ms when pooling is enabled.
+	PoolQuiesce time.Duration
 }
 
 // Stats are cumulative proxy counters. Every accepted connection ends in
@@ -156,21 +190,32 @@ type Stats struct {
 	PerBackend       []uint64 // connections routed per backend
 	Down             []bool   // per backend: admits no traffic (probe or passive)
 	Health           []string // per backend: passive-detector state name
+	// Relay syscall accounting (one counter bump per kernel call): reads
+	// and writes on the userspace copy path, splice(2) calls on the
+	// zero-copy path (readiness probes included). strace without strace —
+	// benchmarks report these per op.
+	RelayReads, RelayWrites, RelaySplices uint64
+	// Dial-pool counters (all zero with pooling disabled): checkout
+	// hits/misses, conns the checkout probe found dead, pooled conns that
+	// failed their first write (accounted as dial failures), and conns
+	// recycled back into the pool after a quiesced exchange.
+	PoolHits, PoolMisses, PoolDead, PoolFirstWriteFails, PoolRecycled uint64
 }
 
 // Proxy is a running load balancer instance.
 type Proxy struct {
-	cfg Config
-	lis net.Listener
+	cfg       Config
+	listeners []net.Listener // one per SO_REUSEPORT shard (len 1 otherwise)
 
 	flows *core.ShardedFlowTable
 	ctrl  *control.Controller
+	pool  *dialpool.Pool // nil unless Config.PoolIdle > 0
 	start time.Time
 
-	// bufs recycles relay buffers (two per connection, Config.BufferSize
-	// each) so connection churn does not make the allocator the
-	// bottleneck. It holds *[]byte to keep Put/Get themselves
-	// allocation-free.
+	// bufs recycles relay buffers (up to two per connection,
+	// Config.BufferSize each) so connection churn does not make the
+	// allocator the bottleneck. It holds *[]byte to keep Put/Get
+	// themselves allocation-free. Relays on the splice path never touch it.
 	bufs sync.Pool
 
 	accepted   atomic.Uint64
@@ -183,6 +228,13 @@ type Proxy struct {
 	perBackend []atomic.Uint64
 	down       []atomic.Bool // probe layer's own view (streak bookkeeping)
 	stop       chan struct{}
+
+	// Syscall-diet accounting; see Stats.RelayReads et al.
+	sysReads            atomic.Uint64
+	sysWrites           atomic.Uint64
+	sysSplices          atomic.Uint64
+	poolFirstWriteFails atomic.Uint64
+	poolRecycled        atomic.Uint64
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -220,6 +272,12 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.HealthRecoverThreshold <= 0 {
 		cfg.HealthRecoverThreshold = 2
 	}
+	if cfg.Acceptors < 1 {
+		cfg.Acceptors = 1
+	}
+	if cfg.PoolIdle > 0 && cfg.PoolQuiesce <= 0 {
+		cfg.PoolQuiesce = 2 * time.Millisecond
+	}
 	flows, err := core.NewShardedFlowTable(cfg.FlowTable, cfg.Shards)
 	if err != nil {
 		return nil, err
@@ -249,8 +307,20 @@ func New(cfg Config) (*Proxy, error) {
 		b := make([]byte, size)
 		return &b
 	}
+	if cfg.PoolIdle > 0 {
+		p.pool = dialpool.New(dialpool.Config{
+			Backends:          len(cfg.Backends),
+			Stripes:           cfg.Acceptors,
+			MaxIdlePerBackend: cfg.PoolIdle,
+			MaxAge:            cfg.PoolMaxAge,
+		})
+	}
 	return p, nil
 }
+
+// poolQuiesce is the response-silence window that closes a pooled
+// exchange; see Config.PoolQuiesce.
+func (p *Proxy) poolQuiesce() time.Duration { return p.cfg.PoolQuiesce }
 
 // getBuf takes a relay buffer from the pool (allocating only when the pool
 // is empty); putBuf returns it for the next connection.
@@ -274,6 +344,18 @@ func (p *Proxy) Stats() Stats {
 		PerBackend:       make([]uint64, len(p.perBackend)),
 		Down:             make([]bool, len(p.perBackend)),
 		Health:           make([]string, len(p.perBackend)),
+
+		RelayReads:          p.sysReads.Load(),
+		RelayWrites:         p.sysWrites.Load(),
+		RelaySplices:        p.sysSplices.Load(),
+		PoolFirstWriteFails: p.poolFirstWriteFails.Load(),
+		PoolRecycled:        p.poolRecycled.Load(),
+	}
+	if p.pool != nil {
+		ps := p.pool.Stats()
+		st.PoolHits = ps.Hits
+		st.PoolMisses = ps.Misses
+		st.PoolDead = ps.DeadOnCheckout
 	}
 	for i := range p.perBackend {
 		st.PerBackend[i] = p.perBackend[i].Load()
@@ -293,27 +375,32 @@ func (p *Proxy) dial(addr string, timeout time.Duration) (net.Conn, error) {
 	return net.DialTimeout("tcp", addr, timeout)
 }
 
-// Listen binds addr.
+// Listen binds addr — Config.Acceptors listener shards on Linux (one
+// SO_REUSEPORT socket each), a single listener elsewhere.
 func (p *Proxy) Listen(addr string) error {
-	lis, err := net.Listen("tcp", addr)
+	ls, err := listenShards(addr, p.cfg.Acceptors)
 	if err != nil {
 		return err
 	}
-	p.lis = lis
+	p.listeners = ls
 	return nil
 }
 
-// Addr returns the bound address (nil before Listen).
+// Addr returns the bound address (nil before Listen). All listener shards
+// share one address.
 func (p *Proxy) Addr() net.Addr {
-	if p.lis == nil {
+	if len(p.listeners) == 0 {
 		return nil
 	}
-	return p.lis.Addr()
+	return p.listeners[0].Addr()
 }
 
-// Serve accepts and relays connections until Close.
+// Serve accepts and relays connections until Close, running
+// Config.Acceptors accept loops in parallel. Each loop owns one listener
+// shard (or a share of the single fallback listener) and passes its index
+// down as the connection's dial-pool stripe.
 func (p *Proxy) Serve() error {
-	if p.lis == nil {
+	if len(p.listeners) == 0 {
 		return errors.New("lbproxy: Serve before Listen")
 	}
 	p.ctrl.Start()
@@ -323,8 +410,31 @@ func (p *Proxy) Serve() error {
 	if p.cfg.SweepInterval > 0 {
 		go p.sweepLoop()
 	}
+	n := p.cfg.Acceptors
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			errCh <- p.acceptLoop(p.listeners[i%len(p.listeners)], i)
+		}(i)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-errCh; err != nil && first == nil {
+			first = err
+			// One shard failing takes the proxy down coherently rather
+			// than serving on a subset of accept queues.
+			for _, l := range p.listeners {
+				_ = l.Close()
+			}
+		}
+	}
+	return first
+}
+
+// acceptLoop accepts from one listener shard until it closes.
+func (p *Proxy) acceptLoop(lis net.Listener, idx int) error {
 	for {
-		conn, err := p.lis.Accept()
+		conn, err := lis.Accept()
 		if err != nil {
 			if p.closed.Load() {
 				return nil
@@ -335,7 +445,7 @@ func (p *Proxy) Serve() error {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			p.handle(conn)
+			p.handle(conn, idx)
 		}()
 	}
 }
@@ -360,8 +470,10 @@ func (p *Proxy) Close() error {
 	}
 	close(p.stop)
 	var err error
-	if p.lis != nil {
-		err = p.lis.Close()
+	for _, l := range p.listeners {
+		if cerr := l.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	if p.cfg.DrainTimeout > 0 {
 		drained := make(chan struct{})
@@ -380,6 +492,9 @@ func (p *Proxy) Close() error {
 	}
 	p.connMu.Unlock()
 	p.wg.Wait()
+	if p.pool != nil {
+		p.pool.Close()
+	}
 	p.ctrl.Close()
 	return err
 }
@@ -401,8 +516,47 @@ func flowKeyFor(conn net.Conn) packet.FlowKey {
 	return key
 }
 
-func (p *Proxy) handle(client net.Conn) {
+// dialFailover handles a failed attempt to reach `backend` — a refused
+// dial, or a pooled connection dying on first write: it reports the
+// failure, undoes the policy's open-flow debit, and makes the existing
+// one-shot failover attempt against the next admitted backend. Returns
+// the rescue connection and its backend, or (nil, -1) when the
+// connection is terminally unreachable (the caller counts a DialError).
+func (p *Proxy) dialFailover(backend int, charged *bool) (net.Conn, int) {
+	p.ctrl.ReportDialError(backend, p.now())
+	if *charged {
+		p.ctrl.FlowClosed(backend, p.now())
+		*charged = false
+	}
+	if alt := p.ctrl.FailoverTarget(backend); alt >= 0 {
+		server, err := p.dial(p.cfg.Backends[alt], p.cfg.DialTimeout)
+		if err == nil {
+			p.failovers.Add(1)
+			return server, alt
+		}
+		p.ctrl.ReportDialError(alt, p.now())
+	}
+	return nil, -1
+}
+
+func (p *Proxy) handle(client net.Conn, acceptor int) {
 	defer client.Close()
+	// Register the client with the force-close sweep before anything that
+	// can block on it (the pooled path reads the first chunk below).
+	p.connMu.Lock()
+	p.open[client] = struct{}{}
+	p.connMu.Unlock()
+	defer func() {
+		p.connMu.Lock()
+		delete(p.open, client)
+		p.connMu.Unlock()
+	}()
+	if p.closed.Load() {
+		// Raced Close's force-close sweep: tear down now rather than start
+		// work Close will never see.
+		client.Close()
+	}
+
 	key := flowKeyFor(client)
 	hash := key.Hash() // hashed once; reused for routing, sharding, sampling
 	now := p.now()
@@ -425,110 +579,136 @@ func (p *Proxy) handle(client net.Conn) {
 	// FlowClosed must be skipped for them or occupancy goes negative.
 	charged := !fellBack
 
-	server, err := p.dial(p.cfg.Backends[backend], p.cfg.DialTimeout)
-	if err != nil {
-		p.ctrl.ReportDialError(backend, p.now())
-		if charged {
-			p.ctrl.FlowClosed(backend, p.now())
-			charged = false
-		}
-		// One-shot failover: retry against the next admitted backend so a
-		// connection racing an ejection (or hitting a not-yet-detected
-		// failure) is rescued instead of shed. The target is uncharged.
-		if alt := p.ctrl.FailoverTarget(backend); alt >= 0 {
-			server, err = p.dial(p.cfg.Backends[alt], p.cfg.DialTimeout)
-			if err == nil {
-				backend = alt
-				p.failovers.Add(1)
-			} else {
-				p.ctrl.ReportDialError(alt, p.now())
+	// Acquire a backend connection: pooled checkout first (probed live at
+	// checkout), otherwise a fresh dial with the one-shot failover.
+	var (
+		server   net.Conn
+		born     time.Time
+		fromPool bool
+	)
+	if p.pool != nil {
+		server, born, fromPool = p.pool.Get(backend, acceptor)
+	}
+	if server == nil {
+		var err error
+		server, err = p.dial(p.cfg.Backends[backend], p.cfg.DialTimeout)
+		if err != nil {
+			server, backend = p.dialFailover(backend, &charged)
+			if server == nil {
+				p.dialErrors.Add(1) // terminal: no backend accepted the dial
+				return
 			}
 		}
-		if err != nil {
-			p.dialErrors.Add(1) // terminal: no backend accepted the dial
-			return
-		}
 	}
-	p.ctrl.ReportDialSuccess(backend)
-	defer server.Close()
-	p.perBackend[backend].Add(1)
-	p.active.Add(1)
-	defer p.active.Add(-1)
-
 	p.connMu.Lock()
-	p.open[client] = struct{}{}
 	p.open[server] = struct{}{}
 	p.connMu.Unlock()
-	defer func() {
-		p.connMu.Lock()
-		delete(p.open, client)
-		delete(p.open, server)
-		p.connMu.Unlock()
-	}()
 	if p.closed.Load() {
-		// Raced Close's force-close sweep: tear down now rather than start
-		// relays Close will never see.
-		client.Close()
 		server.Close()
 	}
 
-	done := make(chan struct{}, 2)
-
-	// Response direction: a blind relay. No timestamps feed measurement
-	// here — the estimator must work without seeing this traffic, as under
-	// DSR. (Idle deadlines are liveness bounds, not measurement.)
-	go func() {
-		bufp := p.getBuf()
-		defer p.putBuf(bufp)
-		buf := *bufp
-		for {
-			p.armIdle(server)
-			n, rerr := server.Read(buf)
-			if n > 0 {
-				if _, werr := client.Write(buf[:n]); werr != nil {
-					break
+	// Pooled-connection validation: relay the first client chunk through
+	// userspace before committing counters. The checkout probe proved the
+	// socket open, but the backend can die between checkout and first use
+	// — a pooled connection failing its first write here is accounted
+	// exactly like a failed dial (ReportDialError, fresh redial, then the
+	// failover path), so the
+	//
+	//	Accepted == sum(PerBackend) + DialErrors + Dropped
+	//
+	// identity holds with the dead pooled conn never reaching PerBackend.
+	var (
+		pending   []byte // first chunk read but not yet written
+		preBuf    *[]byte
+		firstDone bool  // first chunk fully relayed (observed + written)
+		firstErr  error // terminal result of the validation read, if any
+	)
+	if fromPool {
+		preBuf = p.getBuf()
+		defer p.putBuf(preBuf)
+		p.armIdle(client)
+		n, rerr := client.Read(*preBuf)
+		p.sysReads.Add(1)
+		firstErr = rerr
+		if n > 0 {
+			pending = (*preBuf)[:n]
+			ts := p.now() // arrival time, attributed after the write settles
+			p.sysWrites.Add(1)
+			if _, werr := server.Write(pending); werr != nil {
+				p.connMu.Lock()
+				delete(p.open, server)
+				p.connMu.Unlock()
+				_ = server.Close()
+				p.poolFirstWriteFails.Add(1)
+				p.ctrl.ReportDialError(backend, ts)
+				fromPool, born = false, time.Time{}
+				// One fresh dial to the same backend — the pooled conn's
+				// death is often stale news — then the failover path.
+				fresh, derr := p.dial(p.cfg.Backends[backend], p.cfg.DialTimeout)
+				if derr == nil {
+					server = fresh
+				} else {
+					server, backend = p.dialFailover(backend, &charged)
+					if server == nil {
+						p.dialErrors.Add(1)
+						return
+					}
 				}
+				p.connMu.Lock()
+				p.open[server] = struct{}{}
+				p.connMu.Unlock()
+				if p.closed.Load() {
+					server.Close()
+				}
+				// The swapped connection still owes the first chunk: the
+				// request loop writes `pending` before relaying.
+			} else {
+				firstDone = true
+				pending = nil
 			}
-			if rerr != nil {
-				p.reportRelayErr(backend, rerr)
-				break
-			}
+			p.observeAt(hash, key, backend, ts)
 		}
-		closeWrite(client)
-		done <- struct{}{}
+	}
+
+	p.ctrl.ReportDialSuccess(backend)
+	p.perBackend[backend].Add(1)
+	p.active.Add(1)
+	defer p.active.Add(-1)
+	defer func() {
+		p.connMu.Lock()
+		delete(p.open, server)
+		p.connMu.Unlock()
 	}()
 
-	// Request direction: every read is a client→server arrival whose
-	// timestamp feeds the in-band estimator. Lock-free up to shard
-	// striping: no proxy-global mutex is taken here.
+	st := &relay{p: p, client: client, server: server, backend: backend, hash: hash, key: key}
+
+	// Response direction: a blind relay (spliced when possible). No
+	// timestamps feed measurement here — the estimator must work without
+	// seeing this traffic, as under DSR. (Idle deadlines are liveness
+	// bounds, not measurement.)
+	respDone := make(chan struct{})
 	go func() {
-		bufp := p.getBuf()
-		defer p.putBuf(bufp)
-		buf := *bufp
-		for {
-			p.armIdle(client)
-			n, rerr := client.Read(buf)
-			if n > 0 {
-				p.observe(hash, key, backend)
-				if _, werr := server.Write(buf[:n]); werr != nil {
-					p.reportRelayErr(backend, werr)
-					break
-				}
-			}
-			if rerr != nil {
-				break // client-side failure: not the backend's fault
-			}
-		}
-		closeWrite(server)
-		done <- struct{}{}
+		st.runResponse()
+		close(respDone)
 	}()
 
-	<-done
-	<-done
+	// Request direction, in this goroutine: every chunk arrival is a
+	// client→server event whose timestamp feeds the in-band estimator.
+	// Lock-free up to shard striping: no proxy-global mutex is taken here.
+	st.runRequest(firstDone, pending, firstErr)
+	<-respDone
 
 	p.flows.ForgetHashed(hash, key)
 	if charged {
 		p.ctrl.FlowClosed(backend, p.now())
+	}
+	// Retire or recycle the backend connection. Recycling hands it to the
+	// pool open — the next checkout's probe re-verifies it.
+	if st.recycled.Load() && !st.aborted.Load() && !p.closed.Load() &&
+		p.pool != nil && p.pool.Put(backend, acceptor, server, born) {
+		p.poolRecycled.Add(1)
+	} else {
+		_ = server.Close()
 	}
 }
 
@@ -550,12 +730,23 @@ func (p *Proxy) reportRelayErr(backend int, err error) {
 	p.ctrl.ReportRelayError(backend, p.now())
 }
 
-// observe feeds one request-direction read into the flow's estimator shard
-// and, when a latency sample pops out, into the controller's matching
-// aggregator stripe. Both sides stripe on the same precomputed hash, so a
-// relay goroutine touches one shard's cache lines end to end.
+// observe feeds one request-direction chunk arrival into the flow's
+// estimator shard and, when a latency sample pops out, into the
+// controller's matching aggregator stripe. Both sides stripe on the same
+// precomputed hash, so a relay goroutine touches one shard's cache lines
+// end to end. On the splice path this fires once per readiness event —
+// the same granularity as one Read on the copy path — so the estimator
+// sees identical arrival timestamps without the payload ever entering
+// userspace.
 func (p *Proxy) observe(hash uint64, key packet.FlowKey, backend int) {
-	now := p.now()
+	p.observeAt(hash, key, backend, p.now())
+}
+
+// observeAt is observe with an explicit arrival time: the pooled
+// validation phase timestamps the first chunk when it is read but
+// attributes it only after the write settles (the backend may change if
+// the pooled connection dies on first write).
+func (p *Proxy) observeAt(hash uint64, key packet.FlowKey, backend int, now time.Duration) {
 	sample, ok := p.flows.ObserveHashed(hash, key, now)
 	if ok {
 		p.samples.Add(1)
@@ -629,6 +820,9 @@ func (p *Proxy) sweepLoop() {
 			return
 		case <-t.C:
 			p.flows.SweepNext(p.now())
+			if p.pool != nil {
+				p.pool.Sweep() // one stripe per tick, like the flow table
+			}
 		}
 	}
 }

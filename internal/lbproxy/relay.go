@@ -1,0 +1,204 @@
+package lbproxy
+
+import (
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"inbandlb/internal/packet"
+)
+
+// relay is the per-connection state shared by the two direction loops.
+//
+// Teardown contract: a *clean* EOF on one direction preserves half-close
+// semantics — the FIN is propagated with CloseWrite and the peer direction
+// keeps relaying until its own EOF. *Any other* exit (idle-deadline
+// expiry, reset, write failure) calls abort, which closes both
+// connections at once so the peer direction unblocks immediately instead
+// of sitting until its own deadline. The CAS makes abort idempotent; both
+// loops may race into it.
+type relay struct {
+	p              *Proxy
+	client, server net.Conn
+	backend        int
+	hash           uint64
+	key            packet.FlowKey
+
+	aborted atomic.Bool
+	// reuseWanted is set by the request loop on a clean client EOF when
+	// the server connection is a candidate for the dial pool; it flips the
+	// response loop's deadline arming to the short PoolQuiesce grace.
+	reuseWanted atomic.Bool
+	// recycled is set by the response loop when the quiesce grace expired
+	// in silence: the server connection is drained and may be pooled.
+	recycled atomic.Bool
+}
+
+// abort tears down both directions at once.
+func (st *relay) abort() {
+	if st.aborted.CompareAndSwap(false, true) {
+		_ = st.client.Close()
+		_ = st.server.Close()
+	}
+}
+
+// armRequest bounds client-side silence with the idle deadline.
+func (st *relay) armRequest() { st.p.armIdle(st.client) }
+
+// armResponse bounds server-side silence. Once the client has cleanly
+// finished (reuseWanted), the deadline drops to the PoolQuiesce grace:
+// any response byte re-arms the grace, and a full grace of silence means
+// the exchange is over and the connection can be pooled.
+func (st *relay) armResponse() {
+	if st.reuseWanted.Load() {
+		_ = st.server.SetReadDeadline(time.Now().Add(st.p.poolQuiesce()))
+		return
+	}
+	st.p.armIdle(st.server)
+}
+
+// armReuse flips the response direction into quiesce mode. Setting the
+// deadline here (from the request goroutine) wakes a response read that
+// is already parked, so the grace starts counting immediately.
+func (st *relay) armReuse() {
+	st.reuseWanted.Store(true)
+	_ = st.server.SetReadDeadline(time.Now().Add(st.p.poolQuiesce()))
+}
+
+// wantRecycle reports whether the server connection should be offered
+// back to the dial pool instead of half-closed after a clean client EOF.
+func (st *relay) wantRecycle() bool {
+	return st.p.pool != nil && !st.aborted.Load()
+}
+
+// runRequest relays client→server, feeding every chunk arrival to the
+// estimator. pending is a first chunk the pooled-validation phase read
+// but could not write (its connection was swapped); firstDone means the
+// first chunk was fully relayed there; firstErr is the validation read's
+// terminal result, if any.
+func (st *relay) runRequest(firstDone bool, pending []byte, firstErr error) {
+	p := st.p
+	if len(pending) > 0 {
+		p.sysWrites.Add(1)
+		if _, werr := st.server.Write(pending); werr != nil {
+			p.reportRelayErr(st.backend, werr)
+			st.abort()
+			return
+		}
+		firstDone = true
+	}
+	err, writeSide := firstErr, false
+	if err == nil {
+		err, writeSide = st.relayBytes(st.server, st.client, true, firstDone, st.armRequest)
+	}
+	if err == io.EOF && !writeSide && !st.aborted.Load() {
+		// Clean client EOF: either hand the server connection toward the
+		// pool (quiesce grace) or forward the FIN and let the response
+		// direction finish on its own.
+		if st.wantRecycle() {
+			st.armReuse()
+		} else {
+			closeWrite(st.server)
+		}
+		return
+	}
+	if writeSide {
+		p.reportRelayErr(st.backend, err) // server write failed: backend evidence
+	}
+	st.abort() // client-side failure or idle expiry: unblock the peer now
+}
+
+// runResponse relays server→client blind — no estimator timestamps, as
+// under DSR — and owns the pool-recycle verdict.
+func (st *relay) runResponse() {
+	p := st.p
+	err, writeSide := st.relayBytes(st.client, st.server, false, true, st.armResponse)
+	if err == io.EOF && !writeSide && !st.aborted.Load() {
+		// Server finished sending: propagate the FIN, request direction
+		// drains on its own clock. (A pooled conn that EOFs is dead — no
+		// recycle on this path.)
+		closeWrite(st.client)
+		return
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() &&
+		st.reuseWanted.Load() && !st.aborted.Load() {
+		// A full PoolQuiesce of silence after the client's clean EOF: the
+		// exchange is over and the server connection is drained. Mark it
+		// poolable; handle() does the actual checkin.
+		st.recycled.Store(true)
+		closeWrite(st.client)
+		return
+	}
+	if !writeSide {
+		p.reportRelayErr(st.backend, err) // read failure/idle expiry on the backend
+	}
+	st.abort()
+}
+
+// relayBytes moves bytes src→dst until EOF or error. When observeDir is
+// set, each chunk arrival is observed into the estimator (the request
+// direction). Unless firstDone, the first chunk goes through the
+// userspace buffer — that is where first-byte timestamps and the pooled
+// path's validation semantics live — and only the remainder is eligible
+// for the zero-copy splice path. writeSide reports whether the returned
+// error came from dst.
+func (st *relay) relayBytes(dst, src net.Conn, observeDir, firstDone bool, arm func()) (error, bool) {
+	p := st.p
+
+	var onChunk func()
+	if observeDir {
+		onChunk = func() { p.observe(st.hash, st.key, st.backend) }
+	}
+
+	// The splice path needs raw fd access on both ends; chaos wrappers and
+	// net.Pipe test conns fall through to the copy loop.
+	useSplice := false
+	var dstRaw, srcRaw rawConner
+	if p.cfg.Splice && spliceAvailable() {
+		var ok1, ok2 bool
+		dstRaw, ok1 = dst.(*net.TCPConn)
+		srcRaw, ok2 = src.(*net.TCPConn)
+		useSplice = ok1 && ok2
+	}
+
+	// The copy buffer is taken lazily: a relay that stays on the splice
+	// path end to end never touches the buffer pool at all.
+	var bufp *[]byte
+	defer func() {
+		if bufp != nil {
+			p.putBuf(bufp)
+		}
+	}()
+
+	first := !firstDone
+	for {
+		if !first && useSplice {
+			handled, err, writeSide := p.spliceStream(dstRaw, srcRaw, arm, onChunk)
+			if handled {
+				return err, writeSide
+			}
+			useSplice = false // unsupported here: copy loop from a clean stream
+		}
+		arm()
+		if bufp == nil {
+			bufp = p.getBuf()
+		}
+		buf := *bufp
+		n, rerr := src.Read(buf)
+		p.sysReads.Add(1)
+		if n > 0 {
+			if onChunk != nil {
+				onChunk()
+			}
+			p.sysWrites.Add(1)
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return werr, true
+			}
+		}
+		if rerr != nil {
+			return rerr, false
+		}
+		first = false
+	}
+}

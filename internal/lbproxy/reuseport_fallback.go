@@ -1,0 +1,16 @@
+//go:build !linux
+
+package lbproxy
+
+import "net"
+
+// Non-Linux build: no portable SO_REUSEPORT constant in the stdlib, so
+// multi-acceptor mode degrades to N accept loops sharing one listener —
+// still parallel accept processing, just a shared accept queue.
+func listenShards(addr string, n int) ([]net.Listener, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return []net.Listener{lis}, nil
+}

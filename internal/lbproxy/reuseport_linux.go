@@ -1,0 +1,61 @@
+//go:build linux
+
+package lbproxy
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT, not exported by package syscall. With it
+// set on every listener before bind, the kernel accepts N sockets on one
+// address and hashes incoming SYNs across them — each acceptor gets its
+// own accept queue and its own wakeups, so accept throughput scales with
+// acceptors instead of serializing on one listener's lock.
+const soReusePort = 0xf
+
+// reusePortControl sets SO_REUSEPORT on the socket before bind.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	if err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	}); err != nil {
+		return err
+	}
+	return serr
+}
+
+// listenShards binds n listeners to addr. For n == 1 it is a plain
+// net.Listen — no REUSEPORT, identical to the historical single-acceptor
+// behavior (including "address in use" conflicts with other processes).
+// For n > 1 every socket sets SO_REUSEPORT; when addr asks for an
+// ephemeral port (":0"), the port the first bind got is reused for the
+// rest so all shards share one address.
+func listenShards(addr string, n int) ([]net.Listener, error) {
+	if n <= 1 {
+		lis, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return []net.Listener{lis}, nil
+	}
+	lc := net.ListenConfig{Control: reusePortControl}
+	out := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		lis, err := lc.Listen(context.Background(), "tcp", addr)
+		if err != nil {
+			for _, l := range out {
+				_ = l.Close()
+			}
+			return nil, err
+		}
+		out = append(out, lis)
+		if i == 0 {
+			// Pin the concrete port the kernel chose so shards 1..n-1 bind
+			// the same address addr=":0" resolved to.
+			addr = lis.Addr().String()
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package lbproxy
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"inbandlb/internal/control"
+)
+
+// stressConns gates the concurrent-connection scale stress. 0 skips it
+// (the default: the test pins tens of thousands of fds and is meant for
+// explicit runs, e.g. `go test -run ConnScale -stress.conns=100000`).
+// Whatever is requested is capped to what RLIMIT_NOFILE can actually
+// hold: the whole topology lives in one process, so every proxied
+// connection costs 4 fds (client end, proxy's two ends, backend end).
+var stressConns = flag.Int("stress.conns", 0, "target concurrent connections for TestProxyConnScaleStress (0 = skip; capped by RLIMIT_NOFILE/4)")
+
+// maxScaleConns raises RLIMIT_NOFILE as far as the hard limit allows and
+// returns how many proxied connections fit, leaving headroom for
+// listeners, pipes, and the runtime's own fds.
+func maxScaleConns() int {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 1000
+	}
+	if rl.Cur < rl.Max {
+		rl.Cur = rl.Max
+		_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl)
+		_ = syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl)
+	}
+	const headroom = 512
+	if rl.Cur < headroom*2 {
+		return 64
+	}
+	return int(rl.Cur-headroom) / 4
+}
+
+// TestProxyConnScaleStress holds N concurrent connections open through
+// the full syscall-diet dataplane at once — splice relays parked on
+// readiness (an idle connection pins no pipe), acceptor shards, and the
+// sharded estimator path — then tears everything down and checks the
+// books balance exactly:
+//
+//   - every connection was accepted, routed, and observed (Accepted ==
+//     sum(PerBackend), one estimator observation each),
+//   - zero estimator samples lost (Samples == SamplesDelivered, dropped 0),
+//   - Active returns to 0 and relay goroutines drain.
+//
+// Clients dial from rotating loopback source addresses (127.0.0.2-9) so
+// the ephemeral-port space per (src,dst) tuple is never the binding
+// constraint; in this harness the fd rlimit is.
+func TestProxyConnScaleStress(t *testing.T) {
+	if *stressConns == 0 {
+		t.Skip("scale stress: set -stress.conns=N to run")
+	}
+	target := *stressConns
+	if max := maxScaleConns(); target > max {
+		t.Logf("capping -stress.conns=%d to %d (RLIMIT_NOFILE/4 with headroom)", target, max)
+		target = max
+	}
+
+	// Hold backends: accept, swallow the greeting, keep the conn open.
+	const nBackends = 4
+	backends := make([]string, nBackends)
+	var backendConns sync.Map
+	for i := range backends {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lis.Close()
+		backends[i] = lis.Addr().String()
+		go func(lis net.Listener) {
+			for {
+				c, err := lis.Accept()
+				if err != nil {
+					return
+				}
+				backendConns.Store(c, struct{}{})
+				go func(c net.Conn) {
+					buf := make([]byte, 256)
+					for {
+						if _, err := c.Read(buf); err != nil {
+							_ = c.Close()
+							backendConns.Delete(c)
+							return
+						}
+					}
+				}(c)
+			}
+		}(lis)
+	}
+
+	proxy, err := New(Config{
+		Backends:  backends,
+		Policy:    control.NewRoundRobin(nBackends),
+		Shards:    4,
+		Acceptors: 4,
+		Splice:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = proxy.Serve() }()
+	defer proxy.Close()
+	paddr := proxy.Addr().String()
+
+	// Establish the fleet: each connection sends one greeting so the
+	// estimator observes its first byte and the relay then parks.
+	greeting := []byte("hold 0123456789abcdef 0123456789abcdef\r\n")
+	conns := make([]net.Conn, 0, target)
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+	start := time.Now()
+	for i := 0; i < target; i++ {
+		d := net.Dialer{
+			Timeout: 5 * time.Second,
+			// Rotate source IPs so no (src,dst) tuple exhausts its
+			// ephemeral ports even at six-figure counts.
+			LocalAddr: &net.TCPAddr{IP: net.IPv4(127, 0, 0, byte(2+i%8))},
+		}
+		c, err := d.Dial("tcp", paddr)
+		if err != nil {
+			t.Fatalf("dial %d/%d: %v", i, target, err)
+		}
+		conns = append(conns, c)
+		if _, err := c.Write(greeting); err != nil {
+			t.Fatalf("greeting %d/%d: %v", i, target, err)
+		}
+	}
+	setup := time.Since(start)
+
+	// All of them must be admitted, validated, and counted as active.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && proxy.Stats().Active < int64(target) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	st := proxy.Stats()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	t.Logf("held %d conns: setup %.1fs (%.0f conns/s), %d goroutines, %.1f MiB heap, stats %+v",
+		target, setup.Seconds(), float64(target)/setup.Seconds(),
+		runtime.NumGoroutine(), float64(ms.HeapInuse)/(1<<20),
+		struct {
+			Accepted, Samples, DialErrors, Dropped uint64
+			Active                                int64
+		}{
+			st.Accepted, st.Samples, st.DialErrors, st.Dropped, st.Active})
+	if st.Active != int64(target) {
+		t.Fatalf("active = %d, want %d", st.Active, target)
+	}
+	if st.Accepted != uint64(target) || st.DialErrors != 0 || st.Dropped != 0 {
+		t.Fatalf("admission stats off: %+v", st)
+	}
+	var routed uint64
+	for _, n := range st.PerBackend {
+		routed += n
+	}
+	if routed != uint64(target) {
+		t.Fatalf("routed %d != %d (perBackend %v)", routed, target, st.PerBackend)
+	}
+	// One observation per flow yields no inter-arrival sample; send a
+	// second round of greetings — these relay through the parked splice
+	// path — so every flow crosses a batch boundary and produces one.
+	for i, c := range conns {
+		if _, err := c.Write(greeting); err != nil {
+			t.Fatalf("second greeting %d/%d: %v", i, target, err)
+		}
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && proxy.Stats().Samples < uint64(target) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if s := proxy.Stats().Samples; s < uint64(target) {
+		t.Fatalf("samples = %d, want >= %d (one batch-boundary sample per conn)", s, target)
+	}
+
+	// Teardown: close every client; relays must notice and drain.
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	conns = conns[:0]
+	deadline = time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) && proxy.Stats().Active > 0 {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if a := proxy.Stats().Active; a != 0 {
+		t.Fatalf("active = %d after closing all clients", a)
+	}
+	if err := proxy.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st = proxy.Stats()
+	if st.Samples != st.SamplesDelivered+st.SamplesDropped || st.SamplesDropped != 0 {
+		t.Errorf("estimator sample loss at scale: samples %d, delivered %d, dropped %d",
+			st.Samples, st.SamplesDelivered, st.SamplesDropped)
+	}
+	if testing.Verbose() {
+		fmt.Printf("scale teardown clean: %d conns, %d samples, 0 dropped\n", target, st.Samples)
+	}
+}

@@ -1,0 +1,21 @@
+//go:build !linux
+
+package lbproxy
+
+import "syscall"
+
+// Non-Linux build: there is no splice(2); every relay takes the pooled
+// userspace buffer path. These stubs keep the relay code free of build
+// tags — spliceAvailable() gates the zero-copy branch out entirely.
+
+func spliceAvailable() bool { return false }
+
+func pipeCycle() bool { return false }
+
+type rawConner interface {
+	SyscallConn() (syscall.RawConn, error)
+}
+
+func (p *Proxy) spliceStream(dst, src rawConner, arm func(), onChunk func()) (handled bool, err error, writeSide bool) {
+	return false, nil, false
+}

@@ -1,0 +1,496 @@
+package lbproxy
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"inbandlb/internal/control"
+	"inbandlb/internal/memcache"
+	"inbandlb/internal/testbed"
+)
+
+// startProxyCfg runs a proxy with a full config (backends already set).
+func startProxyCfg(t *testing.T, cfg Config) (*Proxy, string) {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = p.Serve() }()
+	t.Cleanup(func() { _ = p.Close() })
+	return p, p.Addr().String()
+}
+
+// assertIdentity checks the Accepted accounting identity on a settled proxy.
+func assertIdentity(t *testing.T, st Stats) {
+	t.Helper()
+	var routed uint64
+	for _, n := range st.PerBackend {
+		routed += n
+	}
+	if st.Accepted != routed+st.DialErrors+st.Dropped {
+		t.Errorf("identity violated: accepted %d != routed %d + dialErrors %d + dropped %d",
+			st.Accepted, routed, st.DialErrors, st.Dropped)
+	}
+}
+
+// TestProxySpliceRelayMemcache proves the zero-copy path relays real
+// protocol traffic correctly and that it actually ran (splice syscalls
+// observed) where the platform supports it.
+func TestProxySpliceRelayMemcache(t *testing.T) {
+	_, baddr := startBackend(t)
+	proxy, paddr := startProxyCfg(t, Config{
+		Backends: []string{baddr},
+		Policy:   control.NewRoundRobin(1),
+		Splice:   true,
+	})
+
+	cli, err := memcache.Dial(paddr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	_ = cli.SetDeadline(time.Now().Add(5 * time.Second))
+	// Several round trips: the first request chunk goes through userspace
+	// (first-byte observation), everything after is eligible for splice.
+	big := strings.Repeat("v", 4096)
+	for i := 0; i < 10; i++ {
+		if err := cli.Set("k", []byte(big)); err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := cli.Get("k")
+		if err != nil || !ok || string(v) != big {
+			t.Fatalf("get %d: ok=%v err=%v len=%d", i, ok, err, len(v))
+		}
+	}
+	st := proxy.Stats()
+	if st.Samples == 0 {
+		t.Error("no estimator samples on the splice path")
+	}
+	if spliceAvailable() && st.RelaySplices == 0 {
+		t.Error("splice enabled and available, but no splice syscalls recorded")
+	}
+	assertIdentity(t, st)
+}
+
+// TestProxyHalfClose pins CloseWrite propagation through the relay in
+// both dataplane modes: a client that half-closes after its request must
+// still receive the full response, then EOF.
+func TestProxyHalfClose(t *testing.T) {
+	for _, mode := range []struct {
+		name   string
+		splice bool
+	}{{"splice", true}, {"fallback", false}} {
+		t.Run(mode.name, func(t *testing.T) {
+			_, baddr := startBackend(t)
+			_, paddr := startProxyCfg(t, Config{
+				Backends: []string{baddr},
+				Policy:   control.NewRoundRobin(1),
+				Splice:   mode.splice,
+			})
+			conn, err := net.DialTimeout("tcp", paddr, time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+			if _, err := conn.Write([]byte("set hk 0 0 2\r\nhi\r\n")); err != nil {
+				t.Fatal(err)
+			}
+			// Half-close: FIN follows the request; the backend must still
+			// see the bytes and the response must still come back.
+			if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+				t.Fatal(err)
+			}
+			resp, err := bufio.NewReader(conn).ReadString('\n')
+			if err != nil || strings.TrimSpace(resp) != "STORED" {
+				t.Fatalf("response %q err=%v", resp, err)
+			}
+			// And then EOF, once the backend finishes and closes.
+			_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			if _, err := conn.Read(make([]byte, 1)); !errors.Is(err, net.ErrClosed) && err == nil {
+				t.Error("expected EOF after half-closed exchange")
+			}
+		})
+	}
+}
+
+// TestProxySpliceFirstByteLatencyMatchesFallback is the estimator
+// equivalence check: one identical paced workload through the proxy in
+// zero-copy mode and in copy mode must yield the same observed in-band
+// latency (within loopback jitter). This is the guarantee the whole
+// splice refactor hangs on — timestamping readiness events is the same
+// measurement as timestamping userspace reads.
+func TestProxySpliceFirstByteLatencyMatchesFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paced live-socket test")
+	}
+	const (
+		serviceDelay = 8 * time.Millisecond
+		exchanges    = 40
+	)
+	run := func(splice bool) (latMs, clientMs float64, st Stats) {
+		// Two identical backends: latency-aware requires >= 2, and one
+		// client connection lands on exactly one of them.
+		addrs := make([]string, 2)
+		for i := range addrs {
+			echo := testbed.NewLiveEcho(serviceDelay)
+			if err := echo.Listen("127.0.0.1:0"); err != nil {
+				t.Fatal(err)
+			}
+			go func() { _ = echo.Serve() }()
+			defer echo.Close()
+			addrs[i] = echo.Addr().String()
+		}
+
+		la, err := control.NewLatencyAware(control.LatencyAwareConfig{
+			Backends: addrs, Alpha: 0.1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxy, err := New(Config{
+			Backends: addrs,
+			Policy:   la,
+			Splice:   splice,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := proxy.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = proxy.Serve() }()
+		defer proxy.Close()
+
+		rtts, err := testbed.LiveExchange(proxy.Addr().String(), exchanges, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sorted := append([]time.Duration(nil), rtts...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		clientMs = sorted[len(sorted)/2].Seconds() * 1e3
+		time.Sleep(20 * time.Millisecond) // a couple of control ticks: merge samples
+		snap := proxy.Snapshot()
+		st = proxy.Stats()
+		serving := -1
+		for i, n := range st.PerBackend {
+			if n > 0 {
+				serving = i
+			}
+		}
+		if serving < 0 || serving >= len(snap.LatenciesMs) {
+			t.Fatalf("no serving backend: perBackend=%v latencies=%v", st.PerBackend, snap.LatenciesMs)
+		}
+		return snap.LatenciesMs[serving], clientMs, st
+	}
+
+	splicedMs, splicedClientMs, splicedStats := run(true)
+	copiedMs, copiedClientMs, copiedStats := run(false)
+	t.Logf("in-band latency vs client ground truth: splice=%.2fms (client %.2fms), copy=%.2fms (client %.2fms), service delay %v",
+		splicedMs, splicedClientMs, copiedMs, copiedClientMs, serviceDelay)
+	t.Logf("splice run syscalls: reads=%d writes=%d splices=%d; copy run: reads=%d writes=%d splices=%d",
+		splicedStats.RelayReads, splicedStats.RelayWrites, splicedStats.RelaySplices,
+		copiedStats.RelayReads, copiedStats.RelayWrites, copiedStats.RelaySplices)
+
+	// The load-proof assertion: each run's estimator view must track that
+	// run's OWN client-observed median RTT (machine load inflates both
+	// together — comparing two runs' absolute numbers does not survive a
+	// busy single-core host). The inter-arrival the proxy times is one
+	// full client round trip, so estimator ≈ client median.
+	norm := func(name string, est, client float64) float64 {
+		if client < serviceDelay.Seconds()*1e3*0.8 {
+			t.Fatalf("%s: client median %.2fms below service delay — broken workload", name, client)
+		}
+		r := est / client
+		if r < 0.5 || r > 2.0 {
+			t.Errorf("%s: estimator %.2fms does not track client ground truth %.2fms (ratio %.2f)",
+				name, est, client, r)
+		}
+		return r
+	}
+	sr := norm("splice", splicedMs, splicedClientMs)
+	cr := norm("copy", copiedMs, copiedClientMs)
+	// Cross-mode: both relay implementations must sit at the same place
+	// relative to their own ground truth.
+	if d := sr - cr; d < -0.5 || d > 0.5 {
+		t.Errorf("relay modes disagree about latency relative to ground truth: splice ratio %.2f, copy ratio %.2f", sr, cr)
+	}
+	if spliceAvailable() && copiedStats.RelaySplices != 0 {
+		t.Error("copy run recorded splice syscalls")
+	}
+}
+
+// TestProxyPooledConnReuse drives two sequential client sessions and
+// asserts the second one rides the first one's backend connection.
+func TestProxyPooledConnReuse(t *testing.T) {
+	_, baddr := startBackend(t)
+	proxy, paddr := startProxyCfg(t, Config{
+		Backends:    []string{baddr},
+		Policy:      control.NewRoundRobin(1),
+		Splice:      true,
+		PoolIdle:    2,
+		PoolQuiesce: 5 * time.Millisecond,
+	})
+
+	exchange := func(key, val string) {
+		cli, err := memcache.Dial(paddr, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		_ = cli.SetDeadline(time.Now().Add(5 * time.Second))
+		if err := cli.Set(key, []byte(val)); err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := cli.Get(key)
+		if err != nil || !ok || string(v) != val {
+			t.Fatalf("get %q: ok=%v err=%v", key, ok, err)
+		}
+	}
+
+	exchange("a", "1")
+	// The first session's backend conn recycles after PoolQuiesce silence.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && proxy.Stats().PoolRecycled == 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if proxy.Stats().PoolRecycled == 0 {
+		t.Fatal("first session's backend conn never recycled")
+	}
+	exchange("b", "2")
+
+	st := proxy.Stats()
+	if st.PoolHits == 0 {
+		t.Errorf("second session did not reuse the pooled conn: %+v", st)
+	}
+	assertIdentity(t, st)
+	if err := proxy.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st = proxy.Stats()
+	if st.Samples != st.SamplesDelivered+st.SamplesDropped {
+		t.Errorf("sample identity broken: %d != %d + %d",
+			st.Samples, st.SamplesDelivered, st.SamplesDropped)
+	}
+}
+
+// failWriteConn passes reads through but fails every write — the
+// deterministic stand-in for a pooled connection whose backend died
+// between the checkout probe and first use. It deliberately does not
+// expose SyscallConn, so the checkout probe passes it unprobed.
+type failWriteConn struct {
+	net.Conn
+}
+
+func (f *failWriteConn) Write([]byte) (int, error) {
+	return 0, errors.New("injected: backend died after checkout")
+}
+
+// deadAddr returns a loopback address that refuses connections.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	_ = lis.Close()
+	return addr
+}
+
+// TestProxyPooledDeadBackend is the satellite table: a pooled connection
+// that fails its first write must be accounted exactly like a failed dial
+// — redial, then the existing failover path — with the Accepted identity
+// intact in every outcome.
+func TestProxyPooledDeadBackend(t *testing.T) {
+	cases := []struct {
+		name string
+		// backends: "live" is replaced by a real memcached, "dead" by a
+		// refusing address. The failing pooled conn is planted for backend 0.
+		backends      []string
+		wantErr       bool   // client exchange fails
+		wantDialErrs  uint64 // terminal dial errors
+		wantFailovers uint64
+		wantBackend   int // backend that must serve the rescued exchange (-1 none)
+	}{
+		{
+			name:     "redial same backend succeeds",
+			backends: []string{"live"},
+			wantErr:  false, wantDialErrs: 0, wantFailovers: 0, wantBackend: 0,
+		},
+		{
+			name:     "backend down, failover rescues",
+			backends: []string{"dead", "live"},
+			wantErr:  false, wantDialErrs: 0, wantFailovers: 1, wantBackend: 1,
+		},
+		{
+			name:     "all backends down, terminal dial error",
+			backends: []string{"dead", "dead"},
+			wantErr:  true, wantDialErrs: 1, wantFailovers: 0, wantBackend: -1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addrs := make([]string, len(tc.backends))
+			for i, kind := range tc.backends {
+				if kind == "live" {
+					_, addrs[i] = startBackend(t)
+				} else {
+					addrs[i] = deadAddr(t)
+				}
+			}
+			proxy, paddr := startProxyCfg(t, Config{
+				Backends: addrs,
+				// RoundRobin picks backend 0 for the first connection.
+				Policy:   control.NewRoundRobin(len(addrs)),
+				PoolIdle: 2,
+			})
+			// Plant the doomed pooled conn for backend 0. The inner conn
+			// is a pipe end so Close is clean; the probe passes it.
+			inner, peer := net.Pipe()
+			defer peer.Close()
+			if !proxy.pool.Put(0, 0, &failWriteConn{Conn: inner}, time.Time{}) {
+				t.Fatal("could not plant pooled conn")
+			}
+
+			cli, err := memcache.Dial(paddr, time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = cli.SetDeadline(time.Now().Add(5 * time.Second))
+			setErr := cli.Set("k", []byte("v"))
+			_ = cli.Close()
+			if (setErr != nil) != tc.wantErr {
+				t.Fatalf("set err = %v, wantErr = %v", setErr, tc.wantErr)
+			}
+
+			// Let the handler settle (it may still be tearing down).
+			deadline := time.Now().Add(2 * time.Second)
+			for time.Now().Before(deadline) && proxy.Stats().Active > 0 {
+				time.Sleep(2 * time.Millisecond)
+			}
+			st := proxy.Stats()
+			if st.PoolFirstWriteFails != 1 {
+				t.Errorf("poolFirstWriteFails = %d, want 1", st.PoolFirstWriteFails)
+			}
+			if st.DialErrors != tc.wantDialErrs {
+				t.Errorf("dialErrors = %d, want %d", st.DialErrors, tc.wantDialErrs)
+			}
+			if st.Failovers != tc.wantFailovers {
+				t.Errorf("failovers = %d, want %d", st.Failovers, tc.wantFailovers)
+			}
+			if tc.wantBackend >= 0 && st.PerBackend[tc.wantBackend] != 1 {
+				t.Errorf("perBackend = %v, want conn on backend %d", st.PerBackend, tc.wantBackend)
+			}
+			assertIdentity(t, st)
+		})
+	}
+}
+
+// TestProxyPooledProbeDiscardsClosedConn: a pooled connection that is
+// already closed must be discarded by the checkout probe, falling back to
+// a fresh dial — the client never notices.
+func TestProxyPooledProbeDiscardsClosedConn(t *testing.T) {
+	_, baddr := startBackend(t)
+	proxy, paddr := startProxyCfg(t, Config{
+		Backends: []string{baddr},
+		Policy:   control.NewRoundRobin(1),
+		PoolIdle: 2,
+	})
+	// Plant a real-but-closed TCP conn.
+	c, err := net.DialTimeout("tcp", baddr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proxy.pool.Put(0, 0, c, time.Time{}) {
+		t.Fatal("checkin failed")
+	}
+	_ = c.Close()
+
+	cli, err := memcache.Dial(paddr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	_ = cli.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := cli.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	st := proxy.Stats()
+	if st.PoolDead != 1 {
+		t.Errorf("poolDead = %d, want 1", st.PoolDead)
+	}
+	if st.PoolFirstWriteFails != 0 {
+		t.Errorf("first-write fails = %d, want 0 (probe should have caught it)", st.PoolFirstWriteFails)
+	}
+	assertIdentity(t, st)
+}
+
+// TestProxyMultiAcceptor runs the full syscall-diet configuration —
+// REUSEPORT acceptor shards, splice, pooling — under concurrent clients.
+func TestProxyMultiAcceptor(t *testing.T) {
+	const nBackends = 2
+	backends := make([]string, nBackends)
+	for i := range backends {
+		_, backends[i] = startBackend(t)
+	}
+	proxy, paddr := startProxyCfg(t, Config{
+		Backends:  backends,
+		Policy:    control.NewRoundRobin(nBackends),
+		Acceptors: 4,
+		Splice:    true,
+		PoolIdle:  4,
+	})
+	if runtime.GOOS == "linux" && len(proxy.listeners) != 4 {
+		t.Errorf("listener shards = %d, want 4 on linux", len(proxy.listeners))
+	}
+
+	const clients = 16
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			cli, err := memcache.Dial(paddr, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			_ = cli.SetDeadline(time.Now().Add(5 * time.Second))
+			for s := 0; s < 5; s++ {
+				if err := cli.Set("mk", []byte("mv")); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := proxy.Stats()
+	if st.Accepted != clients {
+		t.Errorf("accepted = %d, want %d", st.Accepted, clients)
+	}
+	assertIdentity(t, st)
+	if err := proxy.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st = proxy.Stats()
+	if st.Samples != st.SamplesDelivered+st.SamplesDropped || st.SamplesDropped != 0 {
+		t.Errorf("sample identity: %d != %d + %d",
+			st.Samples, st.SamplesDelivered, st.SamplesDropped)
+	}
+}

@@ -3,6 +3,8 @@ package lbproxy
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"runtime"
 	"sync"
 	"testing"
@@ -351,6 +353,104 @@ func TestProxyChaosFlappingStress(t *testing.T) {
 		buf := make([]byte, 1<<16)
 		t.Errorf("goroutine leak: %d now vs %d at start\n%s",
 			g, baseGoroutines, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestProxyIdleTimeoutFreesBothDirections is the relay-teardown
+// regression test: when ONE direction of a relay dies (here the response
+// direction idle-times-out against a backend that swallows requests and
+// never replies), the peer direction must be torn down with it, not left
+// stranded. A client that keeps writing — so the request direction never
+// idles on its own — must see its connection die shortly after the
+// response side's idle timeout, and no relay goroutines may survive.
+func TestProxyIdleTimeoutFreesBothDirections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-socket timing test")
+	}
+	baseGoroutines := runtime.NumGoroutine()
+
+	// A backend that reads everything and answers nothing.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() { _, _ = io.Copy(io.Discard, c); _ = c.Close() }()
+		}
+	}()
+
+	const idle = 100 * time.Millisecond
+	proxy, err := New(Config{
+		Backends:    []string{lis.Addr().String()},
+		Policy:      control.NewRoundRobin(1),
+		IdleTimeout: idle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = proxy.Serve() }()
+
+	const clients = 4
+	done := make(chan time.Duration, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			conn, err := net.DialTimeout("tcp", proxy.Addr().String(), time.Second)
+			if err != nil {
+				done <- -1
+				return
+			}
+			defer conn.Close()
+			start := time.Now()
+			// Keep the request direction busy forever; only the proxy's
+			// cross-direction teardown can end this loop.
+			for {
+				_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+				if _, err := conn.Write([]byte("ping\r\n")); err != nil {
+					done <- time.Since(start)
+					return
+				}
+				time.Sleep(idle / 5)
+			}
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		took := <-done
+		if took < 0 {
+			t.Fatal("client dial failed")
+		}
+		// The write failure must arrive promptly after the response-side
+		// idle fires — not at some much later request-side timeout (which
+		// the constant writing suppresses entirely).
+		if took > 10*idle {
+			t.Errorf("client stranded for %v after response-side idle of %v", took, idle)
+		}
+	}
+
+	if err := proxy.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// goleak-style check: both relay directions of every connection ended.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > baseGoroutines+4 {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseGoroutines+4 {
+		buf := make([]byte, 1<<16)
+		t.Errorf("relay goroutines leaked: %d now vs %d at start\n%s",
+			g, baseGoroutines, buf[:runtime.Stack(buf, true)])
+	}
+	st := proxy.Stats()
+	if st.Active != 0 {
+		t.Errorf("active = %d after teardown, want 0", st.Active)
 	}
 }
 

@@ -171,8 +171,15 @@ func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
-		if err := w.Flush(); err != nil {
-			return
+		// Flush-on-idle: responses are only pushed to the socket when the
+		// next read would block. A pipelined burst of k requests costs one
+		// write syscall instead of k, and the non-pipelined case is
+		// unchanged (an empty read buffer means we are about to block, so
+		// the pending response flushes exactly where it always did).
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
 		}
 		req, err := readRequest(r, s.MaxValue)
 		if err != nil {
@@ -181,7 +188,10 @@ func (s *Server) handle(conn net.Conn) {
 				fmt.Fprintf(w, "CLIENT_ERROR %s\r\n", perr.msg)
 				continue
 			}
-			return // torn frame or I/O failure
+			// Push out responses already produced for this burst before
+			// abandoning the connection on a torn frame.
+			_ = w.Flush()
+			return
 		}
 
 		if d := s.Delay(); d > 0 && req.verb != "delay" {

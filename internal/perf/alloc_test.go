@@ -7,6 +7,7 @@
 package perf
 
 import (
+	"net"
 	"net/netip"
 	"testing"
 	"time"
@@ -14,6 +15,8 @@ import (
 	"inbandlb/internal/control"
 	"inbandlb/internal/core"
 	"inbandlb/internal/lb"
+	"inbandlb/internal/lbproxy"
+	"inbandlb/internal/lbproxy/dialpool"
 	"inbandlb/internal/netsim"
 	"inbandlb/internal/packet"
 )
@@ -365,6 +368,77 @@ func TestEnsembleConstructionSharesDefaultLadder(t *testing.T) {
 	})
 	if allocs > 3 {
 		t.Errorf("NewEnsembleTimeout(default): %.1f allocs, want <= 3 (shared default ladder)", allocs)
+	}
+}
+
+// TestRelayPoolCyclesZeroAlloc pins the dataplane's recycled resources:
+// a relay-buffer checkout/checkin against the proxy's sync.Pool, and (on
+// Linux) a splice-pipe checkout/checkin, are both allocation-free in
+// steady state. These are the per-connection costs the syscall-diet
+// dataplane pays on every relay; if either pool stops recycling, every
+// connection buys a 64 KiB buffer or a pipe() syscall pair again.
+func TestRelayPoolCyclesZeroAlloc(t *testing.T) {
+	p, err := lbproxy.New(lbproxy.Config{
+		Backends: []string{"127.0.0.1:1"},
+		Policy:   control.NewRoundRobin(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	assertZeroAllocs(t, "relay buffer pool cycle", p.BufCycle, p.BufCycle)
+
+	if !lbproxy.PipeCycle() {
+		t.Log("no splice pipe pool on this platform; pipe gate skipped")
+		return
+	}
+	cycle := func() { lbproxy.PipeCycle() }
+	assertZeroAllocs(t, "splice pipe pool cycle", cycle, cycle)
+}
+
+// TestDialPoolCycleAllocCeiling pins the backend-connection pool's
+// checkout/checkin hot path. The free-list push/pop and the probe's
+// scratch state are allocation-free; the one remaining allocation per
+// cycle is the rawConn that (*net.TCPConn).SyscallConn returns — the
+// standard library constructs it on every call and there is no way to
+// cache it across a Put/Get handoff without holding the conn's identity.
+// One small allocation against a saved TCP connect is the whole bargain;
+// this gate keeps it from quietly becoming five again.
+func TestDialPoolCycleAllocCeiling(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+		}
+	}()
+	pool := dialpool.New(dialpool.Config{Backends: 1, Stripes: 1, MaxIdlePerBackend: 2})
+	defer pool.Close()
+	conn, err := net.DialTimeout("tcp", lis.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pool.Put(0, 0, conn, time.Time{}) {
+		t.Fatal("checkin rejected")
+	}
+	cycle := func() {
+		c, born, ok := pool.Get(0, 0)
+		if !ok {
+			t.Fatal("pool miss mid-cycle")
+		}
+		pool.Put(0, 0, c, born)
+	}
+	cycle() // warm the prober pool
+	if allocs := testing.AllocsPerRun(1000, cycle); allocs > 1 {
+		t.Errorf("dialpool Get/Put cycle: %.3f allocs/op, want <= 1 (SyscallConn's rawConn)", allocs)
 	}
 }
 

@@ -1,0 +1,152 @@
+package testbed
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Live testbed pieces: real-socket counterparts of the simulated
+// topologies, used by the lbproxy dataplane tests to compare what the
+// in-band estimator observes across relay implementations (zero-copy
+// splice vs userspace copy) under one identical workload.
+
+// LiveEcho is a line-oriented TCP backend with a fixed service delay: it
+// reads a '\n'-terminated request, sleeps Delay (the simulated service
+// time), and echoes the line back. Exchanges through it have a known
+// client-observed floor of Delay + 2·path RTT, which makes estimator
+// comparisons interpretable.
+type LiveEcho struct {
+	Delay time.Duration
+
+	lis    net.Listener
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// NewLiveEcho creates a live echo backend with the given service delay.
+func NewLiveEcho(delay time.Duration) *LiveEcho {
+	return &LiveEcho{Delay: delay, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds addr (use "127.0.0.1:0" for an ephemeral port).
+func (e *LiveEcho) Listen(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	e.lis = lis
+	return nil
+}
+
+// Addr returns the bound address (nil before Listen).
+func (e *LiveEcho) Addr() net.Addr {
+	if e.lis == nil {
+		return nil
+	}
+	return e.lis.Addr()
+}
+
+// Serve accepts and echoes until Close.
+func (e *LiveEcho) Serve() error {
+	for {
+		conn, err := e.lis.Accept()
+		if err != nil {
+			e.mu.Lock()
+			closed := e.closed
+			e.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		e.mu.Lock()
+		e.conns[conn] = struct{}{}
+		e.mu.Unlock()
+		go e.serveConn(conn)
+	}
+}
+
+func (e *LiveEcho) serveConn(conn net.Conn) {
+	defer func() {
+		e.mu.Lock()
+		delete(e.conns, conn)
+		e.mu.Unlock()
+		_ = conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			if e.Delay > 0 {
+				time.Sleep(e.Delay)
+			}
+			if _, werr := conn.Write(line); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and all open connections.
+func (e *LiveEcho) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	conns := make([]net.Conn, 0, len(e.conns))
+	for c := range e.conns {
+		conns = append(conns, c)
+	}
+	e.mu.Unlock()
+	var err error
+	if e.lis != nil {
+		err = e.lis.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return err
+}
+
+// LiveExchange dials addr and runs n sequential request/response line
+// exchanges of payload bytes each, returning the client-observed RTT of
+// every exchange. Each request is sent only after the previous response
+// arrived, so the request stream through a proxy carries one causally
+// triggered arrival per exchange — the transmission pattern the in-band
+// estimator measures.
+func LiveExchange(addr string, n, payload int) ([]time.Duration, error) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+
+	req := make([]byte, payload+1)
+	for i := range req {
+		req[i] = 'a' + byte(i%26)
+	}
+	req[payload] = '\n'
+	r := bufio.NewReader(conn)
+	rtts := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if _, err := conn.Write(req); err != nil {
+			return rtts, fmt.Errorf("exchange %d write: %w", i, err)
+		}
+		resp, err := r.ReadBytes('\n')
+		if err != nil {
+			return rtts, fmt.Errorf("exchange %d read: %w", i, err)
+		}
+		if len(resp) != len(req) {
+			return rtts, fmt.Errorf("exchange %d: echoed %d bytes, want %d", i, len(resp), len(req))
+		}
+		rtts = append(rtts, time.Since(start))
+	}
+	return rtts, nil
+}
