@@ -779,6 +779,75 @@ func BenchmarkProxyDietConcurrentConns(b *testing.B) {
 	}
 }
 
+// BenchmarkProxyNetpollConcurrentConns runs the diet workload through both
+// dataplanes — goroutine-per-connection relays and the event-driven epoll
+// state machines — under the otherwise-identical full diet configuration.
+// The goroutines gauge is the scheduler diet itself: the netpoll mode holds
+// O(acceptor shards) relay goroutines regardless of client parallelism.
+func BenchmarkProxyNetpollConcurrentConns(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		netpoll bool
+	}{{"goroutine", false}, {"netpoll", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var backends []string
+			for i := 0; i < 2; i++ {
+				srv := memcache.NewServer()
+				if err := srv.Listen("127.0.0.1:0"); err != nil {
+					b.Fatal(err)
+				}
+				go func() { _ = srv.Serve() }()
+				defer srv.Close()
+				backends = append(backends, srv.Addr().String())
+			}
+			la, err := control.NewLatencyAware(control.LatencyAwareConfig{
+				Backends: []string{"b0", "b1"}, Alpha: 0.1, TableSize: 1021,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			proxy, err := lbproxy.New(lbproxy.Config{
+				Backends:    backends,
+				Policy:      la,
+				Shards:      runtime.GOMAXPROCS(0),
+				Acceptors:   runtime.GOMAXPROCS(0),
+				Splice:      true,
+				Netpoll:     mode.netpoll,
+				PoolIdle:    64,
+				PoolQuiesce: 50 * time.Microsecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := proxy.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			go func() { _ = proxy.Serve() }()
+			defer proxy.Close()
+			addr := proxy.Addr().String()
+
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				cli, err := memcache.Dial(addr, 2*time.Second)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer cli.Close()
+				for pb.Next() {
+					if err := cli.Set("bench", []byte("v")); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(runtime.NumGoroutine()), "goroutines")
+			reportRelaySyscalls(b, proxy, b.N)
+		})
+	}
+}
+
 func BenchmarkAblationDependency(b *testing.B) {
 	var res *experiments.Result
 	for i := 0; i < b.N; i++ {

@@ -54,6 +54,7 @@ func main() {
 		drainTO    = flag.Duration("drain-timeout", 0, "grace period for in-flight connections on shutdown (0 = immediate)")
 		acceptors  = flag.Int("acceptors", 1, "parallel accept loops (SO_REUSEPORT listener shards on Linux)")
 		splice     = flag.Bool("splice", true, "zero-copy splice(2) relay on Linux (falls back to buffer copies elsewhere)")
+		netpoll    = flag.Bool("netpoll", false, "event-driven epoll dataplane on Linux: O(acceptors) relay goroutines instead of 2 per connection (falls back to goroutine relays elsewhere)")
 		poolIdle   = flag.Int("pool-idle", 0, "max idle pooled connections per backend (0 = pooling off)")
 		poolMaxAge = flag.Duration("pool-max-age", 30*time.Second, "evict pooled backend connections older than this (0 = no cap)")
 		statusAddr = flag.String("status-addr", "", "serve JSON status at http://<addr>/ (empty = off)")
@@ -85,6 +86,7 @@ func main() {
 		DrainTimeout:           *drainTO,
 		Acceptors:              *acceptors,
 		Splice:                 *splice,
+		Netpoll:                *netpoll,
 		PoolIdle:               *poolIdle,
 		PoolMaxAge:             *poolMaxAge,
 		Detector: control.DetectorConfig{

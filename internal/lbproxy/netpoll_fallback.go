@@ -1,0 +1,27 @@
+//go:build !linux
+
+package lbproxy
+
+import (
+	"net"
+	"time"
+
+	"inbandlb/internal/packet"
+)
+
+// Non-Linux builds have no epoll: Config.Netpoll is accepted but inert, and
+// every connection stays on the goroutine-per-connection relay path. This
+// mirrors splice_fallback.go's shape so shared code compiles everywhere.
+
+type npShard struct{}
+
+func (p *Proxy) netpollInit() {}
+
+func (p *Proxy) netpollStop() {}
+
+func (p *Proxy) netpollStats() []NetpollShardStats { return nil }
+
+func (p *Proxy) netpollHandoff(client, server net.Conn, backend, acceptor int,
+	hash uint64, key packet.FlowKey, charged, fromPool bool, born time.Time) bool {
+	return false
+}

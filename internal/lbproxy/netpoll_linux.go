@@ -1,0 +1,911 @@
+//go:build linux
+
+package lbproxy
+
+import (
+	"io"
+	"net"
+	"os"
+	"syscall"
+	"time"
+
+	"inbandlb/internal/netpoll"
+	"inbandlb/internal/packet"
+)
+
+// Event-driven dataplane: with Config.Netpoll, each acceptor shard owns one
+// internal/netpoll poller (an edge-triggered epoll loop plus a timing wheel),
+// and every relayed connection becomes one compact heap-allocated state
+// machine (npRelay) instead of two blocked goroutines. The per-connection
+// states mirror the goroutine path exactly:
+//
+//	awaiting-first-byte ──client chunk──▶ relaying (validation write for
+//	   │                                  pooled conns; first chunk always
+//	   │ idle timer                       through userspace: first-byte
+//	   ▼                                  observation + estimator sample)
+//	teardown ◀─error/idle─ relaying ──clean client EOF──▶ draining
+//	                           │                             │ quiesce
+//	                           └──clean server EOF──▶ FIN    ▼ silence
+//	                               to client, drain      recycle into pool
+//
+// All relay state is owned by the poller's loop goroutine — readiness
+// callbacks, posted tasks, and wheel timers are serialized there — so the
+// state machine uses plain fields, no locks, no atomics. Raw socket I/O goes
+// through syscall.RawConn.Control (never RawConn.Read/Write, which would
+// park the loop on the runtime netpoller): Control refcounts the fd against
+// a concurrent Close from the proxy's force-close sweep, and every syscall
+// inside is nonblocking, so the loop never sleeps in I/O.
+//
+// Copy buffers and splice pipes are attached lazily per readiness event and
+// released before every park, exactly like the goroutine path: an idle
+// connection pins its npRelay (~a few hundred bytes) and two registered fds,
+// nothing else — versus two goroutine stacks plus their relay frames.
+//
+// Estimator equivalence: the first request chunk stays in userspace
+// (first-byte observation, pooled-conn validation), every later
+// request-direction readiness event fires ObserveHashed once (copy chunk or
+// splice batch — the same granularity as one Read on the goroutine path),
+// and the response direction stays timestamp-free. Teardown settles the same
+// accounting as handle(): exactly one of PerBackend/DialErrors per handed-off
+// connection, FlowClosed only while charged, ForgetHashed always.
+
+// npPumpBudget bounds chunks moved per pump invocation so one hot connection
+// cannot starve its shard; an exhausted pump reposts itself (edge-triggered
+// epoll will not re-fire for data that already arrived).
+const npPumpBudget = 32
+
+// npShard pairs one poller with its loop-owned set of live relays (the set
+// exists so shutdown can finalize relays that are idle and will never see
+// another readiness event).
+type npShard struct {
+	pol  *netpoll.Poller
+	live map[*npRelay]struct{}
+}
+
+// npEnd is one side of a relay: the connection, its raw-syscall handle, and
+// the cached fd (used only for epoll registration bookkeeping — all I/O
+// re-enters through rc.Control, which guards against fd reuse after Close).
+type npEnd struct {
+	conn       net.Conn
+	rc         syscall.RawConn
+	fd         int
+	registered bool
+}
+
+// newNPEnd wraps a connection for raw readiness-driven I/O. Only *net.TCPConn
+// qualifies — chaos wrappers and pipe test conns make the caller fall back to
+// the goroutine path.
+func newNPEnd(c net.Conn) (*npEnd, bool) {
+	tc, ok := c.(*net.TCPConn)
+	if !ok {
+		return nil, false
+	}
+	rc, err := tc.SyscallConn()
+	if err != nil {
+		return nil, false
+	}
+	e := &npEnd{conn: c, rc: rc, fd: -1}
+	if cerr := rc.Control(func(fd uintptr) { e.fd = int(fd) }); cerr != nil || e.fd < 0 {
+		return nil, false
+	}
+	return e, true
+}
+
+// npRelay is the per-connection state machine. Every field is loop-owned.
+type npRelay struct {
+	p        *Proxy
+	shard    *npShard
+	cEnd     *npEnd
+	sEnd     *npEnd // nil while a revalidation redial is in flight
+	backend  int
+	acceptor int
+	hash     uint64
+	key      packet.FlowKey
+	born     time.Time
+
+	fromPool        bool
+	charged         bool // policy holds an open-flow debit for backend
+	counted         bool // committed to PerBackend/Active
+	validated       bool // pooled first-write verdict settled (or not pooled)
+	revalidating    bool // redial helper goroutine in flight; pumps are parked
+	reuseWanted     bool // clean client EOF with the server pool-eligible
+	recycled        bool // quiesce elapsed in silence: server conn poolable
+	finalized       bool
+	dialErrTerminal bool // revalidation exhausted every backend: DialErrors bucket
+
+	req, resp npDir
+}
+
+// npDir is one relay direction's pump state.
+type npDir struct {
+	rel       *npRelay
+	src, dst  *npEnd
+	observe   bool // request direction: chunk arrivals feed the estimator
+	first     bool // next chunk is the stream's first (userspace, validation)
+	done      bool
+	moved     bool // any byte ever spliced on this stream (fallback gate)
+	splice    bool // splice still eligible for this direction
+	waitWrite bool // parked on dst EPOLLOUT
+
+	buf    *[]byte // lazy copy buffer; released before every park
+	pend   []byte  // written-but-blocked tail (aliases buf, or a revalidation chunk)
+	pp     *spipe  // lazy splice pipe; released before every park
+	inPipe int     // bytes sitting in pp, not yet spliced out
+
+	idle *netpoll.Timer // idle deadline / quiesce grace on the wheel
+}
+
+// netpollInit creates one poller per acceptor shard. Any failure (including
+// the process-wide ENOSYS latch) leaves p.np nil and the proxy on the
+// goroutine-per-connection dataplane.
+func (p *Proxy) netpollInit() {
+	if !netpoll.Available() {
+		return
+	}
+	shards := make([]*npShard, 0, p.cfg.Acceptors)
+	for i := 0; i < p.cfg.Acceptors; i++ {
+		pol, err := netpoll.New(netpoll.Config{})
+		if err != nil {
+			for _, s := range shards {
+				_ = s.pol.Close()
+			}
+			return
+		}
+		shards = append(shards, &npShard{pol: pol, live: make(map[*npRelay]struct{})})
+	}
+	p.np = shards
+}
+
+// netpollStop finalizes every live relay (idle ones never get another event,
+// so shutdown must visit them) and closes the pollers. Runs after wg.Wait —
+// every handoff Post happened-before this — and before ctrl.Close, so the
+// final controller flush sees every sample.
+func (p *Proxy) netpollStop() {
+	for _, s := range p.np {
+		s := s
+		s.pol.Post(func() {
+			for rel := range s.live {
+				rel.finalize()
+			}
+		})
+		_ = s.pol.Close()
+	}
+}
+
+// netpollStats snapshots per-shard poller counters (nil when the event
+// dataplane is off).
+func (p *Proxy) netpollStats() []NetpollShardStats {
+	if len(p.np) == 0 {
+		return nil
+	}
+	out := make([]NetpollShardStats, len(p.np))
+	for i, s := range p.np {
+		st := s.pol.Stats()
+		out[i] = NetpollShardStats{
+			Wakeups:       st.Wakeups,
+			TimerFires:    st.TimerFires,
+			RegisteredFDs: st.Registered,
+		}
+	}
+	return out
+}
+
+// netpollHandoff moves a routed connection pair onto the acceptor's poller
+// shard. Returns false when the event path cannot take it (netpoll off,
+// non-TCP ends from chaos wrappers or tests) — the caller continues on the
+// goroutine path with nothing consumed. On true, ownership of both
+// connections and all remaining accounting belongs to the poller loop.
+func (p *Proxy) netpollHandoff(client, server net.Conn, backend, acceptor int,
+	hash uint64, key packet.FlowKey, charged, fromPool bool, born time.Time) bool {
+	if len(p.np) == 0 {
+		return false
+	}
+	cEnd, ok := newNPEnd(client)
+	if !ok {
+		return false
+	}
+	sEnd, ok := newNPEnd(server)
+	if !ok {
+		return false
+	}
+	shard := p.np[acceptor%len(p.np)]
+	rel := &npRelay{
+		p: p, shard: shard, cEnd: cEnd, sEnd: sEnd,
+		backend: backend, acceptor: acceptor, hash: hash, key: key,
+		born: born, fromPool: fromPool, charged: charged,
+		validated: !fromPool,
+	}
+	splice := p.cfg.Splice && spliceAvailable()
+	rel.req = npDir{rel: rel, src: cEnd, dst: sEnd, observe: true, first: true, splice: splice}
+	rel.resp = npDir{rel: rel, src: sEnd, dst: cEnd, splice: splice}
+	shard.pol.Post(rel.start)
+	return true
+}
+
+// start runs on the loop: registers fds, commits accounting for non-pooled
+// conns (pooled ones commit when validation settles, like handle does), and
+// runs the initial pumps — edge-triggered registration reports an edge for
+// already-ready fds, but a direct pump is the guarantee.
+func (rel *npRelay) start() {
+	rel.shard.live[rel] = struct{}{}
+	if !rel.fromPool {
+		rel.commit(rel.backend)
+	}
+	if err := rel.shard.pol.Register(rel.cEnd.fd, rel.onClientEvent); err != nil {
+		rel.finalize() // fd already closed (shutdown race) or epoll pressure
+		return
+	}
+	rel.cEnd.registered = true
+	if !rel.fromPool && !rel.registerServer() {
+		return
+	}
+	rel.req.rearmIdle()
+	rel.req.pump()
+}
+
+// registerServer attaches the server end to the poller. For pooled conns
+// this is deferred until validation settles, so a stale pooled socket's
+// noise cannot reach the response pump before the goroutine path would have
+// started its response loop. Returns false if the relay died.
+func (rel *npRelay) registerServer() bool {
+	if rel.sEnd.registered {
+		return true
+	}
+	if err := rel.shard.pol.Register(rel.sEnd.fd, rel.onServerEvent); err != nil {
+		rel.finalize()
+		return false
+	}
+	rel.sEnd.registered = true
+	rel.resp.rearmIdle()
+	rel.resp.pump()
+	return !rel.finalized
+}
+
+func (rel *npRelay) onClientEvent(ev netpoll.Event) {
+	if rel.finalized {
+		return
+	}
+	if ev.Writable && rel.resp.waitWrite {
+		rel.resp.pump()
+	}
+	if ev.Readable && !rel.finalized {
+		rel.req.pump()
+	}
+}
+
+func (rel *npRelay) onServerEvent(ev netpoll.Event) {
+	if rel.finalized {
+		return
+	}
+	if ev.Writable && rel.req.waitWrite {
+		rel.req.pump()
+	}
+	if ev.Readable && !rel.finalized {
+		rel.resp.pump()
+	}
+}
+
+// commit lands the connection in PerBackend and the live gauges — the same
+// point of no return as handle()'s post-validation counter block.
+func (rel *npRelay) commit(backend int) {
+	p := rel.p
+	rel.backend = backend
+	p.ctrl.ReportDialSuccess(backend)
+	p.perBackend[backend].Add(1)
+	p.active.Add(1)
+	rel.counted = true
+}
+
+// pump is the readiness engine for one direction: flush whatever write was
+// blocked, then move chunks until EAGAIN, EOF, error, a blocked write, or
+// budget exhaustion (then repost — ET delivers no reminder edges).
+func (d *npDir) pump() {
+	rel := d.rel
+	if d.done || rel.finalized || rel.revalidating {
+		return
+	}
+	if !d.flushPending() {
+		return
+	}
+	for budget := npPumpBudget; budget > 0; budget-- {
+		if d.done || rel.finalized || rel.revalidating {
+			return
+		}
+		if d.splice && !d.first && spliceAvailable() {
+			if !d.pumpSplice() {
+				return
+			}
+			continue
+		}
+		if !d.pumpCopy() {
+			return
+		}
+	}
+	rel.shard.pol.Post(d.pump)
+}
+
+// pumpSplice moves one zero-copy chunk src→pipe→dst. Returns false when the
+// pump must stop (parked, blocked, EOF, error); switching splice off (first
+// splice says "not here") returns true so the copy loop takes over from a
+// clean stream.
+func (d *npDir) pumpSplice() bool {
+	rel := d.rel
+	p := rel.p
+	d.releaseBuf() // the first-chunk buffer, once the stream goes zero-copy
+	if d.pp == nil {
+		if d.pp = getPipe(); d.pp == nil {
+			d.splice = false // fd exhaustion: copy path
+			return true
+		}
+	}
+	var n int64
+	var errno error
+	cerr := d.src.rc.Control(func(fd uintptr) {
+		for {
+			n, errno = syscall.Splice(int(fd), nil, d.pp.w, nil, spliceChunk, spliceFlags)
+			if errno != syscall.EINTR {
+				return
+			}
+		}
+	})
+	p.sysSplices.Add(1)
+	if cerr != nil {
+		d.releasePipe()
+		d.srcFailed(net.ErrClosed)
+		return false
+	}
+	if errno == syscall.EAGAIN {
+		d.releasePipe() // park with nothing pinned
+		return false
+	}
+	if errno != nil {
+		if !d.moved && spliceFallbackErrno(errno) {
+			if errno == syscall.ENOSYS || errno == syscall.EPERM {
+				spliceBroken.Store(true)
+			}
+			d.releasePipe()
+			d.splice = false
+			return true // nothing consumed: copy loop from a clean stream
+		}
+		d.releasePipe()
+		d.srcFailed(errno)
+		return false
+	}
+	if n == 0 {
+		d.releasePipe()
+		d.srcEOF()
+		return false
+	}
+	d.moved = true
+	d.inPipe = int(n)
+	d.chunkArrived()
+	return d.flushPipe()
+}
+
+// pumpCopy moves one userspace chunk src→dst (the first-chunk path and the
+// splice fallback). Returns false when the pump must stop.
+func (d *npDir) pumpCopy() bool {
+	p := d.rel.p
+	if d.buf == nil {
+		d.buf = p.getBuf()
+	}
+	n, again, err := d.rawRead(*d.buf)
+	if again {
+		d.releaseBuf() // park with nothing pinned
+		return false
+	}
+	if err != nil {
+		d.releaseBuf()
+		if err == io.EOF {
+			d.srcEOF()
+		} else {
+			d.srcFailed(err)
+		}
+		return false
+	}
+	chunk := (*d.buf)[:n]
+	if d.first {
+		return d.firstChunk(chunk)
+	}
+	d.chunkArrived()
+	return d.writeChunk(chunk)
+}
+
+// firstChunk relays the stream's first request chunk through userspace —
+// the first-byte estimator observation and the pooled path's validation
+// write live here, exactly as on the goroutine path.
+func (d *npDir) firstChunk(b []byte) bool {
+	rel := d.rel
+	p := rel.p
+	d.first = false
+	ts := p.now() // arrival time, attributed after the write settles
+	d.rearmIdle()
+	if rel.fromPool && !rel.validated {
+		n, blocked, err := d.rawWrite(b)
+		if err != nil {
+			rel.beginRevalidate(b, ts)
+			return false
+		}
+		rel.validated = true
+		p.observeAt(rel.hash, rel.key, rel.backend, ts)
+		rel.commit(rel.backend)
+		if !rel.registerServer() {
+			return false
+		}
+		if blocked {
+			d.pend = b[n:]
+			d.waitWrite = true
+			return false
+		}
+		return true
+	}
+	p.observeAt(rel.hash, rel.key, rel.backend, ts)
+	return d.writeChunk(b)
+}
+
+// chunkArrived timestamps a request-direction arrival into the estimator
+// (once per readiness event — identical granularity to one Read on the
+// goroutine path) and re-arms this direction's deadline.
+func (d *npDir) chunkArrived() {
+	rel := d.rel
+	if d.observe {
+		rel.p.observe(rel.hash, rel.key, rel.backend)
+	}
+	d.rearmIdle()
+}
+
+// writeChunk forwards a userspace chunk, parking on EPOLLOUT if dst blocks
+// (the unwritten tail stays pinned in buf until flushPending drains it).
+func (d *npDir) writeChunk(b []byte) bool {
+	n, blocked, err := d.rawWrite(b)
+	if err != nil {
+		d.dstFailed(err)
+		return false
+	}
+	if blocked {
+		d.pend = b[n:]
+		d.waitWrite = true
+		return false
+	}
+	return true
+}
+
+// flushPending resumes whatever a previous pump left blocked: first the
+// splice pipe, then the userspace tail. True means the direction is clear
+// to read again.
+func (d *npDir) flushPending() bool {
+	if d.inPipe > 0 && !d.flushPipe() {
+		return false
+	}
+	if len(d.pend) > 0 {
+		n, blocked, err := d.rawWrite(d.pend)
+		d.pend = d.pend[n:]
+		if err != nil {
+			d.dstFailed(err)
+			return false
+		}
+		if blocked {
+			d.waitWrite = true
+			return false
+		}
+		d.pend = nil
+		d.waitWrite = false
+		d.releaseBuf()
+	}
+	return true
+}
+
+// flushPipe drains the splice pipe into dst, parking on EPOLLOUT if dst
+// blocks (the pipe stays attached: its contents are unrecoverable).
+func (d *npDir) flushPipe() bool {
+	p := d.rel.p
+	for d.inPipe > 0 {
+		var n int64
+		var errno error
+		cerr := d.dst.rc.Control(func(fd uintptr) {
+			for {
+				n, errno = syscall.Splice(d.pp.r, nil, int(fd), nil, d.inPipe, spliceFlags)
+				if errno != syscall.EINTR {
+					return
+				}
+			}
+		})
+		p.sysSplices.Add(1)
+		if cerr != nil {
+			d.dstFailed(net.ErrClosed)
+			return false
+		}
+		if errno == syscall.EAGAIN {
+			d.waitWrite = true
+			return false
+		}
+		if errno != nil {
+			d.dstFailed(errno)
+			return false
+		}
+		if n <= 0 {
+			d.dstFailed(io.ErrUnexpectedEOF)
+			return false
+		}
+		d.inPipe -= int(n)
+	}
+	d.waitWrite = false
+	d.releasePipe()
+	return true
+}
+
+// rawRead does one nonblocking read via Control (EINTR-retried). again=true
+// means EAGAIN: park until the next readiness edge.
+func (d *npDir) rawRead(buf []byte) (int, bool, error) {
+	var n int
+	var errno error
+	cerr := d.src.rc.Control(func(fd uintptr) {
+		for {
+			n, errno = syscall.Read(int(fd), buf)
+			if errno != syscall.EINTR {
+				return
+			}
+		}
+	})
+	d.rel.p.sysReads.Add(1)
+	if cerr != nil {
+		return 0, false, net.ErrClosed
+	}
+	if errno == syscall.EAGAIN {
+		return 0, true, nil
+	}
+	if errno != nil {
+		return 0, false, errno
+	}
+	if n <= 0 {
+		return 0, false, io.EOF
+	}
+	return n, false, nil
+}
+
+// rawWrite writes as much of b as dst accepts without blocking. Returns
+// bytes written and whether the socket pushed back (EAGAIN) first.
+func (d *npDir) rawWrite(b []byte) (int, bool, error) {
+	p := d.rel.p
+	total := 0
+	blocked := false
+	var werr error
+	cerr := d.dst.rc.Control(func(fd uintptr) {
+		for total < len(b) {
+			n, errno := syscall.Write(int(fd), b[total:])
+			p.sysWrites.Add(1)
+			if errno == syscall.EINTR {
+				continue
+			}
+			if errno == syscall.EAGAIN {
+				blocked = true
+				return
+			}
+			if errno != nil {
+				werr = errno
+				return
+			}
+			if n <= 0 {
+				werr = io.ErrUnexpectedEOF
+				return
+			}
+			total += n
+		}
+	})
+	if cerr != nil && werr == nil {
+		werr = net.ErrClosed
+	}
+	return total, blocked, werr
+}
+
+// releaseBuf returns the copy buffer to the pool (pend must be drained).
+func (d *npDir) releaseBuf() {
+	if d.buf != nil {
+		d.rel.p.putBuf(d.buf)
+		d.buf = nil
+	}
+}
+
+// releasePipe returns a drained pipe to the pool, or destroys one holding
+// unrecoverable bytes (teardown mid-drain).
+func (d *npDir) releasePipe() {
+	if d.pp == nil {
+		return
+	}
+	if d.inPipe == 0 {
+		putPipe(d.pp)
+	} else {
+		d.pp.destroy()
+	}
+	d.pp = nil
+	d.inPipe = 0
+}
+
+// srcEOF handles a clean EOF, preserving the goroutine path's half-close
+// contract: client EOF hands the server toward the pool (quiesce grace) or
+// forwards the FIN; server EOF forwards the FIN to the client (a pooled
+// conn that EOFs is dead — no recycle on this path).
+func (d *npDir) srcEOF() {
+	rel := d.rel
+	d.done = true
+	d.stopTimer()
+	if d.observe {
+		if rel.fromPool && !rel.validated {
+			// Client finished without sending a byte: the pooled conn was
+			// never tested. Commit like the goroutine path (its relay loops
+			// would see immediate EOF after the counters commit).
+			rel.validated = true
+			rel.commit(rel.backend)
+			if !rel.registerServer() {
+				return
+			}
+		}
+		if rel.wantRecycle() {
+			rel.reuseWanted = true
+			rel.resp.rearmIdle() // flips the response deadline to quiesce
+		} else {
+			closeWrite(rel.sEnd.conn)
+		}
+	} else {
+		closeWrite(rel.cEnd.conn)
+	}
+	rel.maybeFinish()
+}
+
+// srcFailed handles a read-side failure. Response-direction read failures
+// are backend evidence for the passive detector (mirroring runResponse);
+// request-direction ones are client-side noise.
+func (d *npDir) srcFailed(err error) {
+	rel := d.rel
+	if !d.observe {
+		rel.p.reportRelayErr(rel.backend, err)
+	}
+	rel.finalize()
+}
+
+// dstFailed handles a write-side failure. Request-direction write failures
+// hit the server (backend evidence, mirroring runRequest's writeSide);
+// response-direction ones hit the client.
+func (d *npDir) dstFailed(err error) {
+	rel := d.rel
+	if d.observe {
+		rel.p.reportRelayErr(rel.backend, err)
+	}
+	rel.finalize()
+}
+
+// wantRecycle mirrors relay.wantRecycle: offer the drained server conn back
+// to the pool unless the response side already died or the proxy is closing.
+func (rel *npRelay) wantRecycle() bool {
+	return rel.p.pool != nil && !rel.resp.done && !rel.p.closed.Load()
+}
+
+func (rel *npRelay) maybeFinish() {
+	if rel.req.done && rel.resp.done {
+		rel.finalize()
+	}
+}
+
+// rearmIdle (re-)arms this direction's wheel timer: the idle deadline, or —
+// response direction after a clean client EOF — the PoolQuiesce grace.
+func (d *npDir) rearmIdle() {
+	rel := d.rel
+	var to time.Duration
+	if !d.observe && rel.reuseWanted {
+		to = rel.p.poolQuiesce()
+	} else {
+		to = rel.p.cfg.IdleTimeout
+		if to <= 0 {
+			return
+		}
+	}
+	if d.idle == nil {
+		d.idle = rel.shard.pol.AfterFunc(to, d.onTimeout)
+	} else {
+		rel.shard.pol.ResetTimer(d.idle, to)
+	}
+}
+
+func (d *npDir) stopTimer() {
+	if d.idle != nil {
+		d.rel.shard.pol.StopTimer(d.idle)
+	}
+}
+
+// onTimeout fires for an expired idle deadline or an elapsed quiesce grace.
+func (d *npDir) onTimeout() {
+	rel := d.rel
+	if rel.finalized || d.done {
+		return
+	}
+	if !d.observe && rel.reuseWanted {
+		if len(d.pend) > 0 || d.inPipe > 0 {
+			d.rearmIdle() // response tail still in flight to the client
+			return
+		}
+		// A full PoolQuiesce of silence after the client's clean EOF: the
+		// exchange is over and the server connection is drained.
+		rel.recycled = true
+		closeWrite(rel.cEnd.conn)
+		d.done = true
+		rel.maybeFinish()
+		return
+	}
+	if !d.observe {
+		// Backend went silent past the idle bound: detector evidence, like
+		// runResponse's read-deadline expiry.
+		rel.p.reportRelayErr(rel.backend, os.ErrDeadlineExceeded)
+	}
+	rel.finalize()
+}
+
+// beginRevalidate handles a pooled connection dying on its first write:
+// accounted exactly like a failed dial (ReportDialError, one fresh redial to
+// the same backend, then the failover path). The blocking dials run on a
+// one-shot helper goroutine — never the poller loop — and the relay stays
+// parked (revalidating) until the verdict is posted back. Charge ownership
+// moves to the helper so a concurrent teardown cannot double-settle it.
+func (rel *npRelay) beginRevalidate(chunk []byte, ts time.Duration) {
+	p := rel.p
+	rel.revalidating = true
+	pending := append([]byte(nil), chunk...)
+	rel.req.releaseBuf()
+	dead := rel.sEnd // never registered: pooled ends register post-validation
+	rel.sEnd = nil
+	rel.req.dst, rel.resp.src = nil, nil
+	p.connMu.Lock()
+	delete(p.open, dead.conn)
+	p.connMu.Unlock()
+	_ = dead.conn.Close()
+	p.poolFirstWriteFails.Add(1)
+	p.ctrl.ReportDialError(rel.backend, ts)
+	rel.fromPool, rel.born = false, time.Time{}
+	backend := rel.backend
+	charged := rel.charged
+	rel.charged = false
+	go func() {
+		server, newBackend := p.redial(backend, &charged)
+		rel.shard.pol.Post(func() {
+			rel.finishRevalidate(server, newBackend, charged, pending, ts)
+		})
+	}()
+}
+
+// redial makes one fresh dial to the same backend — the pooled conn's death
+// is often stale news — then takes the failover path.
+func (p *Proxy) redial(backend int, charged *bool) (net.Conn, int) {
+	fresh, err := p.dial(p.cfg.Backends[backend], p.cfg.DialTimeout)
+	if err == nil {
+		return fresh, backend
+	}
+	return p.dialFailover(backend, charged)
+}
+
+// finishRevalidate resumes (or buries) a relay whose pooled server died on
+// first write. Runs on the loop.
+func (rel *npRelay) finishRevalidate(server net.Conn, backend int, charged bool,
+	pending []byte, ts time.Duration) {
+	p := rel.p
+	if rel.finalized {
+		// Torn down while the helper dialed (idle expiry, client reset,
+		// shutdown): settle what the helper still owns.
+		if charged {
+			p.ctrl.FlowClosed(backend, p.now())
+		}
+		if server != nil {
+			_ = server.Close()
+		}
+		return
+	}
+	rel.revalidating = false
+	rel.charged = charged
+	if server == nil {
+		p.dialErrors.Add(1) // terminal: no backend accepted the dial
+		rel.dialErrTerminal = true
+		rel.finalize()
+		return
+	}
+	p.connMu.Lock()
+	p.open[server] = struct{}{}
+	p.connMu.Unlock()
+	if p.closed.Load() {
+		_ = server.Close()
+	}
+	end, ok := newNPEnd(server)
+	if !ok {
+		// The replacement lacks raw access (chaos wrapper): this relay
+		// cannot continue event-driven. Count it, then retire it like an
+		// immediate relay failure on the fresh conn.
+		rel.sEnd = &npEnd{conn: server, fd: -1}
+		rel.req.dst, rel.resp.src = rel.sEnd, rel.sEnd
+		rel.validated = true
+		p.observeAt(rel.hash, rel.key, backend, ts)
+		rel.commit(backend)
+		rel.finalize()
+		return
+	}
+	rel.sEnd = end
+	rel.req.dst, rel.resp.src = end, end
+	rel.validated = true
+	p.observeAt(rel.hash, rel.key, backend, ts)
+	rel.commit(backend)
+	// The swapped connection still owes the first chunk.
+	n, blocked, err := rel.req.rawWrite(pending)
+	if err != nil {
+		p.reportRelayErr(backend, err)
+		rel.finalize()
+		return
+	}
+	if !rel.registerServer() {
+		return
+	}
+	if blocked {
+		rel.req.pend = pending[n:]
+		rel.req.waitWrite = true
+		return
+	}
+	rel.req.rearmIdle()
+	rel.req.pump()
+}
+
+// finalize is the single teardown point: idempotent, loop-only. It releases
+// lazily-attached resources, unregisters both fds, settles the accounting
+// identity (exactly one of PerBackend/DialErrors for every handed-off
+// connection; FlowClosed only while charged; ForgetHashed always), and
+// retires or recycles the server connection.
+func (rel *npRelay) finalize() {
+	if rel.finalized {
+		return
+	}
+	rel.finalized = true
+	p := rel.p
+	delete(rel.shard.live, rel)
+	rel.req.cleanup()
+	rel.resp.cleanup()
+	if rel.cEnd.registered {
+		rel.shard.pol.Unregister(rel.cEnd.fd)
+		rel.cEnd.registered = false
+	}
+	if rel.sEnd != nil && rel.sEnd.registered {
+		rel.shard.pol.Unregister(rel.sEnd.fd)
+		rel.sEnd.registered = false
+	}
+	if !rel.counted && !rel.dialErrTerminal {
+		// Relay died before its commit point (register failure, shutdown):
+		// the goroutine path would have committed before its loops errored
+		// out, so the connection still lands in PerBackend.
+		rel.commit(rel.backend)
+	}
+	p.flows.ForgetHashed(rel.hash, rel.key)
+	if rel.charged {
+		p.ctrl.FlowClosed(rel.backend, p.now())
+		rel.charged = false
+	}
+	if rel.counted {
+		p.active.Add(-1)
+	}
+	p.connMu.Lock()
+	delete(p.open, rel.cEnd.conn)
+	if rel.sEnd != nil {
+		delete(p.open, rel.sEnd.conn)
+	}
+	p.connMu.Unlock()
+	if rel.sEnd != nil {
+		if rel.recycled && !p.closed.Load() && p.pool != nil &&
+			p.pool.Put(rel.backend, rel.acceptor, rel.sEnd.conn, rel.born) {
+			p.poolRecycled.Add(1)
+		} else {
+			_ = rel.sEnd.conn.Close()
+		}
+	}
+	_ = rel.cEnd.conn.Close()
+}
+
+// cleanup releases one direction's lazily-attached resources.
+func (d *npDir) cleanup() {
+	d.done = true
+	d.stopTimer()
+	d.pend = nil
+	d.releaseBuf()
+	d.releasePipe()
+}

@@ -138,6 +138,17 @@ type Config struct {
 	// unchanged — every request-direction chunk arrival is still
 	// timestamped, it just is not copied.
 	Splice bool
+	// Netpoll enables the event-driven dataplane on Linux: one epoll
+	// readiness loop per acceptor shard drives every relayed connection as
+	// a compact state machine (O(shards) goroutines instead of O(2·conns)),
+	// with idle/drain deadlines on a per-shard timing wheel instead of
+	// per-conn SetDeadline. Non-Linux builds, kernels without epoll
+	// (latched on ENOSYS), and connections without raw-fd access (chaos
+	// wrappers, test pipes) fall back to the goroutine-per-connection path
+	// transparently. Estimator semantics are unchanged: the first request
+	// chunk stays in userspace and every request-direction readiness event
+	// is observed exactly as a Read on the goroutine path would be.
+	Netpoll bool
 	// PoolIdle enables backend connection pooling when > 0: up to PoolIdle
 	// idle connections are kept per backend (probed live at checkout) so a
 	// client connection does not always pay a fresh dial. Zero disables
@@ -200,6 +211,17 @@ type Stats struct {
 	// failed their first write (accounted as dial failures), and conns
 	// recycled back into the pool after a quiesced exchange.
 	PoolHits, PoolMisses, PoolDead, PoolFirstWriteFails, PoolRecycled uint64
+	// Netpoll holds per-shard poller counters when the event-driven
+	// dataplane is active; nil otherwise.
+	Netpoll []NetpollShardStats
+}
+
+// NetpollShardStats are one poller shard's counters: epoll_wait wakeups,
+// timing-wheel fires, and currently registered fds.
+type NetpollShardStats struct {
+	Wakeups       uint64 `json:"wakeups"`
+	TimerFires    uint64 `json:"timer_fires"`
+	RegisteredFDs int64  `json:"registered_fds"`
 }
 
 // Proxy is a running load balancer instance.
@@ -210,6 +232,7 @@ type Proxy struct {
 	flows *core.ShardedFlowTable
 	ctrl  *control.Controller
 	pool  *dialpool.Pool // nil unless Config.PoolIdle > 0
+	np    []*npShard     // event-loop shards; nil unless Config.Netpoll works here
 	start time.Time
 
 	// bufs recycles relay buffers (up to two per connection,
@@ -315,6 +338,9 @@ func New(cfg Config) (*Proxy, error) {
 			MaxAge:            cfg.PoolMaxAge,
 		})
 	}
+	if cfg.Netpoll {
+		p.netpollInit() // leaves p.np nil (goroutine dataplane) if epoll is unusable
+	}
 	return p, nil
 }
 
@@ -350,6 +376,7 @@ func (p *Proxy) Stats() Stats {
 		RelaySplices:        p.sysSplices.Load(),
 		PoolFirstWriteFails: p.poolFirstWriteFails.Load(),
 		PoolRecycled:        p.poolRecycled.Load(),
+		Netpoll:             p.netpollStats(),
 	}
 	if p.pool != nil {
 		ps := p.pool.Stats()
@@ -492,6 +519,11 @@ func (p *Proxy) Close() error {
 	}
 	p.connMu.Unlock()
 	p.wg.Wait()
+	// Netpoll relays are owned by the pollers, not wg: every handoff Post
+	// happened-before wg.Wait returned, so stopping the pollers here
+	// finalizes every relay (idle ones included) with all samples flushed
+	// into the aggregator before the controller's final tick below.
+	p.netpollStop()
 	if p.pool != nil {
 		p.pool.Close()
 	}
@@ -540,17 +572,24 @@ func (p *Proxy) dialFailover(backend int, charged *bool) (net.Conn, int) {
 }
 
 func (p *Proxy) handle(client net.Conn, acceptor int) {
-	defer client.Close()
+	// handedOff flips when the connection pair moves to a poller shard: the
+	// npRelay owns both conns and all remaining accounting from then on, so
+	// this goroutine's cleanup must not touch them.
+	handedOff := false
+	defer func() {
+		if handedOff {
+			return
+		}
+		client.Close()
+		p.connMu.Lock()
+		delete(p.open, client)
+		p.connMu.Unlock()
+	}()
 	// Register the client with the force-close sweep before anything that
 	// can block on it (the pooled path reads the first chunk below).
 	p.connMu.Lock()
 	p.open[client] = struct{}{}
 	p.connMu.Unlock()
-	defer func() {
-		p.connMu.Lock()
-		delete(p.open, client)
-		p.connMu.Unlock()
-	}()
 	if p.closed.Load() {
 		// Raced Close's force-close sweep: tear down now rather than start
 		// work Close will never see.
@@ -605,6 +644,15 @@ func (p *Proxy) handle(client net.Conn, acceptor int) {
 	p.connMu.Unlock()
 	if p.closed.Load() {
 		server.Close()
+	}
+
+	// Event-driven dataplane: hand the pair to this acceptor's poller shard.
+	// The handoff point is before pooled validation — the npRelay runs the
+	// validation write itself when the first chunk arrives, so until then the
+	// connection pins no goroutine at all.
+	if p.netpollHandoff(client, server, backend, acceptor, hash, key, charged, fromPool, born) {
+		handedOff = true
+		return
 	}
 
 	// Pooled-connection validation: relay the first client chunk through

@@ -5,41 +5,19 @@ import (
 	"fmt"
 	"net"
 	"runtime"
-	"sync"
-	"syscall"
 	"testing"
 	"time"
 
 	"inbandlb/internal/control"
+	"inbandlb/internal/testbed"
 )
 
-// stressConns gates the concurrent-connection scale stress. 0 skips it
-// (the default: the test pins tens of thousands of fds and is meant for
-// explicit runs, e.g. `go test -run ConnScale -stress.conns=100000`).
-// Whatever is requested is capped to what RLIMIT_NOFILE can actually
-// hold: the whole topology lives in one process, so every proxied
-// connection costs 4 fds (client end, proxy's two ends, backend end).
-var stressConns = flag.Int("stress.conns", 0, "target concurrent connections for TestProxyConnScaleStress (0 = skip; capped by RLIMIT_NOFILE/4)")
-
-// maxScaleConns raises RLIMIT_NOFILE as far as the hard limit allows and
-// returns how many proxied connections fit, leaving headroom for
-// listeners, pipes, and the runtime's own fds.
-func maxScaleConns() int {
-	var rl syscall.Rlimit
-	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
-		return 1000
-	}
-	if rl.Cur < rl.Max {
-		rl.Cur = rl.Max
-		_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl)
-		_ = syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl)
-	}
-	const headroom = 512
-	if rl.Cur < headroom*2 {
-		return 64
-	}
-	return int(rl.Cur-headroom) / 4
-}
+// stressConns gates the concurrent-connection scale stresses. 0 skips
+// them (the default: the tests pin tens of thousands of fds and are
+// meant for explicit runs, e.g. `go test -run ConnScale
+// -stress.conns=100000`). Whatever is requested is capped to what
+// RLIMIT_NOFILE can actually hold (testbed.MaxProxiedConns).
+var stressConns = flag.Int("stress.conns", 0, "target concurrent connections for the ConnScaleStress tests (0 = skip; capped by RLIMIT_NOFILE/4)")
 
 // TestProxyConnScaleStress holds N concurrent connections open through
 // the full syscall-diet dataplane at once — splice relays parked on
@@ -56,46 +34,35 @@ func maxScaleConns() int {
 // the ephemeral-port space per (src,dst) tuple is never the binding
 // constraint; in this harness the fd rlimit is.
 func TestProxyConnScaleStress(t *testing.T) {
+	runConnScaleStress(t, false)
+}
+
+// TestProxyConnScaleStressNetpoll is the same fleet held by the
+// event-driven dataplane: O(acceptor shards) poller goroutines own every
+// relay instead of two goroutines per connection. Beyond the shared
+// accounting identities it asserts the goroutine count stays far below
+// the connection count while the fleet is parked.
+func TestProxyConnScaleStressNetpoll(t *testing.T) {
+	runConnScaleStress(t, true)
+}
+
+func runConnScaleStress(t *testing.T, netpoll bool) {
 	if *stressConns == 0 {
 		t.Skip("scale stress: set -stress.conns=N to run")
 	}
 	target := *stressConns
-	if max := maxScaleConns(); target > max {
+	if max := testbed.MaxProxiedConns(); target > max {
 		t.Logf("capping -stress.conns=%d to %d (RLIMIT_NOFILE/4 with headroom)", target, max)
 		target = max
 	}
 
 	// Hold backends: accept, swallow the greeting, keep the conn open.
 	const nBackends = 4
-	backends := make([]string, nBackends)
-	var backendConns sync.Map
-	for i := range backends {
-		lis, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer lis.Close()
-		backends[i] = lis.Addr().String()
-		go func(lis net.Listener) {
-			for {
-				c, err := lis.Accept()
-				if err != nil {
-					return
-				}
-				backendConns.Store(c, struct{}{})
-				go func(c net.Conn) {
-					buf := make([]byte, 256)
-					for {
-						if _, err := c.Read(buf); err != nil {
-							_ = c.Close()
-							backendConns.Delete(c)
-							return
-						}
-					}
-				}(c)
-			}
-		}(lis)
+	backends, stopBackends, err := testbed.StartHoldBackends(nBackends)
+	if err != nil {
+		t.Fatal(err)
 	}
+	defer stopBackends()
 
 	proxy, err := New(Config{
 		Backends:  backends,
@@ -103,9 +70,14 @@ func TestProxyConnScaleStress(t *testing.T) {
 		Shards:    4,
 		Acceptors: 4,
 		Splice:    true,
+		Netpoll:   netpoll,
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if netpoll && len(proxy.np) == 0 {
+		_ = proxy.Close()
+		t.Skip("netpoll dataplane unavailable on this platform")
 	}
 	if err := proxy.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
@@ -116,6 +88,10 @@ func TestProxyConnScaleStress(t *testing.T) {
 
 	// Establish the fleet: each connection sends one greeting so the
 	// estimator observes its first byte and the relay then parks.
+	// baseGoroutines is the pre-fleet floor; the hold backends add one
+	// swallow-loop goroutine per proxied connection on top of it, which the
+	// netpoll budget check below subtracts back out.
+	baseGoroutines := runtime.NumGoroutine()
 	greeting := []byte("hold 0123456789abcdef 0123456789abcdef\r\n")
 	conns := make([]net.Conn, 0, target)
 	defer func() {
@@ -125,12 +101,7 @@ func TestProxyConnScaleStress(t *testing.T) {
 	}()
 	start := time.Now()
 	for i := 0; i < target; i++ {
-		d := net.Dialer{
-			Timeout: 5 * time.Second,
-			// Rotate source IPs so no (src,dst) tuple exhausts its
-			// ephemeral ports even at six-figure counts.
-			LocalAddr: &net.TCPAddr{IP: net.IPv4(127, 0, 0, byte(2+i%8))},
-		}
+		d := testbed.RotatingDialer(i, 5*time.Second)
 		c, err := d.Dial("tcp", paddr)
 		if err != nil {
 			t.Fatalf("dial %d/%d: %v", i, target, err)
@@ -148,16 +119,38 @@ func TestProxyConnScaleStress(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	st := proxy.Stats()
+	goroutines := runtime.NumGoroutine()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	t.Logf("held %d conns: setup %.1fs (%.0f conns/s), %d goroutines, %.1f MiB heap, stats %+v",
 		target, setup.Seconds(), float64(target)/setup.Seconds(),
-		runtime.NumGoroutine(), float64(ms.HeapInuse)/(1<<20),
+		goroutines, float64(ms.HeapInuse)/(1<<20),
 		struct {
 			Accepted, Samples, DialErrors, Dropped uint64
-			Active                                int64
+			Active                                 int64
 		}{
 			st.Accepted, st.Samples, st.DialErrors, st.Dropped, st.Active})
+	if netpoll {
+		t.Logf("netpoll shards: %+v", st.Netpoll)
+		// The event-driven dataplane's whole point: the fleet is parked on
+		// epoll, not on 2N relay goroutine stacks. The in-process hold
+		// backends pin one goroutine per connection; everything above that
+		// is the proxy's share, which must be O(shards), not O(conns).
+		relayGoroutines := goroutines - baseGoroutines - target
+		t.Logf("proxy-side goroutines beyond backends: %d (goroutine path would pin ~%d)",
+			relayGoroutines, 2*target)
+		if target >= 1000 && relayGoroutines > target/10 {
+			t.Errorf("netpoll fleet pinned %d proxy goroutines for %d conns, want O(shards)",
+				relayGoroutines, target)
+		}
+		var reg int64
+		for _, sh := range st.Netpoll {
+			reg += sh.RegisteredFDs
+		}
+		if reg < int64(target) {
+			t.Errorf("registered fds = %d across shards, want >= %d", reg, target)
+		}
+	}
 	if st.Active != int64(target) {
 		t.Fatalf("active = %d, want %d", st.Active, target)
 	}

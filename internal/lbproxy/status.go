@@ -3,6 +3,7 @@ package lbproxy
 import (
 	"encoding/json"
 	"net/http"
+	"runtime"
 	"time"
 
 	"inbandlb/internal/control"
@@ -19,6 +20,10 @@ type StatusSnapshot struct {
 	FlowTableShards int   `json:"flow_table_shards"`
 	TrackedFlows    int   `json:"tracked_flows"`
 	Stats           Stats `json:"stats"`
+	// Goroutines is a live runtime.NumGoroutine gauge. Under the netpoll
+	// dataplane it stays O(shards) regardless of connection count; on the
+	// goroutine-per-connection path it tracks 2x the active relays.
+	Goroutines int `json:"goroutines"`
 	// SnapshotGeneration counts routing-snapshot publications (table
 	// rebuilds merged by control ticks plus health-eject flips); zero for
 	// stateful policies that route under the mutex instead of a snapshot.
@@ -51,6 +56,7 @@ func (p *Proxy) Snapshot() StatusSnapshot {
 		FlowTableShards:    p.flows.Shards(),
 		TrackedFlows:       p.flows.Len(),
 		Stats:              p.Stats(),
+		Goroutines:         runtime.NumGoroutine(),
 		SnapshotGeneration: p.ctrl.Generation(),
 	}
 	// Policy state is read under the controller's serialization lock so the

@@ -1,0 +1,49 @@
+// Package netpoll provides sharded edge-triggered epoll(7) event loops for
+// the proxy's readiness-driven dataplane. One Poller per acceptor shard
+// replaces the two blocked goroutines per relayed connection: registered fds
+// deliver readiness callbacks on the poller's single loop goroutine, and a
+// hierarchical timing wheel owned by the loop replaces per-connection
+// SetDeadline timers.
+//
+// The Linux implementation uses raw epoll_create1/epoll_ctl/epoll_wait via
+// the stdlib syscall package (no x/sys dependency, mirroring
+// lbproxy/splice_linux.go). On other platforms — or when the kernel reports
+// ENOSYS, which latches a process-wide fallback — New returns ErrUnsupported
+// and callers keep the goroutine-per-connection path.
+//
+// Concurrency contract: Register, Unregister, Post, Stats, and Close are safe
+// from any goroutine. Readiness callbacks, posted tasks, and timer callbacks
+// all run on the loop goroutine, serialized — state touched only from
+// callbacks needs no locks. Timer methods (AfterFunc, StopTimer, ResetTimer)
+// must be called from the loop goroutine.
+package netpoll
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrUnsupported is returned by New when the platform (or this kernel) has no
+// epoll support. Callers fall back to the goroutine-per-connection dataplane.
+var ErrUnsupported = errors.New("netpoll: not supported on this platform")
+
+// Event describes readiness for a registered fd. Error and hangup conditions
+// set both Readable and Writable so the owner's pumps run and surface the
+// error from the syscall itself.
+type Event struct {
+	Readable bool
+	Writable bool
+}
+
+// Stats is a snapshot of one poller's counters.
+type Stats struct {
+	Wakeups    uint64 // epoll_wait returns (incl. timer and posted-task wakes)
+	TimerFires uint64 // timing-wheel callbacks run
+	Registered int64  // fds currently registered
+}
+
+// Config tunes a Poller. The zero value is ready to use.
+type Config struct {
+	// Tick is the timing-wheel granularity. Zero means 1ms.
+	Tick time.Duration
+}

@@ -1,0 +1,308 @@
+//go:build linux
+
+package netpoll
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// epollBroken latches process-wide when the kernel rejects epoll_create1 with
+// ENOSYS, so later shards skip straight to the goroutine-path fallback.
+var epollBroken atomic.Bool
+
+// Available reports whether epoll pollers can be created on this host.
+func Available() bool { return !epollBroken.Load() }
+
+// epollET is EPOLLET as a uint32. The syscall package defines EPOLLET as a
+// negative untyped constant (-0x80000000), which cannot be converted to
+// uint32 directly in a constant expression.
+const epollET = uint32(1) << 31
+
+const epollMask = uint32(syscall.EPOLLIN|syscall.EPOLLOUT|syscall.EPOLLRDHUP|
+	syscall.EPOLLERR|syscall.EPOLLHUP) | epollET
+
+// Poller is one edge-triggered epoll loop plus its timing wheel. See the
+// package comment for the concurrency contract.
+//
+// The loop never blocks in epoll_wait: the epoll fd itself is registered
+// with the Go runtime's netpoller (epoll instances are pollable — nested
+// epoll), and the loop parks in RawConn.Read until the ready list goes
+// non-empty or the wheel's next deadline expires. Blocking in a raw
+// epoll_wait syscall instead would pin this goroutine's P until sysmon
+// retakes it (up to ~10ms on an otherwise-idle scheduler), adding
+// scheduler-stall latency to every wakeup — worst on GOMAXPROCS=1.
+// Parking on the runtime poller makes wakeups ordinary goroutine wakeups.
+type Poller struct {
+	epfd         int
+	epf          *os.File        // epfd wrapped for runtime-netpoller parking
+	eprc         syscall.RawConn // epf's raw handle; loop parks in its Read
+	wakeR, wakeW int
+	start        time.Time
+	wheel        *Wheel
+	done         chan struct{}
+
+	mu          sync.Mutex
+	cbs         map[int]func(Event)
+	tasks       []func()
+	wakePending bool
+
+	closing bool // loop-goroutine only; set via posted task
+	closed  atomic.Bool
+
+	wakeups    atomic.Uint64
+	timerFires atomic.Uint64
+	registered atomic.Int64
+}
+
+// New creates a poller and starts its loop goroutine. Returns ErrUnsupported
+// when epoll is unavailable (non-Linux kernels reporting ENOSYS latch the
+// process-wide fallback).
+func New(cfg Config) (*Poller, error) {
+	if epollBroken.Load() {
+		return nil, ErrUnsupported
+	}
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		if err == syscall.ENOSYS {
+			epollBroken.Store(true)
+			return nil, ErrUnsupported
+		}
+		return nil, err
+	}
+	// Hand the epoll fd to the runtime netpoller (it must be nonblocking for
+	// os.NewFile to register it as pollable). If the runtime refuses it —
+	// SetReadDeadline only works on pollable files — there is no
+	// scheduler-integrated parking, and the goroutine dataplane is the
+	// better fallback.
+	_ = syscall.SetNonblock(epfd, true)
+	epf := os.NewFile(uintptr(epfd), "netpoll-epoll")
+	eprc, err := epf.SyscallConn()
+	if err == nil {
+		err = epf.SetReadDeadline(time.Time{})
+	}
+	if err != nil {
+		_ = epf.Close()
+		return nil, ErrUnsupported
+	}
+	var pfds [2]int
+	if err := syscall.Pipe2(pfds[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		_ = epf.Close()
+		return nil, err
+	}
+	p := &Poller{
+		epfd:  epfd,
+		epf:   epf,
+		eprc:  eprc,
+		wakeR: pfds[0],
+		wakeW: pfds[1],
+		start: time.Now(),
+		wheel: NewWheel(cfg.Tick),
+		done:  make(chan struct{}),
+		cbs:   make(map[int]func(Event)),
+	}
+	// The wake pipe is level-triggered: the loop fully drains it every wake.
+	ev := syscall.EpollEvent{Events: uint32(syscall.EPOLLIN), Fd: int32(p.wakeR)}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, p.wakeR, &ev); err != nil {
+		_ = epf.Close()
+		syscall.Close(pfds[0])
+		syscall.Close(pfds[1])
+		return nil, err
+	}
+	go p.loop()
+	return p, nil
+}
+
+// Register adds fd to the epoll set (edge-triggered, both directions) and
+// routes its readiness events to cb on the loop goroutine. Edge-triggered
+// registration delivers an initial event if the fd is already ready, but
+// owners that need a guaranteed first pump should run it themselves.
+func (p *Poller) Register(fd int, cb func(Event)) error {
+	p.mu.Lock()
+	p.cbs[fd] = cb
+	p.mu.Unlock()
+	ev := syscall.EpollEvent{Events: epollMask, Fd: int32(fd)}
+	if err := syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, fd, &ev); err != nil {
+		p.mu.Lock()
+		delete(p.cbs, fd)
+		p.mu.Unlock()
+		return err
+	}
+	p.registered.Add(1)
+	return nil
+}
+
+// Unregister removes fd from the epoll set. Safe to call for an fd that was
+// never registered (or whose registration already ended); events already
+// dequeued for this fd are dropped at dispatch.
+func (p *Poller) Unregister(fd int) {
+	p.mu.Lock()
+	_, ok := p.cbs[fd]
+	delete(p.cbs, fd)
+	p.mu.Unlock()
+	if !ok {
+		return
+	}
+	// Ignore the error: the fd may already be closed, which removed it.
+	_ = syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, fd, nil)
+	p.registered.Add(-1)
+}
+
+// Post schedules fn to run on the loop goroutine, waking the loop if needed.
+// Tasks run in FIFO order after the current event batch.
+func (p *Poller) Post(fn func()) {
+	p.mu.Lock()
+	p.tasks = append(p.tasks, fn)
+	wake := !p.wakePending
+	p.wakePending = true
+	p.mu.Unlock()
+	if wake {
+		var b [1]byte
+		_, _ = syscall.Write(p.wakeW, b[:]) // EAGAIN: pipe full, loop is waking anyway
+	}
+}
+
+// AfterFunc schedules fn on the timing wheel. Loop goroutine only.
+func (p *Poller) AfterFunc(d time.Duration, fn func()) *Timer {
+	return p.wheel.Add(d, fn)
+}
+
+// StopTimer cancels t. Loop goroutine only.
+func (p *Poller) StopTimer(t *Timer) bool { return p.wheel.Stop(t) }
+
+// ResetTimer re-arms t (keeping its callback). Loop goroutine only.
+func (p *Poller) ResetTimer(t *Timer, d time.Duration) { p.wheel.Reset(t, d) }
+
+// Stats returns a snapshot of the poller's counters.
+func (p *Poller) Stats() Stats {
+	return Stats{
+		Wakeups:    p.wakeups.Load(),
+		TimerFires: p.timerFires.Load(),
+		Registered: p.registered.Load(),
+	}
+}
+
+// Close stops the loop after running already-posted tasks, then releases the
+// epoll and wake-pipe fds. Registered fds are the owner's responsibility;
+// post teardown tasks before calling Close. Idempotent; concurrent callers
+// block until shutdown completes.
+func (p *Poller) Close() error {
+	if p.closed.Swap(true) {
+		<-p.done
+		return nil
+	}
+	p.Post(func() { p.closing = true })
+	<-p.done
+	_ = p.epf.Close() // owns epfd; also deregisters it from the runtime poller
+	syscall.Close(p.wakeR)
+	syscall.Close(p.wakeW)
+	return nil
+}
+
+func (p *Poller) nowTick() uint64 {
+	return uint64(time.Since(p.start) / p.wheel.Tick())
+}
+
+func (p *Poller) loop() {
+	defer close(p.done)
+	events := make([]syscall.EpollEvent, 128)
+	for {
+		if d := p.wheel.NextDelay(); d >= 0 {
+			_ = p.epf.SetReadDeadline(time.Now().Add(d))
+		} else {
+			_ = p.epf.SetReadDeadline(time.Time{})
+		}
+		fatal := false
+		// Park in the runtime netpoller until the epoll ready list goes
+		// non-empty or the wheel deadline expires; every epoll_wait below is
+		// msec=0 (never blocking in a raw syscall). The callback must drain
+		// the ready list to empty before parking: the runtime's nested-epoll
+		// subscription is edge-triggered, so the only guaranteed future
+		// notification is the empty→non-empty transition.
+		err := p.eprc.Read(func(uintptr) bool {
+			got := false
+			for {
+				n, werr := syscall.EpollWait(p.epfd, events, 0)
+				if werr == syscall.EINTR {
+					continue
+				}
+				if werr != nil {
+					// EBADF and friends: only plausible mid-shutdown.
+					fatal = true
+					return true
+				}
+				if n == 0 {
+					return got // drained: proceed if we dispatched, else park
+				}
+				got = true
+				p.dispatch(events[:n])
+			}
+		})
+		p.wakeups.Add(1)
+		p.runTasks()
+		p.wheel.Advance(p.nowTick())
+		p.timerFires.Store(p.wheel.Fired())
+		if p.closing {
+			p.runTasks() // drain anything queued by the final batch
+			return
+		}
+		if fatal || (err != nil && !errors.Is(err, os.ErrDeadlineExceeded)) {
+			// Closed under us without the closing task having run yet: a
+			// shutdown race. One more task sweep, then exit rather than spin.
+			p.runTasks()
+			return
+		}
+	}
+}
+
+func (p *Poller) dispatch(events []syscall.EpollEvent) {
+	for i := range events {
+		fd := int(events[i].Fd)
+		if fd == p.wakeR {
+			p.drainWake()
+			continue
+		}
+		p.mu.Lock()
+		cb := p.cbs[fd]
+		p.mu.Unlock()
+		if cb == nil {
+			continue // unregistered after the event was queued
+		}
+		bits := events[i].Events
+		errish := bits&uint32(syscall.EPOLLERR|syscall.EPOLLHUP) != 0
+		cb(Event{
+			Readable: errish || bits&uint32(syscall.EPOLLIN|syscall.EPOLLRDHUP) != 0,
+			Writable: errish || bits&uint32(syscall.EPOLLOUT) != 0,
+		})
+	}
+}
+
+func (p *Poller) drainWake() {
+	var buf [64]byte
+	for {
+		n, err := syscall.Read(p.wakeR, buf[:])
+		if n < len(buf) || err != nil {
+			return
+		}
+	}
+}
+
+func (p *Poller) runTasks() {
+	for {
+		p.mu.Lock()
+		tasks := p.tasks
+		p.tasks = nil
+		p.wakePending = false
+		p.mu.Unlock()
+		if len(tasks) == 0 {
+			return
+		}
+		for _, fn := range tasks {
+			fn()
+		}
+	}
+}

@@ -1,0 +1,108 @@
+//go:build linux
+
+package netpoll
+
+import (
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func newTestPoller(t *testing.T) *Poller {
+	t.Helper()
+	if !Available() {
+		t.Skip("epoll unavailable")
+	}
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestPollerReadReadiness(t *testing.T) {
+	p := newTestPoller(t)
+	var fds [2]int
+	if err := syscall.Pipe2(fds[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		t.Fatalf("pipe2: %v", err)
+	}
+	defer syscall.Close(fds[0])
+	defer syscall.Close(fds[1])
+
+	got := make(chan Event, 8)
+	if err := p.Register(fds[0], func(ev Event) { got <- ev }); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if st := p.Stats(); st.Registered != 1 {
+		t.Fatalf("Registered=%d, want 1", st.Registered)
+	}
+	if _, err := syscall.Write(fds[1], []byte("x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	select {
+	case ev := <-got:
+		if !ev.Readable {
+			t.Fatalf("event not readable: %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no readiness event within 5s")
+	}
+	p.Unregister(fds[0])
+	if st := p.Stats(); st.Registered != 0 {
+		t.Fatalf("Registered=%d after Unregister, want 0", st.Registered)
+	}
+	p.Unregister(fds[0]) // double-unregister is a no-op
+}
+
+func TestPollerPostAndTimers(t *testing.T) {
+	p := newTestPoller(t)
+	fired := make(chan struct{})
+	// Timer methods are loop-only, so arm from a posted task.
+	p.Post(func() {
+		p.AfterFunc(10*time.Millisecond, func() { close(fired) })
+	})
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("wheel timer never fired")
+	}
+	if st := p.Stats(); st.TimerFires != 1 || st.Wakeups == 0 {
+		t.Fatalf("stats after timer: %+v", st)
+	}
+
+	// Cancel-before-fire via the poller surface.
+	cancelled := atomic.Bool{}
+	p.Post(func() {
+		tm := p.AfterFunc(20*time.Millisecond, func() { cancelled.Store(true) })
+		if !p.StopTimer(tm) {
+			t.Error("StopTimer on pending timer returned false")
+		}
+	})
+	time.Sleep(60 * time.Millisecond)
+	if cancelled.Load() {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestPollerCloseRunsPostedTasks(t *testing.T) {
+	if !Available() {
+		t.Skip("epoll unavailable")
+	}
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ran := atomic.Bool{}
+	p.Post(func() { ran.Store(true) })
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !ran.Load() {
+		t.Fatal("task posted before Close did not run")
+	}
+	if err := p.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -1,0 +1,128 @@
+package testbed
+
+import (
+	"net"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Scale-stress plumbing shared by the lbproxy dataplane stress tests: fd
+// budget probing, rotating-source dialers, and hold-open backend sinks.
+// The whole stress topology (clients, proxy, backends) lives in one
+// process, so every proxied connection costs 4 fds — client end, the
+// proxy's two ends, backend end — and RLIMIT_NOFILE is the binding
+// constraint long before ephemeral ports are.
+
+// MaxProxiedConns raises RLIMIT_NOFILE as far as the hard limit allows
+// and returns how many proxied connections fit, leaving headroom for
+// listeners, pipes, epoll/wake fds, and the runtime's own descriptors.
+func MaxProxiedConns() int {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 1000
+	}
+	if rl.Cur < rl.Max {
+		rl.Cur = rl.Max
+		_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl)
+		_ = syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl)
+	}
+	const headroom = 512
+	if rl.Cur < headroom*2 {
+		return 64
+	}
+	return int(rl.Cur-headroom) / 4
+}
+
+// RotatingDialer returns a dialer whose loopback source address rotates
+// across 127.0.0.2-9 keyed by i, so no single (src,dst) tuple exhausts
+// its ephemeral-port space even at six-figure connection counts.
+func RotatingDialer(i int, timeout time.Duration) net.Dialer {
+	return net.Dialer{
+		Timeout:   timeout,
+		LocalAddr: &net.TCPAddr{IP: net.IPv4(127, 0, 0, byte(2+i%8))},
+	}
+}
+
+// StartAcceptBackends starts n TCP sinks that accept connections and then
+// never touch them — no per-connection goroutine, no reads — so the
+// process's goroutine count isolates the proxy's own share. Accepted
+// connections close when stop runs (the peer's FIN is never observed, so
+// tests using these must force-close rather than rely on EOF propagation).
+func StartAcceptBackends(n int) (addrs []string, stop func(), err error) {
+	var mu sync.Mutex
+	var held []net.Conn
+	listeners := make([]net.Listener, 0, n)
+	stop = func() {
+		for _, lis := range listeners {
+			_ = lis.Close()
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range held {
+			_ = c.Close()
+		}
+		held = nil
+	}
+	for i := 0; i < n; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		listeners = append(listeners, lis)
+		addrs = append(addrs, lis.Addr().String())
+		go func(lis net.Listener) {
+			for {
+				c, err := lis.Accept()
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				held = append(held, c)
+				mu.Unlock()
+			}
+		}(lis)
+	}
+	return addrs, stop, nil
+}
+
+// StartHoldBackends starts n TCP sinks that accept connections, swallow
+// every byte, and hold each connection open until the peer closes it.
+// Returns the listen addresses and a stop func that closes the listeners
+// (held connections close when their read loops observe the peer's FIN).
+func StartHoldBackends(n int) (addrs []string, stop func(), err error) {
+	listeners := make([]net.Listener, 0, n)
+	stop = func() {
+		for _, lis := range listeners {
+			_ = lis.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		listeners = append(listeners, lis)
+		addrs = append(addrs, lis.Addr().String())
+		go func(lis net.Listener) {
+			for {
+				c, err := lis.Accept()
+				if err != nil {
+					return
+				}
+				go func(c net.Conn) {
+					defer c.Close()
+					buf := make([]byte, 256)
+					for {
+						if _, err := c.Read(buf); err != nil {
+							return
+						}
+					}
+				}(c)
+			}
+		}(lis)
+	}
+	return addrs, stop, nil
+}
