@@ -30,35 +30,39 @@ import (
 
 func main() {
 	var (
-		listen     = flag.String("listen", "127.0.0.1:9000", "listen address")
-		backends   = flag.String("backends", "", "comma-separated backend addresses (required)")
-		policyName = flag.String("policy", "latency-aware", "routing policy (latency-aware|proportional|maglev|roundrobin|p2c)")
-		alpha      = flag.Float64("alpha", 0.10, "latency-aware: traffic fraction shifted per control action")
-		minWeight  = flag.Float64("min-weight", 0.02, "latency-aware: weight floor per backend")
-		cooldown   = flag.Duration("cooldown", 5*time.Millisecond, "latency-aware: minimum time between shifts")
-		hysteresis = flag.Float64("hysteresis", 1.3, "latency-aware: worst/best ratio required to shift")
-		halfLife   = flag.Duration("half-life", 20*time.Millisecond, "per-server latency EWMA half-life")
-		seed       = flag.Int64("seed", 1, "random seed for randomized policies")
-		shards     = flag.Int("shards", 0, "flow-table and sample-aggregator shard count (0 = GOMAXPROCS)")
-		ctrlEvery  = flag.Duration("control-interval", 0, "control tick period: sample merge + snapshot republish (0 = default 2ms)")
-		report     = flag.Duration("report-every", 0, "periodic stats report interval (0 = off)")
-		health     = flag.Duration("health-interval", time.Second, "active health-probe period (0 = disabled)")
-		healthFail = flag.Int("health-fail", 0, "consecutive probe failures before ejection (0 = default 3)")
-		healthOK   = flag.Int("health-ok", 0, "consecutive probe successes before readmission (0 = default 2)")
-		passive    = flag.Bool("passive-detect", false, "enable passive in-band failure detection (ejection without probes)")
-		failThresh = flag.Int("failure-threshold", 0, "passive: consecutive dial/relay failures before ejection (0 = default 3)")
-		backoff    = flag.Duration("eject-backoff", 0, "passive: initial re-probe backoff after ejection (0 = default 500ms)")
-		backoffMax = flag.Duration("eject-backoff-max", 0, "passive: re-probe backoff cap (0 = default 8s)")
-		slowStart  = flag.Int("slow-start-ticks", 0, "passive: control ticks to ramp a recovered backend to full traffic (0 = default 50)")
-		idleTO     = flag.Duration("idle-timeout", 0, "per-direction relay idle timeout (0 = none)")
-		drainTO    = flag.Duration("drain-timeout", 0, "grace period for in-flight connections on shutdown (0 = immediate)")
-		acceptors  = flag.Int("acceptors", 1, "parallel accept loops (SO_REUSEPORT listener shards on Linux)")
-		splice     = flag.Bool("splice", true, "zero-copy splice(2) relay on Linux (falls back to buffer copies elsewhere)")
-		netpoll    = flag.Bool("netpoll", false, "event-driven epoll dataplane on Linux: O(acceptors) relay goroutines instead of 2 per connection (falls back to goroutine relays elsewhere)")
-		poolIdle   = flag.Int("pool-idle", 0, "max idle pooled connections per backend (0 = pooling off)")
-		poolMaxAge = flag.Duration("pool-max-age", 30*time.Second, "evict pooled backend connections older than this (0 = no cap)")
-		statusAddr = flag.String("status-addr", "", "serve JSON status at http://<addr>/ (empty = off)")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof at this address (e.g. localhost:6060; empty = off)")
+		listen      = flag.String("listen", "127.0.0.1:9000", "listen address")
+		backends    = flag.String("backends", "", "comma-separated backend addresses (required)")
+		policyName  = flag.String("policy", "latency-aware", "routing policy (latency-aware|proportional|maglev|roundrobin|p2c)")
+		alpha       = flag.Float64("alpha", 0.10, "latency-aware: traffic fraction shifted per control action")
+		minWeight   = flag.Float64("min-weight", 0.02, "latency-aware: weight floor per backend")
+		cooldown    = flag.Duration("cooldown", 5*time.Millisecond, "latency-aware: minimum time between shifts")
+		hysteresis  = flag.Float64("hysteresis", 1.3, "latency-aware: worst/best ratio required to shift")
+		halfLife    = flag.Duration("half-life", 20*time.Millisecond, "per-server latency EWMA half-life")
+		seed        = flag.Int64("seed", 1, "random seed for randomized policies")
+		shards      = flag.Int("shards", 0, "flow-table and sample-aggregator shard count (0 = GOMAXPROCS)")
+		ctrlEvery   = flag.Duration("control-interval", 0, "control tick period: sample merge + snapshot republish (0 = default 2ms)")
+		report      = flag.Duration("report-every", 0, "periodic stats report interval (0 = off)")
+		health      = flag.Duration("health-interval", time.Second, "active health-probe period (0 = disabled)")
+		healthFail  = flag.Int("health-fail", 0, "consecutive probe failures before ejection (0 = default 3)")
+		healthOK    = flag.Int("health-ok", 0, "consecutive probe successes before readmission (0 = default 2)")
+		passive     = flag.Bool("passive-detect", false, "enable passive in-band failure detection (ejection without probes)")
+		failThresh  = flag.Int("failure-threshold", 0, "passive: consecutive dial/relay failures before ejection (0 = default 3)")
+		backoff     = flag.Duration("eject-backoff", 0, "passive: initial re-probe backoff after ejection (0 = default 500ms)")
+		backoffMax  = flag.Duration("eject-backoff-max", 0, "passive: re-probe backoff cap (0 = default 8s)")
+		slowStart   = flag.Int("slow-start-ticks", 0, "passive: control ticks to ramp a recovered backend to full traffic (0 = default 50)")
+		idleTO      = flag.Duration("idle-timeout", 0, "per-direction relay idle timeout (0 = none)")
+		drainTO     = flag.Duration("drain-timeout", 0, "grace period for in-flight connections on shutdown (0 = immediate)")
+		acceptors   = flag.Int("acceptors", 1, "parallel accept loops (SO_REUSEPORT listener shards on Linux)")
+		splice      = flag.Bool("splice", true, "zero-copy splice(2) relay on Linux (falls back to buffer copies elsewhere)")
+		netpoll     = flag.Bool("netpoll", false, "event-driven epoll dataplane on Linux: O(acceptors) relay goroutines instead of 2 per connection (falls back to goroutine relays elsewhere)")
+		poolIdle    = flag.Int("pool-idle", 0, "max idle pooled connections per backend (0 = pooling off)")
+		poolMaxAge  = flag.Duration("pool-max-age", 30*time.Second, "evict pooled backend connections older than this (0 = no cap)")
+		congSignals = flag.Bool("congestion-signals", false, "sample TCP_INFO retransmissions per relayed backend connection and feed them to the passive detector as transport-distress evidence (Linux; no-op elsewhere)")
+		congEvery   = flag.Duration("congestion-sample-interval", 0, "TCP_INFO polling cadence (0 = default 25ms)")
+		congPerTick = flag.Int64("congestion-per-tick", 0, "congestion events per control tick that mark a backend hot (0 = default 1 when -congestion-signals)")
+		congTicks   = flag.Int("congestion-ticks", 0, "consecutive hot ticks before the congestion weight-down; 2x ejects (0 = default 4)")
+		statusAddr  = flag.String("status-addr", "", "serve JSON status at http://<addr>/ (empty = off)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof at this address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
 
@@ -75,27 +79,33 @@ func main() {
 	}
 
 	proxy, err := lbproxy.New(lbproxy.Config{
-		Backends:               addrs,
-		Policy:                 pol,
-		Shards:                 *shards,
-		ControlInterval:        *ctrlEvery,
-		HealthInterval:         *health,
-		HealthFailThreshold:    *healthFail,
-		HealthRecoverThreshold: *healthOK,
-		IdleTimeout:            *idleTO,
-		DrainTimeout:           *drainTO,
-		Acceptors:              *acceptors,
-		Splice:                 *splice,
-		Netpoll:                *netpoll,
-		PoolIdle:               *poolIdle,
-		PoolMaxAge:             *poolMaxAge,
+		Backends:                 addrs,
+		Policy:                   pol,
+		Shards:                   *shards,
+		ControlInterval:          *ctrlEvery,
+		HealthInterval:           *health,
+		HealthFailThreshold:      *healthFail,
+		HealthRecoverThreshold:   *healthOK,
+		IdleTimeout:              *idleTO,
+		DrainTimeout:             *drainTO,
+		Acceptors:                *acceptors,
+		Splice:                   *splice,
+		Netpoll:                  *netpoll,
+		PoolIdle:                 *poolIdle,
+		PoolMaxAge:               *poolMaxAge,
+		CongestionSignals:        *congSignals,
+		CongestionSampleInterval: *congEvery,
 		Detector: control.DetectorConfig{
-			Enabled:          *passive,
+			Enabled:          *passive || *congSignals,
 			FailureThreshold: *failThresh,
 			BackoffInitial:   *backoff,
 			BackoffMax:       *backoffMax,
 			SlowStartTicks:   *slowStart,
 			Seed:             *seed,
+			// The congestion channel arms only when sampling feeds it;
+			// otherwise zero keeps the legacy detector bit-for-bit.
+			CongestionPerTick: congestionPerTick(*congSignals, *congPerTick),
+			CongestionTicks:   *congTicks,
 		},
 	})
 	if err != nil {
@@ -208,6 +218,18 @@ func buildPolicy(name string, addrs []string, alpha, minWeight float64,
 		return control.NewP2C(len(addrs), rand.New(rand.NewSource(seed)), latCfg), nil, nil
 	}
 	return nil, nil, fmt.Errorf("unknown policy %q", name)
+}
+
+// congestionPerTick resolves the detector's hot-tick threshold: the
+// channel arms (default 1 event/tick) only when sampling is on.
+func congestionPerTick(enabled bool, perTick int64) int64 {
+	if !enabled {
+		return 0
+	}
+	if perTick <= 0 {
+		return 1
+	}
+	return perTick
 }
 
 func splitNonEmpty(s string) []string {

@@ -10,12 +10,18 @@ import (
 // seen for one backend since the last drain: count/sum for the batch mean,
 // min/max for dispersion, and the arrival time of the newest sample (the
 // timestamp the merged observation is applied at, so a tick after every
-// sample reproduces per-sample policy behavior exactly).
+// sample reproduces per-sample policy behavior exactly). Congestion signals
+// (retransmissions, dup-ACK runs, zero-window stalls) ride the same cells:
+// they are counted per backend on the same stripe the flow's latency samples
+// use, so the transport-distress path adds no new synchronization.
 type sampleCell struct {
 	count    int64
 	sum      time.Duration
 	min, max time.Duration
 	last     time.Duration
+	retrans  int64
+	dupAcks  int64
+	zeroWins int64
 }
 
 func (c *sampleCell) add(now, sample time.Duration) {
@@ -84,16 +90,31 @@ func (a *aggregator) observe(hash uint64, b int, now, sample time.Duration) {
 	s.mu.Unlock()
 }
 
+// observeCongestion folds congestion-event counts for backend b into the
+// shard selected by hash — same stripe discipline as observe, so a dataplane
+// thread reporting a retransmit touches the cache lines it already owns.
+func (a *aggregator) observeCongestion(hash uint64, b int, retrans, dupAcks, zeroWins int64) {
+	s := &a.shards[hash&a.mask]
+	s.mu.Lock()
+	c := &s.cells[b]
+	c.retrans += retrans
+	c.dupAcks += dupAcks
+	c.zeroWins += zeroWins
+	s.mu.Unlock()
+}
+
 // drainShard copies shard i's cells into out (len >= backends) and resets
 // them, holding the shard mutex only for the copy. It returns the number of
-// samples drained.
+// samples plus congestion events drained — nonzero whenever the shard holds
+// anything the tick must merge, including congestion-only cells.
 func (a *aggregator) drainShard(i int, out []sampleCell) int64 {
 	s := &a.shards[i]
 	var n int64
 	s.mu.Lock()
 	copy(out, s.cells)
 	for j := range s.cells {
-		n += s.cells[j].count
+		c := &s.cells[j]
+		n += c.count + c.retrans + c.dupAcks + c.zeroWins
 		s.cells[j] = sampleCell{}
 	}
 	s.mu.Unlock()

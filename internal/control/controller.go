@@ -76,6 +76,8 @@ type Controller struct {
 	agg         *aggregator
 	scratch     []sampleCell // drain buffer, reused every tick
 	lastMerge   []TickStat   // per-backend summary of the newest tick
+	congTotal   []uint64     // cumulative congestion events per backend
+	congSeen    bool         // any congestion event ever merged
 	manual      []bool       // SetEjected layer (probe / operator vetoes)
 	det         *detector    // passive layer; nil when disabled
 	medScratch  []time.Duration
@@ -97,12 +99,18 @@ type Controller struct {
 }
 
 // TickStat summarizes the samples merged for one backend during the most
-// recent tick. Count is zero for backends with no samples that tick.
+// recent tick. Count is zero for backends with no samples that tick. The
+// congestion counters are transport-distress events reported between ticks
+// via ObserveCongestion; they are independent of Count — a backend can be
+// congestion-hot in a tick that merged no latency samples.
 type TickStat struct {
 	Count    int64
 	Mean     time.Duration
 	Min, Max time.Duration
 	Last     time.Duration // arrival time of the newest merged sample
+	Retrans  int64         // retransmissions observed this tick
+	DupAcks  int64         // dup-ACK runs observed this tick
+	ZeroWins int64         // zero-window stalls observed this tick
 }
 
 // NewController wraps policy. The returned controller has an up-to-date
@@ -123,6 +131,7 @@ func NewController(policy Policy, cfg ControllerConfig) *Controller {
 		agg:       newAggregator(cfg.Shards, n),
 		scratch:   make([]sampleCell, n),
 		lastMerge: make([]TickStat, n),
+		congTotal: make([]uint64, n),
 		manual:    make([]bool, n),
 		admit:     make([]uint32, n),
 		healthy:   n,
@@ -238,6 +247,25 @@ func (c *Controller) ObserveLatency(b int, now, sample time.Duration) {
 // lines. Never blocks, never allocates, never drops.
 func (c *Controller) ObserveSharded(hash uint64, b int, now, sample time.Duration) {
 	c.agg.observe(hash, b, now, sample)
+}
+
+// ObserveCongestion folds transport-distress event counts for backend b into
+// the aggregation stripe selected by hash — the same stripe the flow's
+// latency samples use, so the congestion path never touches new cache lines.
+// retrans/dupAcks/zeroWins are event counts since the caller's last report
+// (the simulator reports per-packet 0/1 deltas, the live proxy reports
+// TCP_INFO counter deltas per sampling pass). Merged at the next Tick into
+// TickStat and, when the detector's congestion path is enabled, judged
+// against the pool for early weight-down and ejection. Never blocks, never
+// allocates, never drops.
+func (c *Controller) ObserveCongestion(hash uint64, b int, retrans, dupAcks, zeroWins int) {
+	if retrans <= 0 && dupAcks <= 0 && zeroWins <= 0 {
+		return
+	}
+	if b < 0 || b >= len(c.lastMerge) {
+		return
+	}
+	c.agg.observeCongestion(hash, b, int64(retrans), int64(dupAcks), int64(zeroWins))
 }
 
 // FlowClosed implements Policy, serialized with ticks.
@@ -390,6 +418,17 @@ func (c *Controller) Tick(now time.Duration) {
 		}
 		for b := range c.scratch {
 			cell := &c.scratch[b]
+			if ev := cell.retrans + cell.dupAcks + cell.zeroWins; ev != 0 {
+				// Congestion merges before the count gate: a backend whose
+				// tick produced only distress events (retransmits with no
+				// completed responses — the worst case) must still be seen.
+				m := &c.lastMerge[b]
+				m.Retrans += cell.retrans
+				m.DupAcks += cell.dupAcks
+				m.ZeroWins += cell.zeroWins
+				c.congTotal[b] += uint64(ev)
+				c.congSeen = true
+			}
 			if cell.count == 0 {
 				continue
 			}
@@ -427,11 +466,13 @@ func (c *Controller) Tick(now time.Duration) {
 // expiry → half-open, trial success → slow-start, ramp completion →
 // healthy). Allocation-free: the median scratch is preallocated.
 func (c *Controller) detectorTickLocked(now time.Duration) {
-	// Pool-wide view of this tick: total samples and median backend mean.
-	var pool int64
+	// Pool-wide view of this tick: total samples, total congestion events,
+	// and median backend mean.
+	var pool, totalEv int64
 	med := c.medScratch[:0]
 	for b := range c.lastMerge {
 		m := &c.lastMerge[b]
+		totalEv += m.Retrans + m.DupAcks + m.ZeroWins
 		if m.Count == 0 {
 			continue
 		}
@@ -501,6 +542,18 @@ func (c *Controller) detectorTickLocked(now time.Duration) {
 				c.det.heal(b)
 			}
 		case Healthy:
+			if c.det.congestionEnabled() {
+				// Transport distress is judged before any latency evidence:
+				// retransmits and closed windows appear while the latency
+				// median is still intact, so a congested backend drains
+				// early instead of waiting for the outlier detector. It is
+				// also independent of the sample gate — a congestion-only
+				// tick (nothing completing) is exactly the signal.
+				c.congestionCheckLocked(b, totalEv, now)
+				if h.state != Healthy {
+					continue // congestion ejected it this tick
+				}
+			}
 			if !active {
 				continue // too little pool evidence to judge anyone
 			}
@@ -542,6 +595,47 @@ func (c *Controller) detectorTickLocked(now time.Duration) {
 		}
 	}
 	c.refreshAdmitLocked()
+}
+
+// congestionCheckLocked runs the transport-distress detector for one Healthy
+// backend: a tick with at least CongestionPerTick events that are also
+// concentrated on this backend (CongestionFactor × the others' mean) is a
+// hot tick. CongestionTicks consecutive hot ticks latch the weight-down;
+// twice that many eject. Calm ticks release the latch after CongestionClear.
+// Pool-wide distress — everyone hot at once, the incast/collapsed-uplink
+// signature — fails the concentration test and judges no one. Caller holds
+// c.mu; b's state is Healthy.
+func (c *Controller) congestionCheckLocked(b int, totalEv int64, now time.Duration) {
+	cfg := &c.det.cfg
+	h := &c.det.st[b]
+	m := &c.lastMerge[b]
+	ev := m.Retrans + m.DupAcks + m.ZeroWins
+	var othersMean float64
+	if n := len(c.det.st); n > 1 {
+		othersMean = float64(totalEv-ev) / float64(n-1)
+	}
+	hot := ev >= cfg.CongestionPerTick && float64(ev) >= cfg.CongestionFactor*othersMean
+	switch {
+	case hot:
+		h.calmTicks = 0
+		h.congTicks++
+		if h.congTicks >= cfg.CongestionTicks {
+			h.congested = true
+		}
+		if h.congTicks >= 2*cfg.CongestionTicks {
+			if c.det.eject(b, now, c.othersRoutableLocked(b)) {
+				h.congEjections++
+			}
+		}
+	case h.congested:
+		if h.calmTicks++; h.calmTicks >= cfg.CongestionClear {
+			h.congested = false
+			h.congTicks = 0
+			h.calmTicks = 0
+		}
+	default:
+		h.congTicks = 0
+	}
 }
 
 // outlier reports whether v is more than factor times the pool median; a
@@ -626,6 +720,9 @@ func (c *Controller) republishLocked() {
 	if w, ok := c.policy.(Weighted); ok {
 		s.weights = w.Weights()
 	}
+	if c.congSeen {
+		s.cong = append([]uint64(nil), c.congTotal...)
+	}
 	c.dirty = false
 	c.snap.Store(s)
 }
@@ -709,6 +806,42 @@ func (c *Controller) Ejections(i int) uint64 {
 		return 0
 	}
 	return c.det.st[i].ejections
+}
+
+// CongestionEjections returns how many of backend i's passive ejections were
+// driven by the transport-distress detector rather than latency or failure
+// evidence (0 when the detector or its congestion path is disabled).
+func (c *Controller) CongestionEjections(i int) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.det == nil {
+		return 0
+	}
+	return c.det.st[i].congEjections
+}
+
+// Congested reports whether backend i currently has the congestion
+// weight-down latch set (always false when the congestion path is disabled).
+func (c *Controller) Congested(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.det == nil || i < 0 || i >= len(c.det.st) {
+		return false
+	}
+	return c.det.st[i].congested
+}
+
+// CongestionEvents returns backend i's cumulative merged congestion-event
+// count (retransmissions + dup-ACK runs + zero-window stalls). Counted
+// whether or not the detector acts on them, so instrumentation can compare
+// observed distress against injected faults.
+func (c *Controller) CongestionEvents(i int) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.congTotal) {
+		return 0
+	}
+	return c.congTotal[i]
 }
 
 // Snapshot returns the currently published routing snapshot, or nil when

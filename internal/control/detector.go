@@ -104,6 +104,34 @@ type DetectorConfig struct {
 	// over SlowStartTicks control ticks. Defaults 0.25 and 50.
 	SlowStartInitial float64
 	SlowStartTicks   int
+	// CongestionPerTick enables the transport-distress detector: a tick in
+	// which a backend accumulates at least this many congestion events
+	// (retransmissions + dup-ACK runs + zero-window stalls, reported via
+	// ObserveCongestion) counts as a congested tick for that backend. The
+	// zero value disables the congestion path entirely — the legacy detector
+	// behavior is preserved bit for bit. Congestion is an earlier signal
+	// than the latency-outlier detector: retransmits and closed windows
+	// appear while the response-latency median is still intact, so a
+	// congested backend is weighted down (and then ejected) before its
+	// queue buildup ever moves client-visible latency.
+	CongestionPerTick int64
+	// CongestionTicks is how many consecutive congested ticks latch the
+	// weight-down (admission cut to CongestionAdmit); twice that many eject
+	// the backend outright. Default 4.
+	CongestionTicks int
+	// CongestionFactor requires the distress to be *concentrated*: the
+	// backend's per-tick event count must be at least this factor times the
+	// mean of the other backends' counts. Pool-wide congestion (an incast
+	// wave hitting everyone, a collapsed shared uplink) therefore never
+	// ejects anyone — there is nowhere better to shift the load. Default 4.
+	CongestionFactor float64
+	// CongestionAdmit is the admission fraction applied while the
+	// weight-down latch is set. Default 0.5.
+	CongestionAdmit float64
+	// CongestionClear is how many consecutive calm ticks (events below
+	// CongestionPerTick) release the weight-down latch. Default
+	// 2×CongestionTicks.
+	CongestionClear int
 	// Seed feeds the backoff-jitter RNG so simulations are deterministic.
 	Seed int64
 }
@@ -148,6 +176,20 @@ func (c *DetectorConfig) applyDefaults() {
 	if c.SlowStartTicks <= 0 {
 		c.SlowStartTicks = 50
 	}
+	if c.CongestionPerTick > 0 {
+		if c.CongestionTicks <= 0 {
+			c.CongestionTicks = 4
+		}
+		if c.CongestionFactor <= 1 {
+			c.CongestionFactor = 4
+		}
+		if c.CongestionAdmit <= 0 || c.CongestionAdmit > 1 {
+			c.CongestionAdmit = 0.5
+		}
+		if c.CongestionClear <= 0 {
+			c.CongestionClear = 2 * c.CongestionTicks
+		}
+	}
 }
 
 // admitFull is the admission denominator: a backend's admit fraction is
@@ -169,7 +211,11 @@ type backendHealth struct {
 	reopenAt         time.Duration // when the ejected backend turns half-open
 	trialTicks       int           // ticks spent in half-open
 	rampTick         int           // ticks spent in slow-start
+	congTicks        int           // consecutive congestion-hot ticks
+	calmTicks        int           // consecutive calm ticks while latched
+	congested        bool          // congestion weight-down latch (Healthy only)
 	ejections        uint64        // cumulative passive ejections
+	congEjections    uint64        // ejections driven by the congestion detector
 }
 
 // detector is the passive failure-detection plane of a Controller. All
@@ -203,8 +249,17 @@ func (d *detector) admit(b int) uint32 {
 		frac := lo + (1-lo)*float64(h.rampTick)/float64(d.cfg.SlowStartTicks)
 		return fracToAdmit(frac)
 	}
+	if h.congested {
+		// Congestion weight-down: still healthy, still routable, but shed a
+		// slice of the hash range so the distressed backend drains instead
+		// of accumulating a deeper retransmit queue.
+		return fracToAdmit(d.cfg.CongestionAdmit)
+	}
 	return admitFull
 }
+
+// congestionEnabled reports whether the transport-distress path is active.
+func (d *detector) congestionEnabled() bool { return d.cfg.CongestionPerTick > 0 }
 
 func fracToAdmit(f float64) uint32 {
 	if f >= 1 {
@@ -237,6 +292,9 @@ func (d *detector) eject(b int, now time.Duration, othersRoutable bool) bool {
 	h.successes = 0
 	h.outlierTicks = 0
 	h.silentTicks = 0
+	h.congTicks = 0
+	h.calmTicks = 0
+	h.congested = false
 	h.ejections++
 	return true
 }
@@ -273,6 +331,9 @@ func (d *detector) heal(b int) {
 	h.silentTicks = 0
 	h.consecFails = 0
 	h.successes = 0
+	h.congTicks = 0
+	h.calmTicks = 0
+	h.congested = false
 }
 
 func (d *detector) jittered(base time.Duration) time.Duration {

@@ -29,8 +29,9 @@ type Snapshot struct {
 	table   *maglev.Table
 	weights []float64
 	admit   []uint32
-	healthy int  // backends with admit > 0
-	full    bool // every backend at admitFull: Route degenerates to Pick
+	cong    []uint64 // cumulative congestion events; nil until any observed
+	healthy int      // backends with admit > 0
+	full    bool     // every backend at admitFull: Route degenerates to Pick
 }
 
 // Generation returns the publication counter; it increases by one with
@@ -54,6 +55,19 @@ func (s *Snapshot) Weights() []float64 {
 
 // Ejected reports whether backend i currently admits no traffic at all.
 func (s *Snapshot) Ejected(i int) bool { return s.admit[i] == 0 }
+
+// CongestionEvents returns backend i's cumulative transport-distress event
+// count (retransmissions + dup-ACK runs + zero-window stalls) as of this
+// snapshot's publication. Zero when congestion reporting is idle — the slice
+// is only populated once any event has been merged. Like every Snapshot
+// field it is frozen at publication; readers needing the live count use
+// Controller.CongestionEvents.
+func (s *Snapshot) CongestionEvents(i int) uint64 {
+	if i < 0 || i >= len(s.cong) {
+		return 0
+	}
+	return s.cong[i]
+}
 
 // Admission returns backend i's admission fraction in [0, 1].
 func (s *Snapshot) Admission(i int) float64 {

@@ -22,14 +22,20 @@ var (
 	sweepFlag  = flag.Int("dst.sweep", 60, "number of seeds TestDSTSweep covers")
 	baseFlag   = flag.Int64("dst.base", 1, "first seed of the sweep")
 	policyFlag = flag.String("dst.policy", "", "registered policy to sweep (empty = latency-aware)")
+	congFlag   = flag.Bool("dst.congestion", false, "replay a GenerateCongestion scenario (with -dst.seed)")
+	congSweep  = flag.Int("dst.congsweep", 40, "number of seeds TestDSTCongestionSweep covers")
 )
 
 // runSeed executes one scenario under the named policy (empty = default),
 // shrinks on failure, and reports the minimal repro. keep (nil = all)
 // selects a fault subset first.
-func runSeed(t *testing.T, seed int64, keep []int, policy string, mutated bool) *Report {
+func runSeed(t *testing.T, seed int64, keep []int, policy string, mutated, congestion bool) *Report {
 	t.Helper()
-	sc := Generate(seed)
+	gen := Generate
+	if congestion {
+		gen = GenerateCongestion
+	}
+	sc := gen(seed)
 	sc.Policy = policy
 	if keep != nil {
 		sub := make([]FaultSpec, len(keep))
@@ -44,7 +50,7 @@ func runSeed(t *testing.T, seed int64, keep []int, policy string, mutated bool) 
 	}
 	runner := Run
 	if mutated {
-		trigger, ok := MutationTrigger(Generate(seed))
+		trigger, ok := MutationTrigger(gen(seed))
 		if !ok {
 			t.Fatalf("seed %d: no latency fault tall enough for -dst.mutate", seed)
 		}
@@ -73,9 +79,9 @@ func runSeed(t *testing.T, seed int64, keep []int, policy string, mutated bool) 
 		for _, f := range shrunk.Scenario.Faults {
 			t.Errorf("  %v", f)
 		}
-		t.Errorf("repro: %s", ReproLine(seed, policy, kept, mutated))
+		t.Errorf("repro: %s", ReproLine(seed, policy, kept, mutated, congestion))
 	} else {
-		t.Errorf("repro: %s", ReproLine(seed, policy, nil, mutated))
+		t.Errorf("repro: %s", ReproLine(seed, policy, nil, mutated, congestion))
 	}
 	return rep
 }
@@ -97,13 +103,13 @@ func TestDST(t *testing.T) {
 				keep = []int{}
 			}
 		}
-		rep := runSeed(t, *seedFlag, keep, *policyFlag, *mutateFlag)
+		rep := runSeed(t, *seedFlag, keep, *policyFlag, *mutateFlag, *congFlag)
 		t.Logf("seed %d: digest=%016x violations=%d stats=%+v",
 			*seedFlag, rep.Digest, rep.Total, rep.Stats)
 		return
 	}
 	for seed := int64(1); seed <= 8; seed++ {
-		rep := runSeed(t, seed, nil, *policyFlag, false)
+		rep := runSeed(t, seed, nil, *policyFlag, false, false)
 		if rep.Stats.Responses == 0 {
 			t.Errorf("seed %d: workload produced no responses", seed)
 		}
@@ -119,7 +125,7 @@ func TestDSTSweep(t *testing.T) {
 	var requests, violations uint64
 	for i := 0; i < *sweepFlag; i++ {
 		seed := *baseFlag + int64(i)
-		rep := runSeed(t, seed, nil, *policyFlag, false)
+		rep := runSeed(t, seed, nil, *policyFlag, false, false)
 		requests += rep.Stats.Sent
 		violations += uint64(rep.Total)
 	}
@@ -139,7 +145,7 @@ func TestDSTPolicyMatrix(t *testing.T) {
 		policy := policy
 		t.Run(policy, func(t *testing.T) {
 			for seed := int64(1); seed <= 4; seed++ {
-				rep := runSeed(t, seed, nil, policy, false)
+				rep := runSeed(t, seed, nil, policy, false, false)
 				if rep.Stats.Responses == 0 {
 					t.Errorf("seed %d policy %s: workload produced no responses", seed, policy)
 				}
@@ -264,7 +270,7 @@ func TestDSTMutationSmoke(t *testing.T) {
 		t.Fatalf("minimal schedule kept a %v fault; corruption is latency-armed", k)
 	}
 	t.Logf("mutation caught and shrunk to %v in %d runs; repro: %s",
-		shrunk.Scenario.Faults[0], shrunk.Runs, ReproLine(seed, "", shrunk.Kept, true))
+		shrunk.Scenario.Faults[0], shrunk.Runs, ReproLine(seed, "", shrunk.Kept, true, false))
 }
 
 // TestDSTKnapsackMutationSmoke is the knapsack solver's teeth check: the
@@ -370,5 +376,132 @@ func TestDSTShrunkRegression(t *testing.T) {
 	}
 	if !caught {
 		t.Fatalf("regression: minimal schedule no longer caught (violations: %v)", rep.Violations)
+	}
+}
+
+// TestDSTCongestionSweep sweeps GenerateCongestion seeds — the six
+// congestion fault kinds under every oracle, including the distress
+// conservation and ejection-attribution rules. Beyond zero violations it
+// requires the sweep to have actually exercised the channel: some run must
+// emit distress, and the LB must have observed some of it.
+func TestDSTCongestionSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping congestion sweep in -short mode")
+	}
+	var requests, violations, emitted, observed, congEj uint64
+	for i := 0; i < *congSweep; i++ {
+		seed := *baseFlag + int64(i)
+		rep := runSeed(t, seed, nil, *policyFlag, false, true)
+		requests += rep.Stats.Sent
+		violations += uint64(rep.Total)
+		emitted += rep.Stats.Retransmits + rep.Stats.DupAcks + rep.Stats.ZeroWindows
+		observed += rep.Stats.CongObserved
+		congEj += rep.Stats.CongEjections
+	}
+	if emitted == 0 {
+		t.Errorf("no run in %d seeds emitted any transport distress; fault kinds are inert", *congSweep)
+	}
+	if observed == 0 {
+		t.Errorf("client emitted %d distress signals but the LB tracker observed none", emitted)
+	}
+	t.Logf("swept %d congestion seeds (policy %q): %d requests, %d violations, "+
+		"%d distress signals emitted, %d observed, %d congestion ejections",
+		*congSweep, *policyFlag, requests, violations, emitted, observed, congEj)
+}
+
+// TestDSTCongestionDeterminism pins the replay contract for the congestion
+// generator: same seed, byte-identical digest and counters.
+func TestDSTCongestionDeterminism(t *testing.T) {
+	for _, seed := range []int64{7, 42, 1001} {
+		sc := GenerateCongestion(seed)
+		sc.Policy = *policyFlag
+		a, err := Run(sc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Run(sc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if a.Digest != b.Digest {
+			t.Errorf("seed %d: digests differ across runs: %016x vs %016x", seed, a.Digest, b.Digest)
+		}
+		if a.Stats != b.Stats {
+			t.Errorf("seed %d: stats differ across runs:\n%+v\n%+v", seed, a.Stats, b.Stats)
+		}
+	}
+}
+
+// TestDSTCongestionGeneratorBounds property-checks GenerateCongestion:
+// documented parameter ranges, windows inside the fault band, only the six
+// congestion kinds, the at-most-one constraints, and a protected backend
+// that no collapse or autoscale ever starves.
+func TestDSTCongestionGeneratorBounds(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		sc := GenerateCongestion(seed)
+		if !sc.Congestion {
+			t.Fatalf("seed %d: Congestion flag unset", seed)
+		}
+		if rto := sc.Workload.RetransmitTimeout; rto < 15*time.Millisecond || rto > 30*time.Millisecond {
+			t.Fatalf("seed %d: RetransmitTimeout %v outside [15ms,30ms]", seed, rto)
+		}
+		if age := sc.Workload.DupAckAge; age < 5*time.Millisecond || age > 10*time.Millisecond {
+			t.Fatalf("seed %d: DupAckAge %v outside [5ms,10ms]", seed, age)
+		}
+		if zb := sc.Workload.ZeroWindowBurst; zb < 6 || zb > 10 {
+			t.Fatalf("seed %d: ZeroWindowBurst %d outside [6,10]", seed, zb)
+		}
+		if sc.Workload.RetransmitTimeout >= sc.Workload.RequestTimeout {
+			t.Fatalf("seed %d: RTO %v not below RequestTimeout %v",
+				seed, sc.Workload.RetransmitTimeout, sc.Workload.RequestTimeout)
+		}
+		if len(sc.Faults) == 0 || len(sc.Faults) > 4 {
+			t.Fatalf("seed %d: %d faults outside [1,4]", seed, len(sc.Faults))
+		}
+		hot, auto := 0, 0
+		starved := make(map[int]bool)
+		for _, f := range sc.Faults {
+			if f.Start < warmupEnd || f.End > faultUntil || f.End <= f.Start {
+				t.Fatalf("seed %d: fault window %v outside [%v,%v)", seed, f, warmupEnd, faultUntil)
+			}
+			if f.Server < 0 || f.Server >= sc.Backends {
+				t.Fatalf("seed %d: fault %v targets unknown server", seed, f)
+			}
+			switch f.Kind {
+			case FaultBandwidthCollapse:
+				if f.Rate < 20e3 || f.Rate > 80e3 {
+					t.Fatalf("seed %d: collapse rate %.0f outside [20k,80k]", seed, f.Rate)
+				}
+				starved[f.Server] = true
+			case FaultIncast:
+				if f.Extra < 2*time.Millisecond || f.Extra > 8*time.Millisecond {
+					t.Fatalf("seed %d: incast hold %v outside [2ms,8ms]", seed, f.Extra)
+				}
+			case FaultQueueRamp:
+				if f.Extra < 1500*time.Microsecond || f.Extra > 6*time.Millisecond {
+					t.Fatalf("seed %d: ramp extra %v outside [1.5ms,6ms]", seed, f.Extra)
+				}
+				if f.Rise <= 0 || f.Rise > (f.End-f.Start)/2 {
+					t.Fatalf("seed %d: ramp rise %v outside (0, window/2]", seed, f.Rise)
+				}
+			case FaultHotKey:
+				hot++
+				if f.Fraction < 0.1 || f.Fraction > 0.3 || f.Factor < 4 || f.Factor > 8 {
+					t.Fatalf("seed %d: hot-key params %v out of range", seed, f)
+				}
+			case FaultHerd:
+			case FaultAutoscale:
+				auto++
+				starved[f.Server] = true
+			default:
+				t.Fatalf("seed %d: non-congestion kind %v in congestion schedule", seed, f.Kind)
+			}
+		}
+		if hot > 1 || auto > 1 {
+			t.Fatalf("seed %d: %d hot-key and %d autoscale faults (max 1 each)", seed, hot, auto)
+		}
+		if len(starved) >= sc.Backends {
+			t.Fatalf("seed %d: every backend collapse/autoscale-targeted; pool can be starved", seed)
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"inbandlb/internal/control"
 	"inbandlb/internal/faults"
 	"inbandlb/internal/server"
+	"inbandlb/internal/tcpsim"
 	"inbandlb/internal/testbed"
 )
 
@@ -37,6 +38,12 @@ type RunStats struct {
 	Fallbacks uint64
 	NoBackend uint64
 	Ejections uint64
+	// Congestion channel (GenerateCongestion runs; zero elsewhere).
+	Retransmits   uint64 // client RTO re-sends
+	DupAcks       uint64 // client duplicate ACKs emitted
+	ZeroWindows   uint64 // client zero-window advertisements
+	CongObserved  uint64 // distress events the LB's tracker detected
+	CongEjections uint64 // ejections claimed by the congestion detector
 }
 
 // Report is the outcome of one scenario run. Digest is a 64-bit FNV-1a
@@ -105,6 +112,7 @@ func RunMutated(sc Scenario, mutate func(control.Policy) control.Policy) (*Repor
 
 	servers := make([]server.Config, sc.Backends)
 	scheds := make([]faults.Schedule, sc.Backends)
+	collapses := make(map[int]faults.Collapses)
 	for i := range servers {
 		servers[i] = server.Config{
 			Name:       names[i],
@@ -128,6 +136,21 @@ func RunMutated(sc Scenario, mutate func(control.Policy) control.Policy) (*Repor
 		case FaultReset:
 			servers[f.Server].ConnFaults = stackConn(servers[f.Server].ConnFaults,
 				faults.Reset{Start: f.Start, End: f.End, AfterBytes: f.AfterBytes})
+		case FaultBandwidthCollapse:
+			collapses[f.Server] = append(collapses[f.Server],
+				faults.Collapse{Start: f.Start, End: f.End, Rate: f.Rate})
+		case FaultIncast:
+			servers[f.Server].Batch = stackSched(servers[f.Server].Batch,
+				faults.Step{Start: f.Start, End: f.End, Extra: f.Extra})
+		case FaultQueueRamp:
+			scheds[f.Server] = faults.Stack{scheds[f.Server],
+				faults.Ramp{Start: f.Start, End: f.End, Rise: f.Rise, Extra: f.Extra}}
+		case FaultHotKey:
+			// The workload carries the skew window; the last hot-key fault
+			// wins (the generator emits at most one).
+			sc.Workload.Hot = &tcpsim.HotWindow{
+				Start: f.Start, End: f.End, Fraction: f.Fraction, Factor: f.Factor,
+			}
 		}
 	}
 
@@ -142,9 +165,33 @@ func RunMutated(sc Scenario, mutate func(control.Policy) control.Policy) (*Repor
 		LinkRate:            sc.LinkRate,
 		ServerPathSchedules: scheds,
 		ControlInterval:     sc.ControlInterval,
+		Congestion:          sc.Congestion,
 	})
 	if err != nil {
 		return nil, err
+	}
+
+	// Faults that act on assembled cluster parts rather than configs:
+	// bandwidth collapses override LB→server line rates (with a bounded
+	// queue so sustained overload tail-drops instead of buffering forever),
+	// herds abort every client connection at once, and autoscale churn
+	// removes/returns a backend through the manual-ejection veto.
+	for s, col := range collapses {
+		link := cluster.ServerLinks[s]
+		link.SetRateAt(col.RateAt)
+		if link.QueueLimit == 0 {
+			link.QueueLimit = 128
+		}
+	}
+	for _, f := range sc.Faults {
+		switch f.Kind {
+		case FaultHerd:
+			cluster.Sim.Schedule(f.Start, cluster.Client.Thunder)
+		case FaultAutoscale:
+			s := f.Server
+			cluster.Sim.Schedule(f.Start, func() { ctrl.SetEjected(s, true) })
+			cluster.Sim.Schedule(f.End, func() { ctrl.SetEjected(s, false) })
+		}
 	}
 
 	_, hasTable := pol.(control.TableSource)
@@ -198,7 +245,7 @@ func RunMutated(sc Scenario, mutate func(control.Policy) control.Policy) (*Repor
 // (half the hash share, 500 ms) that reopened connections actually land
 // trial traffic on recovering backends before the liveness deadline.
 func detectorConfig(sc Scenario) control.DetectorConfig {
-	return control.DetectorConfig{
+	cfg := control.DetectorConfig{
 		Enabled:          true,
 		FailureThreshold: 3,
 		OutlierFactor:    8,
@@ -208,15 +255,27 @@ func detectorConfig(sc Scenario) control.DetectorConfig {
 		// couple dozen closed-loop connections, a healthy minority-share
 		// backend can legitimately hold zero flows for tens of
 		// milliseconds, and the sim has no dial reports to disambiguate.
-		StarvationTicks: 8 + 4*sc.Backends,
-		BackoffInitial:  100 * time.Millisecond,
-		BackoffMax:      300 * time.Millisecond,
+		StarvationTicks:  8 + 4*sc.Backends,
+		BackoffInitial:   100 * time.Millisecond,
+		BackoffMax:       300 * time.Millisecond,
 		HalfOpenFraction: 0.5,
 		HalfOpenTicks:    250,
 		SlowStartInitial: 0.25,
 		SlowStartTicks:   20,
 		Seed:             sc.Seed,
 	}
+	if sc.Congestion {
+		// Congestion channel: at 2 ms ticks a backend must show
+		// concentrated distress every tick for 6 ms before the weight-down
+		// latch and 12 ms before ejection — far quicker than the latency
+		// outlier's OutlierTicks, which is the point, but demanding enough
+		// consecutiveness that a lone RTO burst doesn't eject anyone. The
+		// sim's RTO floor is 15 ms, so sustaining a hot streak takes
+		// several connections retransmitting against one backend at once.
+		cfg.CongestionPerTick = 1
+		cfg.CongestionTicks = 3
+	}
+	return cfg
 }
 
 func stackConn(cur faults.ConnSchedule, add faults.ConnSchedule) faults.ConnSchedule {
@@ -227,6 +286,16 @@ func stackConn(cur faults.ConnSchedule, add faults.ConnSchedule) faults.ConnSche
 		return append(st, add)
 	}
 	return faults.ConnStack{cur, add}
+}
+
+func stackSched(cur faults.Schedule, add faults.Schedule) faults.Schedule {
+	if cur == nil {
+		return add
+	}
+	if st, ok := cur.(faults.Stack); ok {
+		return append(st, add)
+	}
+	return faults.Stack{cur, add}
 }
 
 // harness carries oracle state across ticks for one run.
@@ -314,6 +383,16 @@ func (h *harness) checkTick() {
 		h.violate("conservation-client", "Sent=%d != Responses=%d + Abandoned=%d + Outstanding=%d",
 			cs.Sent, cs.Responses, cs.Abandoned, outstanding)
 	}
+	// Conservation: the LB never detects more transport distress than the
+	// client emitted. Each detection consumes at least one emitted signal
+	// (a dup-ACK run needs four identical ACKs, a zero-window stall at
+	// least one advertisement); detections may undercount — tracker cap,
+	// state released at close — but can never invent events.
+	if ls.Retrans > cs.Retransmits || ls.DupAcks > cs.DupAcks || ls.ZeroWins > cs.ZeroWindows {
+		h.violate("conservation-congestion",
+			"LB observed retrans=%d dupAcks=%d zeroWins=%d exceeding client-emitted %d/%d/%d",
+			ls.Retrans, ls.DupAcks, ls.ZeroWins, cs.Retransmits, cs.DupAcks, cs.ZeroWindows)
+	}
 
 	// Snapshot sanity — only table-building policies publish snapshots;
 	// mutex-path policies (p2c, wlc) have no snapshot to check, but their
@@ -373,7 +452,9 @@ func (h *harness) checkTick() {
 	h.fold(uint64(now), ls.Packets, ls.NewFlows, ls.Closed, ls.Swept,
 		ls.Samples, ls.NoBackend, ls.Fallbacks, connCount,
 		cs.Sent, cs.Responses, cs.Timeouts, cs.Aborts, cs.Opened,
-		cs.Stale, cs.Abandoned, outstanding, h.ctrl.Generation())
+		cs.Stale, cs.Abandoned, outstanding, h.ctrl.Generation(),
+		ls.Retrans, ls.DupAcks, ls.ZeroWins,
+		cs.Retransmits, cs.DupAcks, cs.ZeroWindows)
 	for i := 0; i < h.sc.Backends; i++ {
 		st := h.ctrl.HealthState(i)
 		if st != h.lastState[i] {
@@ -382,6 +463,9 @@ func (h *harness) checkTick() {
 		}
 		h.fold(ls.PerBackend[i], ls.NewPerBack[i], ls.SampPerBack[i],
 			uint64(st), math.Float64bits(h.ctrl.Admission(i)))
+		if ls.CongPerBack != nil {
+			h.fold(ls.CongPerBack[i], h.ctrl.CongestionEjections(i))
+		}
 	}
 	for _, w := range weights {
 		h.fold(math.Float64bits(w))
@@ -459,9 +543,20 @@ func (h *harness) checkFinal() {
 	// deadline (an idle minority-share backend can be re-ejected for
 	// sample starvation at any time; that is the detector working).
 	const stuckThreshold = 800 * time.Millisecond
+	var congEj uint64
 	for i := 0; i < h.sc.Backends; i++ {
 		st := h.ctrl.HealthState(i)
 		h.report.Stats.Ejections += h.ctrl.Ejections(i)
+		// Attribution: a congestion ejection must point at a backend the LB
+		// actually attributed distress events to — the detector can never
+		// claim congestion it was never fed.
+		if ce := h.ctrl.CongestionEjections(i); ce > 0 {
+			congEj += ce
+			if len(ls.CongPerBack) <= i || ls.CongPerBack[i] == 0 {
+				h.violate("congestion-attribution",
+					"backend %d ejected %d times for congestion with zero attributed events", i, ce)
+			}
+		}
 		if st != control.Healthy && h.baselined && tails[i] >= livenessEvidence {
 			if dwell := h.sc.Duration - h.lastChange[i]; dwell >= stuckThreshold {
 				h.violate("liveness",
@@ -482,21 +577,28 @@ func (h *harness) checkFinal() {
 	}
 
 	h.report.Stats = RunStats{
-		Sent:      cs.Sent,
-		Responses: cs.Responses,
-		Timeouts:  cs.Timeouts,
-		Aborts:    cs.Aborts,
-		Stale:     cs.Stale,
-		Abandoned: cs.Abandoned,
-		NewFlows:  ls.NewFlows,
-		Fallbacks: ls.Fallbacks,
-		NoBackend: ls.NoBackend,
-		Ejections: h.report.Stats.Ejections,
+		Sent:          cs.Sent,
+		Responses:     cs.Responses,
+		Timeouts:      cs.Timeouts,
+		Aborts:        cs.Aborts,
+		Stale:         cs.Stale,
+		Abandoned:     cs.Abandoned,
+		NewFlows:      ls.NewFlows,
+		Fallbacks:     ls.Fallbacks,
+		NoBackend:     ls.NoBackend,
+		Ejections:     h.report.Stats.Ejections,
+		Retransmits:   cs.Retransmits,
+		DupAcks:       cs.DupAcks,
+		ZeroWindows:   cs.ZeroWindows,
+		CongObserved:  ls.Retrans + ls.DupAcks + ls.ZeroWins,
+		CongEjections: congEj,
 	}
 
 	// Final digest fold: drained totals and per-server outcomes.
 	h.fold(cs.Sent, cs.Responses, cs.Timeouts, cs.Aborts, cs.Stale,
-		cs.Abandoned, ls.NewFlows, ls.Fallbacks, served, uint64(h.report.Total))
+		cs.Abandoned, ls.NewFlows, ls.Fallbacks, served, uint64(h.report.Total),
+		cs.Retransmits, cs.DupAcks, cs.ZeroWindows,
+		ls.Retrans, ls.DupAcks, ls.ZeroWins, congEj)
 	for _, srv := range h.cluster.Servers {
 		st := srv.Stats()
 		h.fold(st.Served, st.Dropped, st.Refused, st.Blackholed)

@@ -38,6 +38,30 @@ const (
 	FaultFlaky
 	// FaultReset kills accepted flows mid-stream after AfterBytes.
 	FaultReset
+	// FaultBandwidthCollapse throttles one LB→server link to Rate
+	// bytes/second with a bounded queue: requests serialize slowly, tail
+	// drops begin, and the client's RTO fires — retransmissions the LB's
+	// congestion tracker sees long before latency medians move.
+	FaultBandwidthCollapse
+	// FaultIncast batches one server's responses into back-to-back bursts
+	// (coalesced for Extra per window), driving the client's receive
+	// buffer into zero-window advertisements.
+	FaultIncast
+	// FaultQueueRamp inflates one server's service time along a linear ramp
+	// (queue buildup rather than a step), aging older in-flight requests
+	// into dup-ACK territory while throughput only sags gradually.
+	FaultQueueRamp
+	// FaultHotKey turns a Fraction of client connections hot (think time
+	// divided by Factor) for the window — zipfian-style skew concentrating
+	// load on whichever backends those flows are pinned to.
+	FaultHotKey
+	// FaultHerd aborts every client connection at Start: a thundering-herd
+	// reconnect storm through the standard abort/reopen path.
+	FaultHerd
+	// FaultAutoscale removes the backend from the pool at Start and returns
+	// it at End (SetEjected veto both ways) — autoscale churn exercising
+	// mid-run Maglev disruption and slow-start re-admission.
+	FaultAutoscale
 )
 
 // String names the kind for repro logs.
@@ -53,6 +77,18 @@ func (k FaultKind) String() string {
 		return "flaky"
 	case FaultReset:
 		return "reset"
+	case FaultBandwidthCollapse:
+		return "bandwidth-collapse"
+	case FaultIncast:
+		return "incast"
+	case FaultQueueRamp:
+		return "queue-ramp"
+	case FaultHotKey:
+		return "hot-key"
+	case FaultHerd:
+		return "herd"
+	case FaultAutoscale:
+		return "autoscale"
 	}
 	return "unknown"
 }
@@ -73,6 +109,14 @@ type FaultSpec struct {
 	AfterBytes int
 	// Seed drives the flaky schedule's per-flow coin.
 	Seed uint64
+	// Rate is the collapsed line rate in bytes/s (FaultBandwidthCollapse).
+	Rate float64
+	// Rise is the ramp duration before the plateau (FaultQueueRamp).
+	Rise time.Duration
+	// Fraction is the share of connections turned hot (FaultHotKey).
+	Fraction float64
+	// Factor divides hot connections' think time (FaultHotKey).
+	Factor int
 }
 
 // String renders the spec for violation reports and repro logs.
@@ -85,6 +129,14 @@ func (f FaultSpec) String() string {
 		s += fmt.Sprintf(" p=%.2f", f.P)
 	case FaultReset:
 		s += fmt.Sprintf(" after=%dB", f.AfterBytes)
+	case FaultBandwidthCollapse:
+		s += fmt.Sprintf(" rate=%.0fB/s", f.Rate)
+	case FaultIncast:
+		s += fmt.Sprintf(" hold=%v", f.Extra)
+	case FaultQueueRamp:
+		s += fmt.Sprintf("+%v rise=%v", f.Extra, f.Rise)
+	case FaultHotKey:
+		s += fmt.Sprintf(" frac=%.2f x%d", f.Fraction, f.Factor)
 	}
 	return s
 }
@@ -128,6 +180,12 @@ type Scenario struct {
 
 	Faults []FaultSpec
 
+	// Congestion enables the transport-distress channel end to end: the
+	// workload emits retransmissions / dup-ACKs / zero-windows under
+	// pressure, the LB runs its CongestionTracker, and the detector's
+	// congestion early-ejection is armed. GenerateCongestion sets it.
+	Congestion bool
+
 	// CheckInterval is the oracle cadence.
 	CheckInterval time.Duration
 
@@ -164,9 +222,139 @@ func recoveryMargin(backends int) time.Duration {
 // schedule can produce, so only genuine blackholes burn timeouts.
 func Generate(seed int64) Scenario {
 	rng := rand.New(rand.NewSource(seed))
-	us := func(lo, hi int) time.Duration {
+	us := usFn(rng)
+	sc := generateBase(rng, seed)
+	b := sc.Backends
+
+	// Fault schedule. One backend is protected from connection faults so
+	// the detector can never be asked to empty the pool.
+	protected := rng.Intn(b)
+	nf := 1 + rng.Intn(5)
+	for i := 0; i < nf; i++ {
+		start := warmupEnd + time.Duration(rng.Int63n(int64(1400*time.Millisecond)))
+		length := 150*time.Millisecond + time.Duration(rng.Int63n(int64(850*time.Millisecond)))
+		end := start + length
+		if end > faultUntil {
+			end = faultUntil
+		}
+		f := FaultSpec{Start: start, End: end, Server: rng.Intn(b)}
+		switch r := rng.Intn(100); {
+		case r < 30:
+			f.Kind = FaultLatencyStep
+			f.Extra = us(500, 3500)
+		case r < 50:
+			f.Kind = FaultOutageRefuse
+		case r < 70:
+			f.Kind = FaultOutageBlackhole
+		case r < 90:
+			f.Kind = FaultFlaky
+			f.P = 0.05 + 0.30*rng.Float64()
+			f.Seed = uint64(rng.Int63())
+		default:
+			f.Kind = FaultReset
+			f.AfterBytes = 256 + rng.Intn(4096)
+		}
+		if f.Kind != FaultLatencyStep && f.Server == protected {
+			f.Server = (f.Server + 1 + rng.Intn(b-1)) % b
+		}
+		sc.Faults = append(sc.Faults, f)
+	}
+	sc.finalize()
+	return sc
+}
+
+// GenerateCongestion derives a congestion-flavored scenario from seed: the
+// same base topology and workload distribution as Generate (byte-for-byte
+// the same rng draw order, so the two generators agree on everything but
+// the fault schedule), plus transport-distress emission knobs and a fault
+// schedule drawn exclusively from the six congestion kinds. The scenario
+// arms the whole distress channel: client emission, the LB's
+// CongestionTracker, and the detector's congestion early-ejection.
+func GenerateCongestion(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	us := usFn(rng)
+	sc := generateBase(rng, seed)
+	sc.Congestion = true
+	b := sc.Backends
+
+	// Distress emission knobs. The RTO sits well above any honest RTT the
+	// base topology can produce (sub-millisecond paths, sub-millisecond
+	// service medians) and well below RequestTimeout (80–200 ms), so
+	// retransmissions fire only under genuine queueing and always before
+	// the client gives up on the request.
+	sc.Workload.RetransmitTimeout = time.Duration(15+rng.Intn(16)) * time.Millisecond
+	sc.Workload.DupAckAge = time.Duration(5+rng.Intn(6)) * time.Millisecond
+	sc.Workload.ZeroWindowBurst = 6 + rng.Intn(5)
+
+	protected := rng.Intn(b)
+	nf := 1 + rng.Intn(4)
+	var haveHot, haveAuto bool
+	for i := 0; i < nf; i++ {
+		start := warmupEnd + time.Duration(rng.Int63n(int64(1400*time.Millisecond)))
+		length := 150*time.Millisecond + time.Duration(rng.Int63n(int64(850*time.Millisecond)))
+		end := start + length
+		if end > faultUntil {
+			end = faultUntil
+		}
+		f := FaultSpec{Start: start, End: end, Server: rng.Intn(b)}
+		kind := rng.Intn(6)
+		// At most one hot-key and one autoscale window per run: stacked
+		// skew windows multiply into starvation, and overlapping pool
+		// shrinks could leave nothing routable. The fallback is
+		// deterministic and burns no extra draws.
+		if (kind == 3 && haveHot) || (kind == 5 && haveAuto) {
+			kind = 2
+		}
+		switch kind {
+		case 0:
+			f.Kind = FaultBandwidthCollapse
+			// 20–80 KB/s against 128 B requests + up-to-4 KB responses:
+			// tight enough that a loaded window serializes into RTO range.
+			f.Rate = 20e3 + 60e3*rng.Float64()
+		case 1:
+			f.Kind = FaultIncast
+			f.Extra = time.Duration(2+rng.Intn(7)) * time.Millisecond
+		case 2:
+			f.Kind = FaultQueueRamp
+			f.Extra = us(1500, 6000)
+			f.Rise = (end - start) / 2
+		case 3:
+			f.Kind = FaultHotKey
+			f.Fraction = 0.1 + 0.2*rng.Float64()
+			f.Factor = 4 + rng.Intn(5)
+			haveHot = true
+		case 4:
+			f.Kind = FaultHerd
+		case 5:
+			f.Kind = FaultAutoscale
+			haveAuto = true
+		}
+		// Collapse starves its target's sample stream and autoscale removes
+		// it outright; keeping both off the protected backend keeps the
+		// pool routable, same contract as Generate.
+		if (f.Kind == FaultBandwidthCollapse || f.Kind == FaultAutoscale) && f.Server == protected {
+			f.Server = (f.Server + 1 + rng.Intn(b-1)) % b
+		}
+		sc.Faults = append(sc.Faults, f)
+	}
+	sc.finalize()
+	return sc
+}
+
+// usFn returns a microsecond-range draw helper bound to rng.
+func usFn(rng *rand.Rand) func(lo, hi int) time.Duration {
+	return func(lo, hi int) time.Duration {
 		return time.Duration(lo+rng.Intn(hi-lo+1)) * time.Microsecond
 	}
+}
+
+// generateBase draws everything except the fault schedule: topology,
+// per-server heterogeneity, and workload. Both generators share it, and
+// the rng draw order here is load-bearing — shrunk-regression seeds and
+// the generator-bounds tests replay against the exact sequence, so edits
+// must not insert, remove, or reorder draws.
+func generateBase(rng *rand.Rand, seed int64) Scenario {
+	us := usFn(rng)
 
 	b := 2 + rng.Intn(15) // 2..16
 	sc := Scenario{
@@ -226,41 +414,6 @@ func Generate(seed int64) Scenario {
 		}
 	}
 	sc.Workload = wl
-
-	// Fault schedule. One backend is protected from connection faults so
-	// the detector can never be asked to empty the pool.
-	protected := rng.Intn(b)
-	nf := 1 + rng.Intn(5)
-	for i := 0; i < nf; i++ {
-		start := warmupEnd + time.Duration(rng.Int63n(int64(1400*time.Millisecond)))
-		length := 150*time.Millisecond + time.Duration(rng.Int63n(int64(850*time.Millisecond)))
-		end := start + length
-		if end > faultUntil {
-			end = faultUntil
-		}
-		f := FaultSpec{Start: start, End: end, Server: rng.Intn(b)}
-		switch r := rng.Intn(100); {
-		case r < 30:
-			f.Kind = FaultLatencyStep
-			f.Extra = us(500, 3500)
-		case r < 50:
-			f.Kind = FaultOutageRefuse
-		case r < 70:
-			f.Kind = FaultOutageBlackhole
-		case r < 90:
-			f.Kind = FaultFlaky
-			f.P = 0.05 + 0.30*rng.Float64()
-			f.Seed = uint64(rng.Int63())
-		default:
-			f.Kind = FaultReset
-			f.AfterBytes = 256 + rng.Intn(4096)
-		}
-		if f.Kind != FaultLatencyStep && f.Server == protected {
-			f.Server = (f.Server + 1 + rng.Intn(b-1)) % b
-		}
-		sc.Faults = append(sc.Faults, f)
-	}
-	sc.finalize()
 	return sc
 }
 
@@ -325,9 +478,12 @@ func (sc *Scenario) connFaultedAt(b int, t time.Duration) bool {
 // seed regenerates everything, policy selects the routing policy (empty =
 // default), keep selects the (possibly shrunk) fault subset, mutate
 // re-enables the deliberately broken controller.
-func ReproLine(seed int64, policy string, kept []int, mutated bool) string {
+func ReproLine(seed int64, policy string, kept []int, mutated, congestion bool) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "go test ./internal/dst -run 'TestDST$' -dst.seed=%d", seed)
+	if congestion {
+		sb.WriteString(" -dst.congestion")
+	}
 	if policy != "" && policy != "latency-aware" {
 		fmt.Fprintf(&sb, " -dst.policy=%s", policy)
 	}

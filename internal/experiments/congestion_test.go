@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// shortCongestion keeps the transport-distress experiment fast in tests: a
+// 12 s run with the collapse over [4 s, 8 s). The assertions below are
+// inequalities on detection structure, not bit-exact goldens — the two
+// channels are separated by orders of magnitude, so they hold with wide
+// margins across seeds.
+func shortCongestion() CongestionConfig {
+	return CongestionConfig{Seed: 42, Duration: 12 * time.Second}
+}
+
+func TestCongestionGoldens(t *testing.T) {
+	res := Congestion(shortCongestion())
+
+	sigReact := res.Metrics["signal_react_ms"]
+	latReact := res.Metrics["latency_react_ms"]
+	sigTimeouts := res.Metrics["signal_timeouts"]
+	latTimeouts := res.Metrics["latency_timeouts"]
+
+	// The signal leg must have detected real transport distress and acted
+	// on it: at least one congestion-attributed ejection of the collapsed
+	// server, within tens of milliseconds of the collapse — a handful of
+	// client RTOs (20 ms) plus the detector's consecutive-tick bar.
+	if res.Metrics["signal_cong_events"] == 0 {
+		t.Fatal("signal leg observed no congestion events during a bandwidth collapse")
+	}
+	if res.Metrics["signal_cong_ejections"] < 1 {
+		t.Error("signal leg never ejected the collapsed server on congestion evidence")
+	}
+	if sigReact < 0 {
+		t.Fatal("signal leg never reacted to the collapse")
+	}
+	if sigReact > 100 {
+		t.Errorf("signal reaction took %.0f ms, want < 100 ms (a few RTOs + consecutive ticks)", sigReact)
+	}
+
+	// Early ejection means before the latency evidence: the latency-only
+	// leg either reacts far later or — the structural failure this
+	// experiment demonstrates — never, because the collapse also throttles
+	// the completion stream its outlier detector feeds on.
+	if latReact >= 0 && latReact < 10*sigReact {
+		t.Errorf("latency-only reacted in %.0f ms, not well after the signal leg's %.0f ms", latReact, sigReact)
+	}
+
+	// The payoff golden: acting on in-band congestion signals strictly
+	// reduces client-visible timeouts. Both numbers are asserted — the
+	// baseline must actually suffer for the comparison to mean anything.
+	if latTimeouts == 0 {
+		t.Error("latency-only leg saw no client timeouts; the collapse is not biting")
+	}
+	if sigTimeouts >= latTimeouts {
+		t.Errorf("congestion signals did not reduce client timeouts: %.0f vs %.0f latency-only",
+			sigTimeouts, latTimeouts)
+	}
+
+	// Early ejection must also pay for itself in throughput: flows drained
+	// off the collapsed server complete elsewhere instead of stalling.
+	if res.Metrics["signal_responses"] <= res.Metrics["latency_responses"] {
+		t.Errorf("signal leg completed %.0f responses vs %.0f latency-only; early ejection should win throughput",
+			res.Metrics["signal_responses"], res.Metrics["latency_responses"])
+	}
+}

@@ -68,7 +68,7 @@ func DST(cfg DSTConfig) *Result {
 				shrunk++
 				if sr := dst.Shrink(sc, dst.Run); sr != nil {
 					res.addNote("seed %d shrunk to %d fault(s) in %d runs; repro: %s",
-						seed, len(sr.Kept), sr.Runs, dst.ReproLine(seed, cfg.Policy, sr.Kept, false))
+						seed, len(sr.Kept), sr.Runs, dst.ReproLine(seed, cfg.Policy, sr.Kept, false, false))
 				}
 			}
 		}

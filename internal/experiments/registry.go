@@ -47,6 +47,9 @@ var registry = []Entry{
 	{"outage", func(o Options) *Result {
 		return Outage(OutageConfig{Seed: o.Seed, Duration: o.Duration})
 	}},
+	{"congestion", func(o Options) *Result {
+		return Congestion(CongestionConfig{Seed: o.Seed, Duration: o.Duration})
+	}},
 	{"dst", func(o Options) *Result {
 		return DST(DSTConfig{Base: o.Seed})
 	}},

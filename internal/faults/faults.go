@@ -77,11 +77,17 @@ func (p Pulse) DelayAt(t time.Duration) time.Duration {
 }
 
 // Ramp grows the extra delay linearly from zero at Start to Extra at
-// Start+Rise, holding it afterwards. It models gradual degradation.
+// Start+Rise, holding it afterwards. It models gradual degradation such as
+// a queue building up behind a slowing disk. When End > 0 the delay is
+// removed at End (the window is [Start, End), matching Step), so windowed
+// queue-buildup scenarios are deterministic at tick edges: exactly at
+// t == Start the ramp contributes 0 (it "grows from zero at Start"), and
+// exactly at t == End it contributes 0 again.
 type Ramp struct {
 	Start time.Duration
 	Rise  time.Duration
 	Extra time.Duration
+	End   time.Duration // zero means "hold Extra forever"
 }
 
 // DelayAt implements Schedule.
@@ -89,11 +95,69 @@ func (r Ramp) DelayAt(t time.Duration) time.Duration {
 	if t < r.Start {
 		return 0
 	}
+	if r.End > 0 && t >= r.End {
+		return 0
+	}
 	if r.Rise <= 0 || t >= r.Start+r.Rise {
 		return r.Extra
 	}
 	frac := float64(t-r.Start) / float64(r.Rise)
 	return time.Duration(frac * float64(r.Extra))
+}
+
+// String describes the ramp for logs.
+func (r Ramp) String() string {
+	if r.End > 0 {
+		return fmt.Sprintf("ramp(0→+%v over %v from %v, off at %v)", r.Extra, r.Rise, r.Start, r.End)
+	}
+	return fmt.Sprintf("ramp(0→+%v over %v from %v)", r.Extra, r.Rise, r.Start)
+}
+
+// RateSchedule maps a point in time to a link-rate override in bytes per
+// second; <= 0 means "no override" (the link's configured rate applies).
+type RateSchedule interface {
+	RateAt(t time.Duration) float64
+}
+
+// Collapse models a bandwidth collapse: during [Start, End) the link's
+// rate is overridden down to Rate bytes/second (the window is half-open
+// like Step: collapsed exactly at t == Start, recovered exactly at
+// t == End; End == 0 means the collapse never lifts). Outside the window
+// it returns 0 — no override.
+type Collapse struct {
+	Start time.Duration
+	End   time.Duration
+	Rate  float64 // bytes/second during the collapse; must be > 0
+}
+
+// RateAt implements RateSchedule.
+func (c Collapse) RateAt(t time.Duration) float64 {
+	if t < c.Start {
+		return 0
+	}
+	if c.End > 0 && t >= c.End {
+		return 0
+	}
+	return c.Rate
+}
+
+// String describes the collapse for logs.
+func (c Collapse) String() string {
+	return fmt.Sprintf("collapse(%.0fB/s during [%v,%v))", c.Rate, c.Start, c.End)
+}
+
+// Collapses composes several collapse windows: the first window containing
+// t wins (windows are typically disjoint).
+type Collapses []Collapse
+
+// RateAt implements RateSchedule.
+func (cs Collapses) RateAt(t time.Duration) float64 {
+	for _, c := range cs {
+		if r := c.RateAt(t); r > 0 {
+			return r
+		}
+	}
+	return 0
 }
 
 // Stack sums several schedules.

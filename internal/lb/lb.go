@@ -45,6 +45,15 @@ type Config struct {
 	// EstimateOnly disables routing (all packets dropped) but keeps
 	// measurement — used by experiments that tap an existing path.
 	EstimateOnly bool
+	// Congestion enables the transport-distress tracker: every
+	// client→server packet is rendered as the TCP segment it models
+	// (sequence edge, ACK number, advertised window) and run through a
+	// packet.CongestionTracker, so retransmissions, dup-ACK runs, and
+	// zero-window stalls are detected from the very stream the LB already
+	// sees — no server cooperation, no probes. Detected events are counted
+	// per backend and, when the policy is a control.Controller, fed to its
+	// congestion detector for early weight-down/ejection.
+	Congestion bool
 	// L7 routes requests by their application Key instead of the
 	// connection 4-tuple: every keyed request is dispatched by
 	// Policy.Pick over a key-derived pseudo flow, so the same key always
@@ -67,9 +76,13 @@ type Stats struct {
 	Samples     uint64 // estimator samples produced
 	NoBackend   uint64 // packets dropped for lack of a backend
 	Fallbacks   uint64 // new flows rerouted off an ejected/partial backend
+	Retrans     uint64 // retransmissions detected (Congestion enabled)
+	DupAcks     uint64 // dup-ACK runs detected
+	ZeroWins    uint64 // zero-window stalls detected
 	PerBackend  []uint64
 	NewPerBack  []uint64
 	SampPerBack []uint64
+	CongPerBack []uint64 // congestion events attributed per backend
 }
 
 // LB is a simulated load balancer instance.
@@ -95,6 +108,14 @@ type LB struct {
 	// detection steers the sim dataplane exactly as it steers the proxy.
 	router interface {
 		Route(packet.FlowKey, time.Duration) (int, bool)
+	}
+
+	// cong is the transport-distress tracker (Config.Congestion); congFeed
+	// is non-nil when the policy accepts congestion reports (a
+	// control.Controller).
+	cong     *packet.CongestionTracker
+	congFeed interface {
+		ObserveCongestion(hash uint64, b int, retrans, dupAcks, zeroWins int)
 	}
 
 	// OnSample, when set, observes every estimator sample with the
@@ -151,6 +172,13 @@ func New(sim *netsim.Sim, cfg Config, uplinks []*netsim.Link) (*LB, error) {
 			SampPerBack: make([]uint64, n),
 		},
 	}
+	if cfg.Congestion {
+		l.cong = packet.NewCongestionTracker(packet.CongestionTrackerConfig{})
+		l.stats.CongPerBack = make([]uint64, n)
+		l.congFeed, _ = cfg.Policy.(interface {
+			ObserveCongestion(hash uint64, b int, retrans, dupAcks, zeroWins int)
+		})
+	}
 	l.ticker, _ = cfg.Policy.(control.Ticker)
 	l.router, _ = cfg.Policy.(interface {
 		Route(packet.FlowKey, time.Duration) (int, bool)
@@ -171,6 +199,9 @@ func (l *LB) Stats() Stats {
 	s.PerBackend = append([]uint64(nil), l.stats.PerBackend...)
 	s.NewPerBack = append([]uint64(nil), l.stats.NewPerBack...)
 	s.SampPerBack = append([]uint64(nil), l.stats.SampPerBack...)
+	if l.stats.CongPerBack != nil {
+		s.CongPerBack = append([]uint64(nil), l.stats.CongPerBack...)
+	}
 	return s
 }
 
@@ -284,6 +315,10 @@ func (l *LB) HandlePacket(p *netsim.Packet) {
 		}
 	}
 
+	if l.cong != nil {
+		l.observeCongestion(p, entry.backend, now)
+	}
+
 	if p.Kind == netsim.KindClose {
 		l.closeFlow(p.Flow, entry, now)
 		// The close itself is still forwarded so the server could clean
@@ -310,6 +345,76 @@ func (l *LB) HandlePacket(p *netsim.Packet) {
 	}
 	l.stats.PerBackend[target]++
 	l.uplink[target].Send(p)
+}
+
+// simMSS is the segment size the sim's TCP rendering assumes: each
+// request/data packet is one full-sized segment, so sequence numbers advance
+// in MSS strides and a re-sent application Seq lands exactly on an already
+// covered edge — the retransmission signature the tracker detects.
+const simMSS = 1460
+
+// observeCongestion renders p as the TCP segment it models and runs it
+// through the congestion tracker, attributing detected distress to the
+// flow's pinned backend. The rendering is the inverse of what a real LB's
+// parser does: the sim carries application-level Seq/kind, so the transport
+// view is synthesized; the live proxy parses real headers into the same TCP
+// struct. Either way the tracker sees only client→server fields — the DSR
+// constraint holds.
+func (l *LB) observeCongestion(p *netsim.Packet, b int, now time.Duration) {
+	var t packet.TCP
+	payload := 0
+	switch p.Kind {
+	case netsim.KindOpen:
+		// SYN with a per-flow-constant ISN: a reconnect storm re-SYNs the
+		// same 4-tuple, which the tracker sees as handshake retransmission.
+		t = packet.TCP{Flags: packet.FlagSYN, Window: 65535}
+	case netsim.KindRequest, netsim.KindData:
+		t = packet.TCP{
+			Seq:    uint32(p.Seq) * simMSS,
+			Flags:  packet.FlagACK | packet.FlagPSH,
+			Window: 65535,
+		}
+		payload = simMSS
+	case netsim.KindAck:
+		t = packet.TCP{
+			Seq:    uint32(p.Seq) * simMSS,
+			Ack:    uint32(p.Seq+1) * simMSS,
+			Flags:  packet.FlagACK,
+			Window: 65535,
+		}
+		if p.ZeroWindow {
+			t.Window = 0
+		}
+	case netsim.KindClose:
+		t = packet.TCP{
+			Seq:    uint32(p.Seq) * simMSS,
+			Flags:  packet.FlagACK | packet.FlagFIN,
+			Window: 65535,
+		}
+	default:
+		return
+	}
+	ev := l.cong.Observe(p.Flow, &t, payload, now)
+	if ev == 0 {
+		return
+	}
+	var retrans, dupAcks, zeroWins int
+	if ev.Has(packet.CongRetransmit) {
+		retrans = 1
+		l.stats.Retrans++
+	}
+	if ev.Has(packet.CongDupAck) {
+		dupAcks = 1
+		l.stats.DupAcks++
+	}
+	if ev.Has(packet.CongZeroWindow) {
+		zeroWins = 1
+		l.stats.ZeroWins++
+	}
+	l.stats.CongPerBack[b] += uint64(ev.Count())
+	if l.congFeed != nil {
+		l.congFeed.ObserveCongestion(p.Flow.Hash(), b, retrans, dupAcks, zeroWins)
+	}
 }
 
 // keyFlow derives a deterministic pseudo flow from an application key so
@@ -349,4 +454,7 @@ func (l *LB) sweep() {
 		}
 	}
 	l.flows.Sweep(now)
+	if l.cong != nil {
+		l.cong.Sweep(now)
+	}
 }

@@ -166,6 +166,20 @@ type Config struct {
 	// responses slower than this window should not enable pooling.
 	// Defaults to 2 ms when pooling is enabled.
 	PoolQuiesce time.Duration
+	// CongestionSignals enables live transport-distress sampling on Linux:
+	// every relayed backend connection's TCP_INFO is polled on a fixed
+	// cadence and retransmission growth is fed to the controller's
+	// congestion channel (the same one the simulator's packet tracker
+	// feeds), so a congested backend can be weighed down or ejected before
+	// its latency median moves. Arm the detector thresholds via
+	// Detector.CongestionPerTick et al.; sampling without them still
+	// surfaces counters in Stats. No-op off Linux and on kernels where
+	// TCP_INFO fails (latched, like splice).
+	CongestionSignals bool
+	// CongestionSampleInterval is the TCP_INFO polling cadence (default
+	// 25 ms — one getsockopt per backend conn per tick, far below the
+	// distress timescales the detector integrates over).
+	CongestionSampleInterval time.Duration
 }
 
 // Stats are cumulative proxy counters. Every accepted connection ends in
@@ -211,6 +225,10 @@ type Stats struct {
 	// failed their first write (accounted as dial failures), and conns
 	// recycled back into the pool after a quiesced exchange.
 	PoolHits, PoolMisses, PoolDead, PoolFirstWriteFails, PoolRecycled uint64
+	// Congestion-signal counters (zero unless Config.CongestionSignals):
+	// CongSamples counts successful TCP_INFO reads, CongRetrans the total
+	// retransmitted segments attributed to backends through them.
+	CongSamples, CongRetrans uint64
 	// Netpoll holds per-shard poller counters when the event-driven
 	// dataplane is active; nil otherwise.
 	Netpoll []NetpollShardStats
@@ -259,6 +277,13 @@ type Proxy struct {
 	poolFirstWriteFails atomic.Uint64
 	poolRecycled        atomic.Uint64
 
+	// Congestion-signal registry (nil unless Config.CongestionSignals):
+	// live backend conns sampled for TCP_INFO by congLoop.
+	congMu      sync.Mutex
+	cong        map[net.Conn]*congEntry
+	congSamples atomic.Uint64
+	congRetrans atomic.Uint64
+
 	closed atomic.Bool
 	wg     sync.WaitGroup
 	connMu sync.Mutex
@@ -301,6 +326,9 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.PoolIdle > 0 && cfg.PoolQuiesce <= 0 {
 		cfg.PoolQuiesce = 2 * time.Millisecond
 	}
+	if cfg.CongestionSignals && cfg.CongestionSampleInterval <= 0 {
+		cfg.CongestionSampleInterval = 25 * time.Millisecond
+	}
 	flows, err := core.NewShardedFlowTable(cfg.FlowTable, cfg.Shards)
 	if err != nil {
 		return nil, err
@@ -313,6 +341,9 @@ func New(cfg Config) (*Proxy, error) {
 		down:       make([]atomic.Bool, len(cfg.Backends)),
 		stop:       make(chan struct{}),
 		open:       make(map[net.Conn]struct{}),
+	}
+	if cfg.CongestionSignals {
+		p.cong = make(map[net.Conn]*congEntry)
 	}
 	// The controller stripes its sample aggregator like the flow table and
 	// ticks on the proxy's monotonic clock, so sample timestamps and merge
@@ -376,6 +407,8 @@ func (p *Proxy) Stats() Stats {
 		RelaySplices:        p.sysSplices.Load(),
 		PoolFirstWriteFails: p.poolFirstWriteFails.Load(),
 		PoolRecycled:        p.poolRecycled.Load(),
+		CongSamples:         p.congSamples.Load(),
+		CongRetrans:         p.congRetrans.Load(),
 		Netpoll:             p.netpollStats(),
 	}
 	if p.pool != nil {
@@ -436,6 +469,9 @@ func (p *Proxy) Serve() error {
 	}
 	if p.cfg.SweepInterval > 0 {
 		go p.sweepLoop()
+	}
+	if p.cong != nil {
+		go p.congLoop()
 	}
 	n := p.cfg.Acceptors
 	errCh := make(chan error, n)
@@ -645,6 +681,10 @@ func (p *Proxy) handle(client net.Conn, acceptor int) {
 	if p.closed.Load() {
 		server.Close()
 	}
+	// Congestion sampling follows the backend connection from here. The
+	// netpoll path has no teardown hook in this goroutine; its entries
+	// leave the registry when sampling the closed fd fails.
+	p.congRegister(server, backend, hash)
 
 	// Event-driven dataplane: hand the pair to this acceptor's poller shard.
 	// The handoff point is before pooled validation — the npRelay runs the
@@ -686,6 +726,7 @@ func (p *Proxy) handle(client net.Conn, acceptor int) {
 				p.connMu.Lock()
 				delete(p.open, server)
 				p.connMu.Unlock()
+				p.congFinal(server)
 				_ = server.Close()
 				p.poolFirstWriteFails.Add(1)
 				p.ctrl.ReportDialError(backend, ts)
@@ -708,6 +749,7 @@ func (p *Proxy) handle(client net.Conn, acceptor int) {
 				if p.closed.Load() {
 					server.Close()
 				}
+				p.congRegister(server, backend, hash)
 				// The swapped connection still owes the first chunk: the
 				// request loop writes `pending` before relaying.
 			} else {
@@ -746,6 +788,10 @@ func (p *Proxy) handle(client net.Conn, acceptor int) {
 	st.runRequest(firstDone, pending, firstErr)
 	<-respDone
 
+	// Final congestion sample before the conn can be recycled: retrans
+	// growth in the last sampling window is charged to *this* exchange's
+	// flow, and a pooled conn re-enters the registry fresh on checkout.
+	p.congFinal(server)
 	p.flows.ForgetHashed(hash, key)
 	if charged {
 		p.ctrl.FlowClosed(backend, p.now())

@@ -43,7 +43,7 @@ const (
 	// multiples of the default 64 KiB pipe. Best effort: unprivileged
 	// processes are capped by /proc/sys/fs/pipe-max-size.
 	pipeCapacity = 256 << 10
-	fSetPipeSz = 1031 // F_SETPIPE_SZ (not exported by package syscall)
+	fSetPipeSz   = 1031 // F_SETPIPE_SZ (not exported by package syscall)
 
 	// SPLICE_F_MOVE | SPLICE_F_NONBLOCK (package syscall exports the
 	// splice syscall but not its flag constants).

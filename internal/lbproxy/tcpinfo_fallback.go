@@ -1,0 +1,15 @@
+//go:build !linux
+
+package lbproxy
+
+import "net"
+
+// TCP_INFO is Linux-only; elsewhere congestion sampling is a structural
+// no-op — connections register and deregister, but no sample ever fires,
+// so the detector simply never sees transport evidence.
+
+func tcpInfoAvailable() bool { return false }
+
+func sampleTCPInfo(net.Conn) (totalRetrans, rttMicros uint32, ok bool) {
+	return 0, 0, false
+}

@@ -48,6 +48,12 @@ type Link struct {
 
 	// jitter, when set, adds a per-packet random delay component.
 	jitter func() time.Duration
+
+	// rateAt, when set, overrides Rate per packet: a positive return is the
+	// line rate in bytes/second in force at that instant, <= 0 falls back
+	// to Rate. This is the injection point for bandwidth-collapse faults
+	// (faults.Collapse implements the matching schedule shape).
+	rateAt func(now time.Duration) float64
 }
 
 // NewLink creates a link delivering to dst.
@@ -117,6 +123,14 @@ func (l *Link) SetJitter(fn func() time.Duration) {
 	l.jitter = fn
 }
 
+// SetRateAt installs a time-varying line-rate override (nil clears it).
+// The override applies to packets at the instant they are enqueued; a
+// collapse window therefore serializes every packet sent inside it at the
+// collapsed rate, and the backlog drains at the restored rate afterwards.
+func (l *Link) SetRateAt(fn func(now time.Duration) float64) {
+	l.rateAt = fn
+}
+
 // Send enqueues p for transmission at the current virtual time. Delivery is
 // FIFO while the injected extra delay and jitter are constant; a decreasing
 // extra delay can reorder packets across the change, just as real
@@ -134,9 +148,15 @@ func (l *Link) Send(p *Packet) {
 	if start < now {
 		start = now
 	}
+	rate := l.Rate
+	if l.rateAt != nil {
+		if r := l.rateAt(now); r > 0 {
+			rate = r
+		}
+	}
 	var tx time.Duration
-	if l.Rate > 0 {
-		tx = time.Duration(float64(p.Size) / l.Rate * float64(time.Second))
+	if rate > 0 {
+		tx = time.Duration(float64(p.Size) / rate * float64(time.Second))
 	}
 	l.busyUntil = start + tx
 

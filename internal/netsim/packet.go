@@ -96,6 +96,12 @@ type Packet struct {
 	// ReqSentAt carries, on a response, the SentAt of the request it
 	// answers, letting the client compute true response latency.
 	ReqSentAt time.Duration
+	// ZeroWindow marks a KindAck advertising a closed receive window: the
+	// sender's receive buffer is full (e.g. responses arriving faster than
+	// the application drains them). Like Kind, the estimator never reads
+	// it — only the congestion tracker, which treats it as the TCP
+	// window-field transition to zero.
+	ZeroWindow bool
 }
 
 // Handler consumes packets delivered by links.

@@ -1,0 +1,236 @@
+package packet
+
+import "time"
+
+// Transport-layer congestion evidence mined from the client→server stream
+// alone. The paper's constraint — measure only what the LB already sees on
+// the request path — leaves more on the table than request timing: a TCP
+// sender under congestion leaks retransmissions (sequence regression), the
+// receiver leaks duplicate-ACK runs, and a stalled application leaks
+// zero-window advertisements. All three are visible in header fields this
+// package already parses (Seq/Ack/Flags/Window), surface within one RTO of
+// the distress, and need no response-direction taps — so they reach the
+// detector long before a latency median moves.
+//
+// FlowCongestion is the per-flow state machine (embeddable, zero value
+// ready); CongestionTracker is a keyed table over it for callers that see a
+// raw packet stream rather than per-connection state.
+
+// CongestionEvents is a bitmask of distress signals detected on one segment.
+type CongestionEvents uint8
+
+const (
+	// CongRetransmit: a data segment (or SYN) re-sent a sequence range the
+	// flow already covered — the sender's RTO or fast-retransmit fired.
+	CongRetransmit CongestionEvents = 1 << iota
+	// CongDupAck: the classic fast-retransmit trigger — three duplicate
+	// ACKs (four identical pure ACKs in a row) — fired once per run.
+	CongDupAck
+	// CongZeroWindow: the window field transitioned to zero — the receiver
+	// (here: the client, so the signal is about the whole path's backlog)
+	// closed its receive window. Fired once per stall.
+	CongZeroWindow
+)
+
+// Has reports whether all bits in mask are set.
+func (e CongestionEvents) Has(mask CongestionEvents) bool { return e&mask == mask }
+
+// Count returns the number of distinct signals set.
+func (e CongestionEvents) Count() int {
+	n := 0
+	for m := CongRetransmit; m <= CongZeroWindow; m <<= 1 {
+		if e&m != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the set bits, e.g. "retransmit|dup-ack".
+func (e CongestionEvents) String() string {
+	if e == 0 {
+		return "none"
+	}
+	s := ""
+	add := func(name string) {
+		if s != "" {
+			s += "|"
+		}
+		s += name
+	}
+	if e&CongRetransmit != 0 {
+		add("retransmit")
+	}
+	if e&CongDupAck != 0 {
+		add("dup-ack")
+	}
+	if e&CongZeroWindow != 0 {
+		add("zero-window")
+	}
+	return s
+}
+
+// dupAckRun is the duplicate count at which CongDupAck fires: three
+// duplicates of one ACK (the fast-retransmit threshold, RFC 5681 §3.2).
+const dupAckRun = 3
+
+// seqLT compares 32-bit sequence numbers modulo 2^32 (RFC 1982 serial
+// arithmetic): a < b iff the signed distance a-b is negative.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// FlowCongestion tracks one flow's client→server segments and reports
+// distress events. The zero value is ready to use; feed it every segment of
+// the flow in arrival order via Observe.
+type FlowCongestion struct {
+	nextSeq  uint32 // highest sequence end seen (valid when seqValid)
+	isn      uint32 // initial sequence number from the last SYN
+	lastAck  uint32 // ack field of the last pure ACK (valid when ackValid)
+	lastWin  uint16 // window field of the last pure ACK
+	dupAcks  uint8  // duplicates of lastAck seen since it was established
+	seqValid bool
+	ackValid bool
+	zeroWin  bool // currently in a zero-window stall
+}
+
+// Observe folds one client→server segment into the flow state and returns
+// the distress events it evidences. payload is the TCP payload length in
+// bytes (what the caller has after header decode). Segments must be fed in
+// arrival order; reordering on the client→LB hop reads as retransmission,
+// which is the conservative direction for a congestion signal.
+func (f *FlowCongestion) Observe(t *TCP, payload int) CongestionEvents {
+	if t.Flags&FlagRST != 0 {
+		return 0 // aborts are the detector's failure path, not congestion
+	}
+	var ev CongestionEvents
+	// Zero-window stall: fire on the open→closed transition only, so a
+	// stalled receiver draining slowly does not count once per segment.
+	if t.Window == 0 {
+		if !f.zeroWin {
+			f.zeroWin = true
+			ev |= CongZeroWindow
+		}
+	} else {
+		f.zeroWin = false
+	}
+	if t.Flags&FlagSYN != 0 {
+		// A SYN for the ISN we already recorded is a handshake retransmit:
+		// the very first distress a congested or overwhelmed path shows.
+		if f.seqValid && t.Seq == f.isn {
+			ev |= CongRetransmit
+		}
+		f.isn = t.Seq
+		f.nextSeq = t.Seq + 1 // SYN occupies one sequence number
+		f.seqValid = true
+		f.ackValid = false
+		f.dupAcks = 0
+		return ev
+	}
+	if payload > 0 {
+		end := t.Seq + uint32(payload)
+		if f.seqValid && seqLT(t.Seq, f.nextSeq) {
+			// Sequence regression: this segment starts below the highest
+			// byte the flow already sent. Re-sent data — RTO or
+			// fast-retransmit on the sender.
+			ev |= CongRetransmit
+			if seqLT(f.nextSeq, end) {
+				f.nextSeq = end
+			}
+		} else {
+			f.nextSeq = end
+			f.seqValid = true
+		}
+		return ev
+	}
+	// Pure ACK (no payload, not SYN/FIN): duplicate-ACK tracking. A run of
+	// identical ACKs means the receiver keeps seeing out-of-order data —
+	// something before the acked point is missing in flight.
+	if t.Flags&FlagACK != 0 && t.Flags&FlagFIN == 0 {
+		if f.ackValid && t.Ack == f.lastAck && t.Window == f.lastWin {
+			if f.dupAcks < 255 {
+				f.dupAcks++
+			}
+			if f.dupAcks == dupAckRun {
+				ev |= CongDupAck
+			}
+		} else {
+			f.lastAck = t.Ack
+			f.lastWin = t.Window
+			f.ackValid = true
+			f.dupAcks = 0
+		}
+	}
+	return ev
+}
+
+// CongestionTrackerConfig parameterizes a CongestionTracker.
+type CongestionTrackerConfig struct {
+	// MaxFlows caps tracked flows; observations for new flows beyond the
+	// cap are dropped (returning no events) rather than evicting state.
+	// Zero defaults to 65536.
+	MaxFlows int
+	// IdleTimeout makes Sweep expire flows silent for at least this long.
+	// Zero defaults to 60s.
+	IdleTimeout time.Duration
+}
+
+// CongestionTracker tracks congestion state for many flows keyed by
+// FlowKey. Not safe for concurrent use; callers shard externally (the live
+// proxy tracks per-connection FlowCongestion directly instead).
+type CongestionTracker struct {
+	cfg   CongestionTrackerConfig
+	flows map[FlowKey]*trackedCongestion
+}
+
+type trackedCongestion struct {
+	fc       FlowCongestion
+	lastSeen time.Duration
+}
+
+// NewCongestionTracker creates a tracker.
+func NewCongestionTracker(cfg CongestionTrackerConfig) *CongestionTracker {
+	if cfg.MaxFlows <= 0 {
+		cfg.MaxFlows = 65536
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 60 * time.Second
+	}
+	return &CongestionTracker{cfg: cfg, flows: make(map[FlowKey]*trackedCongestion)}
+}
+
+// Observe feeds one segment of flow key into its tracker and returns the
+// distress events. FIN segments release the flow's state after observation.
+func (ct *CongestionTracker) Observe(key FlowKey, t *TCP, payload int, now time.Duration) CongestionEvents {
+	tf := ct.flows[key]
+	if tf == nil {
+		if len(ct.flows) >= ct.cfg.MaxFlows {
+			return 0
+		}
+		tf = &trackedCongestion{}
+		ct.flows[key] = tf
+	}
+	tf.lastSeen = now
+	ev := tf.fc.Observe(t, payload)
+	if t.Flags&(FlagFIN|FlagRST) != 0 {
+		delete(ct.flows, key)
+	}
+	return ev
+}
+
+// Forget drops a flow's state (connection closed out of band).
+func (ct *CongestionTracker) Forget(key FlowKey) { delete(ct.flows, key) }
+
+// Len reports the tracked-flow population.
+func (ct *CongestionTracker) Len() int { return len(ct.flows) }
+
+// Sweep expires flows idle for at least IdleTimeout and returns how many
+// were dropped.
+func (ct *CongestionTracker) Sweep(now time.Duration) int {
+	n := 0
+	for k, tf := range ct.flows {
+		if now-tf.lastSeen >= ct.cfg.IdleTimeout {
+			delete(ct.flows, k)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,188 @@
+package packet
+
+import (
+	"testing"
+	"time"
+)
+
+// seg builds a client→server TCP segment for tracker tests.
+func seg(seq, ack uint32, flags uint8, window uint16) *TCP {
+	return &TCP{Seq: seq, Ack: ack, Flags: flags, Window: window}
+}
+
+func TestCongestionRetransmit(t *testing.T) {
+	var f FlowCongestion
+	if ev := f.Observe(seg(1000, 0, FlagSYN, 65535), 0); ev != 0 {
+		t.Fatalf("first SYN: events %v, want none", ev)
+	}
+	if ev := f.Observe(seg(1001, 1, FlagACK|FlagPSH, 65535), 100); ev != 0 {
+		t.Fatalf("first data: events %v, want none", ev)
+	}
+	if ev := f.Observe(seg(1101, 1, FlagACK|FlagPSH, 65535), 100); ev != 0 {
+		t.Fatalf("in-order data: events %v, want none", ev)
+	}
+	// Re-send of the previous segment: sequence regression.
+	if ev := f.Observe(seg(1101, 1, FlagACK|FlagPSH, 65535), 100); !ev.Has(CongRetransmit) {
+		t.Fatalf("retransmitted data: events %v, want retransmit", ev)
+	}
+	// Partial retransmit that extends past the old edge still counts and
+	// advances the edge.
+	if ev := f.Observe(seg(1150, 1, FlagACK|FlagPSH, 65535), 200); !ev.Has(CongRetransmit) {
+		t.Fatalf("overlapping data: events %v, want retransmit", ev)
+	}
+	if ev := f.Observe(seg(1350, 1, FlagACK|FlagPSH, 65535), 50); ev != 0 {
+		t.Fatalf("data after advanced edge: events %v, want none", ev)
+	}
+}
+
+func TestCongestionSynRetransmit(t *testing.T) {
+	var f FlowCongestion
+	if ev := f.Observe(seg(7, 0, FlagSYN, 65535), 0); ev != 0 {
+		t.Fatalf("first SYN: events %v, want none", ev)
+	}
+	if ev := f.Observe(seg(7, 0, FlagSYN, 65535), 0); !ev.Has(CongRetransmit) {
+		t.Fatalf("retransmitted SYN: events %v, want retransmit", ev)
+	}
+	// A SYN with a new ISN is a new incarnation, not a retransmit.
+	if ev := f.Observe(seg(9000, 0, FlagSYN, 65535), 0); ev != 0 {
+		t.Fatalf("new-ISN SYN: events %v, want none", ev)
+	}
+}
+
+func TestCongestionSeqWraparound(t *testing.T) {
+	var f FlowCongestion
+	start := uint32(0xFFFFFF00)
+	f.Observe(seg(start, 0, FlagACK, 65535), 0x200) // edge wraps past zero
+	// A segment numerically large but below the wrapped edge is a
+	// retransmit; a segment numerically small but at the edge is not.
+	if ev := f.Observe(seg(start, 0, FlagACK, 65535), 0x100); !ev.Has(CongRetransmit) {
+		t.Fatalf("pre-wrap retransmit: events %v, want retransmit", ev)
+	}
+	if ev := f.Observe(seg(start+0x200, 0, FlagACK, 65535), 0x100); ev != 0 {
+		t.Fatalf("post-wrap in-order: events %v, want none", ev)
+	}
+}
+
+func TestCongestionDupAckRun(t *testing.T) {
+	var f FlowCongestion
+	ackAt := func(ack uint32, win uint16) CongestionEvents {
+		return f.Observe(seg(500, ack, FlagACK, win), 0)
+	}
+	if ev := ackAt(4000, 65535); ev != 0 {
+		t.Fatalf("establishing ACK: events %v, want none", ev)
+	}
+	if ev := ackAt(4000, 65535); ev != 0 { // dup 1
+		t.Fatalf("dup 1: events %v, want none", ev)
+	}
+	if ev := ackAt(4000, 65535); ev != 0 { // dup 2
+		t.Fatalf("dup 2: events %v, want none", ev)
+	}
+	if ev := ackAt(4000, 65535); !ev.Has(CongDupAck) { // dup 3: threshold
+		t.Fatalf("dup 3: events %v, want dup-ack", ev)
+	}
+	if ev := ackAt(4000, 65535); ev != 0 { // run continues, fires once
+		t.Fatalf("dup 4: events %v, want none (one event per run)", ev)
+	}
+	if ev := ackAt(5000, 65535); ev != 0 { // ack advance resets the run
+		t.Fatalf("advanced ACK: events %v, want none", ev)
+	}
+	if ev := ackAt(5000, 65535); ev != 0 {
+		t.Fatalf("post-reset dup 1: events %v, want none", ev)
+	}
+	// A window update (same ack, different window) is not a duplicate ACK
+	// (RFC 5681): it re-establishes the baseline.
+	if ev := ackAt(5000, 32768); ev != 0 {
+		t.Fatalf("window update: events %v, want none", ev)
+	}
+	// Interleaved data segments do not break a run.
+	f.Observe(seg(500, 5000, FlagACK|FlagPSH, 32768), 64)
+	for i := 0; i < 2; i++ {
+		if ev := ackAt(5000, 32768); ev != 0 {
+			t.Fatalf("dup %d after data: events %v, want none", i+1, ev)
+		}
+	}
+	if ev := ackAt(5000, 32768); !ev.Has(CongDupAck) {
+		t.Fatalf("dup 3 after data: events %v, want dup-ack", ev)
+	}
+}
+
+func TestCongestionZeroWindow(t *testing.T) {
+	var f FlowCongestion
+	if ev := f.Observe(seg(1, 100, FlagACK, 0), 0); !ev.Has(CongZeroWindow) {
+		t.Fatalf("first zero-window: events %v, want zero-window", ev)
+	}
+	if ev := f.Observe(seg(1, 100, FlagACK, 0), 0); ev.Has(CongZeroWindow) {
+		t.Fatalf("sustained stall: events %v, want no repeat zero-window", ev)
+	}
+	if ev := f.Observe(seg(1, 100, FlagACK, 4096), 0); ev != 0 {
+		t.Fatalf("window reopen: events %v, want none", ev)
+	}
+	if ev := f.Observe(seg(1, 100, FlagACK, 0), 0); !ev.Has(CongZeroWindow) {
+		t.Fatalf("second stall: events %v, want zero-window again", ev)
+	}
+}
+
+func TestCongestionRSTIgnored(t *testing.T) {
+	var f FlowCongestion
+	f.Observe(seg(100, 0, FlagSYN, 65535), 0)
+	f.Observe(seg(101, 1, FlagACK, 65535), 50)
+	if ev := f.Observe(seg(101, 1, FlagRST|FlagACK, 0), 0); ev != 0 {
+		t.Fatalf("RST: events %v, want none (aborts are not congestion)", ev)
+	}
+}
+
+func TestCongestionTrackerTable(t *testing.T) {
+	ct := NewCongestionTracker(CongestionTrackerConfig{MaxFlows: 2, IdleTimeout: time.Second})
+	k1 := FlowKey{Proto: ProtoTCP, SrcPort: 1}
+	k2 := FlowKey{Proto: ProtoTCP, SrcPort: 2}
+	k3 := FlowKey{Proto: ProtoTCP, SrcPort: 3}
+
+	ct.Observe(k1, seg(100, 0, FlagACK, 65535), 10, 0)
+	if ev := ct.Observe(k1, seg(100, 0, FlagACK, 65535), 10, time.Millisecond); !ev.Has(CongRetransmit) {
+		t.Fatalf("k1 retransmit: events %v", ev)
+	}
+	ct.Observe(k2, seg(100, 0, FlagACK, 65535), 10, time.Millisecond)
+	// Flow 3 is over the cap: observations are dropped, not evicting k1/k2.
+	if ev := ct.Observe(k3, seg(100, 0, FlagACK, 65535), 10, time.Millisecond); ev != 0 {
+		t.Fatalf("over-cap flow returned events %v", ev)
+	}
+	if ct.Len() != 2 {
+		t.Fatalf("tracked %d flows, want 2", ct.Len())
+	}
+	// FIN releases state inline.
+	ct.Observe(k2, seg(200, 0, FlagFIN|FlagACK, 65535), 0, 2*time.Millisecond)
+	if ct.Len() != 1 {
+		t.Fatalf("after FIN: tracked %d flows, want 1", ct.Len())
+	}
+	// Sweep expires idle flows; Forget drops explicitly.
+	if n := ct.Sweep(time.Millisecond + time.Second); n != 1 || ct.Len() != 0 {
+		t.Fatalf("sweep dropped %d (len %d), want 1 (0)", n, ct.Len())
+	}
+	ct.Observe(k3, seg(1, 0, FlagSYN, 65535), 0, 0)
+	ct.Forget(k3)
+	if ct.Len() != 0 {
+		t.Fatalf("after Forget: %d flows", ct.Len())
+	}
+}
+
+// TestCongestionInOrderStreamSilent pins the no-false-positive property the
+// detector integration depends on: a healthy in-order stream (handshake,
+// pipelined data, window updates, FIN) produces zero events.
+func TestCongestionInOrderStreamSilent(t *testing.T) {
+	var f FlowCongestion
+	total := CongestionEvents(0)
+	total |= f.Observe(seg(1<<31-5, 0, FlagSYN, 65535), 0)
+	next := uint32(1<<31 - 4)
+	for i := 0; i < 1000; i++ {
+		n := uint32(1 + i%1460)
+		total |= f.Observe(seg(next, uint32(i)*100, FlagACK|FlagPSH, uint16(1000+i)), int(n))
+		next += n
+		if i%7 == 0 { // advancing acks between data
+			total |= f.Observe(seg(next, uint32(i)*100+50, FlagACK, uint16(1000+i)), 0)
+		}
+	}
+	total |= f.Observe(seg(next, 0, FlagFIN|FlagACK, 65535), 0)
+	if total != 0 {
+		t.Fatalf("healthy stream produced events %v", total)
+	}
+}

@@ -100,6 +100,79 @@ func FuzzFlowKey(f *testing.F) {
 	})
 }
 
+// FuzzCongestionTracker drives the per-flow congestion state machine with
+// arbitrary segment streams across a small flow population: it must never
+// panic, its event claims must stay internally consistent (zero-window
+// only fires on a window-closed segment, dup-ack only on a pure ACK,
+// retransmit never on the first segment of a fresh flow), and replaying the
+// same stream into a fresh tracker must yield the same events (pure
+// function of the stream).
+func FuzzCongestionTracker(f *testing.F) {
+	// Seeds: a handshake+data stream, a dup-ack run, a zero-window stall.
+	f.Add([]byte{0x02, 0, 0, 0, 10, 0x10, 1, 0, 0, 5, 0x10, 1, 0, 0, 0})
+	f.Add([]byte{0x10, 0, 40, 0, 0, 0x10, 0, 40, 0, 0, 0x10, 0, 40, 0, 0, 0x10, 0, 40, 0, 0})
+	f.Add([]byte{0x10, 0, 9, 255, 255, 0x10, 0, 9, 0, 0, 0x10, 0, 9, 255, 255})
+
+	type step struct {
+		flow    uint8
+		t       TCP
+		payload int
+	}
+	decode := func(data []byte) []step {
+		var steps []step
+		// 5 bytes per segment: flags, flow, seq/ack selector, window hi/lo.
+		for i := 0; i+5 <= len(data) && len(steps) < 4096; i += 5 {
+			s := step{
+				flow: data[i+1] & 3,
+				t: TCP{
+					Flags:  data[i] & (FlagFIN | FlagSYN | FlagRST | FlagPSH | FlagACK),
+					Seq:    uint32(data[i+2]) * 37, // small space: collisions guaranteed
+					Ack:    uint32(data[i+2]) * 11,
+					Window: uint16(data[i+3])<<8 | uint16(data[i+4]),
+				},
+			}
+			if data[i]&0x40 != 0 {
+				s.payload = int(data[i+2]) + 1
+			}
+			steps = append(steps, s)
+		}
+		return steps
+	}
+	run := func(t *testing.T, steps []step) []CongestionEvents {
+		ct := NewCongestionTracker(CongestionTrackerConfig{MaxFlows: 3})
+		out := make([]CongestionEvents, 0, len(steps))
+		for i, s := range steps {
+			key := FlowKey{Proto: ProtoTCP, SrcPort: uint16(s.flow)}
+			ev := ct.Observe(key, &s.t, s.payload, 0)
+			if ev.Has(CongZeroWindow) && s.t.Window != 0 {
+				t.Fatalf("step %d: zero-window event on window %d", i, s.t.Window)
+			}
+			if ev.Has(CongDupAck) && (s.payload > 0 || s.t.Flags&FlagACK == 0 || s.t.Flags&(FlagSYN|FlagFIN|FlagRST) != 0) {
+				t.Fatalf("step %d: dup-ack event on non-pure-ACK segment %+v", i, s.t)
+			}
+			if s.t.Flags&FlagRST != 0 && ev != 0 {
+				t.Fatalf("step %d: events %v on RST", i, ev)
+			}
+			out = append(out, ev)
+		}
+		if ct.Len() > 3 {
+			t.Fatalf("tracker exceeded MaxFlows: %d", ct.Len())
+		}
+		return out
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		steps := decode(data)
+		ev1 := run(t, steps)
+		ev2 := run(t, steps)
+		for i := range ev1 {
+			if ev1[i] != ev2[i] {
+				t.Fatalf("replay diverged at step %d: %v vs %v", i, ev1[i], ev2[i])
+			}
+		}
+	})
+}
+
 // FuzzIPv4Decode ensures header parsing tolerates arbitrary input.
 func FuzzIPv4Decode(f *testing.F) {
 	hdr := make([]byte, 20)

@@ -41,6 +41,12 @@ type Config struct {
 	// HitService samples the fast (cache-hit) path. Defaults to a 10 µs
 	// constant when unset.
 	HitService Dist
+	// Batch, when non-nil, coalesces responses: while the schedule's
+	// DelayAt is positive, a finished response is held and the whole batch
+	// is flushed after that window, so clients see incast-style bursts of
+	// back-to-back arrivals instead of a smooth response stream. Outside
+	// the schedule's windows (DelayAt == 0) responses flow immediately.
+	Batch faults.Schedule
 	// Dependency, when set, is a downstream service this server calls
 	// for DependencyFraction of its requests after local processing
 	// (paper §5 Q3: a slow dependency makes the server look slow).
@@ -58,9 +64,9 @@ type Stats struct {
 	Blackholed uint64 // packets silently dropped by ConnFaults
 	Hits       uint64 // cache hits (CacheSize > 0 and request carried a key)
 	Misses     uint64 // cache misses
-	MaxQueue  int
-	Service   *stats.Histogram // processing time actually applied
-	QueueWait *stats.Histogram // time spent waiting for a worker
+	MaxQueue   int
+	Service    *stats.Histogram // processing time actually applied
+	QueueWait  *stats.Histogram // time spent waiting for a worker
 }
 
 // Server is a simulated request-processing node. It consumes KindRequest
@@ -75,6 +81,8 @@ type Server struct {
 	busy  int
 	// queue holds requests waiting for a worker, with their arrival times.
 	queue []queued
+	// batch holds finished responses awaiting an incast flush (Config.Batch).
+	batch []*netsim.Packet
 	stats Stats
 }
 
@@ -236,13 +244,40 @@ func (s *Server) finish(p *netsim.Packet) {
 		SentAt:    s.sim.Now(),
 		ReqSentAt: p.SentAt,
 	}
-	if s.out != nil {
-		s.out(resp)
-	}
+	s.send(resp)
 	s.busy--
 	if len(s.queue) > 0 {
 		next := s.queue[0]
 		s.queue = s.queue[1:]
 		s.start(next.p, s.sim.Now()-next.at)
+	}
+}
+
+// send emits one response, holding it for an incast flush when the batch
+// schedule is in force. The flush timer is armed by the batch's first
+// response, so a window's burst size is whatever finished during it.
+func (s *Server) send(resp *netsim.Packet) {
+	if s.cfg.Batch != nil {
+		if d := s.cfg.Batch.DelayAt(s.sim.Now()); d > 0 {
+			s.batch = append(s.batch, resp)
+			if len(s.batch) == 1 {
+				s.sim.After(d, s.flushBatch)
+			}
+			return
+		}
+	}
+	if s.out != nil {
+		s.out(resp)
+	}
+}
+
+// flushBatch releases every held response back-to-back.
+func (s *Server) flushBatch() {
+	b := s.batch
+	s.batch = nil
+	for _, r := range b {
+		if s.out != nil {
+			s.out(r)
+		}
 	}
 }

@@ -68,6 +68,52 @@ type RequestConfig struct {
 	// OpenDelay adds client processing time between the SYN-ACK arrival
 	// and the first request (the handshake's T_trigger).
 	OpenDelay time.Duration
+
+	// The transport-distress knobs below model what a real TCP stack leaks
+	// under congestion. All default to off (zero), leaving legacy workloads
+	// byte-identical.
+
+	// RetransmitTimeout, when positive, models the sender's RTO: a request
+	// unanswered after this long is re-sent on the same connection with
+	// the same sequence number (the Seq-regression signal a congestion
+	// tracker on the path detects), up to RetransmitMax times with the
+	// delay doubling each attempt. Retransmits are transport re-sends: they
+	// do not count as new requests (Sent/Outstanding are untouched), only
+	// as Retransmits. Should be set well below RequestTimeout and well
+	// above the healthy round trip.
+	RetransmitTimeout time.Duration
+	// RetransmitMax caps retransmits per request (default 2 when
+	// RetransmitTimeout > 0).
+	RetransmitMax int
+	// DupAckAge, when positive, models the receiver's out-of-order
+	// signalling: a response arriving while an older request on the same
+	// connection has been outstanding for at least DupAckAge emits a
+	// duplicate ACK (KindAck re-asserting the awaited sequence) toward the
+	// server through the LB — the dup-ACK run a congestion tracker counts.
+	DupAckAge time.Duration
+	// ZeroWindowBurst, when positive, models receive-buffer pressure:
+	// every run of this many responses arriving back-to-back (within
+	// ZeroWindowGap of each other, across all connections) emits a
+	// zero-window advertisement on the connection that overflowed.
+	ZeroWindowBurst int
+	// ZeroWindowGap is the inter-arrival gap that keeps a burst alive
+	// (default 20µs when ZeroWindowBurst > 0).
+	ZeroWindowGap time.Duration
+	// Hot, when non-nil, skews the workload toward a hot subset of
+	// connections during a window (zipfian hot-key traffic concentrating
+	// on the shard that owns the hot keys): hot connections' think time is
+	// divided by Factor during [Start, End).
+	Hot *HotWindow
+}
+
+// HotWindow describes a hot-key skew window: connections whose flow hash
+// lands in the bottom Fraction of the hash space think Factor× faster
+// during [Start, End).
+type HotWindow struct {
+	Start    time.Duration
+	End      time.Duration
+	Fraction float64 // share of connections that run hot, in (0, 1]
+	Factor   int     // think-time divisor for hot connections (> 1)
 }
 
 // RequestStats aggregates client-side ground truth.
@@ -87,6 +133,12 @@ type RequestStats struct {
 	// already torn down. At full drain sum(server Served) ==
 	// Responses + Stale: every processed request's response is accounted.
 	Stale uint64
+	// Transport-distress emissions (the "injected" side of the DST
+	// congestion-conservation oracle: the tracker on the path can observe
+	// at most these many signals of each kind).
+	Retransmits uint64 // RTO re-sends of an outstanding request
+	DupAcks     uint64 // duplicate ACKs emitted for overdue older requests
+	ZeroWindows uint64 // zero-window advertisements emitted under bursts
 	// Latency distributions by operation, measured request-send to
 	// response-receipt at the client.
 	GetLatency *stats.Histogram
@@ -105,6 +157,11 @@ type RequestClient struct {
 	stats    RequestStats
 	stopped  bool
 	zipf     *rand.Zipf
+
+	// Zero-window burst tracking (ZeroWindowBurst): responses arriving
+	// within ZeroWindowGap of the previous one grow the burst.
+	lastRespAt time.Duration
+	burstLen   int
 
 	// OnResponse, when set, observes every response with its client-side
 	// latency; experiments use it to build time series.
@@ -158,6 +215,13 @@ func NewRequestClient(sim *netsim.Sim, cfg RequestConfig, out func(*netsim.Packe
 	if cfg.Keys > 1 && cfg.KeyZipfS > 1 {
 		c.zipf = rand.NewZipf(sim.Rand(), cfg.KeyZipfS, 1, uint64(cfg.Keys-1))
 	}
+	if c.cfg.RetransmitTimeout > 0 && c.cfg.RetransmitMax <= 0 {
+		c.cfg.RetransmitMax = 2
+	}
+	if c.cfg.ZeroWindowBurst > 0 && c.cfg.ZeroWindowGap <= 0 {
+		c.cfg.ZeroWindowGap = 20 * time.Microsecond
+	}
+	c.lastRespAt = -time.Hour // no burst before the first response
 	return c
 }
 
@@ -268,6 +332,36 @@ func (c *RequestClient) sendRequest(cn *conn) {
 			c.abortConn(cn)
 		})
 	}
+	if c.cfg.RetransmitTimeout > 0 {
+		c.armRetransmit(cn, seq, op, key, 1, c.cfg.RetransmitTimeout)
+	}
+}
+
+// armRetransmit schedules the RTO for one outstanding request: if the
+// response has not arrived by then, the same request (same sequence
+// number) is re-sent and the timer re-arms at double the delay, up to
+// RetransmitMax attempts. The re-send is a transport-layer event: Sent,
+// Outstanding, and the request's deadline are untouched.
+func (c *RequestClient) armRetransmit(cn *conn, seq uint64, op netsim.Op, key uint64, attempt int, delay time.Duration) {
+	c.sim.After(delay, func() {
+		if cn.closed || c.stopped || attempt > c.cfg.RetransmitMax {
+			return
+		}
+		if _, waiting := cn.sendTimes[seq]; !waiting {
+			return // answered in time
+		}
+		c.stats.Retransmits++
+		c.out(&netsim.Packet{
+			Flow:   cn.flow,
+			Kind:   netsim.KindRequest,
+			Op:     op,
+			Seq:    seq,
+			Key:    key,
+			Size:   c.cfg.ReqSize,
+			SentAt: c.sim.Now(),
+		})
+		c.armRetransmit(cn, seq, op, key, attempt+1, delay*2)
+	})
 }
 
 // HandlePacket receives responses (and SYN-ACKs) from servers.
@@ -309,6 +403,30 @@ func (c *RequestClient) HandlePacket(p *netsim.Packet) {
 		c.stats.Stale++ // response for a connection we already closed
 		return
 	}
+	now := c.sim.Now()
+	if c.cfg.ZeroWindowBurst > 0 {
+		// Receive-buffer pressure: responses landing back-to-back (incast
+		// flush, post-stall drain) grow a burst; overflowing the burst
+		// threshold advertises a zero window on the overflowing flow.
+		if now-c.lastRespAt <= c.cfg.ZeroWindowGap {
+			c.burstLen++
+		} else {
+			c.burstLen = 1
+		}
+		c.lastRespAt = now
+		if c.burstLen >= c.cfg.ZeroWindowBurst {
+			c.burstLen = 0
+			c.stats.ZeroWindows++
+			c.out(&netsim.Packet{
+				Flow:       cn.flow,
+				Kind:       netsim.KindAck,
+				Seq:        p.Seq,
+				Size:       64,
+				SentAt:     now,
+				ZeroWindow: true,
+			})
+		}
+	}
 	sentAt, ok := cn.sendTimes[p.Seq]
 	if !ok {
 		c.stats.Stale++
@@ -319,9 +437,23 @@ func (c *RequestClient) HandlePacket(p *netsim.Packet) {
 	delete(cn.ops, p.Seq)
 	cn.inflight--
 	cn.done++
-	now := c.sim.Now()
 	lat := now - sentAt
 	c.stats.Responses++
+	if c.cfg.DupAckAge > 0 {
+		// This response arrived while an older request on the same
+		// connection is overdue: the receiver keeps acking the missing
+		// sequence point — a duplicate ACK toward the server.
+		if oldest, at, ok := cn.oldestOutstanding(); ok && oldest < p.Seq && now-at >= c.cfg.DupAckAge {
+			c.stats.DupAcks++
+			c.out(&netsim.Packet{
+				Flow:   cn.flow,
+				Kind:   netsim.KindAck,
+				Seq:    oldest,
+				Size:   64,
+				SentAt: now,
+			})
+		}
+	}
 	switch op {
 	case netsim.OpGet:
 		c.stats.GetLatency.Record(lat)
@@ -338,10 +470,7 @@ func (c *RequestClient) HandlePacket(p *netsim.Packet) {
 	}
 	if c.canSend(cn) {
 		// The triggered transmission: this response released pipeline quota.
-		think := c.cfg.ThinkTime
-		if c.cfg.ThinkJitter > 0 {
-			think += time.Duration(c.sim.Rand().Int63n(int64(c.cfg.ThinkJitter)))
-		}
+		think := c.thinkFor(cn)
 		if think > 0 {
 			c.sim.After(think, func() {
 				if c.canSend(cn) {
@@ -352,6 +481,58 @@ func (c *RequestClient) HandlePacket(p *netsim.Packet) {
 			c.sendRequest(cn)
 		}
 	}
+}
+
+// thinkFor computes the triggered-send think time: base plus jitter, then
+// divided by the hot-window factor when this connection runs hot. The
+// jitter draw happens unconditionally (when configured) so workloads with
+// Hot == nil consume the rng identically to the pre-hot-window client.
+func (c *RequestClient) thinkFor(cn *conn) time.Duration {
+	think := c.cfg.ThinkTime
+	if c.cfg.ThinkJitter > 0 {
+		think += time.Duration(c.sim.Rand().Int63n(int64(c.cfg.ThinkJitter)))
+	}
+	if h := c.cfg.Hot; h != nil && h.Factor > 1 {
+		now := c.sim.Now()
+		if now >= h.Start && (h.End <= 0 || now < h.End) && c.hotConn(cn, h) {
+			think /= time.Duration(h.Factor)
+		}
+	}
+	return think
+}
+
+// hotConn deterministically assigns a connection to the hot set by its
+// flow hash, so the hot population is stable for the connection's lifetime
+// and reproducible across replays.
+func (c *RequestClient) hotConn(cn *conn, h *HotWindow) bool {
+	return cn.flow.Hash()&0xffff < uint64(h.Fraction*65536)
+}
+
+// Thunder models a thundering-herd reconnect storm: every open connection
+// is torn down at once (a shared upstream — NAT box, service mesh sidecar,
+// scheduler — restarting), and the standard abort path reopens each after
+// ReopenDelay, so the LB absorbs a synchronized wave of closes and opens.
+func (c *RequestClient) Thunder() {
+	conns := append([]*conn(nil), c.conns...)
+	for _, cn := range conns {
+		c.abortConn(cn)
+	}
+}
+
+// oldestOutstanding returns the lowest outstanding sequence number on the
+// connection and its send time.
+func (cn *conn) oldestOutstanding() (uint64, time.Duration, bool) {
+	var (
+		oldest uint64
+		at     time.Duration
+		found  bool
+	)
+	for s, t := range cn.sendTimes {
+		if !found || s < oldest {
+			oldest, at, found = s, t, true
+		}
+	}
+	return oldest, at, found
 }
 
 // abortConn tears a connection down before its workload completed —

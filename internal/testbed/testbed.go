@@ -168,6 +168,8 @@ type ClusterConfig struct {
 	ControlInterval time.Duration
 	// L7 enables key-based request routing at the LB (cache affinity).
 	L7 bool
+	// Congestion enables the LB's transport-distress tracker (lb.Config).
+	Congestion bool
 	// SharedDependency, when set, creates one downstream service on the
 	// cluster's simulator and attaches it to every server (§5 Q3).
 	SharedDependency *server.DependencyConfig
@@ -256,6 +258,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		SweepInterval:   cfg.SweepInterval,
 		ControlInterval: cfg.ControlInterval,
 		L7:              cfg.L7,
+		Congestion:      cfg.Congestion,
 	}, c.ServerLinks)
 	if err != nil {
 		return nil, err
