@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"inbandlb/internal/auditlog"
 	"inbandlb/internal/control"
 	"inbandlb/internal/core"
 	"inbandlb/internal/lbproxy"
@@ -63,6 +64,9 @@ func main() {
 		congTicks   = flag.Int("congestion-ticks", 0, "consecutive hot ticks before the congestion weight-down; 2x ejects (0 = default 4)")
 		statusAddr  = flag.String("status-addr", "", "serve JSON status at http://<addr>/ (empty = off)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof at this address (e.g. localhost:6060; empty = off)")
+		auditPath   = flag.String("audit-log", "", "write a hash-chained decision audit log to this file (empty = off)")
+		auditBuffer = flag.Int("audit-buffer", 0, "audit ring capacity in records; decisions beyond it are shed, counted, and marked in the log (0 = default 1024)")
+		adminAddr   = flag.String("admin", "", "serve the admin surface (/metrics Prometheus text, /decisions audit tail, /config live detector reload) at this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -76,6 +80,26 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lbproxy: %v\n", err)
 		os.Exit(2)
+	}
+
+	// The audit log is the decision flight recorder: every snapshot
+	// publish, weight change, and detector transition lands in a
+	// hash-chained file, written off the hot path by a dedicated goroutine.
+	var auditSink *auditlog.Log
+	if *auditPath != "" {
+		f, err := os.Create(*auditPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbproxy: audit log: %v\n", err)
+			os.Exit(1)
+		}
+		auditSink, err = auditlog.NewLog(f, auditlog.LogConfig{
+			Buffer:      *auditBuffer,
+			MaxBackends: len(addrs),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbproxy: audit log: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	proxy, err := lbproxy.New(lbproxy.Config{
@@ -95,6 +119,7 @@ func main() {
 		PoolMaxAge:               *poolMaxAge,
 		CongestionSignals:        *congSignals,
 		CongestionSampleInterval: *congEvery,
+		Audit:                    auditSinkOrNil(auditSink),
 		Detector: control.DetectorConfig{
 			Enabled:          *passive || *congSignals,
 			FailureThreshold: *failThresh,
@@ -125,6 +150,15 @@ func main() {
 			}
 		}()
 		fmt.Printf("lbproxy: status at http://%s/\n", *statusAddr)
+	}
+
+	if *adminAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*adminAddr, proxy.AdminHandler()); err != nil {
+				fmt.Fprintf(os.Stderr, "lbproxy: admin server: %v\n", err)
+			}
+		}()
+		fmt.Printf("lbproxy: admin at http://%s/metrics (also /decisions, /config)\n", *adminAddr)
 	}
 
 	if *pprofAddr != "" {
@@ -177,6 +211,16 @@ func main() {
 	// Close is idempotent and waits for the sample flush, after which the
 	// policy is quiescent and safe to read directly.
 	_ = proxy.Close()
+	if auditSink != nil {
+		// Drain, seal, and close the chained log so the file verifies end
+		// to end (lbreplay and auditlog.Verify reject unsealed logs).
+		if err := auditSink.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "lbproxy: audit log close: %v\n", err)
+		} else {
+			fmt.Printf("lbproxy: audit log sealed: %d decisions written, %d shed\n",
+				auditSink.Written(), auditSink.Sheds())
+		}
+	}
 	st := proxy.Stats()
 	fmt.Printf("lbproxy: relayed %d connections (%d estimator samples, %d dropped)\n",
 		st.Accepted, st.Samples, st.SamplesDropped)
@@ -218,6 +262,16 @@ func buildPolicy(name string, addrs []string, alpha, minWeight float64,
 		return control.NewP2C(len(addrs), rand.New(rand.NewSource(seed)), latCfg), nil, nil
 	}
 	return nil, nil, fmt.Errorf("unknown policy %q", name)
+}
+
+// auditSinkOrNil avoids the typed-nil interface trap: a nil *auditlog.Log
+// must reach Config.Audit as a nil interface, not a non-nil one wrapping
+// nil.
+func auditSinkOrNil(l *auditlog.Log) auditlog.Sink {
+	if l == nil {
+		return nil
+	}
+	return l
 }
 
 // congestionPerTick resolves the detector's hot-tick threshold: the

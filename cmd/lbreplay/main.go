@@ -1,60 +1,181 @@
-// Command lbreplay runs the in-band latency estimator over a packet
-// capture: point it at a pcap of client→server traffic (e.g. tcpdump on a
-// load balancer's ingress, or the output of `lbsim -exp fig2a -pcap ...`)
-// and it reports, per flow, the response-latency distribution the
-// estimator would have inferred — without ever seeing a response packet.
+// Command lbreplay is the incident-analysis tool. It has three modes:
 //
-// Usage:
+// Estimator replay over a packet capture: point it at a pcap of
+// client→server traffic (e.g. tcpdump on a load balancer's ingress, or
+// the output of `lbsim -exp fig2a -pcap ...`) and it reports, per flow,
+// the response-latency distribution the estimator would have inferred —
+// without ever seeing a response packet:
 //
 //	lbreplay -pcap capture.pcap -top 20
+//
+// Incident recording: run a seeded DST scenario with decision auditing
+// on, producing a hash-chained decision log plus an incident trace that
+// pins the scenario coordinates and the run's digest:
+//
+//	lbreplay -record-seed 7 [-congestion] [-policy latency-aware] \
+//	         -decisions log.bin -trace incident.bin
+//
+// Incident replay: verify a decision log's hash chain, regenerate the
+// incident's scenario, re-run it, and assert the replayed controller
+// reproduces the logged decision sequence exactly:
+//
+//	lbreplay -decisions log.bin -trace incident.bin
+//
+// Replay exits 0 only on 100% reproduction (every decision matched,
+// byte-identical logs, digest match); a tampered or truncated decision
+// log is rejected before the replay starts.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"inbandlb/internal/core"
+	"inbandlb/internal/dst"
 	"inbandlb/internal/replay"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lbreplay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		pcapPath = flag.String("pcap", "", "capture file to analyze (required)")
-		top      = flag.Int("top", 20, "show the N busiest flows")
-		epoch    = flag.Duration("epoch", core.DefaultEpoch, "cliff-detection epoch E")
+		pcapPath   = fs.String("pcap", "", "capture file to analyze")
+		top        = fs.Int("top", 20, "show the N busiest flows")
+		epoch      = fs.Duration("epoch", core.DefaultEpoch, "cliff-detection epoch E")
+		recordSeed = fs.Int64("record-seed", 0, "record mode: DST scenario seed to capture")
+		congestion = fs.Bool("congestion", false, "record mode: use the congestion-flavored generator")
+		policy     = fs.String("policy", "", "record mode: routing policy override")
+		decisions  = fs.String("decisions", "", "decision log path (written in record mode, read in replay mode)")
+		trace      = fs.String("trace", "", "incident trace path (written in record mode, read in replay mode)")
 	)
-	flag.Parse()
-	if *pcapPath == "" {
-		fmt.Fprintln(os.Stderr, "lbreplay: -pcap required")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	f, err := os.Open(*pcapPath)
+	switch {
+	case *recordSeed != 0:
+		return runRecord(*recordSeed, *congestion, *policy, *decisions, *trace, stdout, stderr)
+	case *decisions != "" || *trace != "":
+		if *decisions == "" || *trace == "" {
+			fmt.Fprintln(stderr, "lbreplay: incident replay needs both -decisions and -trace")
+			return 2
+		}
+		return runReplayIncident(*decisions, *trace, stdout, stderr)
+	case *pcapPath != "":
+		return runPcap(*pcapPath, *top, *epoch, stdout, stderr)
+	}
+	fmt.Fprintln(stderr, "lbreplay: one of -pcap, -record-seed, or -decisions/-trace required")
+	return 2
+}
+
+func runPcap(path string, top int, epoch time.Duration, stdout, stderr io.Writer) int {
+	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lbreplay: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "lbreplay: %v\n", err)
+		return 1
 	}
 	defer f.Close()
 
-	res, err := replay.Replay(f, core.EnsembleConfig{Epoch: *epoch})
+	res, err := replay.Replay(f, core.EnsembleConfig{Epoch: epoch})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lbreplay: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "lbreplay: %v\n", err)
+		return 1
 	}
 
-	fmt.Printf("%d packets across %d flows (%d frames skipped)\n\n",
+	fmt.Fprintf(stdout, "%d packets across %d flows (%d frames skipped)\n\n",
 		res.Packets, len(res.Flows), res.Skipped)
-	fmt.Printf("%-44s %8s %8s %12s %12s %10s %10s\n",
+	fmt.Fprintf(stdout, "%-44s %8s %8s %12s %12s %10s %10s\n",
 		"flow", "packets", "samples", "median", "p95", "chosen δ", "span")
-	n := *top
-	if n > len(res.Flows) {
-		n = len(res.Flows)
+	if top > len(res.Flows) {
+		top = len(res.Flows)
 	}
-	for _, fr := range res.Flows[:n] {
-		fmt.Printf("%-44s %8d %8d %12v %12v %10v %10v\n",
+	for _, fr := range res.Flows[:top] {
+		fmt.Fprintf(stdout, "%-44s %8d %8d %12v %12v %10v %10v\n",
 			fr.Key, fr.Packets, fr.Samples,
 			fr.Median.Round(time.Microsecond), fr.P95.Round(time.Microsecond),
 			fr.Chosen, (fr.Last - fr.First).Round(time.Millisecond))
 	}
+	return 0
+}
+
+func runRecord(seed int64, congestion bool, policy, decisionsPath, tracePath string, stdout, stderr io.Writer) int {
+	if decisionsPath == "" || tracePath == "" {
+		fmt.Fprintln(stderr, "lbreplay: -record-seed needs -decisions and -trace output paths")
+		return 2
+	}
+	df, err := os.Create(decisionsPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "lbreplay: %v\n", err)
+		return 1
+	}
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		df.Close()
+		fmt.Fprintf(stderr, "lbreplay: %v\n", err)
+		return 1
+	}
+	inc := dst.Incident{Seed: seed, Congestion: congestion, Policy: policy}
+	rep, err := dst.CaptureIncident(inc, df, tf)
+	if cerr := df.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := tf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "lbreplay: record: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "recorded seed %d (%s): %d requests, %d ejections, digest %016x\n",
+		seed, rep.Scenario.PolicyName(), rep.Stats.Sent, rep.Stats.Ejections, rep.Digest)
+	fmt.Fprintf(stdout, "decision log: %s\nincident trace: %s\n", decisionsPath, tracePath)
+	if rep.Failed() {
+		fmt.Fprintf(stderr, "lbreplay: recorded run violated %d oracles (still replayable)\n", rep.Total)
+		for _, v := range rep.Violations {
+			fmt.Fprintf(stderr, "  %v\n", v)
+		}
+		return 1
+	}
+	return 0
+}
+
+func runReplayIncident(decisionsPath, tracePath string, stdout, stderr io.Writer) int {
+	df, err := os.Open(decisionsPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "lbreplay: %v\n", err)
+		return 1
+	}
+	defer df.Close()
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "lbreplay: %v\n", err)
+		return 1
+	}
+	defer tf.Close()
+
+	rr, err := dst.ReplayIncident(tf, df)
+	if err != nil {
+		fmt.Fprintf(stderr, "lbreplay: replay: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "incident: seed %d congestion=%v policy=%q digest %016x\n",
+		rr.Incident.Seed, rr.Incident.Congestion, rr.Incident.Policy, rr.Incident.Digest)
+	fmt.Fprintf(stdout, "decisions: %d logged, %d replayed, %d matched (kind, backend, generation)\n",
+		rr.Logged, rr.Replayed, rr.Matched)
+	fmt.Fprintf(stdout, "byte-identical log: %v   digest match: %v\n", rr.ByteIdentical, rr.DigestMatch)
+	if rr.OK() {
+		fmt.Fprintf(stdout, "replay reproduced the incident exactly\n")
+		return 0
+	}
+	if rr.FirstMismatch != "" {
+		fmt.Fprintf(stderr, "lbreplay: divergence: %s\n", rr.FirstMismatch)
+	}
+	fmt.Fprintf(stderr, "lbreplay: replay did NOT reproduce the incident\n")
+	return 1
 }

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"inbandlb/internal/netsim"
+	"inbandlb/internal/packet"
+	"inbandlb/internal/trace"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCLIRequiresAMode(t *testing.T) {
+	code, _, errs := runCLI(t)
+	if code != 2 || !strings.Contains(errs, "required") {
+		t.Fatalf("code=%d stderr=%q", code, errs)
+	}
+}
+
+func TestCLIRecordThenReplay(t *testing.T) {
+	dir := t.TempDir()
+	dec := filepath.Join(dir, "decisions.bin")
+	trc := filepath.Join(dir, "incident.bin")
+
+	code, out, errs := runCLI(t, "-record-seed", "7", "-decisions", dec, "-trace", trc)
+	if code != 0 {
+		t.Fatalf("record exited %d: %s", code, errs)
+	}
+	if !strings.Contains(out, "recorded seed 7") {
+		t.Fatalf("record output: %q", out)
+	}
+
+	code, out, errs = runCLI(t, "-decisions", dec, "-trace", trc)
+	if code != 0 {
+		t.Fatalf("replay exited %d: %s\n%s", code, errs, out)
+	}
+	if !strings.Contains(out, "reproduced the incident exactly") ||
+		!strings.Contains(out, "byte-identical log: true") {
+		t.Fatalf("replay output: %q", out)
+	}
+}
+
+func TestCLIReplayRejectsTamperedLog(t *testing.T) {
+	dir := t.TempDir()
+	dec := filepath.Join(dir, "decisions.bin")
+	trc := filepath.Join(dir, "incident.bin")
+	if code, _, errs := runCLI(t, "-record-seed", "7", "-decisions", dec, "-trace", trc); code != 0 {
+		t.Fatalf("record failed: %s", errs)
+	}
+	raw, err := os.ReadFile(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(dec, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errs := runCLI(t, "-decisions", dec, "-trace", trc)
+	if code == 0 {
+		t.Fatal("tampered decision log replayed with exit 0")
+	}
+	if !strings.Contains(errs, "rejected") {
+		t.Fatalf("stderr does not name the rejection: %q", errs)
+	}
+}
+
+func TestCLIReplayNeedsBothFiles(t *testing.T) {
+	code, _, errs := runCLI(t, "-decisions", "only.bin")
+	if code != 2 || !strings.Contains(errs, "both") {
+		t.Fatalf("code=%d stderr=%q", code, errs)
+	}
+}
+
+func TestCLIRecordNeedsOutputPaths(t *testing.T) {
+	code, _, errs := runCLI(t, "-record-seed", "7")
+	if code != 2 || !strings.Contains(errs, "needs") {
+		t.Fatalf("code=%d stderr=%q", code, errs)
+	}
+}
+
+// Pcap-mode diagnostics: corrupt or truncated captures must produce a
+// non-zero exit and a diagnostic, not a silent partial report.
+func TestCLIPcapDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+
+	empty := filepath.Join(dir, "empty.pcap")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badMagic := filepath.Join(dir, "bad.pcap")
+	if err := os.WriteFile(badMagic, []byte("this is not a capture at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A valid header followed by a record whose frame is cut short.
+	var pc bytes.Buffer
+	rec := trace.NewRecorder(0)
+	key := packet.NewFlowKey(netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"),
+		4000, 8080, packet.ProtoTCP)
+	rec.Record(0, &netsim.Packet{Flow: key, Kind: netsim.KindRequest, Seq: 1, Size: 120})
+	rec.Record(time.Millisecond, &netsim.Packet{Flow: key, Kind: netsim.KindRequest, Seq: 2, Size: 120})
+	if err := rec.WritePcap(&pc); err != nil {
+		t.Fatal(err)
+	}
+	full := pc.Bytes()
+	truncated := filepath.Join(dir, "trunc.pcap")
+	if err := os.WriteFile(truncated, full[:len(full)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name, path, want string
+	}{
+		{"missing-file", filepath.Join(dir, "nope.pcap"), "no such file"},
+		{"empty-file", empty, "not a pcap"},
+		{"bad-magic", badMagic, "not a pcap"},
+		{"truncated-record", truncated, "truncated"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errs := runCLI(t, "-pcap", tc.path)
+			if code == 0 {
+				t.Fatalf("exit 0 on %s", tc.name)
+			}
+			if !strings.Contains(errs, tc.want) {
+				t.Fatalf("stderr %q does not mention %q", errs, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,401 @@
+package auditlog
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// randRecord builds an arbitrary-but-valid record from rng.
+func randRecord(rng *rand.Rand) Record {
+	r := Record{
+		At:      time.Duration(rng.Int63n(1e12)),
+		Kind:    Kind(1 + rng.Intn(6)),
+		Cause:   Cause(rng.Intn(14)),
+		From:    uint8(rng.Intn(4)),
+		To:      uint8(rng.Intn(4)),
+		Backend: int32(rng.Intn(66) - 1),
+		Gen:     rng.Uint64() >> 16,
+		Healthy: int32(rng.Intn(64)),
+		Fails:   int32(rng.Intn(10)),
+		Mean:    time.Duration(rng.Int63n(1e9)),
+		Median:  time.Duration(rng.Int63n(1e9)),
+		Retrans: rng.Int63n(1000), DupAcks: rng.Int63n(1000), ZeroWins: rng.Int63n(10),
+	}
+	if r.Kind == KindWeights {
+		r.Weights = make([]float64, 1+rng.Intn(32))
+		for i := range r.Weights {
+			r.Weights[i] = rng.Float64() * 10
+		}
+	}
+	return r
+}
+
+// buildLog writes n random records (seeded) and returns the encoded bytes
+// plus the records as written (Seq assigned).
+func buildLog(t *testing.T, seed int64, n int, seal bool) ([]byte, []Record) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		rec := randRecord(rng)
+		if err := w.Append(&rec); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		recs = append(recs, rec)
+	}
+	if seal {
+		if err := w.Seal(); err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+	}
+	return buf.Bytes(), recs
+}
+
+func recordsEqual(a, b *Record) bool {
+	if a.Seq != b.Seq || a.At != b.At || a.Kind != b.Kind || a.Cause != b.Cause ||
+		a.From != b.From || a.To != b.To || a.Backend != b.Backend || a.Gen != b.Gen ||
+		a.Healthy != b.Healthy || a.Fails != b.Fails || a.Mean != b.Mean ||
+		a.Median != b.Median || a.Retrans != b.Retrans || a.DupAcks != b.DupAcks ||
+		a.ZeroWins != b.ZeroWins || len(a.Weights) != len(b.Weights) {
+		return false
+	}
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		buf, want := buildLog(t, int64(n)+1, n, true)
+		data, err := Verify(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("n=%d Verify: %v", n, err)
+		}
+		if !data.Sealed {
+			t.Fatalf("n=%d not sealed", n)
+		}
+		if len(data.Records) != n {
+			t.Fatalf("n=%d read %d records", n, len(data.Records))
+		}
+		for i := range want {
+			if !recordsEqual(&want[i], &data.Records[i]) {
+				t.Fatalf("n=%d record %d mismatch:\n got %+v\nwant %+v", n, i, data.Records[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWriterReaderChainAgree(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20; i++ {
+		rec := randRecord(rng)
+		if err := w.Append(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Verify(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Chain != w.Chain() {
+		t.Fatalf("reader chain %016x != writer chain %016x", data.Chain, w.Chain())
+	}
+}
+
+// TestEveryByteMutationDetected is the tamper-evidence property: flipping
+// any single bit anywhere in a sealed log must make verification fail.
+func TestEveryByteMutationDetected(t *testing.T) {
+	buf, _ := buildLog(t, 7, 12, true)
+	for i := range buf {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 1 << uint(i%8)
+		if _, err := Verify(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("bit flip at byte %d/%d went undetected", i, len(buf))
+		}
+	}
+}
+
+// TestEveryTruncationDetected: any proper prefix of a sealed log must
+// fail verification — mid-record prefixes as corruption, record-boundary
+// prefixes as ErrUnsealed.
+func TestEveryTruncationDetected(t *testing.T) {
+	buf, _ := buildLog(t, 11, 8, true)
+	for k := 0; k < len(buf); k++ {
+		_, err := Verify(bytes.NewReader(buf[:k]))
+		if err == nil {
+			t.Fatalf("truncation to %d/%d bytes went undetected", k, len(buf))
+		}
+	}
+	if _, err := Verify(bytes.NewReader(buf)); err != nil {
+		t.Fatalf("untruncated log failed: %v", err)
+	}
+}
+
+func TestRecordRemovalAndReorderDetected(t *testing.T) {
+	// Hand-frame three known records and splice the encoded stream.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	offsets := []int{buf.Len()}
+	for i := 0; i < 3; i++ {
+		rec := Record{Kind: KindPublish, Gen: uint64(i + 1)}
+		if err := w.Append(&rec); err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, buf.Len())
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	frame := func(i int) []byte { return full[offsets[i]:offsets[i+1]] }
+
+	// Remove the middle record.
+	removed := append([]byte(nil), full[:offsets[1]]...)
+	removed = append(removed, full[offsets[2]:]...)
+	if _, err := Verify(bytes.NewReader(removed)); err == nil {
+		t.Fatal("record removal went undetected")
+	}
+	// Swap records 0 and 1.
+	swapped := append([]byte(nil), full[:offsets[0]]...)
+	swapped = append(swapped, frame(1)...)
+	swapped = append(swapped, frame(0)...)
+	swapped = append(swapped, full[offsets[2]:]...)
+	if _, err := Verify(bytes.NewReader(swapped)); err == nil {
+		t.Fatal("record reorder went undetected")
+	}
+	// Append data after the seal.
+	trailing := append(append([]byte(nil), full...), 0)
+	if _, err := Verify(bytes.NewReader(trailing)); !errors.Is(err, ErrChain) {
+		t.Fatalf("data after seal: got %v, want ErrChain", err)
+	}
+}
+
+func TestUnsealedLog(t *testing.T) {
+	buf, recs := buildLog(t, 3, 5, false)
+	data, err := Read(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("Read unsealed: %v", err)
+	}
+	if data.Sealed || len(data.Records) != len(recs) {
+		t.Fatalf("unsealed read: sealed=%v records=%d", data.Sealed, len(data.Records))
+	}
+	if _, err := Verify(bytes.NewReader(buf)); !errors.Is(err, ErrUnsealed) {
+		t.Fatalf("Verify unsealed: got %v, want ErrUnsealed", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	for _, b := range [][]byte{nil, []byte("short"), []byte("NOTALOG!extra")} {
+		if _, err := Read(bytes.NewReader(b)); !errors.Is(err, ErrNotAuditLog) {
+			t.Fatalf("%q: got %v, want ErrNotAuditLog", b, err)
+		}
+	}
+}
+
+func TestKindAndCauseStrings(t *testing.T) {
+	for k := Kind(0); k <= KindSeal+1; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty name", k)
+		}
+	}
+	for c := Cause(0); c <= CauseManual+1; c++ {
+		if c.String() == "" {
+			t.Fatalf("cause %d has empty name", c)
+		}
+	}
+}
+
+// gatedWriter lets the header through, then blocks every write until
+// released. It signals entry so tests can wait for the drain goroutine to
+// be provably stuck inside Write.
+type gatedWriter struct {
+	mu      sync.Mutex
+	buf     bytes.Buffer
+	writes  int
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (g *gatedWriter) Write(p []byte) (int, error) {
+	g.mu.Lock()
+	n := g.writes
+	g.writes++
+	g.mu.Unlock()
+	if n > 0 { // header write passes
+		g.entered <- struct{}{}
+		<-g.release
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.buf.Write(p)
+}
+
+func TestLogShedsWhenWriterStalls(t *testing.T) {
+	gw := &gatedWriter{entered: make(chan struct{}, 64), release: make(chan struct{})}
+	l, err := NewLog(gw, LogConfig{Buffer: 4, MaxBackends: 8, Tail: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	note := func(gen uint64) {
+		l.Note(&Record{Kind: KindPublish, Gen: gen})
+	}
+	note(1)
+	<-gw.entered // drain holds record 1, stuck in Write; ring empty
+	for g := uint64(2); g <= 5; g++ {
+		note(g) // fills the 4-slot ring
+	}
+	for g := uint64(6); g <= 8; g++ {
+		note(g) // ring full: shed
+	}
+	if got := l.Sheds(); got != 3 {
+		t.Fatalf("Sheds() = %d, want 3", got)
+	}
+	close(gw.release)
+	go func() { // unblock the entry signals for the remaining writes
+		for range gw.entered {
+		}
+	}()
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	close(gw.entered)
+
+	gw.mu.Lock()
+	raw := append([]byte(nil), gw.buf.Bytes()...)
+	gw.mu.Unlock()
+	data, err := Verify(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	var shed *Record
+	published := 0
+	for i := range data.Records {
+		switch data.Records[i].Kind {
+		case KindShed:
+			shed = &data.Records[i]
+		case KindPublish:
+			published++
+		}
+	}
+	if shed == nil || shed.Gen != 3 {
+		t.Fatalf("shed record = %+v, want Gen=3", shed)
+	}
+	if published != 5 {
+		t.Fatalf("published records = %d, want 5", published)
+	}
+}
+
+func TestLogRoundTripAndTail(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLog(&buf, LogConfig{Buffer: 64, MaxBackends: 4, Tail: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := []float64{0.25, 0.75}
+	for g := uint64(1); g <= 20; g++ {
+		l.Note(&Record{Kind: KindPublish, Gen: g})
+		l.Note(&Record{Kind: KindWeights, Gen: g, Weights: weights})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if l.Sheds() != 0 {
+		t.Fatalf("unexpected sheds: %d", l.Sheds())
+	}
+	data, err := Verify(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if len(data.Records) != 40 {
+		t.Fatalf("read %d records, want 40", len(data.Records))
+	}
+	for i := range data.Records {
+		if data.Records[i].Kind == KindWeights {
+			if w := data.Records[i].Weights; len(w) != 2 || w[0] != 0.25 || w[1] != 0.75 {
+				t.Fatalf("record %d weights %v", i, data.Records[i].Weights)
+			}
+		}
+	}
+	tail := l.Tail(0)
+	if len(tail) != 8 {
+		t.Fatalf("tail length %d, want 8", len(tail))
+	}
+	// Oldest-first, and the last tail entry is the final weights record.
+	last := tail[len(tail)-1]
+	if last.Kind != KindWeights || last.Gen != 20 {
+		t.Fatalf("tail end = %+v", last)
+	}
+	for i := 1; i < len(tail); i++ {
+		if tail[i].Seq != tail[i-1].Seq+1 {
+			t.Fatalf("tail not in order: %v then %v", tail[i-1].Seq, tail[i].Seq)
+		}
+	}
+	if short := l.Tail(3); len(short) != 3 || short[2].Seq != last.Seq {
+		t.Fatalf("Tail(3) = %d records ending %v", len(short), short[len(short)-1].Seq)
+	}
+	// Notes after Close are shed, not written.
+	l.Note(&Record{Kind: KindPublish, Gen: 99})
+	if l.Sheds() != 1 {
+		t.Fatalf("post-close note not shed: %d", l.Sheds())
+	}
+}
+
+func TestSyncWriterDeterministic(t *testing.T) {
+	emit := func() []byte {
+		var buf bytes.Buffer
+		s, err := NewSyncWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 50; i++ {
+			rec := randRecord(rng)
+			s.Note(&rec)
+		}
+		if err := s.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := emit(), emit()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical record sequences produced different bytes")
+	}
+}
+
+func TestCollector(t *testing.T) {
+	var c Collector
+	ws := []float64{1, 2, 3}
+	rec := Record{Kind: KindWeights, Gen: 7, Weights: ws}
+	c.Note(&rec)
+	ws[0] = 99 // collector must have deep-copied
+	rec2 := Record{Kind: KindPublish, Gen: 8}
+	c.Note(&rec2)
+	got := c.Snapshot()
+	if len(got) != 2 || got[0].Seq != 0 || got[1].Seq != 1 {
+		t.Fatalf("snapshot %+v", got)
+	}
+	if got[0].Weights[0] != 1 {
+		t.Fatal("collector aliased the caller's weights slice")
+	}
+}

@@ -1,0 +1,505 @@
+// Package auditlog is the control plane's flight recorder: an
+// append-only, hash-chained log of every routing decision a Controller
+// makes — snapshot publishes, weight-vector changes, detector state
+// transitions with the in-band evidence that triggered them, manual
+// ejections, and live config reloads.
+//
+// The format is tamper-evident: every record carries a 64-bit FNV-1a
+// chain value folded over the previous record's chain and this record's
+// payload, so flipping any byte anywhere in the file (payload, length, or
+// a stored chain value) is detected on read, and a file truncated
+// mid-record fails to parse. Truncation at a record boundary is caught by
+// the seal: Close appends a final record carrying the total count, and a
+// log without one reads as unsealed.
+//
+// Two sinks write the format. Log (log.go) is the production path: the
+// Controller enqueues records into a bounded in-memory ring — no I/O, no
+// allocation, never blocking — and a writer goroutine encodes and flushes
+// them; when the ring is full the record is shed and counted, and the
+// shed count itself is logged so the gap is on the record. SyncWriter is
+// the deterministic path the simulator and the incident recorder use:
+// every record is encoded and written before Note returns, so two runs of
+// the same scenario produce byte-identical logs.
+package auditlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Kind enumerates the decision kinds a Controller records.
+type Kind uint8
+
+const (
+	// KindPublish is a routing-snapshot publication: Gen is the new
+	// generation, Healthy the number of backends admitting traffic.
+	KindPublish Kind = iota + 1
+	// KindWeights is a weight-vector change: Gen is the generation of the
+	// publishing snapshot and Weights the full new vector — the
+	// measurements-to-decision link KnapsackLB-style auditability needs.
+	KindWeights
+	// KindTransition is a detector state change: Backend moved From → To
+	// because of Cause, with the evidence fields populated.
+	KindTransition
+	// KindManual is an operator/probe SetEjected flip: To is Ejected or
+	// Healthy depending on the direction.
+	KindManual
+	// KindConfigReload is a live detector-config update through the admin
+	// endpoint; Gen snapshots the generation at reload time.
+	KindConfigReload
+	// KindShed is written by the asynchronous Log when its bounded ring
+	// overflowed: Gen carries how many records were dropped, so the gap in
+	// the chain is itself on the record.
+	KindShed
+	// KindSeal terminates a log: Gen carries the number of preceding
+	// records. A log without a seal was truncated or never closed.
+	KindSeal
+)
+
+// String names the kind for the decisions endpoint and replay reports.
+func (k Kind) String() string {
+	switch k {
+	case KindPublish:
+		return "publish"
+	case KindWeights:
+		return "weights"
+	case KindTransition:
+		return "transition"
+	case KindManual:
+		return "manual"
+	case KindConfigReload:
+		return "config-reload"
+	case KindShed:
+		return "shed"
+	case KindSeal:
+		return "seal"
+	}
+	return "unknown"
+}
+
+// Cause says why a transition happened — which detector (or operator)
+// pulled the trigger.
+type Cause uint8
+
+const (
+	CauseNone Cause = iota
+	// CauseFailures: consecutive dial/relay failures crossed the threshold.
+	CauseFailures
+	// CauseOutlier: per-tick mean latency exceeded the pool-median factor
+	// for the configured streak.
+	CauseOutlier
+	// CauseStarvation: routed-but-silent for the configured streak.
+	CauseStarvation
+	// CauseCongestion: concentrated transport distress ejected the backend.
+	CauseCongestion
+	// CauseCongestionLatch: the congestion weight-down latched (backend
+	// stays Healthy at reduced admission).
+	CauseCongestionLatch
+	// CauseCongestionClear: calm ticks released the weight-down latch.
+	CauseCongestionClear
+	// CauseBackoffExpired: the ejection backoff timer fired (→ half-open).
+	CauseBackoffExpired
+	// CauseTrialSuccess: a half-open trial succeeded (→ slow-start).
+	CauseTrialSuccess
+	// CauseTrialFailed: a half-open trial failed in-band (→ ejected,
+	// backoff doubled).
+	CauseTrialFailed
+	// CauseTrialTimeout: no successful trial within HalfOpenTicks.
+	CauseTrialTimeout
+	// CauseRampOutlier: slow-start traffic stayed out of family (→ ejected).
+	CauseRampOutlier
+	// CauseRampDone: the slow-start ramp completed (→ healthy).
+	CauseRampDone
+	// CauseManual: an operator or active probe flipped SetEjected.
+	CauseManual
+)
+
+// String names the cause for the decisions endpoint and replay reports.
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "-"
+	case CauseFailures:
+		return "consecutive-failures"
+	case CauseOutlier:
+		return "latency-outlier"
+	case CauseStarvation:
+		return "sample-starvation"
+	case CauseCongestion:
+		return "congestion"
+	case CauseCongestionLatch:
+		return "congestion-latch"
+	case CauseCongestionClear:
+		return "congestion-clear"
+	case CauseBackoffExpired:
+		return "backoff-expired"
+	case CauseTrialSuccess:
+		return "trial-success"
+	case CauseTrialFailed:
+		return "trial-failed"
+	case CauseTrialTimeout:
+		return "trial-timeout"
+	case CauseRampOutlier:
+		return "ramp-outlier"
+	case CauseRampDone:
+		return "ramp-done"
+	case CauseManual:
+		return "manual"
+	}
+	return "unknown"
+}
+
+// Record is one logged decision. The fixed fields are meaningful per
+// Kind (see the Kind constants); unused fields are zero. Weights is
+// non-nil only for KindWeights and KindConfigReload never carries it.
+type Record struct {
+	// Seq is the record's position in the log, assigned by the writer
+	// (0-based). Readers verify it is dense, so records cannot be
+	// reordered or dropped without breaking the chain.
+	Seq uint64
+	// At is the controller-clock timestamp of the decision.
+	At time.Duration
+	// Kind classifies the decision; Cause says why (transitions only).
+	Kind  Kind
+	Cause Cause
+	// From and To are detector states (control.HealthState values) for
+	// KindTransition/KindManual.
+	From, To uint8
+	// Backend is the subject backend index, -1 for pool-wide records.
+	Backend int32
+	// Gen is the snapshot generation tied to the decision (for KindShed
+	// the shed count, for KindSeal the record count).
+	Gen uint64
+	// Healthy is the number of admitting backends after the decision.
+	Healthy int32
+	// Evidence: the detector inputs behind a transition.
+	Fails    int32         // consecutive connection failures observed
+	Mean     time.Duration // backend's merged mean latency this tick
+	Median   time.Duration // pool (or others-) median judged against
+	Retrans  int64         // congestion evidence: retransmissions
+	DupAcks  int64         // congestion evidence: dup-ACK runs
+	ZeroWins int64         // congestion evidence: zero-window stalls
+	// Weights is the published weight vector (KindWeights only).
+	Weights []float64
+}
+
+// File format constants.
+const (
+	// Magic opens every audit log file, version included.
+	Magic = "INBAUDL1"
+	// recFixed is the encoded size of the fixed portion of a record
+	// payload (everything but the weights).
+	recFixed = 1 + 1 + 1 + 1 + 4 + 8 + 8 + 8 + 4 + 4 + 8 + 8 + 8 + 8 + 8 + 2
+	// MaxWeights bounds the weight vector a single record may carry; far
+	// above any real pool, it keeps a corrupt length field from asking
+	// the decoder for gigabytes.
+	MaxWeights = 1 << 12
+	// maxPayload is the largest legal record payload.
+	maxPayload = recFixed + 8*MaxWeights
+)
+
+// Errors surfaced by readers. ErrChain and ErrTruncated both mean the
+// log cannot be trusted; ErrUnsealed means every present record verified
+// but the log has no seal — a boundary truncation or a crash before
+// Close.
+var (
+	ErrNotAuditLog = errors.New("auditlog: not an audit log (bad magic)")
+	ErrChain       = errors.New("auditlog: hash chain mismatch (log tampered or corrupt)")
+	ErrTruncated   = errors.New("auditlog: truncated mid-record")
+	ErrUnsealed    = errors.New("auditlog: log has no seal record (truncated at a record boundary or never closed)")
+)
+
+// chainSeed is the FNV-1a 64-bit offset basis — the chain value before
+// any record is folded.
+const chainSeed = 0xcbf29ce484222325
+
+// fnvFold folds b into h, FNV-1a style.
+func fnvFold(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// chainNext derives the chain value after a record: the previous chain
+// value's 8 bytes are folded first, then the payload, so records cannot
+// be reordered or spliced between logs without detection.
+func chainNext(prev uint64, payload []byte) uint64 {
+	var pb [8]byte
+	binary.LittleEndian.PutUint64(pb[:], prev)
+	return fnvFold(fnvFold(chainSeed, pb[:]), payload)
+}
+
+// appendRecord encodes r's payload into dst (no frame, no chain) and
+// returns the extended slice. The caller owns framing.
+func appendRecord(dst []byte, r *Record) []byte {
+	var b [recFixed]byte
+	b[0] = byte(r.Kind)
+	b[1] = byte(r.Cause)
+	b[2] = r.From
+	b[3] = r.To
+	binary.LittleEndian.PutUint32(b[4:8], uint32(r.Backend))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(r.At))
+	binary.LittleEndian.PutUint64(b[16:24], r.Gen)
+	binary.LittleEndian.PutUint64(b[24:32], r.Seq)
+	binary.LittleEndian.PutUint32(b[32:36], uint32(r.Healthy))
+	binary.LittleEndian.PutUint32(b[36:40], uint32(r.Fails))
+	binary.LittleEndian.PutUint64(b[40:48], uint64(r.Mean))
+	binary.LittleEndian.PutUint64(b[48:56], uint64(r.Median))
+	binary.LittleEndian.PutUint64(b[56:64], uint64(r.Retrans))
+	binary.LittleEndian.PutUint64(b[64:72], uint64(r.DupAcks))
+	binary.LittleEndian.PutUint64(b[72:80], uint64(r.ZeroWins))
+	binary.LittleEndian.PutUint16(b[80:82], uint16(len(r.Weights)))
+	dst = append(dst, b[:]...)
+	for _, w := range r.Weights {
+		var wb [8]byte
+		binary.LittleEndian.PutUint64(wb[:], math.Float64bits(w))
+		dst = append(dst, wb[:]...)
+	}
+	return dst
+}
+
+// decodeRecord parses one payload into r. r.Weights is appended into
+// r.Weights[:0], so callers can reuse capacity across records.
+func decodeRecord(payload []byte, r *Record) error {
+	if len(payload) < recFixed {
+		return fmt.Errorf("auditlog: payload %d bytes, want >= %d", len(payload), recFixed)
+	}
+	r.Kind = Kind(payload[0])
+	r.Cause = Cause(payload[1])
+	r.From = payload[2]
+	r.To = payload[3]
+	r.Backend = int32(binary.LittleEndian.Uint32(payload[4:8]))
+	r.At = time.Duration(binary.LittleEndian.Uint64(payload[8:16]))
+	r.Gen = binary.LittleEndian.Uint64(payload[16:24])
+	r.Seq = binary.LittleEndian.Uint64(payload[24:32])
+	r.Healthy = int32(binary.LittleEndian.Uint32(payload[32:36]))
+	r.Fails = int32(binary.LittleEndian.Uint32(payload[36:40]))
+	r.Mean = time.Duration(binary.LittleEndian.Uint64(payload[40:48]))
+	r.Median = time.Duration(binary.LittleEndian.Uint64(payload[48:56]))
+	r.Retrans = int64(binary.LittleEndian.Uint64(payload[56:64]))
+	r.DupAcks = int64(binary.LittleEndian.Uint64(payload[64:72]))
+	r.ZeroWins = int64(binary.LittleEndian.Uint64(payload[72:80]))
+	nw := int(binary.LittleEndian.Uint16(payload[80:82]))
+	if nw > MaxWeights {
+		return fmt.Errorf("auditlog: weight vector of %d entries exceeds cap %d", nw, MaxWeights)
+	}
+	if len(payload) != recFixed+8*nw {
+		return fmt.Errorf("auditlog: payload %d bytes for %d weights, want %d",
+			len(payload), nw, recFixed+8*nw)
+	}
+	r.Weights = r.Weights[:0]
+	for i := 0; i < nw; i++ {
+		bits := binary.LittleEndian.Uint64(payload[recFixed+8*i:])
+		r.Weights = append(r.Weights, math.Float64frombits(bits))
+	}
+	if nw == 0 {
+		r.Weights = nil
+	}
+	return nil
+}
+
+// Writer encodes records into the framed, chained file format. It is not
+// safe for concurrent use; the asynchronous Log serializes through its
+// writer goroutine, the SyncWriter through the controller's lock.
+type Writer struct {
+	w     io.Writer
+	buf   []byte
+	chain uint64
+	seq   uint64
+	err   error
+}
+
+// NewWriter writes the file header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	if _, err := io.WriteString(w, Magic); err != nil {
+		return nil, fmt.Errorf("auditlog: writing header: %w", err)
+	}
+	return &Writer{w: w, chain: chainSeed, buf: make([]byte, 0, 256)}, nil
+}
+
+// Append encodes and writes one record. The record's Seq is assigned by
+// the writer (the caller's value is overwritten). The first error
+// latches: once a write fails the Writer is dead and every later Append
+// returns the same error.
+func (w *Writer) Append(r *Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	r.Seq = w.seq
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, 0, 0, 0, 0) // frame: u32 payload length
+	w.buf = appendRecord(w.buf, r)
+	payload := w.buf[4:]
+	binary.LittleEndian.PutUint32(w.buf[0:4], uint32(len(payload)))
+	w.chain = chainNext(w.chain, payload)
+	var cb [8]byte
+	binary.LittleEndian.PutUint64(cb[:], w.chain)
+	w.buf = append(w.buf, cb[:]...)
+	if _, err := w.w.Write(w.buf); err != nil {
+		w.err = fmt.Errorf("auditlog: writing record %d: %w", r.Seq, err)
+		return w.err
+	}
+	w.seq++
+	return nil
+}
+
+// Seal appends the terminating seal record. After Seal the log reads as
+// complete; further Appends would extend past the seal and fail
+// verification, so callers must not Append after Seal.
+func (w *Writer) Seal() error {
+	return w.Append(&Record{Kind: KindSeal, Gen: w.seq})
+}
+
+// Count returns how many records (including any seal) were appended.
+func (w *Writer) Count() uint64 { return w.seq }
+
+// Chain returns the running chain value after the last appended record.
+func (w *Writer) Chain() uint64 { return w.chain }
+
+// Reader decodes and verifies a chained log incrementally.
+type Reader struct {
+	r       io.Reader
+	chain   uint64
+	seq     uint64
+	sealed  bool
+	payload []byte
+}
+
+// NewReader checks the file header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: file shorter than the header", ErrNotAuditLog)
+		}
+		return nil, fmt.Errorf("auditlog: reading header: %w", err)
+	}
+	if string(magic[:]) != Magic {
+		return nil, ErrNotAuditLog
+	}
+	return &Reader{r: r, chain: chainSeed}, nil
+}
+
+// Next reads, verifies, and decodes the next record into rec. It returns
+// io.EOF at the end of a sealed log (the seal record itself is consumed,
+// not returned), ErrUnsealed at a clean end-of-file with no seal, and
+// ErrChain / ErrTruncated / decode errors when the log cannot be
+// trusted.
+func (r *Reader) Next(rec *Record) error {
+	if r.sealed {
+		return io.EOF
+	}
+	var frame [4]byte
+	if _, err := io.ReadFull(r.r, frame[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return ErrUnsealed
+		}
+		return fmt.Errorf("%w: record %d frame cut short", ErrTruncated, r.seq)
+	}
+	n := binary.LittleEndian.Uint32(frame[:])
+	if n < recFixed || n > maxPayload {
+		return fmt.Errorf("%w: record %d claims %d-byte payload", ErrChain, r.seq, n)
+	}
+	if cap(r.payload) < int(n) {
+		r.payload = make([]byte, n)
+	}
+	payload := r.payload[:n]
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		return fmt.Errorf("%w: record %d payload cut short", ErrTruncated, r.seq)
+	}
+	var cb [8]byte
+	if _, err := io.ReadFull(r.r, cb[:]); err != nil {
+		return fmt.Errorf("%w: record %d chain value cut short", ErrTruncated, r.seq)
+	}
+	want := chainNext(r.chain, payload)
+	if got := binary.LittleEndian.Uint64(cb[:]); got != want {
+		return fmt.Errorf("%w: record %d stored %016x, recomputed %016x", ErrChain, r.seq, got, want)
+	}
+	if err := decodeRecord(payload, rec); err != nil {
+		return fmt.Errorf("%w: record %d: %v", ErrChain, r.seq, err)
+	}
+	if rec.Seq != r.seq {
+		return fmt.Errorf("%w: record %d carries sequence %d", ErrChain, r.seq, rec.Seq)
+	}
+	r.chain = want
+	r.seq++
+	if rec.Kind == KindSeal {
+		if rec.Gen != r.seq-1 {
+			return fmt.Errorf("%w: seal claims %d records, read %d", ErrChain, rec.Gen, r.seq-1)
+		}
+		r.sealed = true
+		// A sealed log must actually end here: trailing bytes after the
+		// seal are an appended forgery, not slack.
+		var one [1]byte
+		if _, err := r.r.Read(one[:]); err == nil {
+			return fmt.Errorf("%w: data after the seal record", ErrChain)
+		}
+		return io.EOF
+	}
+	return nil
+}
+
+// Sealed reports whether a seal record has been consumed.
+func (r *Reader) Sealed() bool { return r.sealed }
+
+// Chain returns the running chain value after the last verified record.
+func (r *Reader) Chain() uint64 { return r.chain }
+
+// LogData is a fully read log.
+type LogData struct {
+	Records []Record
+	// Sealed is false when the file ended cleanly at a record boundary
+	// but carried no seal — a crash before Close or a boundary
+	// truncation. Every present record still verified.
+	Sealed bool
+	Chain  uint64
+}
+
+// Read consumes the whole log, verifying the chain. It returns an error
+// on any corruption (mutation, mid-record truncation, bad header); an
+// unsealed-but-otherwise-valid log is returned with Sealed == false and
+// a nil error, so callers choose their own strictness (Verify enforces
+// it).
+func Read(r io.Reader) (*LogData, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	data := &LogData{}
+	for {
+		var rec Record
+		err := rd.Next(&rec)
+		if errors.Is(err, io.EOF) {
+			data.Sealed = true
+			break
+		}
+		if errors.Is(err, ErrUnsealed) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		data.Records = append(data.Records, rec)
+	}
+	data.Chain = rd.Chain()
+	return data, nil
+}
+
+// Verify is Read with seal enforcement: an unsealed log returns
+// ErrUnsealed alongside the successfully verified prefix.
+func Verify(r io.Reader) (*LogData, error) {
+	data, err := Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if !data.Sealed {
+		return data, ErrUnsealed
+	}
+	return data, nil
+}

@@ -1,0 +1,302 @@
+package auditlog
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Sink receives decision records from a Controller. Note must not retain
+// rec or its Weights slice past the call — implementations copy what they
+// keep. Implementations must be cheap and non-blocking: Note is called
+// under the controller's serialization lock.
+type Sink interface {
+	Note(rec *Record)
+}
+
+// Log is the production audit sink: a bounded in-memory ring drained by a
+// writer goroutine. Note copies the record into a preallocated slot —
+// no I/O, no allocation, no blocking — so the controller's tick and
+// RCU-publish paths pay a few stores per decision and nothing else. When
+// the ring is full (the writer's destination is stalled) the record is
+// shed and counted, and the next drained batch logs a KindShed record
+// carrying the count, so the gap is itself on the chained record.
+//
+// The internal mutex guards only ring-index arithmetic and slot copies;
+// it is never held across encoding or I/O.
+type Log struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ring    []Record // fixed-capacity slots; Weights caps preallocated
+	head    int      // next slot to drain
+	count   int      // occupied slots
+	pending uint64   // sheds not yet logged as a KindShed record
+	closed  bool
+
+	// tail keeps the most recent decisions for the /decisions endpoint,
+	// maintained by the writer goroutine.
+	tailMu   sync.Mutex
+	tail     []Record
+	tailNext int
+	tailFull bool
+
+	w       *Writer
+	dst     io.Writer
+	maxW    int // per-slot preallocated weight capacity
+	done    chan struct{}
+	sheds   atomic.Uint64
+	written atomic.Uint64
+	err     atomic.Pointer[error]
+}
+
+// LogConfig shapes a Log.
+type LogConfig struct {
+	// Buffer is the ring capacity in records. Zero defaults to 1024.
+	Buffer int
+	// MaxBackends sizes each slot's preallocated weight buffer so weight
+	// records copy without allocating. Zero defaults to 64.
+	MaxBackends int
+	// Tail is how many recent records the in-memory tail retains for the
+	// decisions endpoint. Zero defaults to 256.
+	Tail int
+}
+
+// NewLog starts an asynchronous audit log writing to dst. Close flushes,
+// seals, and (when dst is an io.Closer) closes it.
+func NewLog(dst io.Writer, cfg LogConfig) (*Log, error) {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 1024
+	}
+	if cfg.MaxBackends <= 0 {
+		cfg.MaxBackends = 64
+	}
+	if cfg.Tail <= 0 {
+		cfg.Tail = 256
+	}
+	w, err := NewWriter(dst)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		ring: make([]Record, cfg.Buffer),
+		tail: make([]Record, cfg.Tail),
+		w:    w,
+		dst:  dst,
+		maxW: cfg.MaxBackends,
+		done: make(chan struct{}),
+	}
+	for i := range l.ring {
+		l.ring[i].Weights = make([]float64, 0, cfg.MaxBackends)
+	}
+	l.cond = sync.NewCond(&l.mu)
+	go l.drain()
+	return l, nil
+}
+
+// Note implements Sink: copy the record into the next free slot or shed
+// it. Never blocks, never allocates while len(rec.Weights) fits the
+// preallocated slot capacity.
+func (l *Log) Note(rec *Record) {
+	l.mu.Lock()
+	if l.closed || l.count == len(l.ring) {
+		l.pending++
+		l.mu.Unlock()
+		l.sheds.Add(1)
+		return
+	}
+	slot := &l.ring[(l.head+l.count)%len(l.ring)]
+	ws := slot.Weights[:0]
+	*slot = *rec
+	if n := len(rec.Weights); n <= cap(ws) {
+		slot.Weights = append(ws, rec.Weights...)
+	} else {
+		// A pool larger than the preallocated cap: correctness over the
+		// zero-alloc fast path.
+		slot.Weights = append([]float64(nil), rec.Weights...)
+	}
+	l.count++
+	l.mu.Unlock()
+	l.cond.Signal()
+}
+
+// drain is the writer goroutine: pull batches off the ring, encode, and
+// write. Slots are copied out under the lock one at a time (records are
+// small) and encoded outside it.
+func (l *Log) drain() {
+	defer close(l.done)
+	var scratch Record
+	scratch.Weights = make([]float64, 0, l.maxW)
+	for {
+		l.mu.Lock()
+		for l.count == 0 && l.pending == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if l.count == 0 && l.pending == 0 && l.closed {
+			l.mu.Unlock()
+			return
+		}
+		var shed uint64
+		if l.count == 0 && l.pending > 0 {
+			// Only meaningful once real records drained ahead of it; if the
+			// ring is empty the shed note can go out immediately.
+			shed, l.pending = l.pending, 0
+			l.mu.Unlock()
+		} else {
+			slot := &l.ring[l.head]
+			scratch.Weights = scratch.Weights[:0]
+			ws := scratch.Weights
+			scratch = *slot
+			scratch.Weights = append(ws, slot.Weights...)
+			l.head = (l.head + 1) % len(l.ring)
+			l.count--
+			if l.count == 0 {
+				shed, l.pending = l.pending, 0
+			}
+			l.mu.Unlock()
+			l.append(&scratch)
+		}
+		if shed > 0 {
+			l.append(&Record{Kind: KindShed, Gen: shed})
+		}
+	}
+}
+
+// append writes one record through the chained encoder and mirrors it
+// into the tail ring. Writer errors latch (Err); records keep draining so
+// the ring never wedges the controller.
+func (l *Log) append(rec *Record) {
+	if err := l.w.Append(rec); err != nil {
+		l.err.CompareAndSwap(nil, &err)
+	} else {
+		l.written.Add(1)
+	}
+	l.tailMu.Lock()
+	slot := &l.tail[l.tailNext]
+	ws := slot.Weights[:0]
+	*slot = *rec
+	slot.Weights = append(ws, rec.Weights...)
+	l.tailNext = (l.tailNext + 1) % len(l.tail)
+	if l.tailNext == 0 {
+		l.tailFull = true
+	}
+	l.tailMu.Unlock()
+}
+
+// Tail returns copies of the most recent n records (all retained when
+// n <= 0), oldest first.
+func (l *Log) Tail(n int) []Record {
+	l.tailMu.Lock()
+	defer l.tailMu.Unlock()
+	total := l.tailNext
+	if l.tailFull {
+		total = len(l.tail)
+	}
+	if n <= 0 || n > total {
+		n = total
+	}
+	out := make([]Record, 0, n)
+	start := l.tailNext - n
+	if start < 0 {
+		start += len(l.tail)
+	}
+	for i := 0; i < n; i++ {
+		rec := l.tail[(start+i)%len(l.tail)]
+		rec.Weights = append([]float64(nil), rec.Weights...)
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Sheds returns how many records were dropped because the ring was full.
+func (l *Log) Sheds() uint64 { return l.sheds.Load() }
+
+// Written returns how many records reached the underlying writer
+// (including KindShed markers; excluding the final seal).
+func (l *Log) Written() uint64 { return l.written.Load() }
+
+// Err returns the first write error, if any.
+func (l *Log) Err() error {
+	if p := l.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Close drains the ring, writes the seal, and closes the destination
+// when it is an io.Closer. Notes arriving after Close are shed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return l.Err()
+	}
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Signal()
+	<-l.done
+	if err := l.w.Seal(); err != nil {
+		l.err.CompareAndSwap(nil, &err)
+	}
+	if c, ok := l.dst.(io.Closer); ok {
+		if err := c.Close(); err != nil {
+			l.err.CompareAndSwap(nil, &err)
+		}
+	}
+	return l.Err()
+}
+
+// SyncWriter is the deterministic sink: every Note is encoded and
+// written before it returns. The simulator and the incident recorder use
+// it so two runs of the same scenario produce byte-identical logs. Not
+// safe for concurrent Notes (the controller's lock already serializes
+// them).
+type SyncWriter struct {
+	w *Writer
+}
+
+// NewSyncWriter writes the header and returns the sink.
+func NewSyncWriter(dst io.Writer) (*SyncWriter, error) {
+	w, err := NewWriter(dst)
+	if err != nil {
+		return nil, err
+	}
+	return &SyncWriter{w: w}, nil
+}
+
+// Note implements Sink.
+func (s *SyncWriter) Note(rec *Record) { _ = s.w.Append(rec) }
+
+// Seal terminates the log.
+func (s *SyncWriter) Seal() error { return s.w.Seal() }
+
+// Err returns the writer's latched error, if any.
+func (s *SyncWriter) Err() error { return s.w.err }
+
+// Collector is an in-memory sink for tests and incident replay: it deep-
+// copies every record into Records.
+type Collector struct {
+	mu      sync.Mutex
+	Records []Record
+}
+
+// Note implements Sink.
+func (c *Collector) Note(rec *Record) {
+	c.mu.Lock()
+	r := *rec
+	r.Seq = uint64(len(c.Records))
+	if rec.Weights != nil {
+		r.Weights = append([]float64(nil), rec.Weights...)
+	}
+	c.Records = append(c.Records, r)
+	c.mu.Unlock()
+}
+
+// Snapshot returns a copy of the collected records.
+func (c *Collector) Snapshot() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Record, len(c.Records))
+	copy(out, c.Records)
+	return out
+}

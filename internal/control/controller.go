@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"inbandlb/internal/auditlog"
 	"inbandlb/internal/packet"
 )
 
@@ -34,6 +35,13 @@ type ControllerConfig struct {
 	// value disables it, preserving the legacy behavior: SetEjected is the
 	// only health input and flips take effect instantly and fully.
 	Detector DetectorConfig
+	// Audit receives every control decision — snapshot publishes, weight
+	// changes, detector transitions with their evidence, manual flips,
+	// config reloads. Notes are issued under the controller's lock into the
+	// controller's own scratch record, so the sink must copy and return
+	// (auditlog.Log and auditlog.SyncWriter both do). Nil disables
+	// auditing at zero cost.
+	Audit auditlog.Sink
 }
 
 // Controller splits the data plane from the control plane around a
@@ -86,6 +94,10 @@ type Controller struct {
 	healthy     int             // backends with admit > 0
 	dirty       bool
 	gen         uint64
+	audit       auditlog.Sink   // decision log; nil when disabled
+	arec        auditlog.Record // scratch record — emitting never allocates
+	lastNow     time.Duration   // controller clock at the newest mutation
+	lastWeights []float64       // last audited weight vector
 
 	snap      atomic.Pointer[Snapshot]
 	delivered atomic.Uint64
@@ -146,6 +158,12 @@ func NewController(policy Policy, cfg ControllerConfig) *Controller {
 		c.det = newDetector(cfg.Detector, n)
 		c.medScratch = make([]time.Duration, 0, n)
 		c.medScratch2 = make([]time.Duration, 0, n)
+	}
+	if cfg.Audit != nil {
+		// Armed before the initial republish below, so generation 1 — the
+		// construction-time snapshot — is the log's first record.
+		c.audit = cfg.Audit
+		c.lastWeights = make([]float64, 0, n)
 	}
 	if cfg.Now == nil {
 		c.cfg.Now = func() time.Duration { return time.Since(c.start) }
@@ -298,6 +316,7 @@ func (c *Controller) reportFailure(b int, now time.Duration) {
 		return
 	}
 	c.mu.Lock()
+	c.lastNow = now
 	c.det.sawDials = true
 	if b >= 0 && b < len(c.det.st) {
 		h := &c.det.st[b]
@@ -305,15 +324,20 @@ func (c *Controller) reportFailure(b int, now time.Duration) {
 		case Healthy, SlowStart:
 			h.consecFails++
 			if h.consecFails >= c.det.cfg.FailureThreshold {
+				prev, fails := h.state, h.consecFails
 				if h.state == SlowStart {
 					c.det.reEject(b, now)
 				} else {
 					c.det.eject(b, now, c.othersRoutableLocked(b))
 				}
+				if h.state != prev { // ejection can be vetoed (last routable backend)
+					c.auditTransition(b, prev, h.state, auditlog.CauseFailures, fails, 0, 0, 0, 0, 0)
+				}
 			}
 		case HalfOpen:
 			// A failed trial: one strike re-ejects with doubled backoff.
 			c.det.reEject(b, now)
+			c.auditTransition(b, HalfOpen, Ejected, auditlog.CauseTrialFailed, 1, 0, 0, 0, 0, 0)
 		}
 		c.refreshAdmitLocked()
 		if c.dirty {
@@ -344,6 +368,7 @@ func (c *Controller) ReportDialSuccess(b int) {
 			h.successes++
 			if h.successes >= c.det.cfg.SuccessThreshold {
 				c.det.recoverTo(b)
+				c.auditTransition(b, HalfOpen, SlowStart, auditlog.CauseTrialSuccess, 0, 0, 0, 0, 0, 0)
 				c.refreshAdmitLocked()
 				if c.dirty {
 					c.republishLocked()
@@ -408,6 +433,7 @@ func (c *Controller) refreshAdmitLocked() {
 // their own clock.
 func (c *Controller) Tick(now time.Duration) {
 	c.mu.Lock()
+	c.lastNow = now
 	var applied int64
 	for i := range c.lastMerge {
 		c.lastMerge[i] = TickStat{}
@@ -499,6 +525,7 @@ func (c *Controller) detectorTickLocked(now time.Duration) {
 				h.state = HalfOpen
 				h.trialTicks = 0
 				h.successes = 0
+				c.auditTransition(b, Ejected, HalfOpen, auditlog.CauseBackoffExpired, 0, 0, 0, 0, 0, 0)
 			}
 		case HalfOpen:
 			// Judge the trial against the rest of the pool, never against
@@ -514,6 +541,8 @@ func (c *Controller) detectorTickLocked(now time.Duration) {
 					// still-dead backend. In-band proof the trial failed;
 					// no need to wait out the window.
 					c.det.reEject(b, now)
+					c.auditTransition(b, HalfOpen, Ejected, auditlog.CauseTrialFailed,
+						0, m.Min, om, m.Retrans, m.DupAcks, m.ZeroWins)
 					continue
 				}
 				// In-band evidence the trial worked: samples flowed, and
@@ -522,10 +551,13 @@ func (c *Controller) detectorTickLocked(now time.Duration) {
 			}
 			if h.successes >= c.det.cfg.SuccessThreshold {
 				c.det.recoverTo(b)
+				c.auditTransition(b, HalfOpen, SlowStart, auditlog.CauseTrialSuccess,
+					0, m.Mean, median, 0, 0, 0)
 			} else if h.trialTicks++; h.trialTicks >= c.det.cfg.HalfOpenTicks {
 				// No successful trial in time — whether trials failed or
 				// never arrived, the backend goes back to the bench.
 				c.det.reEject(b, now)
+				c.auditTransition(b, HalfOpen, Ejected, auditlog.CauseTrialTimeout, 0, 0, 0, 0, 0, 0)
 			}
 		case SlowStart:
 			if om := c.othersMedianLocked(b); m.Count > 0 && om > 0 &&
@@ -533,13 +565,17 @@ func (c *Controller) detectorTickLocked(now time.Duration) {
 				// The ramp's own traffic is uniformly slow: pause the ramp,
 				// and send the backend back to the bench if it persists.
 				if h.outlierTicks++; h.outlierTicks >= c.det.cfg.OutlierTicks {
+					ticks := h.outlierTicks
 					c.det.reEject(b, now)
+					c.auditTransition(b, SlowStart, Ejected, auditlog.CauseRampOutlier,
+						ticks, m.Min, c.othersMedianLocked(b), m.Retrans, m.DupAcks, m.ZeroWins)
 				}
 				continue
 			}
 			h.outlierTicks = 0
 			if h.rampTick++; h.rampTick >= c.det.cfg.SlowStartTicks {
 				c.det.heal(b)
+				c.auditTransition(b, SlowStart, Healthy, auditlog.CauseRampDone, 0, m.Mean, median, 0, 0, 0)
 			}
 		case Healthy:
 			if c.det.congestionEnabled() {
@@ -578,7 +614,11 @@ func (c *Controller) detectorTickLocked(now time.Duration) {
 				}
 				if h.everSampled && routed {
 					if h.silentTicks++; h.silentTicks >= c.det.cfg.StarvationTicks {
-						c.det.eject(b, now, c.othersRoutableLocked(b))
+						ticks := h.silentTicks
+						if c.det.eject(b, now, c.othersRoutableLocked(b)) {
+							c.auditTransition(b, Healthy, Ejected, auditlog.CauseStarvation,
+								ticks, 0, median, 0, 0, 0)
+						}
 					}
 				}
 				continue
@@ -587,7 +627,11 @@ func (c *Controller) detectorTickLocked(now time.Duration) {
 			h.dialsSinceSample = 0
 			if outlier(m.Mean, median, c.det.cfg.OutlierFactor) {
 				if h.outlierTicks++; h.outlierTicks >= c.det.cfg.OutlierTicks {
-					c.det.eject(b, now, c.othersRoutableLocked(b))
+					ticks := h.outlierTicks
+					if c.det.eject(b, now, c.othersRoutableLocked(b)) {
+						c.auditTransition(b, Healthy, Ejected, auditlog.CauseOutlier,
+							ticks, m.Mean, median, 0, 0, 0)
+					}
 				}
 			} else {
 				h.outlierTicks = 0
@@ -619,12 +663,17 @@ func (c *Controller) congestionCheckLocked(b int, totalEv int64, now time.Durati
 	case hot:
 		h.calmTicks = 0
 		h.congTicks++
-		if h.congTicks >= cfg.CongestionTicks {
+		if h.congTicks >= cfg.CongestionTicks && !h.congested {
 			h.congested = true
+			c.auditTransition(b, Healthy, Healthy, auditlog.CauseCongestionLatch,
+				h.congTicks, 0, 0, m.Retrans, m.DupAcks, m.ZeroWins)
 		}
 		if h.congTicks >= 2*cfg.CongestionTicks {
+			ticks := h.congTicks
 			if c.det.eject(b, now, c.othersRoutableLocked(b)) {
 				h.congEjections++
+				c.auditTransition(b, Healthy, Ejected, auditlog.CauseCongestion,
+					ticks, 0, 0, m.Retrans, m.DupAcks, m.ZeroWins)
 			}
 		}
 	case h.congested:
@@ -632,6 +681,8 @@ func (c *Controller) congestionCheckLocked(b int, totalEv int64, now time.Durati
 			h.congested = false
 			h.congTicks = 0
 			h.calmTicks = 0
+			c.auditTransition(b, Healthy, Healthy, auditlog.CauseCongestionClear,
+				0, 0, 0, m.Retrans, m.DupAcks, m.ZeroWins)
 		}
 	default:
 		h.congTicks = 0
@@ -725,6 +776,15 @@ func (c *Controller) republishLocked() {
 	}
 	c.dirty = false
 	c.snap.Store(s)
+	if c.audit != nil {
+		c.auditNoteLocked(auditlog.Record{Kind: auditlog.KindPublish, Backend: -1,
+			Healthy: int32(c.healthy)})
+		if s.weights != nil && !equalWeights(c.lastWeights, s.weights) {
+			c.lastWeights = append(c.lastWeights[:0], s.weights...)
+			c.auditNoteLocked(auditlog.Record{Kind: auditlog.KindWeights, Backend: -1,
+				Healthy: int32(c.healthy), Weights: s.weights})
+		}
+	}
 }
 
 // SetEjected marks backend i health-ejected (down=true) or healthy — the
@@ -738,10 +798,17 @@ func (c *Controller) SetEjected(i int, down bool) {
 	c.mu.Lock()
 	if i >= 0 && i < len(c.manual) && c.manual[i] != down {
 		c.manual[i] = down
+		to := Healthy
+		if down {
+			to = Ejected
+		}
+		c.auditNoteLocked(auditlog.Record{Kind: auditlog.KindManual, Cause: auditlog.CauseManual,
+			To: uint8(to), Backend: int32(i), Healthy: int32(c.healthy)})
 		if !down && c.det != nil && c.det.st[i].state == Healthy {
 			// Probe-driven recovery: ramp back in instead of slamming the
 			// backend with its full share on the first snapshot.
 			c.det.recoverTo(i)
+			c.auditTransition(i, Healthy, SlowStart, auditlog.CauseManual, 0, 0, 0, 0, 0, 0)
 		}
 		c.refreshAdmitLocked()
 		c.republishLocked()

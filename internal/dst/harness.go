@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"inbandlb/internal/auditlog"
 	"inbandlb/internal/control"
 	"inbandlb/internal/faults"
 	"inbandlb/internal/server"
@@ -73,9 +74,20 @@ const maxRecordedViolations = 64
 // (the first sample needs two packets, and backoff can eat the rest).
 const livenessEvidence = 4
 
+// RunOptions carries the optional hooks a scenario run accepts.
+type RunOptions struct {
+	// Mutate wraps the built policy (deliberately broken variants for the
+	// oracle-teeth tests). Nil runs the real policy.
+	Mutate func(control.Policy) control.Policy
+	// Audit, when non-nil, receives every controller decision. Incident
+	// recording passes an auditlog.SyncWriter so the decision log is a
+	// deterministic function of the scenario; replay passes a Collector.
+	Audit auditlog.Sink
+}
+
 // Run executes the scenario with the real controller and returns its
 // report. It is RunMutated with the identity policy.
-func Run(sc Scenario) (*Report, error) { return RunMutated(sc, nil) }
+func Run(sc Scenario) (*Report, error) { return RunOpts(sc, RunOptions{}) }
 
 // RunMutated executes the scenario, optionally substituting a wrapped
 // (deliberately broken) policy built around the real one — the hook the
@@ -84,6 +96,18 @@ func Run(sc Scenario) (*Report, error) { return RunMutated(sc, nil) }
 // on published snapshots or weight vectors apply themselves only to
 // policies that produce them.
 func RunMutated(sc Scenario, mutate func(control.Policy) control.Policy) (*Report, error) {
+	return RunOpts(sc, RunOptions{Mutate: mutate})
+}
+
+// RunAudited executes the scenario with every controller decision mirrored
+// into sink — the incident recorder's entry point.
+func RunAudited(sc Scenario, sink auditlog.Sink) (*Report, error) {
+	return RunOpts(sc, RunOptions{Audit: sink})
+}
+
+// RunOpts is the general form behind Run/RunMutated/RunAudited.
+func RunOpts(sc Scenario, opts RunOptions) (*Report, error) {
+	mutate := opts.Mutate
 	if sc.Backends < 2 {
 		return nil, fmt.Errorf("dst: scenario not generated (backends=%d)", sc.Backends)
 	}
@@ -108,6 +132,7 @@ func RunMutated(sc Scenario, mutate func(control.Policy) control.Policy) (*Repor
 	ctrl := control.NewController(pol, control.ControllerConfig{
 		Interval: sc.ControlInterval,
 		Detector: detectorConfig(sc),
+		Audit:    opts.Audit,
 	})
 
 	servers := make([]server.Config, sc.Backends)

@@ -1,0 +1,326 @@
+package dst
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"inbandlb/internal/auditlog"
+)
+
+// Incident replay closes the loop the ROADMAP's control-plane-hardening
+// item asks for: a production-grade "explain this outage" workflow built
+// on DST's determinism guarantee. A scenario is a pure function of its
+// seed, so an incident trace does not need to capture packets — it
+// captures the scenario coordinates (seed, flavor, policy, fault subset)
+// plus the recorded run's trace digest, and the decision log captures
+// what the controller did. Replay regenerates the scenario, runs it with
+// a fresh controller, and proves the replayed controller makes the same
+// decisions, record for record, byte for byte.
+
+// Incident identifies one recorded run.
+type Incident struct {
+	// Seed and Congestion select the generator: Generate(Seed) or
+	// GenerateCongestion(Seed).
+	Seed       int64
+	Congestion bool
+	// Policy overrides the scenario's routing policy ("" keeps the
+	// generated default).
+	Policy string
+	// Keep, when non-nil, restricts the fault schedule to these indices
+	// (the ddmin shrink convention) before finalize.
+	Keep []int
+	// Digest is the recorded run's trace digest — the whole-run fingerprint
+	// replay must reproduce.
+	Digest uint64
+}
+
+// IncidentMagic opens every incident trace file.
+const IncidentMagic = "INBINCT1"
+
+// ErrNotIncident marks a file that is not an incident trace.
+var ErrNotIncident = errors.New("dst: not an incident trace (bad magic)")
+
+// ErrIncidentCorrupt marks a trace whose checksum does not cover its
+// payload.
+var ErrIncidentCorrupt = errors.New("dst: incident trace corrupt (checksum mismatch)")
+
+// WriteIncident encodes inc: magic, little-endian payload, FNV-1a64
+// checksum over the payload.
+func WriteIncident(w io.Writer, inc Incident) error {
+	var b bytes.Buffer
+	var u64 [8]byte
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		b.Write(u64[:])
+	}
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u64[:4], v)
+		b.Write(u64[:4])
+	}
+	put64(uint64(inc.Seed))
+	if inc.Congestion {
+		b.WriteByte(1)
+	} else {
+		b.WriteByte(0)
+	}
+	if len(inc.Policy) > 0xffff {
+		return fmt.Errorf("dst: policy name %d bytes too long", len(inc.Policy))
+	}
+	binary.LittleEndian.PutUint16(u64[:2], uint16(len(inc.Policy)))
+	b.Write(u64[:2])
+	b.WriteString(inc.Policy)
+	if inc.Keep == nil {
+		b.WriteByte(0)
+	} else {
+		b.WriteByte(1)
+		put32(uint32(len(inc.Keep)))
+		for _, k := range inc.Keep {
+			put32(uint32(k))
+		}
+	}
+	put64(inc.Digest)
+
+	h := fnv.New64a()
+	h.Write(b.Bytes())
+	if _, err := io.WriteString(w, IncidentMagic); err != nil {
+		return err
+	}
+	if _, err := w.Write(b.Bytes()); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(u64[:], h.Sum64())
+	_, err := w.Write(u64[:])
+	return err
+}
+
+// ReadIncident decodes and checksums an incident trace.
+func ReadIncident(r io.Reader) (Incident, error) {
+	var inc Incident
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return inc, fmt.Errorf("%w: file shorter than the header", ErrNotIncident)
+	}
+	if string(magic[:]) != IncidentMagic {
+		return inc, ErrNotIncident
+	}
+	rest, err := io.ReadAll(io.LimitReader(r, 1<<20))
+	if err != nil {
+		return inc, fmt.Errorf("dst: reading incident trace: %w", err)
+	}
+	if len(rest) < 8 {
+		return inc, ErrIncidentCorrupt
+	}
+	payload, sum := rest[:len(rest)-8], binary.LittleEndian.Uint64(rest[len(rest)-8:])
+	h := fnv.New64a()
+	h.Write(payload)
+	if h.Sum64() != sum {
+		return inc, ErrIncidentCorrupt
+	}
+	rd := bytes.NewReader(payload)
+	var u64 [8]byte
+	get := func(n int) ([]byte, error) {
+		if _, err := io.ReadFull(rd, u64[:n]); err != nil {
+			return nil, ErrIncidentCorrupt
+		}
+		return u64[:n], nil
+	}
+	b, err := get(8)
+	if err != nil {
+		return inc, err
+	}
+	inc.Seed = int64(binary.LittleEndian.Uint64(b))
+	if b, err = get(1); err != nil {
+		return inc, err
+	}
+	inc.Congestion = b[0] != 0
+	if b, err = get(2); err != nil {
+		return inc, err
+	}
+	plen := int(binary.LittleEndian.Uint16(b))
+	pol := make([]byte, plen)
+	if _, err := io.ReadFull(rd, pol); err != nil {
+		return inc, ErrIncidentCorrupt
+	}
+	inc.Policy = string(pol)
+	if b, err = get(1); err != nil {
+		return inc, err
+	}
+	if b[0] != 0 {
+		if b, err = get(4); err != nil {
+			return inc, err
+		}
+		n := int(binary.LittleEndian.Uint32(b))
+		if n > 1<<16 {
+			return inc, ErrIncidentCorrupt
+		}
+		inc.Keep = make([]int, n)
+		for i := range inc.Keep {
+			if b, err = get(4); err != nil {
+				return inc, err
+			}
+			inc.Keep[i] = int(binary.LittleEndian.Uint32(b))
+		}
+	}
+	if b, err = get(8); err != nil {
+		return inc, err
+	}
+	inc.Digest = binary.LittleEndian.Uint64(b)
+	if rd.Len() != 0 {
+		return inc, ErrIncidentCorrupt
+	}
+	return inc, nil
+}
+
+// Scenario regenerates the incident's scenario from its coordinates.
+func (inc Incident) Scenario() (Scenario, error) {
+	gen := Generate
+	if inc.Congestion {
+		gen = GenerateCongestion
+	}
+	sc := gen(inc.Seed)
+	sc.Policy = inc.Policy
+	if inc.Keep != nil {
+		sub := make([]FaultSpec, len(inc.Keep))
+		for i, k := range inc.Keep {
+			if k < 0 || k >= len(sc.Faults) {
+				return sc, fmt.Errorf("dst: keep index %d outside schedule of %d faults", k, len(sc.Faults))
+			}
+			sub[i] = sc.Faults[k]
+		}
+		sc.Faults = sub
+		sc.finalize()
+	}
+	return sc, nil
+}
+
+// CaptureIncident runs the incident's scenario with a synchronous audit
+// sink writing the decision log to decisions, then writes the incident
+// trace (digest included) to trace. The recorded log is sealed. Returns
+// the run's report.
+func CaptureIncident(inc Incident, decisions, trace io.Writer) (*Report, error) {
+	sc, err := inc.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	sink, err := auditlog.NewSyncWriter(decisions)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := RunAudited(sc, sink)
+	if err != nil {
+		return nil, err
+	}
+	if err := sink.Seal(); err != nil {
+		return nil, err
+	}
+	if err := sink.Err(); err != nil {
+		return nil, fmt.Errorf("dst: recording decision log: %w", err)
+	}
+	inc.Digest = rep.Digest
+	if err := WriteIncident(trace, inc); err != nil {
+		return nil, fmt.Errorf("dst: writing incident trace: %w", err)
+	}
+	return rep, nil
+}
+
+// ReplayReport is the outcome of replaying a recorded incident.
+type ReplayReport struct {
+	Incident Incident
+	// Logged and Replayed count decision records in the recorded log and
+	// the replay run; Matched counts positions where (kind, backend,
+	// generation) agree.
+	Logged, Replayed, Matched int
+	// ByteIdentical is the strongest claim: re-encoding the replayed
+	// decisions produces the recorded log's exact chain value — the two
+	// logs are byte-for-byte the same file.
+	ByteIdentical bool
+	// DigestMatch: the replay's whole-run trace digest equals the one the
+	// incident trace recorded.
+	DigestMatch bool
+	// FirstMismatch describes the earliest diverging record ("" when the
+	// sequences agree).
+	FirstMismatch string
+	// Report is the replay run's full DST report (oracle verdicts, stats).
+	Report *Report
+}
+
+// OK reports full reproduction: every logged decision matched and the
+// encoded logs are byte-identical.
+func (r *ReplayReport) OK() bool {
+	return r.Logged == r.Replayed && r.Matched == r.Logged &&
+		r.ByteIdentical && r.DigestMatch && r.FirstMismatch == ""
+}
+
+// ReplayIncident verifies the recorded decision log (hash chain + seal),
+// regenerates the incident's scenario, re-runs it with a collecting audit
+// sink, and compares the replayed decision sequence against the log.
+func ReplayIncident(trace, decisions io.Reader) (*ReplayReport, error) {
+	inc, err := ReadIncident(trace)
+	if err != nil {
+		return nil, err
+	}
+	logged, err := auditlog.Verify(decisions)
+	if err != nil {
+		return nil, fmt.Errorf("decision log rejected: %w", err)
+	}
+	sc, err := inc.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	col := &auditlog.Collector{}
+	rep, err := RunAudited(sc, col)
+	if err != nil {
+		return nil, err
+	}
+	replayed := col.Snapshot()
+
+	rr := &ReplayReport{
+		Incident: inc,
+		Logged:   len(logged.Records),
+		Replayed: len(replayed),
+		Report:   rep,
+	}
+	rr.DigestMatch = rep.Digest == inc.Digest
+	n := rr.Logged
+	if rr.Replayed < n {
+		n = rr.Replayed
+	}
+	for i := 0; i < n; i++ {
+		l, p := &logged.Records[i], &replayed[i]
+		if l.Kind != p.Kind || l.Backend != p.Backend || l.Gen != p.Gen {
+			if rr.FirstMismatch == "" {
+				rr.FirstMismatch = fmt.Sprintf(
+					"record %d: logged %s backend=%d gen=%d, replayed %s backend=%d gen=%d",
+					i, l.Kind, l.Backend, l.Gen, p.Kind, p.Backend, p.Gen)
+			}
+			continue
+		}
+		rr.Matched++
+	}
+	if rr.FirstMismatch == "" && rr.Logged != rr.Replayed {
+		rr.FirstMismatch = fmt.Sprintf("record count: logged %d, replayed %d", rr.Logged, rr.Replayed)
+	}
+
+	// Byte-identity: re-encode the replayed decisions through the same
+	// chained writer and compare final chain values. Equal chains mean the
+	// recorded file and the re-encoded replay are the same bytes.
+	w, err := auditlog.NewWriter(io.Discard)
+	if err != nil {
+		return nil, err
+	}
+	for i := range replayed {
+		rec := replayed[i]
+		if err := w.Append(&rec); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Seal(); err != nil {
+		return nil, err
+	}
+	rr.ByteIdentical = w.Chain() == logged.Chain
+	return rr, nil
+}

@@ -56,6 +56,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"inbandlb/internal/auditlog"
 	"inbandlb/internal/control"
 	"inbandlb/internal/core"
 	"inbandlb/internal/lbproxy/dialpool"
@@ -180,6 +181,12 @@ type Config struct {
 	// 25 ms — one getsockopt per backend conn per tick, far below the
 	// distress timescales the detector integrates over).
 	CongestionSampleInterval time.Duration
+	// Audit receives every control-plane decision (snapshot publishes,
+	// weight changes, detector transitions, manual flips, config reloads)
+	// as hash-chained records. Use an auditlog.Log for the production
+	// async sink; the admin handler's /decisions endpoint reads its tail.
+	// Nil disables decision auditing.
+	Audit auditlog.Sink
 }
 
 // Stats are cumulative proxy counters. Every accepted connection ends in
@@ -353,6 +360,7 @@ func New(cfg Config) (*Proxy, error) {
 		Interval: cfg.ControlInterval,
 		Now:      p.now,
 		Detector: cfg.Detector,
+		Audit:    cfg.Audit,
 	})
 	// The pool is keyed to this proxy's BufferSize: every buffer it hands
 	// out has exactly that capacity, so relays never re-slice.

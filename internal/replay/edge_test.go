@@ -1,0 +1,90 @@
+package replay
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"inbandlb/internal/core"
+)
+
+// TestReplayDiagnostics pins the exact failure diagnostics for corrupt or
+// truncated captures. These strings surface in lbreplay's stderr, so an
+// operator debugging a bad capture must get a message naming the failure —
+// not a generic EOF or a silent partial report.
+func TestReplayDiagnostics(t *testing.T) {
+	valid := buildCapture(t, 3, 2, time.Millisecond)
+
+	implausible := append([]byte(nil), valid...)
+	// First record starts at 24; incl length field at offset 24+8.
+	binary.LittleEndian.PutUint32(implausible[32:36], 1<<21)
+
+	badLink := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(badLink[20:24], 228) // LINKTYPE_IPV4
+
+	for _, tc := range []struct {
+		name    string
+		data    []byte
+		want    string
+		notPcap bool
+	}{
+		{"empty", nil, "empty capture", true},
+		{"short-header", valid[:10], "shorter than the global header", true},
+		{"bad-magic", []byte("GARBAGEGARBAGEGARBAGEGARBAGE"), "not a pcap", true},
+		{"non-ethernet-link", badLink, "unsupported link type 228", false},
+		{"truncated-record-header", valid[:24+7], "truncated record header", false},
+		{"truncated-record-body", valid[:len(valid)-10], "truncated record body", false},
+		{"implausible-length", implausible, "implausible record length", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Replay(bytes.NewReader(tc.data), core.EnsembleConfig{})
+			if err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if tc.notPcap && !errors.Is(err, ErrNotPcap) {
+				t.Fatalf("error %q is not ErrNotPcap", err)
+			}
+		})
+	}
+}
+
+// TestReplayHeaderOnlyCapture: a capture with a valid global header and
+// zero records is well-formed — it must parse to an empty result, not an
+// error.
+func TestReplayHeaderOnlyCapture(t *testing.T) {
+	valid := buildCapture(t, 1, 1, time.Millisecond)
+	res, err := Replay(bytes.NewReader(valid[:24]), core.EnsembleConfig{})
+	if err != nil {
+		t.Fatalf("header-only capture rejected: %v", err)
+	}
+	if res.Packets != 0 || len(res.Flows) != 0 {
+		t.Fatalf("empty capture produced packets=%d flows=%d", res.Packets, len(res.Flows))
+	}
+}
+
+// TestReplayZeroLengthRecord: a record claiming zero captured bytes is
+// skipped (nothing to decode), and parsing continues to later records.
+func TestReplayZeroLengthRecord(t *testing.T) {
+	valid := buildCapture(t, 2, 2, time.Millisecond)
+	var zero [16]byte // sec=0 usec=0 incl=0 orig=0
+	data := append([]byte(nil), valid[:24]...)
+	data = append(data, zero[:]...)
+	data = append(data, valid[24:]...)
+
+	res, err := Replay(bytes.NewReader(data), core.EnsembleConfig{})
+	if err != nil {
+		t.Fatalf("zero-length record aborted the replay: %v", err)
+	}
+	if res.Packets != 4 {
+		t.Errorf("packets = %d, want 4", res.Packets)
+	}
+	if res.Skipped != 1 {
+		t.Errorf("skipped = %d, want 1 (the empty frame)", res.Skipped)
+	}
+}

@@ -57,6 +57,12 @@ type Result struct {
 func Replay(r io.Reader, cfg core.EnsembleConfig) (*Result, error) {
 	var gh [24]byte
 	if _, err := io.ReadFull(r, gh[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("%w: empty capture", ErrNotPcap)
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: capture shorter than the global header", ErrNotPcap)
+		}
 		return nil, fmt.Errorf("replay: reading global header: %w", err)
 	}
 	var order binary.ByteOrder = binary.LittleEndian

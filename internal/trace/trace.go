@@ -29,8 +29,9 @@ type Event struct {
 
 // Recorder accumulates events in memory.
 type Recorder struct {
-	events []Event
-	limit  int
+	events  []Event
+	limit   int
+	dropped uint64
 }
 
 // NewRecorder creates a recorder; limit bounds memory (0 = unlimited).
@@ -42,6 +43,7 @@ func NewRecorder(limit int) *Recorder {
 // Record adds an observation of p at time now.
 func (r *Recorder) Record(now time.Duration, p *netsim.Packet) {
 	if r.limit > 0 && len(r.events) >= r.limit {
+		r.dropped++
 		return
 	}
 	r.events = append(r.events, Event{
@@ -56,6 +58,10 @@ func (r *Recorder) Record(now time.Duration, p *netsim.Packet) {
 
 // Len returns the number of recorded events.
 func (r *Recorder) Len() int { return len(r.events) }
+
+// Dropped returns how many events were discarded because the recorder hit
+// its limit.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
 
 // Events returns the recorded events (shared storage).
 func (r *Recorder) Events() []Event { return r.events }

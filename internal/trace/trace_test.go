@@ -45,6 +45,19 @@ func TestRecorderLimit(t *testing.T) {
 	if r.Len() != 2 {
 		t.Errorf("len = %d, want 2 (limited)", r.Len())
 	}
+	if r.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", r.Dropped())
+	}
+}
+
+func TestRecorderUnlimitedNeverDrops(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 100; i++ {
+		r.Record(time.Duration(i), samplePacket(netsim.KindData, uint64(i)))
+	}
+	if r.Len() != 100 || r.Dropped() != 0 {
+		t.Errorf("len=%d dropped=%d, want 100/0", r.Len(), r.Dropped())
+	}
 }
 
 func TestWriteCSV(t *testing.T) {

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Coverage ratchet for the decision-critical packages.
+#
+# The audit log is only trustworthy if the code that writes and verifies it
+# is itself exercised, so statement coverage for internal/control and
+# internal/auditlog is ratcheted: each package's coverage must stay at or
+# above the committed baseline (scripts/coverage_baseline.txt), within a
+# small epsilon for float noise. CI fails when coverage drops; raising the
+# bar is `scripts/coverage.sh -update` in the PR that earns it.
+#
+# Usage:
+#   scripts/coverage.sh            check against the baseline (CI gate)
+#   scripts/coverage.sh -update    rewrite the baseline from current coverage
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PACKAGES=(internal/control internal/auditlog)
+BASELINE=scripts/coverage_baseline.txt
+# Tolerance in coverage points: absorbs run-to-run jitter from
+# timing-dependent branches without letting a real regression through.
+EPSILON=0.5
+
+declare -A current
+for pkg in "${PACKAGES[@]}"; do
+  profile=$(mktemp)
+  out=$(go test -count=1 -coverprofile="$profile" "./$pkg/")
+  pct=$(echo "$out" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*' | head -1)
+  rm -f "$profile"
+  if [ -z "$pct" ]; then
+    echo "coverage.sh: no coverage reported for $pkg" >&2
+    exit 1
+  fi
+  current[$pkg]=$pct
+  echo "$pkg: ${pct}%"
+done
+
+if [ "${1:-}" = "-update" ]; then
+  {
+    echo "# Statement-coverage baseline enforced by scripts/coverage.sh."
+    echo "# Regenerate with: scripts/coverage.sh -update"
+    for pkg in "${PACKAGES[@]}"; do
+      echo "$pkg ${current[$pkg]}"
+    done
+  } > "$BASELINE"
+  echo "baseline updated: $BASELINE"
+  exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+  echo "coverage.sh: missing $BASELINE (run scripts/coverage.sh -update)" >&2
+  exit 1
+fi
+
+fail=0
+for pkg in "${PACKAGES[@]}"; do
+  want=$(awk -v p="$pkg" '$1 == p { print $2 }' "$BASELINE")
+  if [ -z "$want" ]; then
+    echo "coverage.sh: $pkg not in baseline — add it with -update" >&2
+    fail=1
+    continue
+  fi
+  ok=$(awk -v have="${current[$pkg]}" -v want="$want" -v eps="$EPSILON" \
+    'BEGIN { print (have + eps >= want) ? 1 : 0 }')
+  if [ "$ok" != 1 ]; then
+    echo "coverage.sh: $pkg coverage ${current[$pkg]}% fell below baseline ${want}% (epsilon ${EPSILON})" >&2
+    fail=1
+  fi
+done
+if [ "$fail" != 0 ]; then
+  echo "coverage.sh: coverage ratchet FAILED — add tests or (deliberately) lower the baseline" >&2
+  exit 1
+fi
+echo "coverage ratchet OK"
